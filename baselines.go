@@ -1,0 +1,87 @@
+package gthinkerqc
+
+import (
+	"time"
+
+	"gthinkerqc/internal/clique"
+	"gthinkerqc/internal/kcore"
+	"gthinkerqc/internal/kernel"
+	"gthinkerqc/internal/ktruss"
+)
+
+// This file exposes the comparison substrates the paper positions
+// quasi-cliques against (cliques, k-core, k-truss) and the
+// kernel-expansion heuristic it names as future work.
+
+// MaximalCliques returns all maximal cliques of g with at least
+// minSize vertices (Bron–Kerbosch with pivoting and degeneracy
+// ordering). Maximal cliques are exactly the maximal 1.0-quasi-
+// cliques; dense-but-imperfect communities fragment into many small
+// cliques, which is the paper's case for γ < 1.
+func MaximalCliques(g *Graph, minSize int) [][]V {
+	return clique.MaximalCliques(g, minSize)
+}
+
+// KCore returns the sorted vertex set of the k-core of g — the
+// coarse-but-cheap density notion the paper's introduction contrasts
+// with quasi-cliques.
+func KCore(g *Graph, k int) []V {
+	return kcore.KCoreVertices(g, k)
+}
+
+// CoreNumbers returns each vertex's core number.
+func CoreNumbers(g *Graph) []int {
+	return kcore.CoreNumbers(g)
+}
+
+// KTrussComponents returns the connected components of the k-truss of
+// g (every edge inside lies on ≥ k−2 in-subgraph triangles).
+func KTrussComponents(g *Graph, k int) [][]V {
+	return ktruss.KTrussSubgraph(g, k)
+}
+
+// KernelConfig parameterizes ExpandKernels.
+type KernelConfig struct {
+	// Gamma is the target quasi-clique threshold.
+	Gamma float64
+	// KernelGamma > Gamma is the threshold for the cheap kernel
+	// mining pass (default Gamma+0.05, capped at 1).
+	KernelGamma float64
+	// MinSize filters the final quasi-cliques.
+	MinSize int
+	// KernelMinSize filters the kernels (default MinSize).
+	KernelMinSize int
+	// TopK truncates the output to the k largest results (0 = all).
+	TopK int
+}
+
+// KernelResult reports an ExpandKernels run.
+type KernelResult struct {
+	Cliques    [][]V
+	Kernels    int
+	KernelTime time.Duration
+	ExpandTime time.Duration
+}
+
+// ExpandKernels runs the kernel-expansion heuristic of Sanei-Mehri et
+// al. [32] — the paper's stated future-work acceleration: mine
+// γ′-quasi-cliques for γ′ > γ (cheap, few) and grow each greedily into
+// a γ-quasi-clique. Unlike MineSerial/MineParallel this is a
+// heuristic: results are valid γ-quasi-cliques but the set may be
+// incomplete and 1-step-maximal only.
+func ExpandKernels(g *Graph, cfg KernelConfig) (*KernelResult, error) {
+	res, stats, err := kernel.Expand(g, kernel.Config{
+		Gamma:         cfg.Gamma,
+		KernelGamma:   cfg.KernelGamma,
+		MinSize:       cfg.MinSize,
+		KernelMinSize: cfg.KernelMinSize,
+		TopK:          cfg.TopK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KernelResult{
+		Cliques: res, Kernels: stats.Kernels,
+		KernelTime: stats.KernelTime, ExpandTime: stats.ExpandTime,
+	}, nil
+}

@@ -1,0 +1,70 @@
+package gthinkerqc
+
+import (
+	"testing"
+)
+
+func TestFacadeMaximalCliques(t *testing.T) {
+	// Two triangles sharing an edge.
+	g := FromEdges(4, [][2]V{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+	cs := MaximalCliques(g, 3)
+	if len(cs) != 2 {
+		t.Fatalf("cliques = %v", cs)
+	}
+	// γ=1 quasi-cliques must agree.
+	res, err := MineSerial(g, Config{Gamma: 1.0, MinSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) != 2 {
+		t.Fatalf("γ=1 quasi-cliques = %v", res.Cliques)
+	}
+}
+
+func TestFacadeKCoreAndCoreNumbers(t *testing.T) {
+	g := FromEdges(5, [][2]V{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	core := KCore(g, 2)
+	if len(core) != 3 || core[0] != 0 {
+		t.Fatalf("2-core = %v", core)
+	}
+	nums := CoreNumbers(g)
+	if nums[3] != 1 || nums[0] != 2 || nums[4] != 0 {
+		t.Fatalf("core numbers = %v", nums)
+	}
+}
+
+func TestFacadeKTruss(t *testing.T) {
+	g := FromEdges(4, [][2]V{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	comps := KTrussComponents(g, 4)
+	if len(comps) != 1 || len(comps[0]) != 4 {
+		t.Fatalf("4-truss = %v", comps)
+	}
+}
+
+func TestFacadeExpandKernels(t *testing.T) {
+	g, _, err := GeneratePlanted(400, 0.01, []CommunitySpec{{Size: 14, Density: 0.95, Count: 2}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExpandKernels(g, KernelConfig{
+		Gamma: 0.8, KernelGamma: 0.95, MinSize: 10, KernelMinSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cliques) == 0 || res.Kernels == 0 {
+		t.Fatalf("kernel expansion empty: %+v", res)
+	}
+	for _, qc := range res.Cliques {
+		if !IsQuasiClique(g, qc, 0.8) {
+			t.Fatalf("invalid kernel result %v", qc)
+		}
+	}
+	if res.KernelTime <= 0 || res.ExpandTime < 0 {
+		t.Fatalf("timings: %+v", res)
+	}
+	// Config validation propagates.
+	if _, err := ExpandKernels(g, KernelConfig{Gamma: 0.9, KernelGamma: 0.8, MinSize: 5}); err == nil {
+		t.Fatal("invalid kernel config accepted")
+	}
+}

@@ -1,0 +1,279 @@
+package gthinkerqc
+
+import (
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/experiments"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// The benchmarks regenerate the paper's evaluation: one benchmark per
+// table and figure (plus ablations). Each iteration performs the whole
+// experiment, so b.N is typically 1; the interesting output is the
+// custom metrics. `go test -bench . -benchmem` runs everything;
+// cmd/qcbench prints the same data as formatted tables.
+
+var benchCluster = experiments.Cluster{Machines: 1, Workers: 2}
+
+// BenchmarkTable2 mines all eight dataset stand-ins with their Table 2
+// parameters.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total time.Duration
+		results := 0
+		for _, r := range rows {
+			total += r.Time
+			results += r.Results
+		}
+		b.ReportMetric(total.Seconds(), "job-s")
+		b.ReportMetric(float64(results), "results")
+	}
+}
+
+// BenchmarkTable3 sweeps (τtime, τsplit) on CX_GSE10158.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Table3(benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gridSeconds(g), "grid-s")
+	}
+}
+
+// BenchmarkTable4 sweeps (τtime, τsplit) on Hyves.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Table4(benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(gridSeconds(g), "grid-s")
+	}
+}
+
+func gridSeconds(g *experiments.Grid) float64 {
+	var total time.Duration
+	for _, row := range g.Time {
+		for _, d := range row {
+			total += d
+		}
+	}
+	return total.Seconds()
+}
+
+// BenchmarkTable5Vertical varies threads per machine on Enron.
+func BenchmarkTable5Vertical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5Vertical("Enron", 1, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Time.Seconds(), "t1-s")
+		b.ReportMetric(rows[len(rows)-1].Time.Seconds(), "tmax-s")
+		b.ReportMetric(rows[0].Time.Seconds()/rows[len(rows)-1].Time.Seconds(), "speedup")
+	}
+}
+
+// BenchmarkTable5Horizontal varies machine count on Enron.
+func BenchmarkTable5Horizontal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5Horizontal("Enron", []int{1, 2, 4}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Time.Seconds()/rows[len(rows)-1].Time.Seconds(), "speedup")
+		b.ReportMetric(float64(rows[len(rows)-1].Stolen), "stolen")
+	}
+}
+
+// BenchmarkTable6 measures decomposition overhead on Hyves.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6("Hyves", experiments.Table6TauTimes(), benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1] // most aggressive τtime
+		b.ReportMetric(last.Ratio, "mining:mat")
+		b.ReportMetric(float64(last.Subtasks), "subtasks")
+	}
+}
+
+// BenchmarkFigure1 collects the per-task time distribution on YouTube.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.CollectFigureData("YouTube", benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(f.Roots)), "tasks")
+		b.ReportMetric(f.Wall.Seconds(), "job-s")
+	}
+}
+
+// BenchmarkFigure2 reports the heaviest task's share (head-of-line
+// severity) on YouTube.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.CollectFigureData("YouTube", benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := f.Figure2(100)
+		if len(top) > 0 {
+			b.ReportMetric(top[0].Mining.Seconds(), "top-task-s")
+		}
+	}
+}
+
+// BenchmarkFigure3 reports the time spread among comparable-size tasks
+// on YouTube (the paper's orders-of-magnitude observation).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.CollectFigureData("YouTube", benchCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow, fast := f.Figure3Cohorts(5)
+		if len(slow) > 0 && len(fast) > 0 && fast[0].Mining > 0 {
+			b.ReportMetric(float64(slow[0].Mining)/float64(fast[0].Mining), "time-spread")
+		}
+	}
+}
+
+// BenchmarkAblationPruning times the serial pruning-rule variants on
+// CX_GSE10158.
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPruning("CX_GSE10158")
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := rows[0].Time.Seconds()
+		for _, r := range rows[1:] {
+			if base > 0 {
+				_ = r
+			}
+		}
+		b.ReportMetric(base, "full-s")
+		b.ReportMetric(rows[1].Time.Seconds(), "nokcore-s")
+	}
+}
+
+// BenchmarkAblationDecomposition contrasts Algorithm 10, Algorithm 8,
+// and the unreforged engine on YouTube.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDecomposition("YouTube", benchCluster, time.Millisecond, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Time.Seconds(), "timedelay-s")
+		b.ReportMetric(rows[1].Time.Seconds(), "sizethresh-s")
+		b.ReportMetric(rows[2].Time.Seconds(), "noglobalq-s")
+	}
+}
+
+// BenchmarkQuickMiss counts results the original Quick algorithm
+// misses.
+func BenchmarkQuickMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationQuickMiss(
+			[]string{"CX_GSE1730", "CX_GSE10158", "Ca-GrQc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		missed := 0
+		for _, r := range rows {
+			missed += r.Missed
+		}
+		b.ReportMetric(float64(missed), "missed")
+	}
+}
+
+// BenchmarkKernelExpansion measures the future-work heuristic against
+// exact mining on YouTube (the [32] trade-off).
+func BenchmarkKernelExpansion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := experiments.FutureWorkKernel("YouTube", 0.95)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.ExactTime.Seconds(), "exact-s")
+		b.ReportMetric(row.KernelTime.Seconds(), "kernel-s")
+		b.ReportMetric(float64(row.CoveredExact)/float64(row.ExactCount), "recall")
+	}
+}
+
+// --- micro-benchmarks of the core kernels -------------------------------
+
+// BenchmarkSerialMineGSE1730 is the raw serial miner on the smallest
+// dataset.
+func BenchmarkSerialMineGSE1730(b *testing.B) {
+	g, meta, err := BuildDataset("CX_GSE1730")
+	if err != nil {
+		b.Fatal(err)
+	}
+	par := quasiclique.Params{Gamma: meta.Gamma, MinSize: meta.MinSize}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKCoreEnron times the O(m) core decomposition on the Enron
+// stand-in (the T1 preprocessing the paper calls a dominating factor).
+func BenchmarkKCoreEnron(b *testing.B) {
+	g, _, err := BuildDataset("Enron")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if nums := CoreNumbers(g); len(nums) != g.NumVertices() {
+			b.Fatal("bad core numbers")
+		}
+	}
+}
+
+// BenchmarkBronKerboschCaGrQc times the maximal-clique baseline.
+func BenchmarkBronKerboschCaGrQc(b *testing.B) {
+	g, _, err := BuildDataset("Ca-GrQc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs := MaximalCliques(g, 5)
+		b.ReportMetric(float64(len(cs)), "cliques")
+	}
+}
+
+// BenchmarkParallelMineYouTube is the full parallel job on the hardest
+// stand-in.
+func BenchmarkParallelMineYouTube(b *testing.B) {
+	g, meta, err := BuildDataset("YouTube")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := MineParallel(g, Config{
+			Gamma: meta.Gamma, MinSize: meta.MinSize,
+			TauTime: time.Millisecond, Machines: 1, WorkersPerMachine: 2,
+			KeepNonMaximal: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Candidates), "candidates")
+	}
+}

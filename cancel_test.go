@@ -1,0 +1,99 @@
+package gthinkerqc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// hardGraph builds an instance expensive enough that cancellation can
+// land mid-mining.
+func hardGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, _, err := GeneratePlanted(8000, 0.001, []CommunitySpec{
+		{Size: 30, Density: 0.87, Count: 2},
+	}, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMineSerialContextCancel(t *testing.T) {
+	g := hardGraph(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := MineSerialContext(ctx, g, Config{Gamma: 0.9, MinSize: 14})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// Whatever was found must be valid.
+	if res != nil {
+		for _, qc := range res.Cliques {
+			if !IsQuasiClique(g, qc, 0.9) {
+				t.Fatalf("partial result invalid: %v", qc)
+			}
+		}
+	}
+}
+
+func TestMineParallelContextCancel(t *testing.T) {
+	g := hardGraph(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := MineParallelContext(ctx, g, Config{
+		Gamma: 0.9, MinSize: 14,
+		Machines: 1, WorkersPerMachine: 2,
+		TauTime: time.Hour, // force long single tasks: abort must interrupt Compute
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if res == nil {
+		t.Fatal("expected partial results container")
+	}
+	for _, qc := range res.Cliques {
+		if !IsQuasiClique(g, qc, 0.9) {
+			t.Fatalf("partial result invalid: %v", qc)
+		}
+	}
+}
+
+func TestContextCompletesNormally(t *testing.T) {
+	// A generous deadline must not disturb results.
+	g, _, err := GeneratePlanted(400, 0.01, []CommunitySpec{{Size: 10, Density: 1, Count: 2}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	want, err := MineSerial(g, Config{Gamma: 0.8, MinSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineSerialContext(ctx, g, Config{Gamma: 0.8, MinSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cliques) != len(want.Cliques) {
+		t.Fatalf("context run changed results: %d vs %d", len(got.Cliques), len(want.Cliques))
+	}
+	gotP, err := MineParallelContext(ctx, g, Config{Gamma: 0.8, MinSize: 6, WorkersPerMachine: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotP.Cliques) != len(want.Cliques) {
+		t.Fatalf("parallel context run changed results: %d vs %d", len(gotP.Cliques), len(want.Cliques))
+	}
+}

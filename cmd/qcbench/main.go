@@ -1,0 +1,227 @@
+// Command qcbench regenerates the paper's evaluation tables and
+// figures against the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	qcbench -exp all            # everything (a few minutes)
+//	qcbench -exp table2         # one experiment
+//	qcbench -exp table5a -machines 1 -threads 1,2,4
+//
+// Experiments: table1 table2 table3 table4 table5a table5b table6
+// fig1 fig2 fig3 ablation quickmiss kernel decomp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gthinkerqc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run")
+		machines = flag.Int("machines", 1, "default machines for single-shape experiments")
+		threads  = flag.Int("threads", 2, "default threads per machine")
+		tlist    = flag.String("tlist", "1,2,4", "thread counts for table5a")
+		mlist    = flag.String("mlist", "1,2,4", "machine counts for table5b")
+		figDS    = flag.String("figure-dataset", "YouTube", "dataset for figures 1-3")
+		csvDir   = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
+	)
+	flag.Parse()
+	writeCSV := func(name string, fn func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: csv: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*csvDir + "/" + name)
+		if err == nil {
+			err = fn(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: csv %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	cluster := experiments.Cluster{Machines: *machines, Workers: *threads}
+	w := os.Stdout
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(w, rows)
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2(cluster)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(w, rows)
+		return nil
+	})
+	run("table3", func() error {
+		g, err := experiments.Table3(cluster)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(w, g, "Table 3: Effect of Hyperparameters on CX_GSE10158")
+		writeCSV("table3.csv", func(f *os.File) error { return experiments.WriteGridCSV(f, g) })
+		return nil
+	})
+	run("table4", func() error {
+		g, err := experiments.Table4(cluster)
+		if err != nil {
+			return err
+		}
+		experiments.PrintGrid(w, g, "Table 4: Effect of Hyperparameters on Hyves")
+		writeCSV("table4.csv", func(f *os.File) error { return experiments.WriteGridCSV(f, g) })
+		return nil
+	})
+	run("table5a", func() error {
+		rows, err := experiments.Table5Vertical("Enron", *machines, parseInts(*tlist))
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, rows,
+			fmt.Sprintf("Table 5(a): Vertical Scalability on Enron (%d machines)", *machines))
+		return nil
+	})
+	run("table5b", func() error {
+		rows, err := experiments.Table5Horizontal("Enron", parseInts(*mlist), *threads)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScale(w, rows,
+			fmt.Sprintf("Table 5(b): Horizontal Scalability on Enron (%d threads)", *threads))
+		return nil
+	})
+	run("table6", func() error {
+		rows, err := experiments.Table6("Hyves", experiments.Table6TauTimes(), cluster)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable6(w, rows, "Hyves")
+		return nil
+	})
+
+	var fig *experiments.FigureData
+	figData := func() (*experiments.FigureData, error) {
+		if fig != nil {
+			return fig, nil
+		}
+		var err error
+		fig, err = experiments.CollectFigureData(*figDS, cluster)
+		return fig, err
+	}
+	run("fig1", func() error {
+		f, err := figData()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure1(w, f)
+		writeCSV("tasks.csv", func(file *os.File) error { return experiments.WriteFigureCSV(file, f) })
+		return nil
+	})
+	run("fig2", func() error {
+		f, err := figData()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure2(w, f, 100)
+		return nil
+	})
+	run("fig3", func() error {
+		f, err := figData()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure3(w, f, 5)
+		return nil
+	})
+
+	run("ablation", func() error {
+		for _, ds := range []string{"CX_GSE1730", "CX_GSE10158"} {
+			rows, err := experiments.AblationPruning(ds)
+			if err != nil {
+				return err
+			}
+			experiments.PrintAblation(w, rows, ds)
+		}
+		return nil
+	})
+	run("quickmiss", func() error {
+		rows, err := experiments.AblationQuickMiss(
+			[]string{"CX_GSE1730", "CX_GSE10158", "Ca-GrQc"})
+		if err != nil {
+			return err
+		}
+		experiments.PrintQuickMiss(w, rows)
+		return nil
+	})
+	run("kernel", func() error {
+		var rows []experiments.KernelRow
+		for _, ds := range []string{"CX_GSE10158", "YouTube"} {
+			row, err := experiments.FutureWorkKernel(ds, 0.95)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		experiments.PrintKernel(w, rows)
+		return nil
+	})
+	run("decomp", func() error {
+		// Hyves at its Table-2 defaults; YouTube in the head-of-line
+		// regime (τsize 24: one hard-core task dominates) with a
+		// moderate τtime so decomposition overhead stays small.
+		rows, err := experiments.AblationDecomposition("Hyves", cluster, 0, 0)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDecomp(w, rows, "Hyves")
+		rows, err = experiments.AblationDecomposition("YouTube", cluster, time.Millisecond, 24)
+		if err != nil {
+			return err
+		}
+		experiments.PrintDecomp(w, rows, "YouTube (τsize=24, τtime=1ms)")
+		return nil
+	})
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: bad int list %q\n", s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Command qcgen generates the synthetic benchmark graphs.
+//
+// Usage:
+//
+//	qcgen -type standin -name YouTube -o youtube.bin
+//	qcgen -type ba -n 100000 -attach 4 -o social.txt
+//	qcgen -type planted -n 5000 -p 0.002 -csize 20 -cdensity 0.95 -ccount 8 -o planted.bin
+//	qcgen -type er -n 1000 -p 0.01 -o er.txt
+//
+// The output format follows the file extension: .bin for the compact
+// binary codec, anything else for a plain edge list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gthinkerqc"
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "standin", "er | ba | planted | rmat | standin")
+		name     = flag.String("name", "YouTube", "stand-in dataset name (type=standin); one of: "+strings.Join(datagen.StandinNames(), ", "))
+		n        = flag.Int("n", 1000, "vertices (er/ba/planted)")
+		p        = flag.Float64("p", 0.01, "edge probability (er) / background probability (planted)")
+		attach   = flag.Int("attach", 3, "edges per new vertex (ba)")
+		csize    = flag.Int("csize", 20, "planted community size")
+		cdensity = flag.Float64("cdensity", 0.95, "planted community density")
+		ccount   = flag.Int("ccount", 4, "planted community count")
+		scale    = flag.Int("scale", 12, "log2 vertices (rmat)")
+		edges    = flag.Int("edges", 40000, "edge attempts (rmat)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		out      = flag.String("o", "", "output file (.bin = binary, else edge list)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "qcgen: -o is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var g *gthinkerqc.Graph
+	switch *typ {
+	case "er":
+		g = gthinkerqc.GenerateER(*n, *p, *seed)
+	case "ba":
+		g = gthinkerqc.GenerateBA(*n, *attach, *seed)
+	case "planted":
+		var err error
+		g, _, err = gthinkerqc.GeneratePlanted(*n, *p, []gthinkerqc.CommunitySpec{
+			{Size: *csize, Density: *cdensity, Count: *ccount},
+		}, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	case "rmat":
+		g = datagen.RMAT(*scale, *edges, 0.45, 0.2, 0.2, *seed)
+	case "standin":
+		s, err := datagen.StandinByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		g = s.Build()
+		fmt.Fprintf(os.Stderr, "qcgen: %s stand-in (paper parameters: γ=%.2f τsize=%d)\n",
+			s.Name, s.Gamma, s.MinSize)
+	default:
+		fatal(fmt.Errorf("unknown -type %q", *typ))
+	}
+
+	var err error
+	if strings.HasSuffix(*out, ".bin") {
+		err = gthinkerqc.SaveBinaryFile(*out, g)
+	} else {
+		err = graph.WriteEdgeListFile(*out, g)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "qcgen: wrote %s: |V|=%d |E|=%d\n", *out, g.NumVertices(), g.NumEdges())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qcgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Communities: detect tightly-knit social groups in a synthetic social
+// network — the paper's motivating application (detecting criminal
+// rings, botnets and spam sources in large online interaction
+// networks, which k-core and k-truss are too coarse for).
+//
+// The network is a Barabási–Albert graph (heavy-tailed degrees like
+// real social graphs) with hidden friend circles overlaid. Because a
+// friend circle is dense but rarely a perfect clique — members miss
+// some pairwise ties — γ-quasi-cliques at γ = 0.85 recover circles
+// that exact clique mining fragments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gthinkerqc"
+)
+
+func main() {
+	const n = 30000
+	// Social background: preferential attachment, 3 ties per newcomer.
+	base := gthinkerqc.GenerateBA(n, 3, 7)
+
+	// Hidden friend circles of 14–18 members at ~90% density.
+	overlayG, circles, err := gthinkerqc.GeneratePlanted(n, 0, []gthinkerqc.CommunitySpec{
+		{Size: 18, Density: 0.9, Count: 3},
+		{Size: 14, Density: 0.92, Count: 4},
+	}, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Merge the background and the circles into one graph.
+	b := gthinkerqc.NewGraphBuilder(n)
+	for _, gr := range []*gthinkerqc.Graph{base, overlayG} {
+		for v := 0; v < gr.NumVertices(); v++ {
+			for _, u := range gr.Adj(gthinkerqc.V(v)) {
+				if u > gthinkerqc.V(v) {
+					b.AddEdge(gthinkerqc.V(v), u)
+				}
+			}
+		}
+	}
+	g := b.Build()
+	fmt.Printf("social network: %d members, %d ties, %d hidden circles\n",
+		g.NumVertices(), g.NumEdges(), len(circles))
+
+	res, err := gthinkerqc.MineParallel(g, gthinkerqc.Config{
+		Gamma:   0.85,
+		MinSize: 12,
+		// The paper's time-delayed decomposition keeps all cores busy
+		// even though a few circles dominate the mining time.
+		Machines: 2, WorkersPerMachine: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d maximal 0.85-quasi-cliques in %v\n", len(res.Cliques), res.Wall)
+
+	// Score recovery: a circle counts as recovered when some mined
+	// quasi-clique covers ≥ 80% of its members.
+	recovered := 0
+	for _, circle := range circles {
+		set := map[gthinkerqc.V]bool{}
+		for _, v := range circle {
+			set[v] = true
+		}
+		best := 0
+		for _, qc := range res.Cliques {
+			hit := 0
+			for _, v := range qc {
+				if set[v] {
+					hit++
+				}
+			}
+			if hit > best {
+				best = hit
+			}
+		}
+		if float64(best) >= 0.8*float64(len(circle)) {
+			recovered++
+		}
+	}
+	fmt.Printf("recovered %d/%d hidden circles\n", recovered, len(circles))
+
+	// Show the densest communities.
+	sort.Slice(res.Cliques, func(i, j int) bool { return len(res.Cliques[i]) > len(res.Cliques[j]) })
+	for i, qc := range res.Cliques {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  community #%d: %d members, e.g. %v...\n", i+1, len(qc), qc[:4])
+	}
+}

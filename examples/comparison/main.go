@@ -1,0 +1,113 @@
+// Comparison: the paper's introduction argues that k-core and k-truss
+// are "more efficient to compute" but too coarse for community
+// detection, while exact cliques fragment imperfect communities —
+// quasi-cliques hit the sweet spot. This example measures all four
+// definitions on the same planted-community graph, plus the
+// kernel-expansion heuristic the paper names as future work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gthinkerqc"
+)
+
+func main() {
+	// Three hidden communities of 16 vertices at 90% density: dense,
+	// but essentially never perfect cliques.
+	g, plants, err := gthinkerqc.GeneratePlanted(3000, 0.004, []gthinkerqc.CommunitySpec{
+		{Size: 16, Density: 0.9, Count: 3},
+	}, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, 3 planted 16-vertex communities (density 0.9)\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	score := func(sets [][]gthinkerqc.V) (recovered int, largest int) {
+		for _, p := range plants {
+			in := map[gthinkerqc.V]bool{}
+			for _, v := range p {
+				in[v] = true
+			}
+			best := 0
+			for _, s := range sets {
+				hit, miss := 0, 0
+				for _, v := range s {
+					if in[v] {
+						hit++
+					} else {
+						miss++
+					}
+				}
+				// Count a community as recovered only by a *pure*
+				// dense set (≥80% coverage, ≤20% outsiders).
+				if hit > best && float64(hit) >= 0.8*16 && miss <= len(s)/5 {
+					best = hit
+				}
+			}
+			if best > 0 {
+				recovered++
+			}
+		}
+		for _, s := range sets {
+			if len(s) > largest {
+				largest = len(s)
+			}
+		}
+		return recovered, largest
+	}
+
+	// 1. Maximal cliques (γ = 1): fragments the 0.9-dense groups.
+	t0 := time.Now()
+	cliques := gthinkerqc.MaximalCliques(g, 8)
+	rec, largest := score(cliques)
+	fmt.Printf("%-28s %4d sets, largest %2d, communities recovered %d/3  (%v)\n",
+		"maximal cliques (≥8)", len(cliques), largest, rec, time.Since(t0).Round(time.Millisecond))
+
+	// 2. k-core: one coarse blob (or nothing), no community boundaries.
+	t0 = time.Now()
+	core := gthinkerqc.KCore(g, 12)
+	rec, _ = score([][]gthinkerqc.V{core})
+	fmt.Printf("%-28s %4d vertices in one set, communities recovered %d/3  (%v)\n",
+		"12-core", len(core), rec, time.Since(t0).Round(time.Millisecond))
+
+	// 3. k-truss components.
+	t0 = time.Now()
+	truss := gthinkerqc.KTrussComponents(g, 10)
+	rec, largest = score(truss)
+	fmt.Printf("%-28s %4d sets, largest %2d, communities recovered %d/3  (%v)\n",
+		"10-truss components", len(truss), largest, rec, time.Since(t0).Round(time.Millisecond))
+
+	// 4. Maximal 0.85-quasi-cliques (this paper).
+	t0 = time.Now()
+	res, err := gthinkerqc.MineSerial(g, gthinkerqc.Config{Gamma: 0.85, MinSize: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, largest = score(res.Cliques)
+	fmt.Printf("%-28s %4d sets, largest %2d, communities recovered %d/3  (%v)\n",
+		"0.85-quasi-cliques (≥12)", len(res.Cliques), largest, rec, time.Since(t0).Round(time.Millisecond))
+
+	// 5. Kernel expansion ([32], the paper's future work).
+	t0 = time.Now()
+	kres, err := gthinkerqc.ExpandKernels(g, gthinkerqc.KernelConfig{
+		Gamma: 0.85, KernelGamma: 0.95, MinSize: 12, KernelMinSize: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, largest = score(kres.Cliques)
+	fmt.Printf("%-28s %4d sets, largest %2d, communities recovered %d/3  (%v; %d kernels)\n",
+		"kernel expansion", len(kres.Cliques), largest, rec, time.Since(t0).Round(time.Millisecond), kres.Kernels)
+
+	fmt.Println("\nexpected: exact cliques always fragment 0.9-dense communities (no")
+	fmt.Println("perfect clique spans one); the k-core is a single coarse blob with no")
+	fmt.Println("community boundaries; k-truss can isolate communities on clean sparse")
+	fmt.Println("backgrounds like this one but offers no per-vertex density guarantee;")
+	fmt.Println("quasi-cliques recover all three with the exact guarantee, and kernel")
+	fmt.Println("expansion approximates them at a fraction of the exact-mining cost on")
+	fmt.Println("hard instances.")
+}

@@ -1,0 +1,54 @@
+// Distributed: run the same mining job across simulated cluster
+// shapes, showing the engine facilities the paper's Section 5 adds to
+// G-thinker — the global big-task queue, task spilling, and big-task
+// stealing between machines — and the work-conservation evidence
+// behind Table 5 (aggregate mining time stays flat while wall time
+// drops until the host's physical cores are saturated).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gthinkerqc"
+)
+
+func main() {
+	g, _, err := gthinkerqc.GeneratePlanted(25000, 0.0004, []gthinkerqc.CommunitySpec{
+		{Size: 24, Density: 0.88, Count: 3},
+		{Size: 16, Density: 0.94, Count: 6},
+	}, 2020)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("%9s %8s %10s %12s %10s %8s %10s\n",
+		"machines", "threads", "wall", "total-busy", "imbalance", "stolen", "remote-adj")
+
+	shapes := []struct{ m, w int }{
+		{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 2},
+	}
+	var base time.Duration
+	for _, s := range shapes {
+		res, err := gthinkerqc.MineParallel(g, gthinkerqc.Config{
+			Gamma: 0.9, MinSize: 13,
+			TauTime:  time.Millisecond,
+			Machines: s.m, WorkersPerMachine: s.w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Wall
+		}
+		fmt.Printf("%9d %8d %10v %12v %10.2f %8d %10d\n",
+			s.m, s.w, res.Wall.Round(time.Millisecond),
+			res.Engine.TotalBusy().Round(time.Millisecond),
+			res.Engine.BusyImbalance(), res.Engine.TasksStolen,
+			res.Engine.RemoteFetches)
+	}
+	fmt.Println("\nnotes: machines partition the vertex table, so multi-machine runs fetch")
+	fmt.Println("adjacency remotely and steal big tasks; wall-time speedup saturates at")
+	fmt.Println("the host's physical core count (the paper's cluster had 512 threads).")
+}

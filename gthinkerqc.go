@@ -1,0 +1,196 @@
+// Package gthinkerqc is a Go reproduction of "Scalable Mining of
+// Maximal Quasi-Cliques: An Algorithm-System Codesign Approach"
+// (Guo, Yan, Özsu, Jiang — PVLDB 2020).
+//
+// Given a degree ratio γ ∈ [0.5, 1] and a minimum size τsize, the
+// library finds every maximal γ-quasi-clique of an undirected graph:
+// a connected subgraph in which each vertex is adjacent to at least
+// ⌈γ·(n−1)⌉ of the other n−1 members.
+//
+// Two mining paths are provided:
+//
+//   - MineSerial runs the paper's corrected recursive algorithm
+//     (Section 4) with all seven pruning-rule families on one
+//     goroutine — the right tool up to medium graphs.
+//   - MineParallel runs the same algorithm as a task-parallel job on a
+//     reforged G-thinker engine (Sections 5–6) simulated in-process:
+//     per-worker queues for small tasks, a global queue for big ones,
+//     disk spilling, big-task stealing across simulated machines, and
+//     the paper's time-delayed task decomposition, which splits any
+//     task still running after τtime into independent subtasks.
+//
+// Quick start:
+//
+//	g, _ := gthinkerqc.LoadEdgeListFile("youtube.txt")
+//	res, _ := gthinkerqc.MineParallel(g, gthinkerqc.Config{
+//		Gamma: 0.9, MinSize: 18,
+//	})
+//	for _, qc := range res.Cliques {
+//		fmt.Println(qc)
+//	}
+package gthinkerqc
+
+import (
+	"context"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// Graph is an immutable simple undirected graph. Build one with
+// NewGraphBuilder, the Load* functions, or the Generate* functions.
+type Graph = graph.Graph
+
+// V is a vertex identifier (dense uint32).
+type V = graph.V
+
+// NewGraphBuilder returns a builder for a graph over vertices [0, n);
+// the universe grows as edges are added.
+func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph over [0, n) from an undirected edge list.
+func FromEdges(n int, edges [][2]V) *Graph { return graph.FromEdges(n, edges) }
+
+// Config is the complete configuration of a mining run. Zero values
+// get sensible defaults; Gamma and MinSize are mandatory.
+type Config struct {
+	// Gamma is the degree-ratio threshold γ ∈ [0.5, 1].
+	Gamma float64
+	// MinSize is the minimum quasi-clique size τsize ≥ 2.
+	MinSize int
+
+	// TauSplit classifies tasks with |ext(S)| above it as "big": big
+	// tasks go to the machine-wide global queue and are stolen across
+	// machines. Default 256.
+	TauSplit int
+	// TauTime is the backtracking budget before time-delayed task
+	// decomposition (Algorithm 10). Default 100 ms.
+	TauTime time.Duration
+	// SizeThresholdOnly selects the paper's baseline decomposition
+	// (Algorithm 8): split any task with |ext(S)| > TauSplit without
+	// mining it first.
+	SizeThresholdOnly bool
+
+	// Machines and WorkersPerMachine size the simulated cluster.
+	// Defaults: 1 machine, 1 worker.
+	Machines          int
+	WorkersPerMachine int
+	// QueueCap and BatchSize bound in-memory task queues and the
+	// spill/steal batch (defaults 1024 / 32).
+	QueueCap  int
+	BatchSize int
+	// SpillDir is where overflowing task queues spill; empty uses a
+	// temp dir removed after the run.
+	SpillDir string
+
+	// KeepNonMaximal skips the maximality post-filter, mirroring the
+	// paper's released code.
+	KeepNonMaximal bool
+	// Ablations exposes the per-rule switches used by the ablation
+	// benchmarks.
+	Ablations quasiclique.Options
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Cliques holds the maximal quasi-cliques (sorted vertex sets in
+	// canonical order). With KeepNonMaximal it holds all candidates.
+	Cliques [][]V
+	// Candidates is the number of distinct candidates found before
+	// the maximality filter.
+	Candidates int
+	// Wall is the mining wall time (excluding graph loading).
+	Wall time.Duration
+	// Engine holds engine-level metrics; nil for serial runs.
+	Engine *gthinker.Metrics
+	// Tasks exposes per-root task timing; nil for serial runs.
+	Tasks *metrics.Recorder
+	// SerialStats holds serial-path statistics; zero for parallel.
+	SerialStats quasiclique.MineStats
+}
+
+func (c Config) params() quasiclique.Params {
+	return quasiclique.Params{Gamma: c.Gamma, MinSize: c.MinSize}
+}
+
+func (c Config) options() quasiclique.Options {
+	o := c.Ablations
+	o.SkipMaximalityFilter = o.SkipMaximalityFilter || c.KeepNonMaximal
+	return o
+}
+
+// MineSerial mines g on a single goroutine with the paper's recursive
+// algorithm.
+func MineSerial(g *Graph, cfg Config) (*Result, error) {
+	return MineSerialContext(context.Background(), g, cfg)
+}
+
+// MineSerialContext is MineSerial with cancellation: when ctx is done,
+// the search unwinds promptly and the partial (still valid, possibly
+// incomplete) result set is returned together with ctx.Err().
+func MineSerialContext(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
+	start := time.Now()
+	sets, stats, err := quasiclique.MineGraphContext(ctx, g, cfg.params(), cfg.options())
+	if err != nil && len(sets) == 0 {
+		return nil, err
+	}
+	return &Result{
+		Cliques:     sets,
+		Candidates:  int(stats.Candidates),
+		Wall:        time.Since(start),
+		SerialStats: stats,
+	}, err
+}
+
+// MineParallel mines g on the simulated G-thinker cluster.
+func MineParallel(g *Graph, cfg Config) (*Result, error) {
+	return MineParallelContext(context.Background(), g, cfg)
+}
+
+// MineParallelContext is MineParallel with cancellation; on a done
+// context the engine drains promptly and the partial results are
+// returned together with ctx.Err().
+func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, error) {
+	start := time.Now()
+	strategy := miner.TimeDelayed
+	if cfg.SizeThresholdOnly {
+		strategy = miner.SizeThreshold
+	}
+	res, err := miner.MineContext(ctx, g, miner.Config{
+		Params:   cfg.params(),
+		Options:  cfg.options(),
+		TauSplit: cfg.TauSplit,
+		TauTime:  cfg.TauTime,
+		Strategy: strategy,
+	}, gthinker.Config{
+		Machines:          cfg.Machines,
+		WorkersPerMachine: cfg.WorkersPerMachine,
+		QueueCap:          cfg.QueueCap,
+		BatchSize:         cfg.BatchSize,
+		SpillDir:          cfg.SpillDir,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return &Result{
+		Cliques:    res.Cliques,
+		Candidates: res.Candidates,
+		Wall:       time.Since(start),
+		Engine:     res.Engine,
+		Tasks:      res.Recorder,
+	}, err
+}
+
+// IsQuasiClique reports whether the sorted vertex set S induces a
+// γ-quasi-clique of g (Definition 1, including connectivity).
+func IsQuasiClique(g *Graph, S []V, gamma float64) bool {
+	return quasiclique.IsQuasiClique(g, S, gamma)
+}
+
+// FilterMaximal removes duplicates and non-maximal sets from a
+// collection of sorted vertex sets.
+func FilterMaximal(sets [][]V) [][]V { return quasiclique.FilterMaximal(sets) }

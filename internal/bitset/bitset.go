@@ -1,0 +1,161 @@
+// Package bitset provides a dense bitset over small integer universes.
+//
+// The miner uses bitsets for membership marks over task-local vertex
+// indices (0..n-1), where n is the size of a task subgraph. Operations
+// are not safe for concurrent mutation; each task owns its bitsets.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-universe bitset. The zero value is an empty set over an
+// empty universe; use New to size it.
+type Set struct {
+	words []uint64
+	n     int // universe size
+}
+
+// New returns an empty set over the universe [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative universe")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes all elements, keeping the universe size.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// AddAll inserts every element of xs.
+func (s *Set) AddAll(xs []int) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// IntersectWith replaces s with s ∩ t. The universes must match.
+func (s *Set) IntersectWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// UnionWith replaces s with s ∪ t. The universes must match.
+func (s *Set) UnionWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// DifferenceWith replaces s with s \ t. The universes must match.
+func (s *Set) DifferenceWith(t *Set) {
+	if s.n != t.n {
+		panic("bitset: universe mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	if s.n != t.n {
+		panic("bitset: universe mismatch")
+	}
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t contain the same elements over the same
+// universe.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements appends the members of s in increasing order to dst and
+// returns the extended slice.
+func (s *Set) Elements(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, base+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// ForEach calls fn for each member in increasing order. If fn returns
+// false, iteration stops.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package clique implements maximal clique enumeration with the
+// Bron–Kerbosch algorithm (pivoting + degeneracy ordering). It serves
+// two purposes in this repository: a baseline the paper positions
+// quasi-cliques against (cliques fragment imperfect communities), and
+// a cross-validation oracle — maximal cliques are exactly the maximal
+// 1.0-quasi-cliques, so the two miners must agree at γ = 1.
+package clique
+
+import (
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+// MaximalCliques returns all maximal cliques of g with at least
+// minSize vertices, each as a sorted vertex set. It uses the
+// degeneracy-ordered outer loop of Eppstein–Löffler–Strash with
+// Bron–Kerbosch pivoting inside, which runs in O(d·n·3^{d/3}) for a
+// graph of degeneracy d.
+func MaximalCliques(g *graph.Graph, minSize int) [][]graph.V {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	order := degeneracyOrder(g)
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	var out [][]graph.V
+	report := func(R []graph.V) {
+		if len(R) >= minSize {
+			cp := make([]graph.V, len(R))
+			copy(cp, R)
+			vset.Sort(cp)
+			out = append(out, cp)
+		}
+	}
+	// For each vertex in degeneracy order: P = later neighbors,
+	// X = earlier neighbors.
+	var P, X []graph.V
+	for _, v := range order {
+		P = P[:0]
+		X = X[:0]
+		for _, u := range g.Adj(v) {
+			if pos[u] > pos[v] {
+				P = append(P, u)
+			} else {
+				X = append(X, u)
+			}
+		}
+		bkPivot(g, []graph.V{v}, append([]graph.V{}, P...), append([]graph.V{}, X...), report)
+	}
+	return out
+}
+
+// bkPivot is Bron–Kerbosch with pivoting from P ∪ X.
+func bkPivot(g *graph.Graph, R, P, X []graph.V, report func([]graph.V)) {
+	if len(P) == 0 && len(X) == 0 {
+		report(R)
+		return
+	}
+	// Pivot: vertex of P ∪ X with the most neighbors in P.
+	pivot := graph.V(0)
+	best := -1
+	for _, cand := range [][]graph.V{P, X} {
+		for _, u := range cand {
+			c := vset.IntersectCount(g.Adj(u), P)
+			if c > best {
+				best = c
+				pivot = u
+			}
+		}
+	}
+	// Candidates: P minus neighbors of the pivot.
+	cand := vset.Difference(nil, P, g.Adj(pivot))
+	for _, v := range cand {
+		adj := g.Adj(v)
+		bkPivot(g,
+			append(R, v),
+			vset.Intersect(nil, P, adj),
+			vset.Intersect(nil, X, adj),
+			report)
+		P = vset.Remove(P, v)
+		X = vset.Union(nil, X, []graph.V{v})
+	}
+}
+
+// degeneracyOrder returns the ordering produced by repeatedly removing
+// a minimum-degree vertex, so every vertex has at most d (the
+// degeneracy) neighbors later in the order.
+func degeneracyOrder(g *graph.Graph) []graph.V {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.V(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	buckets := make([][]graph.V, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.V(v))
+	}
+	removed := make([]bool, n)
+	order := make([]graph.V, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, u := range g.Adj(v) {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+		}
+	}
+	return order
+}
+
+// MaxClique returns one maximum clique of g (empty if the graph has no
+// vertices). It reuses MaximalCliques; fine for the graph sizes used
+// in examples and tests.
+func MaxClique(g *graph.Graph) []graph.V {
+	var best []graph.V
+	for _, c := range MaximalCliques(g, 1) {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,145 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/quasiclique"
+)
+
+func k5() *graph.Graph {
+	var edges [][2]graph.V
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]graph.V{graph.V(i), graph.V(j)})
+		}
+	}
+	return graph.FromEdges(5, edges)
+}
+
+func TestMaximalCliquesComplete(t *testing.T) {
+	cs := MaximalCliques(k5(), 1)
+	if len(cs) != 1 || len(cs[0]) != 5 {
+		t.Fatalf("K5 cliques = %v", cs)
+	}
+}
+
+func TestMaximalCliquesTriangleChain(t *testing.T) {
+	// Two triangles sharing an edge: cliques {0,1,2} and {1,2,3}.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+	cs := MaximalCliques(g, 3)
+	if len(cs) != 2 {
+		t.Fatalf("cliques = %v", cs)
+	}
+}
+
+func TestMaximalCliquesMinSize(t *testing.T) {
+	// Path graph: maximal cliques are the edges (size 2).
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}})
+	if got := MaximalCliques(g, 3); len(got) != 0 {
+		t.Fatalf("min-size filter failed: %v", got)
+	}
+	if got := MaximalCliques(g, 2); len(got) != 3 {
+		t.Fatalf("edge cliques = %v", got)
+	}
+}
+
+func TestMaxClique(t *testing.T) {
+	g := graph.FromEdges(6, [][2]graph.V{
+		{0, 1}, {0, 2}, {1, 2}, // triangle
+		{3, 4},
+	})
+	if c := MaxClique(g); len(c) != 3 {
+		t.Fatalf("max clique = %v", c)
+	}
+	if c := MaxClique(graph.FromEdges(0, nil)); len(c) != 0 {
+		t.Fatalf("empty graph max clique = %v", c)
+	}
+}
+
+// naiveMaximalCliques enumerates maximal cliques by brute force.
+func naiveMaximalCliques(g *graph.Graph, minSize int) [][]graph.V {
+	n := g.NumVertices()
+	var all [][]graph.V
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var S []graph.V
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				S = append(S, graph.V(v))
+			}
+		}
+		clique := true
+		for i := 0; i < len(S) && clique; i++ {
+			for j := i + 1; j < len(S); j++ {
+				if !g.HasEdge(S[i], S[j]) {
+					clique = false
+					break
+				}
+			}
+		}
+		if clique {
+			cp := make([]graph.V, len(S))
+			copy(cp, S)
+			all = append(all, cp)
+		}
+	}
+	maximal := quasiclique.FilterMaximal(all)
+	var out [][]graph.V
+	for _, c := range maximal {
+		if len(c) >= minSize {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestBronKerboschAgainstNaive(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					b.AddEdge(graph.V(i), graph.V(j))
+				}
+			}
+		}
+		g := b.Build()
+		got := MaximalCliques(g, 1)
+		want := naiveMaximalCliques(g, 1)
+		if !quasiclique.SetsEqual(got, want) {
+			t.Fatalf("seed=%d: BK %v, naive %v", seed, got, want)
+		}
+	}
+}
+
+// TestCliquesMatchGammaOneQuasiCliques is the cross-validation between
+// the two miners: maximal cliques ARE maximal 1.0-quasi-cliques.
+func TestCliquesMatchGammaOneQuasiCliques(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		n := 4 + rng.Intn(9)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.55 {
+					b.AddEdge(graph.V(i), graph.V(j))
+				}
+			}
+		}
+		g := b.Build()
+		minSize := 2 + int(seed%3)
+		bk := MaximalCliques(g, minSize)
+		qc, _, err := quasiclique.MineGraph(g,
+			quasiclique.Params{Gamma: 1.0, MinSize: minSize}, quasiclique.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !quasiclique.SetsEqual(bk, qc) {
+			t.Fatalf("seed=%d τ=%d: Bron–Kerbosch %v vs γ=1 quasi-cliques %v",
+				seed, minSize, bk, qc)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/metrics"
+)
+
+func TestWriteFigureCSV(t *testing.T) {
+	f := &FigureData{
+		Dataset: "test",
+		Roots: []metrics.RootStat{
+			{Root: 7, SubSize: 30, Mining: time.Second, Materialize: time.Millisecond, Subtasks: 4},
+			{Root: 9, SubSize: 10, Mining: time.Microsecond},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigureCSV(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[1][0] != "7" || recs[1][2] != strconv.FormatInt(int64(time.Second), 10) {
+		t.Fatalf("row = %v", recs[1])
+	}
+}
+
+func TestWriteGridCSV(t *testing.T) {
+	g := &Grid{
+		Dataset:   "d",
+		TauTimes:  []time.Duration{time.Millisecond},
+		TauSplits: []int{50, 100},
+		Time:      [][]time.Duration{{time.Second, 2 * time.Second}},
+		Results:   [][]int{{5, 6}},
+	}
+	var buf bytes.Buffer
+	if err := WriteGridCSV(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2][4] != "6" {
+		t.Fatalf("recs = %v", recs)
+	}
+}
+
+func TestWriteScaleCSV(t *testing.T) {
+	rows := []ScaleRow{{Machines: 2, Workers: 4, Time: time.Second, Imbalance: 1.25, Stolen: 7}}
+	var buf bytes.Buffer
+	if err := WriteScaleCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][6] != "1.2500" || recs[1][7] != "7" {
+		t.Fatalf("recs = %v", recs)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment smoke tests use the small datasets so the whole file
+// runs in a few seconds; full-scale regeneration happens in the
+// repository-root benchmarks and cmd/qcbench.
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.V == 0 || r.E == 0 {
+			t.Fatalf("empty dataset row: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "YouTube") {
+		t.Fatal("printout missing dataset")
+	}
+}
+
+func TestRunSmallDataset(t *testing.T) {
+	out, err := Run(RunSpec{Dataset: "CX_GSE1730"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results == 0 {
+		t.Fatal("GSE1730 stand-in produced no results")
+	}
+	if out.Wall <= 0 || out.TotalMining <= 0 {
+		t.Fatalf("timings missing: %+v", out)
+	}
+	// Unknown dataset errors.
+	if _, err := Run(RunSpec{Dataset: "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestKeepNonMaximalGrowsCounts(t *testing.T) {
+	raw, err := Run(RunSpec{Dataset: "CX_GSE10158", KeepNonMaximal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Run(RunSpec{Dataset: "CX_GSE10158"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Results < filtered.Results {
+		t.Fatalf("raw %d < filtered %d", raw.Results, filtered.Results)
+	}
+}
+
+func TestSmallGrid(t *testing.T) {
+	g, err := RunGrid("CX_GSE1730",
+		[]time.Duration{10 * time.Millisecond, 100 * time.Microsecond},
+		[]int{500, 50}, DefaultCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Time) != 2 || len(g.Time[0]) != 2 {
+		t.Fatalf("grid shape: %dx%d", len(g.Time), len(g.Time[0]))
+	}
+	// Result counts must be positive everywhere.
+	for i := range g.Results {
+		for j := range g.Results[i] {
+			if g.Results[i][j] <= 0 {
+				t.Fatalf("cell %d,%d empty", i, j)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintGrid(&buf, g, "Table 3 (smoke)")
+	if !strings.Contains(buf.String(), "τtime") {
+		t.Fatal("grid printout malformed")
+	}
+}
+
+func TestScalabilitySmoke(t *testing.T) {
+	rows, err := Table5Vertical("CX_GSE10158", 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].TotalBusy == 0 {
+		t.Fatal("busy time missing")
+	}
+	hrows, err := Table5Horizontal("CX_GSE10158", []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintScale(&buf, hrows, "Table 5(b) smoke")
+	if !strings.Contains(buf.String(), "Machines") {
+		t.Fatal("scale printout malformed")
+	}
+}
+
+func TestTable6Smoke(t *testing.T) {
+	rows, err := Table6("CX_GSE1730",
+		[]time.Duration{10 * time.Millisecond, 50 * time.Microsecond}, DefaultCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The aggressive timeout must decompose more than the lax one.
+	if rows[1].Subtasks < rows[0].Subtasks {
+		t.Fatalf("subtasks should grow as τtime shrinks: %d vs %d",
+			rows[0].Subtasks, rows[1].Subtasks)
+	}
+	var buf bytes.Buffer
+	PrintTable6(&buf, rows, "CX_GSE1730")
+	if !strings.Contains(buf.String(), "Mining") {
+		t.Fatal("table6 printout malformed")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f, err := CollectFigureData("CX_GSE10158", DefaultCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Roots) == 0 {
+		t.Fatal("no root stats")
+	}
+	bins := f.Figure1()
+	if histBinsTotal(bins) != len(f.Roots) {
+		t.Fatalf("histogram loses tasks: %d vs %d", histBinsTotal(bins), len(f.Roots))
+	}
+	top := f.Figure2(10)
+	if len(top) == 0 || (len(f.Roots) >= 10 && len(top) != 10) {
+		t.Fatalf("top-k = %d", len(top))
+	}
+	slow, fast := f.Figure3Cohorts(5)
+	if len(slow) == 0 {
+		t.Fatal("no slow cohort")
+	}
+	var buf bytes.Buffer
+	PrintFigure1(&buf, f)
+	PrintFigure2(&buf, f, 10)
+	PrintFigure3(&buf, f, 5)
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in figure printouts", want)
+		}
+	}
+	_ = fast
+}
+
+func TestAblationPruningSmoke(t *testing.T) {
+	rows, err := AblationPruning("CX_GSE1730")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Every variant finds the same maximal results.
+	for _, r := range rows[1:] {
+		if r.Results != rows[0].Results {
+			t.Fatalf("variant %q changed results: %d vs %d",
+				r.Variant, r.Results, rows[0].Results)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows, "CX_GSE1730")
+	if !strings.Contains(buf.String(), "k-core") {
+		t.Fatal("ablation printout malformed")
+	}
+}
+
+func TestAblationQuickMissSmoke(t *testing.T) {
+	rows, err := AblationQuickMiss([]string{"CX_GSE1730"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Missed < 0 {
+		t.Fatalf("quick found more than full: %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	PrintQuickMiss(&buf, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty printout")
+	}
+}
+
+func TestFutureWorkKernelSmoke(t *testing.T) {
+	row, err := FutureWorkKernel("CX_GSE1730", 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ExactCount == 0 {
+		t.Fatal("exact mining found nothing")
+	}
+	if row.CoveredExact > row.ExactCount {
+		t.Fatalf("coverage accounting broken: %+v", row)
+	}
+	var buf bytes.Buffer
+	PrintKernel(&buf, []KernelRow{row})
+	if !strings.Contains(buf.String(), "kernel") {
+		t.Fatal("kernel printout malformed")
+	}
+}
+
+func TestAblationDecompositionSmoke(t *testing.T) {
+	rows, err := AblationDecomposition("CX_GSE10158", DefaultCluster, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintDecomp(&buf, rows, "CX_GSE10158")
+	if !strings.Contains(buf.String(), "time-delayed") {
+		t.Fatal("decomp printout malformed")
+	}
+}

@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 7) against the synthetic dataset
+// stand-ins. Each experiment returns structured rows; print.go renders
+// them in the paper's layout. cmd/qcbench and the repository-root
+// benchmarks are thin wrappers over this package.
+//
+// Scaling note: the stand-ins are up to 25× smaller than the paper's
+// graphs (DESIGN.md §3), so the τtime sweeps use milliseconds where
+// the paper uses seconds — the same numerals at 1/1000 scale, keeping
+// the ratio of τtime to per-task mining time comparable.
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// Cluster is the simulated cluster shape used by an experiment.
+type Cluster struct {
+	Machines int
+	Workers  int // per machine
+}
+
+// DefaultCluster is sized for small hosts; the scalability experiments
+// override it.
+var DefaultCluster = Cluster{Machines: 1, Workers: 2}
+
+// graphCache avoids rebuilding stand-ins across grid cells.
+var (
+	cacheMu    sync.Mutex
+	graphCache = map[string]*graph.Graph{}
+)
+
+// buildDataset returns the named stand-in (cached) and its default
+// parameters.
+func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
+	s, err := datagen.StandinByName(name)
+	if err != nil {
+		return nil, s, err
+	}
+	cacheMu.Lock()
+	g, ok := graphCache[name]
+	cacheMu.Unlock()
+	if !ok {
+		g = s.Build()
+		cacheMu.Lock()
+		graphCache[name] = g
+		cacheMu.Unlock()
+	}
+	return g, s, nil
+}
+
+// RunSpec describes one parallel mining run of an experiment cell.
+type RunSpec struct {
+	Dataset  string
+	Gamma    float64
+	MinSize  int
+	TauSplit int
+	TauTime  time.Duration
+	Cluster  Cluster
+	// SizeThresholdOnly selects Algorithm 8 instead of Algorithm 10.
+	SizeThresholdOnly bool
+	// KeepNonMaximal skips the maximality filter, mirroring the
+	// paper's released code (its Table 2–4 result counts include
+	// non-maximal quasi-cliques, which is why they vary with τtime).
+	KeepNonMaximal bool
+	// DisableGlobalQueue reverts the engine reforge (ablation).
+	DisableGlobalQueue bool
+	// NoDecomposition disables task decomposition entirely (τtime=∞):
+	// the configuration that made the paper's first attempt stall on
+	// a few expensive tasks (head-of-line blocking).
+	NoDecomposition bool
+	Options         quasiclique.Options
+}
+
+// withDatasetDefaults fills unset fields from the stand-in's Table 2
+// parameters.
+func (r RunSpec) withDatasetDefaults(s datagen.Standin) RunSpec {
+	if r.Gamma == 0 {
+		r.Gamma = s.Gamma
+	}
+	if r.MinSize == 0 {
+		r.MinSize = s.MinSize
+	}
+	if r.TauSplit == 0 {
+		r.TauSplit = s.TauSplit
+	}
+	if r.TauTime == 0 {
+		r.TauTime = s.TauTime
+	}
+	if r.Cluster == (Cluster{}) {
+		r.Cluster = DefaultCluster
+	}
+	return r
+}
+
+// Outcome captures everything the tables report about one run.
+type Outcome struct {
+	Wall        time.Duration
+	Results     int // final result count (respecting KeepNonMaximal)
+	Candidates  int
+	PeakRAM     uint64
+	PeakDisk    int64
+	TotalMining time.Duration
+	TotalMater  time.Duration
+	Subtasks    uint64
+	Engine      *gthinker.Metrics
+	Recorder    *metrics.Recorder
+}
+
+// Run executes one cell.
+func Run(spec RunSpec) (Outcome, error) {
+	g, s, err := buildDataset(spec.Dataset)
+	if err != nil {
+		return Outcome{}, err
+	}
+	spec = spec.withDatasetDefaults(s)
+	opt := spec.Options
+	opt.SkipMaximalityFilter = opt.SkipMaximalityFilter || spec.KeepNonMaximal
+	strategy := miner.TimeDelayed
+	if spec.SizeThresholdOnly {
+		strategy = miner.SizeThreshold
+	}
+	if spec.NoDecomposition {
+		spec.TauTime = 365 * 24 * time.Hour
+	}
+	start := time.Now()
+	res, err := miner.Mine(g, miner.Config{
+		Params:   quasiclique.Params{Gamma: spec.Gamma, MinSize: spec.MinSize},
+		Options:  opt,
+		TauSplit: spec.TauSplit,
+		TauTime:  spec.TauTime,
+		Strategy: strategy,
+	}, gthinker.Config{
+		Machines:           spec.Cluster.Machines,
+		WorkersPerMachine:  spec.Cluster.Workers,
+		DisableGlobalQueue: spec.DisableGlobalQueue,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Wall:        time.Since(start),
+		Results:     len(res.Cliques),
+		Candidates:  res.Candidates,
+		PeakRAM:     res.Engine.PeakHeapAlloc,
+		PeakDisk:    res.Engine.PeakSpillBytes,
+		TotalMining: res.Recorder.TotalMining(),
+		TotalMater:  res.Recorder.TotalMaterialize(),
+		Subtasks:    res.Engine.SubtasksAdded,
+		Engine:      res.Engine,
+		Recorder:    res.Recorder,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package graph
+
+import "gthinkerqc/internal/vset"
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self loops are dropped; direction is ignored.
+type Builder struct {
+	adj [][]V
+}
+
+// NewBuilder returns a Builder for a graph over vertices [0, n).
+func NewBuilder(n int) *Builder {
+	return &Builder{adj: make([][]V, n)}
+}
+
+// Grow ensures the builder covers vertices [0, n).
+func (b *Builder) Grow(n int) {
+	for len(b.adj) < n {
+		b.adj = append(b.adj, nil)
+	}
+}
+
+// NumVertices returns the current vertex-universe size.
+func (b *Builder) NumVertices() int { return len(b.adj) }
+
+// AddEdge records the undirected edge {u, v}. Self loops are ignored.
+// The universe grows as needed.
+func (b *Builder) AddEdge(u, v V) {
+	if u == v {
+		return
+	}
+	if n := int(max32(u, v)) + 1; n > len(b.adj) {
+		b.Grow(n)
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// Build sorts and deduplicates adjacency lists and returns the Graph.
+// The Builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	m := 0
+	for v := range b.adj {
+		b.adj[v] = vset.Dedup(b.adj[v])
+		m += len(b.adj[v])
+	}
+	g := &Graph{adj: b.adj, m: m / 2}
+	b.adj = nil
+	return g
+}
+
+// FromEdges builds a graph over [0, n) from an edge list.
+func FromEdges(n int, edges [][2]V) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromAdjacency builds a graph directly from pre-made adjacency lists
+// (they are deduplicated and symmetrized).
+func FromAdjacency(adj [][]V) *Graph {
+	b := NewBuilder(len(adj))
+	for v, a := range adj {
+		for _, u := range a {
+			b.AddEdge(V(v), u)
+		}
+	}
+	return b.Build()
+}
+
+func max32(a, b V) V {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary codec for graphs: a compact little-endian format so generated
+// benchmark datasets load quickly.
+//
+//	magic  [4]byte  "GQC1"
+//	n      uint32   number of vertices
+//	m      uint64   number of undirected edges
+//	deg    [n]uint32
+//	adj    concatenated sorted adjacency lists, uint32 each
+
+var magic = [4]byte{'G', 'Q', 'C', '1'}
+
+// WriteBinary serializes g to w.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for _, a := range g.adj {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(a)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.adj {
+		for _, u := range a {
+			binary.LittleEndian.PutUint32(buf[:], u)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m4 [4]byte
+	if _, err := io.ReadFull(br, m4[:]); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if m4 != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m4[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	m := binary.LittleEndian.Uint64(hdr[4:12])
+	degs := make([]uint32, n)
+	if err := binary.Read(br, binary.LittleEndian, degs); err != nil {
+		return nil, fmt.Errorf("graph: read degrees: %w", err)
+	}
+	total := 0
+	for _, d := range degs {
+		total += int(d)
+	}
+	if uint64(total) != 2*m {
+		return nil, fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*m)
+	}
+	flat := make([]V, total)
+	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+		return nil, fmt.Errorf("graph: read adjacency: %w", err)
+	}
+	adj := make([][]V, n)
+	off := 0
+	for v := 0; v < n; v++ {
+		adj[v] = flat[off : off+int(degs[v]) : off+int(degs[v])]
+		off += int(degs[v])
+	}
+	g := &Graph{adj: adj, m: int(m)}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteBinaryFile writes g to path.
+func WriteBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinaryFile reads a graph from path.
+func ReadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,175 @@
+// Package graph provides the immutable undirected-graph substrate used
+// by the quasi-clique miner and the G-thinker engine.
+//
+// A Graph stores one sorted adjacency list per vertex. Vertices are
+// dense uint32 IDs in [0, N). Graphs are immutable after Build, which
+// is what lets the engine's partitioned vertex table serve concurrent
+// reads without locks.
+package graph
+
+import (
+	"fmt"
+
+	"gthinkerqc/internal/vset"
+)
+
+// V is a vertex identifier.
+type V = uint32
+
+// Graph is an immutable simple undirected graph.
+type Graph struct {
+	adj [][]V
+	m   int // number of undirected edges
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int { return g.m }
+
+// Adj returns v's sorted adjacency list. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Adj(v V) []V { return g.adj[v] }
+
+// Degree returns d(v).
+func (g *Graph) Degree(v V) int { return len(g.adj[v]) }
+
+// HasEdge reports whether {u, v} ∈ E.
+func (g *Graph) HasEdge(u, v V) bool {
+	// Search the shorter adjacency list.
+	if len(g.adj[v]) < len(g.adj[u]) {
+		u, v = v, u
+	}
+	return vset.Contains(g.adj[u], v)
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, a := range g.adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}
+
+// Within2 appends to dst every vertex u ≠ v with distance δ(u,v) ≤ 2
+// (the paper's B̄(v) minus v itself), sorted increasing, and returns the
+// extended slice. This is the candidate universe of a task spawned from
+// v under diameter-2 pruning (P1, valid for γ ≥ 0.5).
+func (g *Graph) Within2(v V, dst []V) []V {
+	mark := make(map[V]struct{}, len(g.adj[v])*4)
+	for _, u := range g.adj[v] {
+		mark[u] = struct{}{}
+	}
+	for _, u := range g.adj[v] {
+		for _, w := range g.adj[u] {
+			if w != v {
+				mark[w] = struct{}{}
+			}
+		}
+	}
+	for u := range mark {
+		dst = append(dst, u)
+	}
+	vset.Sort(dst)
+	return dst
+}
+
+// InducedDegrees returns, for each vertex of S (sorted), its degree in
+// the subgraph induced by S. Used by validity checks.
+func (g *Graph) InducedDegrees(S []V) []int {
+	degs := make([]int, len(S))
+	for i, v := range S {
+		degs[i] = vset.IntersectCount(g.adj[v], S)
+	}
+	return degs
+}
+
+// IsConnectedSubset reports whether the subgraph induced by the sorted
+// vertex set S is connected. The empty set is considered connected.
+func (g *Graph) IsConnectedSubset(S []V) bool {
+	if len(S) <= 1 {
+		return true
+	}
+	idx := make(map[V]int, len(S))
+	for i, v := range S {
+		idx[v] = i
+	}
+	seen := make([]bool, len(S))
+	stack := []int{0}
+	seen[0] = true
+	visited := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[S[i]] {
+			if j, ok := idx[w]; ok && !seen[j] {
+				seen[j] = true
+				visited++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return visited == len(S)
+}
+
+// ConnectedComponents returns the vertex sets of the connected
+// components, each sorted, in order of smallest member.
+func (g *Graph) ConnectedComponents() [][]V {
+	n := len(g.adj)
+	seen := make([]bool, n)
+	var comps [][]V
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []V
+		stack := []V{V(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		vset.Sort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Validate checks structural invariants (sorted adjacency, symmetry, no
+// self loops) and returns an error describing the first violation.
+// Intended for tests and loaders.
+func (g *Graph) Validate() error {
+	edges := 0
+	for v, a := range g.adj {
+		if !vset.IsSorted(a) {
+			return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+		}
+		for _, u := range a {
+			if u == V(v) {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if int(u) >= len(g.adj) {
+				return fmt.Errorf("graph: edge (%d,%d) out of range", v, u)
+			}
+			if !vset.Contains(g.adj[u], V(v)) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+		edges += len(a)
+	}
+	if edges != 2*g.m {
+		return fmt.Errorf("graph: edge count %d != sum(deg)/2 = %d", g.m, edges/2)
+	}
+	return nil
+}

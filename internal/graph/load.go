@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadOptions controls text edge-list parsing.
+type LoadOptions struct {
+	// Comments lists line prefixes treated as comments. Defaults to
+	// "#" (SNAP) and "%" (KONECT) when nil.
+	Comments []string
+	// KeepIDs preserves raw numeric IDs as-is (the graph is sized to
+	// max ID + 1). When false (default), IDs are remapped to a dense
+	// [0, n) range in first-appearance order.
+	KeepIDs bool
+}
+
+// LoadResult is a loaded graph plus the original-ID mapping (nil when
+// KeepIDs was set).
+type LoadResult struct {
+	Graph *Graph
+	// OrigID maps dense vertex ID -> original file ID.
+	OrigID []int64
+}
+
+// LoadEdgeList parses whitespace-separated "u v" pairs, one per line,
+// in the format used by SNAP and KONECT dumps. Extra columns (weights,
+// timestamps) are ignored. Self loops and duplicate edges are dropped.
+func LoadEdgeList(r io.Reader, opt LoadOptions) (*LoadResult, error) {
+	comments := opt.Comments
+	if comments == nil {
+		comments = []string{"#", "%"}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	b := NewBuilder(0)
+	remap := map[int64]V{}
+	var orig []int64
+	dense := func(raw int64) (V, error) {
+		if opt.KeepIDs {
+			if raw < 0 {
+				return 0, fmt.Errorf("graph: negative vertex ID %d", raw)
+			}
+			return V(raw), nil
+		}
+		if id, ok := remap[raw]; ok {
+			return id, nil
+		}
+		id := V(len(orig))
+		remap[raw] = id
+		orig = append(orig, raw)
+		return id, nil
+	}
+	line := 0
+scan:
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		for _, c := range comments {
+			if strings.HasPrefix(text, c) {
+				continue scan
+			}
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		du, err := dense(u)
+		if err != nil {
+			return nil, err
+		}
+		dv, err := dense(v)
+		if err != nil {
+			return nil, err
+		}
+		b.AddEdge(du, dv)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	// Make sure isolated high-numbered vertices referenced only via
+	// remap exist in the universe.
+	if !opt.KeepIDs {
+		b.Grow(len(orig))
+	}
+	return &LoadResult{Graph: b.Build(), OrigID: orig}, nil
+}
+
+// LoadEdgeListFile opens path and calls LoadEdgeList.
+func LoadEdgeListFile(path string, opt LoadOptions) (*LoadResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadEdgeList(f, opt)
+}
+
+// WriteEdgeList writes the graph as "u v" lines (each undirected edge
+// once, with u < v), suitable for re-loading with LoadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# gthinkerqc edge list: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Adj(V(v)) {
+			if u > V(v) {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes the graph to path via WriteEdgeList.
+func WriteEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListFileMissing(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/missing.txt", LoadOptions{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadEdgeListCustomComments(t *testing.T) {
+	in := "// custom comment\n0 1\n"
+	res, err := LoadEdgeList(strings.NewReader(in), LoadOptions{Comments: []string{"//"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("edges = %d", res.Graph.NumEdges())
+	}
+	// Default comments not honored when a custom set is given.
+	if _, err := LoadEdgeList(strings.NewReader("# not a comment now\n"),
+		LoadOptions{Comments: []string{"//"}}); err == nil {
+		t.Fatal("un-skipped comment line parsed as edge")
+	}
+}
+
+func TestLoadEdgeListExtraColumns(t *testing.T) {
+	// KONECT dumps carry weights/timestamps in extra columns.
+	res, err := LoadEdgeList(strings.NewReader("0 1 1.5 1234567\n1 2 0.3 1234568\n"), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != 2 {
+		t.Fatalf("edges = %d", res.Graph.NumEdges())
+	}
+}
+
+func TestReadBinaryCorruptDegreeSum(t *testing.T) {
+	// Craft a header whose degree sum disagrees with 2m.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], 2)  // n = 2
+	binary.LittleEndian.PutUint64(hdr[4:12], 5) // m = 5 (impossible)
+	buf.Write(hdr)
+	deg := make([]byte, 8) // degrees 0, 0
+	buf.Write(deg)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("corrupt degree sum accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := FromEdges(3, [][2]V{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 10, 17, len(full) - 2} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteEdgeListFileError(t *testing.T) {
+	g := FromEdges(2, [][2]V{{0, 1}})
+	if err := WriteEdgeListFile("/nonexistent/dir/out.txt", g); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := WriteBinaryFile("/nonexistent/dir/out.bin", g); err == nil {
+		t.Fatal("bad binary path accepted")
+	}
+	if _, err := ReadBinaryFile("/nonexistent/dir/in.bin"); err == nil {
+		t.Fatal("missing binary accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	// Hand-build broken graphs to exercise each Validate branch.
+	asym := &Graph{adj: [][]V{{1}, {}}, m: 0}
+	if err := asym.Validate(); err == nil {
+		t.Fatal("asymmetric adjacency accepted")
+	}
+	self := &Graph{adj: [][]V{{0}}, m: 0}
+	if err := self.Validate(); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	unsorted := &Graph{adj: [][]V{{2, 1}, {0}, {0}}, m: 2}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("unsorted adjacency accepted")
+	}
+	oob := &Graph{adj: [][]V{{9}}, m: 0}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	badCount := &Graph{adj: [][]V{{1}, {0}}, m: 7}
+	if err := badCount.Validate(); err == nil {
+		t.Fatal("bad edge count accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package graph
+
+import "fmt"
+
+// Stats summarizes a graph for dataset tables (Table 1 of the paper).
+type Stats struct {
+	Vertices  int
+	Edges     int
+	MaxDegree int
+	AvgDegree float64
+	Isolated  int // vertices with degree 0
+}
+
+// ComputeStats returns summary statistics for g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(V(v))
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	if s.Vertices > 0 {
+		s.AvgDegree = 2 * float64(s.Edges) / float64(s.Vertices)
+	}
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d maxdeg=%d avgdeg=%.2f isolated=%d",
+		s.Vertices, s.Edges, s.MaxDegree, s.AvgDegree, s.Isolated)
+}
+
+// DegreeHistogram returns counts of vertices per degree value,
+// indexed by degree (length MaxDegree+1).
+func DegreeHistogram(g *Graph) []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(V(v))]++
+	}
+	return h
+}

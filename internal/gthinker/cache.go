@@ -1,0 +1,89 @@
+package gthinker
+
+import (
+	"sync"
+
+	"gthinkerqc/internal/graph"
+)
+
+// vertexCache is the per-machine remote-vertex cache of Figure 8:
+// adjacency lists fetched from other machines are kept while any task
+// still references them and become evictable afterwards, letting
+// concurrent tasks share one fetch.
+type vertexCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[graph.V]*cacheEntry
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	adj  []graph.V
+	refs int
+}
+
+func newVertexCache(capacity int) *vertexCache {
+	return &vertexCache{cap: capacity, entries: make(map[graph.V]*cacheEntry)}
+}
+
+// acquire pins the cached adjacency of each id it holds, returning the
+// found lists plus the ids that must be fetched remotely.
+func (c *vertexCache) acquire(ids []graph.V, out map[graph.V][]graph.V) (missing []graph.V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if e, ok := c.entries[id]; ok {
+			e.refs++
+			out[id] = e.adj
+			c.hits++
+		} else {
+			missing = append(missing, id)
+			c.misses++
+		}
+	}
+	return missing
+}
+
+// insert adds fetched adjacency lists pre-pinned (refs = 1) and evicts
+// unreferenced entries while over capacity.
+func (c *vertexCache) insert(id graph.V, adj []graph.V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[id]; ok {
+		// Raced with another worker's fetch: just pin.
+		e.refs++
+		return
+	}
+	c.entries[id] = &cacheEntry{adj: adj, refs: 1}
+	if len(c.entries) > c.cap {
+		for k, e := range c.entries {
+			if e.refs == 0 {
+				delete(c.entries, k)
+				c.evicted++
+				if len(c.entries) <= c.cap {
+					break
+				}
+			}
+		}
+	}
+}
+
+// release unpins ids after a Compute call returns (the paper: frontier
+// data is released right after compute).
+func (c *vertexCache) release(ids []graph.V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if e, ok := c.entries[id]; ok && e.refs > 0 {
+			e.refs--
+		}
+	}
+}
+
+func (c *vertexCache) stats() (hits, misses, evicted uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}

@@ -1,0 +1,86 @@
+package gthinker
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config sizes the simulated cluster and its queues.
+type Config struct {
+	// Machines is the number of simulated machines (vertex-table
+	// partitions). Default 1.
+	Machines int
+	// WorkersPerMachine is the number of mining threads per machine.
+	// Default 1.
+	WorkersPerMachine int
+	// QueueCap bounds the in-memory length of each task queue; a full
+	// queue spills a batch of tasks to disk. Default 1024.
+	QueueCap int
+	// BatchSize is C: the number of tasks per spill file, per refill,
+	// and the per-period cap on stolen tasks. Default 32.
+	BatchSize int
+	// SpillDir is where spill files live; empty means os.MkdirTemp.
+	SpillDir string
+	// CacheCap bounds the remote-vertex cache entries per machine.
+	// Default 1 << 16.
+	CacheCap int
+	// StealInterval is the master's load-balancing period (the paper
+	// uses 1 s on a real cluster; the in-process default is 20 ms).
+	StealInterval time.Duration
+	// DisableStealing turns off the big-task stealing master
+	// (ablation).
+	DisableStealing bool
+	// DisableGlobalQueue routes every task to local queues, reverting
+	// the paper's reforge (ablation: original G-thinker behavior).
+	DisableGlobalQueue bool
+	// Transport overrides the inter-machine vertex fetch path; nil
+	// uses the in-process loopback. Use NewTCPTransport with one
+	// VertexServer per machine for a real socket path.
+	Transport Transport
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 1
+	}
+	if c.WorkersPerMachine == 0 {
+		c.WorkersPerMachine = 1
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 1024
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 1 << 16
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = 20 * time.Millisecond
+	}
+	return c
+}
+
+// TotalWorkers returns Machines × WorkersPerMachine with defaults
+// applied; apps use it to size per-worker state before NewEngine.
+func (c Config) TotalWorkers() int {
+	c = c.withDefaults()
+	return c.Machines * c.WorkersPerMachine
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if c.Machines < 1 || c.WorkersPerMachine < 1 {
+		return fmt.Errorf("gthinker: need at least one machine and one worker, got %d×%d",
+			c.Machines, c.WorkersPerMachine)
+	}
+	if c.QueueCap < 1 || c.BatchSize < 1 {
+		return fmt.Errorf("gthinker: QueueCap (%d) and BatchSize (%d) must be positive",
+			c.QueueCap, c.BatchSize)
+	}
+	if c.BatchSize > c.QueueCap {
+		return fmt.Errorf("gthinker: BatchSize %d exceeds QueueCap %d", c.BatchSize, c.QueueCap)
+	}
+	return nil
+}

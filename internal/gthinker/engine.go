@@ -1,0 +1,309 @@
+package gthinker
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gthinkerqc/internal/graph"
+)
+
+// Engine runs an App over a graph on a simulated cluster. Create one
+// with NewEngine, call Run once.
+type Engine struct {
+	g         *graph.Graph
+	app       App
+	cfg       Config
+	transport Transport
+	machines  []*machine
+	disk      diskAccount
+
+	live     atomic.Int64 // tasks alive anywhere (queues, buffers, disk, in flight)
+	doneFlag atomic.Bool
+
+	errOnce sync.Once
+	err     error
+
+	spillRoot string
+	ownSpill  bool
+
+	stealRounds   atomic.Uint64
+	tasksStolen   atomic.Uint64
+	peakHeap      atomic.Uint64
+	spawnedTasks  atomic.Uint64
+	subtasksAdded atomic.Uint64
+}
+
+// NewEngine prepares a run. The graph must be immutable for the
+// duration.
+func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{g: g, app: app, cfg: cfg}
+	if cfg.Transport != nil {
+		e.transport = cfg.Transport
+	} else {
+		e.transport = newLoopback(g)
+	}
+
+	if cfg.SpillDir == "" {
+		dir, err := os.MkdirTemp("", "gthinker-spill-")
+		if err != nil {
+			return nil, err
+		}
+		e.spillRoot = dir
+		e.ownSpill = true
+	} else {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, err
+		}
+		e.spillRoot = cfg.SpillDir
+	}
+
+	// Partition the vertex table by hash, like G-thinker's key-value
+	// store over machine memories.
+	parts := make([][]graph.V, cfg.Machines)
+	for v := 0; v < g.NumVertices(); v++ {
+		o := owner(graph.V(v), cfg.Machines)
+		parts[o] = append(parts[o], graph.V(v))
+	}
+	wid := 0
+	for i := 0; i < cfg.Machines; i++ {
+		m := &machine{id: i, eng: e, verts: parts[i], cache: newVertexCache(cfg.CacheCap)}
+		mdir := filepath.Join(e.spillRoot, "machine-"+strconv.Itoa(i))
+		if err := os.MkdirAll(mdir, 0o755); err != nil {
+			return nil, err
+		}
+		m.lbig = newSpillList(mdir, "big", &e.disk)
+		for j := 0; j < cfg.WorkersPerMachine; j++ {
+			w := &worker{id: wid, m: m, lsmall: newSpillList(mdir, "small-"+strconv.Itoa(j), &e.disk)}
+			w.ctx = Ctx{WorkerID: wid, MachineID: i, aborted: e.doneFlag.Load}
+			m.workers = append(m.workers, w)
+			wid++
+		}
+		e.machines = append(e.machines, m)
+	}
+	return e, nil
+}
+
+// isBig classifies a task, honoring the DisableGlobalQueue ablation.
+func (e *Engine) isBig(t *Task) bool {
+	return !e.cfg.DisableGlobalQueue && e.app.IsBig(t)
+}
+
+// fail records the first error and stops the run.
+func (e *Engine) fail(err error) {
+	e.errOnce.Do(func() { e.err = err })
+	e.doneFlag.Store(true)
+}
+
+// Run executes the job to completion and returns its metrics.
+func (e *Engine) Run() (*Metrics, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is done the engine
+// stops promptly (in-flight Compute calls observe Ctx.Aborted) and the
+// context error is returned alongside the metrics gathered so far.
+func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
+	start := time.Now()
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Termination watcher: the job ends when every machine's spawn
+	// cursor is exhausted and no task is alive anywhere — or when the
+	// caller cancels.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				e.fail(ctx.Err())
+				return
+			case <-tick.C:
+				if e.allSpawned() && e.live.Load() == 0 {
+					e.doneFlag.Store(true)
+					return
+				}
+			}
+		}
+	}()
+
+	// Task-stealing master (Section 5: balance pending big tasks
+	// across machines every period).
+	if !e.cfg.DisableStealing && e.cfg.Machines > 1 {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			tick := time.NewTicker(e.cfg.StealInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					e.stealRound()
+				}
+			}
+		}()
+	}
+
+	// Heap sampler for the RAM columns of Tables 2 and 5.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				for {
+					p := e.peakHeap.Load()
+					if ms.HeapAlloc <= p || e.peakHeap.CompareAndSwap(p, ms.HeapAlloc) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, m := range e.machines {
+		for _, w := range m.workers {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	met := e.collectMetrics(time.Since(start))
+	if e.ownSpill {
+		os.RemoveAll(e.spillRoot)
+	}
+	return met, e.err
+}
+
+func (e *Engine) allSpawned() bool {
+	for _, m := range e.machines {
+		if int(m.spawnCursor.Load()) < len(m.verts) {
+			return false
+		}
+	}
+	return true
+}
+
+// stealRound implements the master's plan: compute the average big-task
+// backlog and move batches (≤ C per machine per period) from loaded
+// machines to idle ones.
+func (e *Engine) stealRound() {
+	n := len(e.machines)
+	counts := make([]int, n)
+	total := 0
+	for i, m := range e.machines {
+		counts[i] = m.bigPending()
+		total += counts[i]
+	}
+	if total == 0 {
+		return
+	}
+	avg := total / n
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	moved := false
+	lo := n - 1
+	for _, hi := range order {
+		if counts[hi] <= avg+1 {
+			break
+		}
+		for lo >= 0 && counts[order[lo]] >= avg {
+			lo--
+		}
+		if lo < 0 || order[lo] == hi {
+			break
+		}
+		recv := order[lo]
+		want := counts[hi] - avg
+		if deficit := avg - counts[recv]; deficit < want {
+			want = deficit
+		}
+		if want > e.cfg.BatchSize {
+			want = e.cfg.BatchSize
+		}
+		if want < 1 {
+			want = 1
+		}
+		batch := e.machines[hi].qglobal.popBackBatch(want)
+		if len(batch) == 0 {
+			continue
+		}
+		e.machines[recv].qglobal.pushBackAll(batch)
+		e.machines[recv].stolenIn.Add(uint64(len(batch)))
+		e.tasksStolen.Add(uint64(len(batch)))
+		counts[hi] -= len(batch)
+		counts[recv] += len(batch)
+		moved = true
+	}
+	if moved {
+		e.stealRounds.Add(1)
+	}
+}
+
+func (e *Engine) collectMetrics(wall time.Duration) *Metrics {
+	met := &Metrics{Wall: wall}
+	for _, m := range e.machines {
+		met.BigTasks += m.bigTasks.Load()
+		met.SmallTasks += m.smallTasks.Load()
+		h, mi, ev := m.cache.stats()
+		met.CacheHits += h
+		met.CacheMisses += mi
+		met.CacheEvicted += ev
+		for _, w := range m.workers {
+			met.ComputeCalls += w.computeCalls
+			met.TasksFinished += w.tasksFinished
+			met.LocalReads += w.localReads
+			met.WorkerBusy = append(met.WorkerBusy, w.busy)
+		}
+	}
+	met.TasksSpawned = e.spawnedTasks.Load()
+	met.SubtasksAdded = e.subtasksAdded.Load()
+	met.RemoteFetches = e.transport.Fetches()
+	met.SpillFiles = e.disk.files.Load()
+	met.SpillBytesWritten = e.disk.written.Load()
+	met.PeakSpillBytes = e.disk.peak.Load()
+	met.StealRounds = e.stealRounds.Load()
+	met.TasksStolen = e.tasksStolen.Load()
+	// Take one final heap sample: short jobs can finish between
+	// sampler ticks.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	met.PeakHeapAlloc = e.peakHeap.Load()
+	if ms.HeapAlloc > met.PeakHeapAlloc {
+		met.PeakHeapAlloc = ms.HeapAlloc
+	}
+	return met
+}

@@ -1,0 +1,178 @@
+package gthinker
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+)
+
+func TestConfigTotalWorkers(t *testing.T) {
+	if got := (Config{}).TotalWorkers(); got != 1 {
+		t.Fatalf("defaults = %d", got)
+	}
+	if got := (Config{Machines: 4, WorkersPerMachine: 8}).TotalWorkers(); got != 32 {
+		t.Fatalf("4x8 = %d", got)
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := &Metrics{WorkerBusy: []time.Duration{time.Second, 3 * time.Second}}
+	if m.TotalBusy() != 4*time.Second {
+		t.Fatalf("TotalBusy = %v", m.TotalBusy())
+	}
+	if got := m.BusyImbalance(); got != 1.5 {
+		t.Fatalf("BusyImbalance = %v", got)
+	}
+	if s := m.String(); !strings.Contains(s, "imbalance") {
+		t.Fatalf("String = %q", s)
+	}
+	// Edge cases.
+	empty := &Metrics{}
+	if empty.BusyImbalance() != 1 {
+		t.Fatal("empty imbalance")
+	}
+	zero := &Metrics{WorkerBusy: []time.Duration{0, 0}}
+	if zero.BusyImbalance() != 1 {
+		t.Fatal("zero-busy imbalance")
+	}
+}
+
+func TestStealRoundDirect(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.2, 1)
+	e, err := NewEngine(g, &nilApp{}, Config{Machines: 2, WorkersPerMachine: 1, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load machine 0 with 10 big tasks; machine 1 has none.
+	for i := 0; i < 10; i++ {
+		e.machines[0].qglobal.pushBack(NewTask(i))
+	}
+	e.stealRound()
+	m0, m1 := e.machines[0].qglobal.len(), e.machines[1].qglobal.len()
+	if m1 == 0 {
+		t.Fatalf("no tasks stolen: %d / %d", m0, m1)
+	}
+	if m0+m1 != 10 {
+		t.Fatalf("tasks lost in stealing: %d + %d", m0, m1)
+	}
+	if e.tasksStolen.Load() == 0 || e.stealRounds.Load() == 0 {
+		t.Fatal("steal counters not updated")
+	}
+	// Balanced queues: nothing moves.
+	before := e.tasksStolen.Load()
+	e.stealRound()
+	e.stealRound()
+	after := e.tasksStolen.Load()
+	if after-before > uint64(m0+m1) {
+		t.Fatalf("stealing thrashes on balanced queues: %d moved", after-before)
+	}
+	// Empty queues: no-op.
+	e2, _ := NewEngine(g, &nilApp{}, Config{Machines: 2, SpillDir: t.TempDir()})
+	e2.stealRound()
+	if e2.tasksStolen.Load() != 0 {
+		t.Fatal("stole from empty cluster")
+	}
+}
+
+func TestEngineRunContextCancelled(t *testing.T) {
+	gob.Register(&fanPayload{})
+	g := datagen.ErdosRenyi(50, 0.3, 2)
+	// Deep fan-out keeps the engine busy long enough to cancel.
+	app := &fanApp{spawnDepth: 6, fanout: 4}
+	e, err := NewEngine(g, app, Config{Machines: 1, WorkersPerMachine: 2, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// failingTransport errors on every fetch: the engine must surface the
+// error and terminate rather than hang.
+type failingTransport struct{ fetches atomic.Uint64 }
+
+func (f *failingTransport) FetchAdj(int, graph.V) ([]graph.V, error) {
+	f.fetches.Add(1)
+	return nil, errors.New("synthetic transport failure")
+}
+func (f *failingTransport) Fetches() uint64 { return f.fetches.Load() }
+
+func TestEngineTransportFailure(t *testing.T) {
+	g := datagen.ErdosRenyi(100, 0.1, 3)
+	app := &triApp{g: g}
+	e, err := NewEngine(g, app, Config{
+		Machines: 3, WorkersPerMachine: 1,
+		SpillDir: t.TempDir(), Transport: &failingTransport{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		_, runErr = e.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine hung on transport failure")
+	}
+	if runErr == nil {
+		t.Fatal("transport failure not surfaced")
+	}
+}
+
+func TestVertexServerMalformedRequest(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.3, 1)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport([]string{srv.Addr()})
+	defer tr.Close()
+	// Out-of-range vertex: the server drops the connection; the
+	// client sees an error, not a hang.
+	if _, err := tr.FetchAdj(0, 9999); err == nil {
+		t.Fatal("out-of-range fetch succeeded")
+	}
+	// The transport recovers with a fresh connection afterwards.
+	adj, err := tr.FetchAdj(0, 3)
+	if err != nil {
+		t.Fatalf("recovery fetch failed: %v", err)
+	}
+	if len(adj) != g.Degree(3) {
+		t.Fatalf("recovery fetch wrong: %v", adj)
+	}
+}
+
+func TestCtxAborted(t *testing.T) {
+	var flag atomic.Bool
+	c := Ctx{aborted: flag.Load}
+	if c.Aborted() {
+		t.Fatal("aborted before set")
+	}
+	flag.Store(true)
+	if !c.Aborted() {
+		t.Fatal("abort not observed")
+	}
+	var zero Ctx
+	if zero.Aborted() {
+		t.Fatal("zero Ctx aborted")
+	}
+}

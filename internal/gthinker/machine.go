@@ -1,0 +1,88 @@
+package gthinker
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gthinkerqc/internal/graph"
+)
+
+// machine is one simulated cluster node: a vertex-table partition, a
+// shared global queue for big tasks with its spill list and ready
+// buffer, a remote-vertex cache, and a group of workers.
+type machine struct {
+	id  int
+	eng *Engine
+
+	verts       []graph.V // local vertex partition (sorted)
+	spawnCursor atomic.Int64
+
+	qglobal lockedDeque
+	lbig    *spillList
+	bglobal ready
+
+	cache   *vertexCache
+	workers []*worker
+
+	bigTasks   atomic.Uint64
+	smallTasks atomic.Uint64
+	stolenIn   atomic.Uint64
+}
+
+// bigPending approximates the machine's pending big-task backlog for
+// the stealing master (queued plus spilled).
+func (m *machine) bigPending() int {
+	return m.qglobal.len() + m.lbig.count()
+}
+
+// addGlobal enqueues a big task, spilling a tail batch if the queue
+// overflows.
+func (m *machine) addGlobal(t *Task) {
+	m.qglobal.pushBack(t)
+	m.bigTasks.Add(1)
+	if m.qglobal.len() > m.eng.cfg.QueueCap {
+		batch := m.qglobal.popBackBatch(m.eng.cfg.BatchSize)
+		if err := m.lbig.spill(batch); err != nil {
+			m.eng.fail(err)
+		}
+	}
+}
+
+// worker is one mining thread with its own small-task queue, spill
+// list, and ready buffer.
+type worker struct {
+	id int // dense across machines
+	m  *machine
+
+	qlocal deque
+	lsmall *spillList
+	blocal ready
+	ctx    Ctx
+
+	busy          time.Duration
+	computeCalls  uint64
+	tasksFinished uint64
+	localReads    uint64
+}
+
+// addLocal enqueues a small task on this worker, spilling on overflow.
+func (w *worker) addLocal(t *Task) {
+	w.qlocal.pushBack(t)
+	w.m.smallTasks.Add(1)
+	if w.qlocal.len() > w.m.eng.cfg.QueueCap {
+		batch := w.qlocal.popBackBatch(w.m.eng.cfg.BatchSize)
+		if err := w.lsmall.spill(batch); err != nil {
+			w.m.eng.fail(err)
+		}
+	}
+}
+
+// route sends a task created during Compute to the right queue
+// (reforge: big tasks to the machine-wide global queue).
+func (w *worker) route(t *Task) {
+	if w.m.eng.isBig(t) {
+		w.m.addGlobal(t)
+	} else {
+		w.addLocal(t)
+	}
+}

@@ -1,0 +1,79 @@
+package gthinker
+
+import (
+	"fmt"
+	"time"
+)
+
+// Metrics reports one engine run. Aggregate counters are summed over
+// all machines and workers after the run completes.
+type Metrics struct {
+	Wall time.Duration
+
+	TasksSpawned  uint64 // tasks created by Spawn
+	SubtasksAdded uint64 // tasks created by Compute (decomposition)
+	TasksFinished uint64
+	ComputeCalls  uint64
+	BigTasks      uint64 // tasks routed to global queues
+	SmallTasks    uint64
+
+	LocalReads    uint64 // vertex-table reads served locally
+	RemoteFetches uint64 // adjacency lists fetched across machines
+	CacheHits     uint64
+	CacheMisses   uint64
+	CacheEvicted  uint64
+
+	SpillFiles        int64
+	SpillBytesWritten int64
+	PeakSpillBytes    int64 // high-water mark of on-disk task bytes
+
+	StealRounds uint64 // master periods that moved at least one task
+	TasksStolen uint64
+
+	// WorkerBusy is per-worker accumulated Compute time (dense worker
+	// IDs across machines). The spread between workers is the paper's
+	// load-balance evidence.
+	WorkerBusy []time.Duration
+
+	PeakHeapAlloc uint64 // sampled runtime heap high-water mark
+}
+
+// TotalBusy sums per-worker compute time (the "aggregate mining time"
+// reported next to wall time in EXPERIMENTS.md).
+func (m *Metrics) TotalBusy() time.Duration {
+	var t time.Duration
+	for _, b := range m.WorkerBusy {
+		t += b
+	}
+	return t
+}
+
+// BusyImbalance returns max/mean of per-worker busy time (1.0 =
+// perfectly balanced).
+func (m *Metrics) BusyImbalance() float64 {
+	if len(m.WorkerBusy) == 0 {
+		return 1
+	}
+	var max, sum time.Duration
+	for _, b := range m.WorkerBusy {
+		if b > max {
+			max = b
+		}
+		sum += b
+	}
+	mean := sum / time.Duration(len(m.WorkerBusy))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / float64(mean)
+}
+
+// String renders a compact summary.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d spill=%dB(peak %dB) cache=%d/%d busy=%v imbalance=%.2f",
+		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
+		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.SpillBytesWritten, m.PeakSpillBytes,
+		m.CacheHits, m.CacheHits+m.CacheMisses, m.TotalBusy().Round(time.Millisecond),
+		m.BusyImbalance())
+}

@@ -1,0 +1,145 @@
+package gthinker
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// diskAccount tracks spill-disk usage across the engine (Table 2's
+// "Disk" column and the paper's 22 TB-overflow anecdote).
+type diskAccount struct {
+	written atomic.Int64 // total bytes ever written
+	current atomic.Int64 // bytes currently on disk
+	peak    atomic.Int64 // high-water mark of current
+	files   atomic.Int64 // total files ever written
+}
+
+func (a *diskAccount) add(n int64) {
+	a.written.Add(n)
+	cur := a.current.Add(n)
+	for {
+		p := a.peak.Load()
+		if cur <= p || a.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	a.files.Add(1)
+}
+
+func (a *diskAccount) remove(n int64) { a.current.Add(-n) }
+
+// spillList is one task-file list (Lsmall of a worker or Lbig of a
+// machine): batches of tasks gob-encoded to disk, refilled LIFO so the
+// most recently deferred work resumes first.
+type spillList struct {
+	mu    sync.Mutex
+	dir   string
+	name  string
+	seq   int
+	files []spillFile
+	acct  *diskAccount
+}
+
+type spillFile struct {
+	path  string
+	size  int64
+	count int
+}
+
+func newSpillList(dir, name string, acct *diskAccount) *spillList {
+	return &spillList{dir: dir, name: name, acct: acct}
+}
+
+// count returns the number of spilled tasks.
+func (l *spillList) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, f := range l.files {
+		n += f.count
+	}
+	return n
+}
+
+// spill writes tasks as one batch file.
+func (l *spillList) spill(tasks []*Task) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	l.seq++
+	path := filepath.Join(l.dir, fmt.Sprintf("%s-%06d.gob", l.name, l.seq))
+	l.mu.Unlock()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gthinker: spill: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(len(tasks)); err != nil {
+		f.Close()
+		return fmt.Errorf("gthinker: spill encode: %w", err)
+	}
+	for _, t := range tasks {
+		if err := enc.Encode(t); err != nil {
+			f.Close()
+			return fmt.Errorf("gthinker: spill encode task: %w", err)
+		}
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	l.acct.add(info.Size())
+	l.mu.Lock()
+	l.files = append(l.files, spillFile{path: path, size: info.Size(), count: len(tasks)})
+	l.mu.Unlock()
+	return nil
+}
+
+// refill pops the newest batch file and decodes its tasks; ok=false
+// when the list is empty.
+func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
+	l.mu.Lock()
+	if len(l.files) == 0 {
+		l.mu.Unlock()
+		return nil, false, nil
+	}
+	sf := l.files[len(l.files)-1]
+	l.files = l.files[:len(l.files)-1]
+	l.mu.Unlock()
+
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("gthinker: refill: %w", err)
+	}
+	dec := gob.NewDecoder(f)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		f.Close()
+		return nil, false, fmt.Errorf("gthinker: refill decode: %w", err)
+	}
+	tasks = make([]*Task, 0, n)
+	for i := 0; i < n; i++ {
+		var t Task
+		if err := dec.Decode(&t); err != nil {
+			f.Close()
+			return nil, false, fmt.Errorf("gthinker: refill decode task: %w", err)
+		}
+		tasks = append(tasks, &t)
+	}
+	f.Close()
+	if err := os.Remove(sf.path); err != nil {
+		return nil, false, err
+	}
+	l.acct.remove(sf.size)
+	return tasks, true, nil
+}

@@ -1,0 +1,114 @@
+// Package gthinker is an in-process reimplementation of the reforged
+// G-thinker engine of the paper's Section 5: a task-based parallel
+// graph-mining runtime with
+//
+//   - a hash-partitioned vertex table (one partition per simulated
+//     machine) serving adjacency lists to tasks,
+//   - a remote-vertex cache per machine with reference counting and
+//     eviction,
+//   - per-worker local task queues (Qlocal) for small tasks and one
+//     machine-wide global queue (Qglobal) for big tasks — the paper's
+//     key reforge, which removes head-of-line blocking behind
+//     expensive tasks,
+//   - disk spilling of task batches when queues overflow (Lsmall and
+//     Lbig file lists), refilled in LIFO order to keep the volume of
+//     partially-processed tasks small,
+//   - prioritized scheduling: workers always prefer ready big tasks,
+//     then ready small tasks, then popping big tasks, then local ones,
+//     and stop a spawn batch as soon as it produces a big task,
+//   - a master that periodically rebalances pending big tasks across
+//     machines (task stealing).
+//
+// The cluster is simulated in one process: "machines" are groups of
+// worker goroutines and the network is a loopback Transport. Every
+// engine mechanism the paper evaluates lives above the transport, so
+// the exercised code paths match the distributed original; see
+// DESIGN.md §3 for the substitution argument.
+package gthinker
+
+import (
+	"sync/atomic"
+
+	"gthinkerqc/internal/graph"
+)
+
+var taskSeq atomic.Uint64
+
+// Task is one unit of divide-and-conquer work. The engine treats the
+// payload opaquely; apps cast it back in their Compute UDF.
+//
+// Fields are exported for gob serialization (disk spilling).
+type Task struct {
+	ID      uint64
+	Payload any
+	// Pulls holds the vertex IDs requested by the previous Compute
+	// iteration; the engine resolves them into the frontier passed to
+	// the next iteration.
+	Pulls []graph.V
+
+	// frontier holds resolved adjacency lists while the task sits in
+	// a ready buffer. Never spilled (only queued, unresolved tasks are
+	// spilled to disk).
+	frontier map[graph.V][]graph.V
+	// pinned lists the remote vertices holding cache references on
+	// this task's behalf, released after Compute returns.
+	pinned []graph.V
+}
+
+// NewTask returns a Task with a fresh unique ID and the given payload.
+func NewTask(payload any) *Task {
+	return &Task{ID: taskSeq.Add(1), Payload: payload}
+}
+
+// Ctx is handed to the Compute UDF for requesting vertex pulls and
+// emitting new (sub)tasks.
+type Ctx struct {
+	// WorkerID is a dense index over all workers of all machines
+	// (machine*workersPerMachine + worker); apps use it for
+	// per-worker result collectors.
+	WorkerID int
+	// MachineID is the executing machine.
+	MachineID int
+
+	pulls    []graph.V
+	newTasks []*Task
+	aborted  func() bool
+}
+
+// Aborted reports whether the job is being torn down (cancellation or
+// engine failure) while a Compute call is in flight. Long-running
+// Compute implementations should poll it and return early.
+func (c *Ctx) Aborted() bool {
+	return c.aborted != nil && c.aborted()
+}
+
+// Pull requests the adjacency list of v for the next iteration.
+func (c *Ctx) Pull(v graph.V) { c.pulls = append(c.pulls, v) }
+
+// AddTask schedules a new task; the engine routes it to the global or
+// a local queue depending on App.IsBig.
+func (c *Ctx) AddTask(t *Task) { c.newTasks = append(c.newTasks, t) }
+
+func (c *Ctx) reset() {
+	c.pulls = c.pulls[:0]
+	c.newTasks = c.newTasks[:0]
+}
+
+// App is the user-defined-function interface of G-thinker (Section 5):
+// Spawn creates the initial task for a vertex of the local table, and
+// Compute processes one task iteration against the frontier of pulled
+// adjacency lists, returning true if the task needs more iterations.
+type App interface {
+	// Spawn may return nil to skip the vertex. adj is the vertex's
+	// adjacency list in the (immutable) global graph.
+	Spawn(v graph.V, adj []graph.V, ctx *Ctx) *Task
+	// Compute runs one iteration of t. Frontier maps each pulled
+	// vertex to its adjacency list; the data is only valid during the
+	// call (the paper: "vertices in frontier are released by G-thinker
+	// right after compute returns").
+	Compute(t *Task, frontier map[graph.V][]graph.V, ctx *Ctx) bool
+	// IsBig classifies a task: big tasks go to the machine-shared
+	// global queue and are eligible for stealing. For the miner this
+	// is |ext(S)| > τsplit.
+	IsBig(t *Task) bool
+}

@@ -1,0 +1,207 @@
+package gthinker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gthinkerqc/internal/graph"
+)
+
+// The TCP transport gives the vertex-table protocol a real network
+// path: each simulated machine's partition is served by a
+// VertexServer, and TCPTransport performs one socket round trip per
+// cache-missed adjacency fetch. The wire protocol is minimal:
+//
+//	request:  uvarint vertexID
+//	response: uvarint degree, then degree × uvarint vertex IDs
+//
+// A production deployment would add batching and pipelining; this
+// implementation exists to prove the engine runs unchanged over real
+// sockets (see TestEngineTCPTransport).
+
+// VertexServer serves adjacency lists of a graph over TCP.
+type VertexServer struct {
+	g      *graph.Graph
+	ln     net.Listener
+	wg     sync.WaitGroup
+	served atomic.Uint64
+	closed atomic.Bool
+}
+
+// ServeVertexTable starts a server on addr ("127.0.0.1:0" picks a free
+// port). Close it when done.
+func ServeVertexTable(addr string, g *graph.Graph) (*VertexServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gthinker: vertex server: %w", err)
+	}
+	s := &VertexServer{g: g, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *VertexServer) Addr() string { return s.ln.Addr().String() }
+
+// Served returns the number of requests answered.
+func (s *VertexServer) Served() uint64 { return s.served.Load() }
+
+// Close stops the server and waits for handlers to drain.
+func (s *VertexServer) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *VertexServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *VertexServer) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	buf := make([]byte, binary.MaxVarintLen64)
+	for {
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return // EOF or broken pipe: client done
+		}
+		if id >= uint64(s.g.NumVertices()) {
+			return // malformed request: drop the connection
+		}
+		adj := s.g.Adj(graph.V(id))
+		n := binary.PutUvarint(buf, uint64(len(adj)))
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		for _, u := range adj {
+			n = binary.PutUvarint(buf, uint64(u))
+			if _, err := w.Write(buf[:n]); err != nil {
+				return
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		s.served.Add(1)
+	}
+}
+
+// TCPTransport fetches adjacency lists from per-machine VertexServers.
+// One pooled connection per owner, serialized by a mutex — adequate
+// for the fetch granularity of this engine (the cache absorbs reuse).
+type TCPTransport struct {
+	addrs   []string
+	mu      []sync.Mutex
+	conns   []*tcpConn
+	fetches atomic.Uint64
+}
+
+type tcpConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewTCPTransport returns a transport over one server address per
+// machine.
+func NewTCPTransport(addrs []string) *TCPTransport {
+	return &TCPTransport{
+		addrs: addrs,
+		mu:    make([]sync.Mutex, len(addrs)),
+		conns: make([]*tcpConn, len(addrs)),
+	}
+}
+
+// FetchAdj performs one request/response round trip to the owner.
+func (t *TCPTransport) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
+	if owner < 0 || owner >= len(t.addrs) {
+		return nil, fmt.Errorf("gthinker: no server for machine %d", owner)
+	}
+	t.mu[owner].Lock()
+	defer t.mu[owner].Unlock()
+	cc := t.conns[owner]
+	if cc == nil {
+		c, err := net.Dial("tcp", t.addrs[owner])
+		if err != nil {
+			return nil, fmt.Errorf("gthinker: dial %s: %w", t.addrs[owner], err)
+		}
+		cc = &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+		t.conns[owner] = cc
+	}
+	buf := make([]byte, binary.MaxVarintLen64)
+	n := binary.PutUvarint(buf, uint64(v))
+	if _, err := cc.w.Write(buf[:n]); err != nil {
+		t.drop(owner)
+		return nil, err
+	}
+	if err := cc.w.Flush(); err != nil {
+		t.drop(owner)
+		return nil, err
+	}
+	deg, err := binary.ReadUvarint(cc.r)
+	if err != nil {
+		t.drop(owner)
+		return nil, fmt.Errorf("gthinker: fetch %d from %d: %w", v, owner, err)
+	}
+	adj := make([]graph.V, deg)
+	for i := range adj {
+		id, err := binary.ReadUvarint(cc.r)
+		if err != nil {
+			t.drop(owner)
+			return nil, err
+		}
+		adj[i] = graph.V(id)
+	}
+	t.fetches.Add(1)
+	return adj, nil
+}
+
+func (t *TCPTransport) drop(owner int) {
+	if cc := t.conns[owner]; cc != nil {
+		cc.c.Close()
+		t.conns[owner] = nil
+	}
+}
+
+// Fetches returns the number of successful remote fetches.
+func (t *TCPTransport) Fetches() uint64 { return t.fetches.Load() }
+
+// Close tears down pooled connections.
+func (t *TCPTransport) Close() error {
+	var firstErr error
+	for i := range t.conns {
+		t.mu[i].Lock()
+		if t.conns[i] != nil {
+			if err := t.conns[i].c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			t.conns[i] = nil
+		}
+		t.mu[i].Unlock()
+	}
+	if firstErr != nil && !errors.Is(firstErr, io.EOF) {
+		return firstErr
+	}
+	return nil
+}

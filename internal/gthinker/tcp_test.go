@@ -1,0 +1,100 @@
+package gthinker
+
+import (
+	"testing"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+func TestVertexServerRoundTrip(t *testing.T) {
+	g := datagen.ErdosRenyi(50, 0.2, 9)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport([]string{srv.Addr()})
+	defer tr.Close()
+	for v := 0; v < g.NumVertices(); v++ {
+		adj, err := tr.FetchAdj(0, graph.V(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vset.Equal(adj, g.Adj(graph.V(v))) {
+			t.Fatalf("adjacency of %d corrupted over TCP: %v vs %v", v, adj, g.Adj(graph.V(v)))
+		}
+	}
+	if tr.Fetches() != uint64(g.NumVertices()) {
+		t.Fatalf("fetches = %d", tr.Fetches())
+	}
+	if srv.Served() != uint64(g.NumVertices()) {
+		t.Fatalf("served = %d", srv.Served())
+	}
+}
+
+func TestTCPTransportErrors(t *testing.T) {
+	tr := NewTCPTransport([]string{"127.0.0.1:1"}) // nothing listens here
+	defer tr.Close()
+	if _, err := tr.FetchAdj(0, 0); err == nil {
+		t.Fatal("dial to dead server succeeded")
+	}
+	if _, err := tr.FetchAdj(5, 0); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+}
+
+// TestEngineTCPTransport runs the triangle-counting app over real
+// sockets: one vertex server per simulated machine, every remote
+// adjacency fetch a TCP round trip. The count must match the loopback
+// run exactly.
+func TestEngineTCPTransport(t *testing.T) {
+	g := datagen.ErdosRenyi(200, 0.06, 11)
+	want := bruteTriangles(g)
+
+	const machines = 3
+	addrs := make([]string, machines)
+	var servers []*VertexServer
+	for i := 0; i < machines; i++ {
+		srv, err := ServeVertexTable("127.0.0.1:0", g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs[i] = srv.Addr()
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	tr := NewTCPTransport(addrs)
+	defer tr.Close()
+	app := &triApp{g: g}
+	e, err := NewEngine(g, app, Config{
+		Machines: machines, WorkersPerMachine: 2,
+		SpillDir: t.TempDir(), Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.count.Load() != want {
+		t.Fatalf("triangles over TCP = %d, want %d", app.count.Load(), want)
+	}
+	if met.RemoteFetches == 0 {
+		t.Fatal("no remote fetches went over TCP")
+	}
+	total := uint64(0)
+	for _, s := range servers {
+		total += s.Served()
+	}
+	if total != met.RemoteFetches {
+		t.Fatalf("server-side count %d != engine count %d", total, met.RemoteFetches)
+	}
+}

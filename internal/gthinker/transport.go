@@ -1,0 +1,49 @@
+package gthinker
+
+import (
+	"sync/atomic"
+
+	"gthinkerqc/internal/graph"
+)
+
+// Transport abstracts the network between machines: a machine fetches
+// adjacency lists it does not own through it. The in-process loopback
+// implementation reads the shared immutable graph directly; the TCP
+// implementation (tcp.go) performs real socket round trips —
+// everything above this interface is transport-agnostic.
+type Transport interface {
+	// FetchAdj returns the adjacency list of v owned by machine
+	// `owner`.
+	FetchAdj(owner int, v graph.V) ([]graph.V, error)
+	// Fetches returns the number of remote fetches served.
+	Fetches() uint64
+}
+
+// loopback is the in-process Transport standing in for the cluster
+// network (DESIGN.md §3).
+type loopback struct {
+	g       *graph.Graph
+	fetches atomic.Uint64
+}
+
+func newLoopback(g *graph.Graph) *loopback { return &loopback{g: g} }
+
+func (t *loopback) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
+	t.fetches.Add(1)
+	return t.g.Adj(v), nil
+}
+
+func (t *loopback) Fetches() uint64 { return t.fetches.Load() }
+
+// owner maps a vertex to its machine with a splitmix hash, like
+// G-thinker's hash partitioning of the vertex table.
+func owner(v graph.V, machines int) int {
+	if machines == 1 {
+		return 0
+	}
+	z := uint64(v) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(machines))
+}

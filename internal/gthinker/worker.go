@@ -1,0 +1,191 @@
+package gthinker
+
+import (
+	"runtime"
+	"time"
+
+	"gthinkerqc/internal/graph"
+)
+
+// run is the mining-thread main loop, the reforged Algorithm 3:
+//
+//	push: compute a ready big task (Bglobal) first, else a ready
+//	      small task (Blocal);
+//	pop:  try the global queue (refilled from Lbig when low; a failed
+//	      try-lock falls through), else the local queue (refilled from
+//	      Lsmall, then by spawning — stopping the spawn batch at the
+//	      first big task).
+func (w *worker) run() {
+	e := w.m.eng
+	idle := 0
+	for !e.doneFlag.Load() {
+		if w.step() {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 16 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// step performs one scheduling action; false means no work was found.
+func (w *worker) step() bool {
+	// Push phase: big ready tasks are prioritized across the machine.
+	if t := w.m.bglobal.pop(); t != nil {
+		w.compute(t)
+		return true
+	}
+	if t := w.blocal.pop(); t != nil {
+		w.compute(t)
+		return true
+	}
+	// Pop phase.
+	if t := w.popGlobal(); t != nil {
+		w.resolve(t)
+		return true
+	}
+	if t := w.popLocal(); t != nil {
+		w.resolve(t)
+		return true
+	}
+	return false
+}
+
+// popGlobal implements the second reforge change: always try the
+// machine's big-task queue first, refilling it from Lbig when it runs
+// low; a try-lock failure (another thread holds it) falls back to the
+// local path immediately instead of blocking.
+func (w *worker) popGlobal() *Task {
+	m := w.m
+	if m.qglobal.len() < m.eng.cfg.BatchSize {
+		if batch, ok, err := m.lbig.refill(); err != nil {
+			m.eng.fail(err)
+		} else if ok {
+			m.qglobal.pushBackAll(batch)
+		}
+	}
+	t, _ := m.qglobal.tryPopFront()
+	return t
+}
+
+// popLocal pops from the worker's own queue, refilling from Lsmall
+// first and then by spawning fresh tasks from the machine's vertex
+// partition.
+func (w *worker) popLocal() *Task {
+	if w.qlocal.len() < w.m.eng.cfg.BatchSize {
+		if batch, ok, err := w.lsmall.refill(); err != nil {
+			w.m.eng.fail(err)
+		} else if ok {
+			w.qlocal.pushBackAll(batch)
+		} else {
+			w.spawnBatch()
+		}
+	}
+	return w.qlocal.popFront()
+}
+
+// spawnBatch spawns up to C tasks from un-spawned local vertices. Per
+// the third reforge change it stops as soon as a spawned task is big,
+// so one refill cannot flood the global queue.
+func (w *worker) spawnBatch() {
+	e := w.m.eng
+	for i := 0; i < e.cfg.BatchSize; i++ {
+		idx := int(w.m.spawnCursor.Add(1)) - 1
+		if idx >= len(w.m.verts) {
+			return
+		}
+		v := w.m.verts[idx]
+		t := e.app.Spawn(v, e.g.Adj(v), &w.ctx)
+		if t == nil {
+			continue
+		}
+		e.spawnedTasks.Add(1)
+		e.live.Add(1)
+		if e.isBig(t) {
+			w.m.addGlobal(t)
+			return // stop at first big task
+		}
+		w.addLocal(t)
+	}
+}
+
+// resolve satisfies a task's pull requests — local table reads for
+// owned vertices, cache/transport for remote ones — and moves it to
+// the appropriate ready buffer. Tasks without pulls compute
+// immediately (Algorithm 5: iteration 2 flows straight into 3).
+func (w *worker) resolve(t *Task) {
+	if len(t.Pulls) == 0 {
+		w.compute(t)
+		return
+	}
+	e := w.m.eng
+	frontier := make(map[graph.V][]graph.V, len(t.Pulls))
+	var remote []graph.V
+	for _, id := range t.Pulls {
+		if owner(id, e.cfg.Machines) == w.m.id {
+			frontier[id] = e.g.Adj(id)
+			w.localReads++
+		} else {
+			remote = append(remote, id)
+		}
+	}
+	if len(remote) > 0 {
+		missing := w.m.cache.acquire(remote, frontier)
+		for _, id := range missing {
+			adj, err := e.transport.FetchAdj(owner(id, e.cfg.Machines), id)
+			if err != nil {
+				e.fail(err)
+				adj = nil
+			}
+			w.m.cache.insert(id, adj)
+			frontier[id] = adj
+		}
+	}
+	t.frontier = frontier
+	t.pinned = remote
+	if e.isBig(t) {
+		w.m.bglobal.push(t)
+	} else {
+		w.blocal.push(t)
+	}
+}
+
+// compute runs Compute iterations until the task suspends on pulls or
+// finishes, routing any subtasks it creates.
+func (w *worker) compute(t *Task) {
+	e := w.m.eng
+	for {
+		w.ctx.reset()
+		start := time.Now()
+		more := e.app.Compute(t, t.frontier, &w.ctx)
+		w.busy += time.Since(start)
+		w.computeCalls++
+
+		if t.pinned != nil {
+			w.m.cache.release(t.pinned)
+			t.pinned = nil
+		}
+		t.frontier = nil
+
+		for _, nt := range w.ctx.newTasks {
+			e.subtasksAdded.Add(1)
+			e.live.Add(1)
+			w.route(nt)
+		}
+		if !more {
+			w.tasksFinished++
+			e.live.Add(-1)
+			return
+		}
+		if len(w.ctx.pulls) == 0 {
+			continue // next iteration immediately
+		}
+		t.Pulls = append([]graph.V(nil), w.ctx.pulls...)
+		w.resolve(t)
+		return
+	}
+}

@@ -1,0 +1,165 @@
+package kernel
+
+import (
+	"testing"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/quasiclique"
+)
+
+func plantedGraph(t *testing.T) (*graph.Graph, [][]graph.V) {
+	t.Helper()
+	g, plants, err := datagen.Planted(datagen.PlantedConfig{
+		N: 500, Background: 0.01,
+		Communities: []datagen.Community{
+			{Size: 16, Density: 0.95, Count: 2},
+			{Size: 12, Density: 1.0, Count: 2},
+		},
+		Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, plants
+}
+
+func TestExpandFindsPlantedCommunities(t *testing.T) {
+	g, plants := plantedGraph(t)
+	res, stats, err := Expand(g, Config{
+		Gamma: 0.8, KernelGamma: 0.95, MinSize: 10, KernelMinSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || stats.Kernels == 0 {
+		t.Fatalf("no results: %+v", stats)
+	}
+	// Every result is a valid γ-quasi-clique.
+	for _, q := range res {
+		if !quasiclique.IsQuasiClique(g, q, 0.8) {
+			t.Fatalf("invalid expansion result %v", q)
+		}
+	}
+	// Each planted community is (mostly) recovered by some result.
+	for _, p := range plants {
+		set := map[graph.V]bool{}
+		for _, v := range p {
+			set[v] = true
+		}
+		best := 0
+		for _, q := range res {
+			hit := 0
+			for _, v := range q {
+				if set[v] {
+					hit++
+				}
+			}
+			if hit > best {
+				best = hit
+			}
+		}
+		if float64(best) < 0.75*float64(len(p)) {
+			t.Fatalf("community of %d only covered %d", len(p), best)
+		}
+	}
+}
+
+// TestExpandResultsAreSubsetsOfExact: expansion results, being valid
+// quasi-cliques, must each be contained in (or equal to) some exact
+// maximal quasi-clique.
+func TestExpandResultsContainedInExact(t *testing.T) {
+	g, _ := plantedGraph(t)
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 10}
+	exact, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Expand(g, Config{Gamma: 0.8, KernelGamma: 0.95, MinSize: 10, KernelMinSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range res {
+		contained := false
+		for _, e := range exact {
+			if quasiclique.IsSubsetSorted(q, e) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			t.Fatalf("expansion result %v not within any exact maximal quasi-clique", q)
+		}
+	}
+}
+
+func TestExpandTopK(t *testing.T) {
+	g, _ := plantedGraph(t)
+	res, _, err := Expand(g, Config{
+		Gamma: 0.8, KernelGamma: 0.95, MinSize: 10, KernelMinSize: 8, TopK: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) > 2 {
+		t.Fatalf("TopK ignored: %d results", len(res))
+	}
+	// Sorted large to small.
+	for i := 1; i < len(res); i++ {
+		if len(res[i]) > len(res[i-1]) {
+			t.Fatal("results not sorted by size")
+		}
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	g := datagen.ErdosRenyi(20, 0.4, 1)
+	if _, _, err := Expand(g, Config{Gamma: 0.9, KernelGamma: 0.8, MinSize: 4}); err == nil {
+		t.Fatal("KernelGamma < Gamma accepted")
+	}
+	if _, _, err := Expand(g, Config{Gamma: 0.8, MinSize: 4, KernelMinSize: 9}); err == nil {
+		t.Fatal("KernelMinSize > MinSize accepted")
+	}
+	if _, _, err := Expand(g, Config{Gamma: 0.4, MinSize: 4}); err == nil {
+		t.Fatal("unsupported gamma accepted")
+	}
+}
+
+func TestGrowGreedyMonotone(t *testing.T) {
+	// A clique seed inside a bigger clique grows to the full clique.
+	var edges [][2]graph.V
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			edges = append(edges, [2]graph.V{graph.V(i), graph.V(j)})
+		}
+	}
+	g := graph.FromEdges(10, edges) // vertices 8,9 isolated
+	got := growGreedy(g, []graph.V{0, 1, 2}, 0.9)
+	if len(got) != 8 {
+		t.Fatalf("greedy growth = %v", got)
+	}
+	// The seed itself is retained.
+	for _, v := range []graph.V{0, 1, 2} {
+		found := false
+		for _, u := range got {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed vertex %d lost", v)
+		}
+	}
+}
+
+func TestQCSlack(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	// Triangle at γ=1: every vertex has degree 2 = ⌈1·2⌉, slack 0.
+	if s := qcSlack(g, []graph.V{0, 1, 2}, 1.0); s != 0 {
+		t.Fatalf("triangle slack = %d", s)
+	}
+	// Adding the pendant breaks γ=1.
+	if s := qcSlack(g, []graph.V{0, 1, 2, 3}, 1.0); s >= 0 {
+		t.Fatalf("invalid set slack = %d", s)
+	}
+}

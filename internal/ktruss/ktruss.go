@@ -1,0 +1,139 @@
+// Package ktruss computes k-truss decompositions — the other dense-
+// subgraph definition the paper's introduction positions quasi-cliques
+// against ("outshined by other dense subgraph definitions such as
+// k-core and k-truss which are more efficient to compute"). The
+// k-truss of a graph is its maximal subgraph in which every edge lies
+// on at least k−2 triangles.
+package ktruss
+
+import (
+	"sort"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+// Trussness returns, for every edge (u,v) with u < v, its trussness:
+// the largest k such that the edge belongs to the k-truss. Edges on no
+// triangle have trussness 2.
+func Trussness(g *graph.Graph) map[[2]graph.V]int {
+	type edge struct{ u, v graph.V }
+	support := map[edge]int{}
+	mk := func(a, b graph.V) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	// Count triangles per edge.
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Adj(graph.V(u)) {
+			if v <= graph.V(u) {
+				continue
+			}
+			common := vset.Intersect(nil, g.Adj(graph.V(u)), g.Adj(v))
+			support[mk(graph.V(u), v)] = len(common)
+		}
+	}
+	// Peel edges in increasing support order.
+	edges := make([]edge, 0, len(support))
+	for e := range support {
+		edges = append(edges, e)
+	}
+	alive := map[edge]bool{}
+	for _, e := range edges {
+		alive[e] = true
+	}
+	truss := map[[2]graph.V]int{}
+	remaining := len(edges)
+	k := 2
+	for remaining > 0 {
+		// Collect edges with support ≤ k-2 and peel transitively.
+		var queue []edge
+		for e, ok := range alive {
+			if ok && support[e] <= k-2 {
+				queue = append(queue, e)
+			}
+		}
+		sort.Slice(queue, func(i, j int) bool {
+			if queue[i].u != queue[j].u {
+				return queue[i].u < queue[j].u
+			}
+			return queue[i].v < queue[j].v
+		})
+		if len(queue) == 0 {
+			k++
+			continue
+		}
+		for len(queue) > 0 {
+			e := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if !alive[e] {
+				continue
+			}
+			alive[e] = false
+			remaining--
+			truss[[2]graph.V{e.u, e.v}] = k
+			// Removing (u,v) lowers the support of edges (u,w) and
+			// (v,w) for every common alive neighbor w.
+			common := vset.Intersect(nil, g.Adj(e.u), g.Adj(e.v))
+			for _, w := range common {
+				for _, other := range []edge{mk(e.u, w), mk(e.v, w)} {
+					if alive[other] {
+						support[other]--
+						if support[other] <= k-2 {
+							queue = append(queue, other)
+						}
+					}
+				}
+			}
+		}
+	}
+	return truss
+}
+
+// KTrussSubgraph returns the sorted vertex sets of the connected
+// components of the k-truss of g.
+func KTrussSubgraph(g *graph.Graph, k int) [][]graph.V {
+	truss := Trussness(g)
+	b := graph.NewBuilder(g.NumVertices())
+	any := false
+	for e, t := range truss {
+		if t >= k {
+			b.AddEdge(e[0], e[1])
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	sub := b.Build()
+	var comps [][]graph.V
+	for _, comp := range sub.ConnectedComponents() {
+		// Drop isolated vertices (no truss edges).
+		if len(comp) >= 2 {
+			keep := comp[:0]
+			for _, v := range comp {
+				if sub.Degree(v) > 0 {
+					keep = append(keep, v)
+				}
+			}
+			if len(keep) >= 2 {
+				comps = append(comps, keep)
+			}
+		}
+	}
+	return comps
+}
+
+// MaxTrussness returns the maximum trussness over all edges (2 for a
+// triangle-free graph with edges, 0 for an edgeless graph).
+func MaxTrussness(g *graph.Graph) int {
+	max := 0
+	for _, t := range Trussness(g) {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}

@@ -1,0 +1,153 @@
+package ktruss
+
+import (
+	"math/rand"
+	"testing"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/kcore"
+)
+
+func TestTrussnessTriangle(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}})
+	truss := Trussness(g)
+	for e, k := range truss {
+		if k != 3 {
+			t.Fatalf("edge %v trussness = %d, want 3", e, k)
+		}
+	}
+}
+
+func TestTrussnessK4WithTail(t *testing.T) {
+	// K4 (all edges trussness 4) plus a pendant edge (trussness 2).
+	g := graph.FromEdges(5, [][2]graph.V{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4},
+	})
+	truss := Trussness(g)
+	if truss[[2]graph.V{3, 4}] != 2 {
+		t.Fatalf("pendant trussness = %d", truss[[2]graph.V{3, 4}])
+	}
+	if truss[[2]graph.V{0, 1}] != 4 {
+		t.Fatalf("K4 edge trussness = %d", truss[[2]graph.V{0, 1}])
+	}
+	if MaxTrussness(g) != 4 {
+		t.Fatalf("max trussness = %d", MaxTrussness(g))
+	}
+}
+
+func TestKTrussSubgraph(t *testing.T) {
+	// Two K4s joined by a bridge: the 4-truss has two components.
+	var edges [][2]graph.V
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]graph.V{graph.V(i), graph.V(j)})
+			edges = append(edges, [2]graph.V{graph.V(i + 4), graph.V(j + 4)})
+		}
+	}
+	edges = append(edges, [2]graph.V{3, 4})
+	g := graph.FromEdges(8, edges)
+	comps := KTrussSubgraph(g, 4)
+	if len(comps) != 2 {
+		t.Fatalf("4-truss components = %v", comps)
+	}
+	if len(KTrussSubgraph(g, 5)) != 0 {
+		t.Fatal("5-truss should be empty")
+	}
+}
+
+// naiveTrussOK verifies the defining property: in the k-truss subgraph,
+// every edge lies on ≥ k−2 triangles within the subgraph, and the
+// subgraph is maximal (re-adding any removed edge with both endpoints
+// violates it — checked indirectly via trussness monotonicity).
+func TestQuickTrussProperty(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					b.AddEdge(graph.V(i), graph.V(j))
+				}
+			}
+		}
+		g := b.Build()
+		truss := Trussness(g)
+		for k := 3; k <= MaxTrussness(g); k++ {
+			// Build the k-truss edge set and check supports inside it.
+			bb := graph.NewBuilder(n)
+			cnt := 0
+			for e, tr := range truss {
+				if tr >= k {
+					bb.AddEdge(e[0], e[1])
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			sub := bb.Build()
+			for u := 0; u < n; u++ {
+				for _, v := range sub.Adj(graph.V(u)) {
+					if v <= graph.V(u) {
+						continue
+					}
+					// Triangles within the truss subgraph.
+					tri := 0
+					for _, w := range sub.Adj(graph.V(u)) {
+						if w != v && sub.HasEdge(v, w) {
+							tri++
+						}
+					}
+					if tri < k-2 {
+						t.Fatalf("seed=%d k=%d: edge (%d,%d) has %d in-truss triangles",
+							seed, k, u, v, tri)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the k-truss is contained in the (k−1)-core.
+func TestQuickTrussInsideCore(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(graph.V(i), graph.V(j))
+				}
+			}
+		}
+		g := b.Build()
+		truss := Trussness(g)
+		core := kcore.CoreNumbers(g)
+		for e, k := range truss {
+			if k < 3 {
+				continue
+			}
+			if core[e[0]] < k-1 || core[e[1]] < k-1 {
+				t.Fatalf("seed=%d: edge %v has trussness %d but endpoint cores %d/%d",
+					seed, e, k, core[e[0]], core[e[1]])
+			}
+		}
+	}
+}
+
+func TestEmptyAndTriangleFree(t *testing.T) {
+	if MaxTrussness(graph.FromEdges(0, nil)) != 0 {
+		t.Fatal("empty graph")
+	}
+	// Square (4-cycle): triangle-free, all edges trussness 2.
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if MaxTrussness(g) != 2 {
+		t.Fatalf("square trussness = %d", MaxTrussness(g))
+	}
+	if comps := KTrussSubgraph(g, 3); len(comps) != 0 {
+		t.Fatalf("3-truss of square = %v", comps)
+	}
+}

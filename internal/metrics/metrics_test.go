@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderAggregation(t *testing.T) {
+	r := NewRecorder()
+	r.RootStarted(5, 100)
+	r.TaskDone(5, 10*time.Millisecond, time.Millisecond, 2)
+	r.TaskDone(5, 5*time.Millisecond, 0, 0) // a subtask of root 5
+	r.RootStarted(9, 40)
+	r.TaskDone(9, time.Millisecond, 0, 0)
+
+	if got := r.TotalMining(); got != 16*time.Millisecond {
+		t.Fatalf("TotalMining = %v", got)
+	}
+	if got := r.TotalMaterialize(); got != time.Millisecond {
+		t.Fatalf("TotalMaterialize = %v", got)
+	}
+	stats := r.PerRoot()
+	if len(stats) != 2 {
+		t.Fatalf("roots = %d", len(stats))
+	}
+	// Sorted by mining time descending.
+	if stats[0].Root != 5 || stats[0].Mining != 15*time.Millisecond {
+		t.Fatalf("top root = %+v", stats[0])
+	}
+	if stats[0].SubSize != 100 || stats[0].Subtasks != 2 {
+		t.Fatalf("root 5 stats = %+v", stats[0])
+	}
+	if stats[1].Root != 9 {
+		t.Fatalf("second root = %+v", stats[1])
+	}
+}
+
+func TestRootStartedKeepsMaxSize(t *testing.T) {
+	r := NewRecorder()
+	r.RootStarted(1, 10)
+	r.RootStarted(1, 8) // smaller: ignored
+	if got := r.PerRoot()[0].SubSize; got != 10 {
+		t.Fatalf("SubSize = %d", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		r.TaskDone(uint32(i), time.Duration(i)*time.Millisecond, 0, 0)
+	}
+	top := r.TopK(3)
+	if len(top) != 3 || top[0].Root != 9 || top[2].Root != 7 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if got := r.TopK(100); len(got) != 10 {
+		t.Fatalf("TopK overshoot = %d", len(got))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	stats := []RootStat{
+		{Mining: 500 * time.Nanosecond}, // < 1µs
+		{Mining: 5 * time.Microsecond},  // < 10µs
+		{Mining: 2 * time.Millisecond},  // < 10ms
+		{Mining: 30 * time.Second},      // overflow
+	}
+	bins := Histogram(stats)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(stats) {
+		t.Fatalf("histogram total = %d", total)
+	}
+	if bins[0].Count != 1 {
+		t.Fatalf("sub-µs bin = %d", bins[0].Count)
+	}
+	if bins[len(bins)-1].Count != 1 || bins[len(bins)-1].Upper != 0 {
+		t.Fatalf("overflow bin = %+v", bins[len(bins)-1])
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.TaskDone(uint32(i%10), time.Microsecond, 0, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.TotalMining(); got != 800*time.Microsecond {
+		t.Fatalf("TotalMining = %v", got)
+	}
+	stats := r.PerRoot()
+	totalSub := 0
+	for _, s := range stats {
+		totalSub += s.Subtasks
+	}
+	if totalSub != 800 {
+		t.Fatalf("subtasks = %d", totalSub)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	r := NewRecorder()
+	r.TaskDone(7, time.Millisecond, 0, 0)
+	r.TaskDone(3, time.Millisecond, 0, 0)
+	stats := r.PerRoot()
+	if stats[0].Root != 3 || stats[1].Root != 7 {
+		t.Fatalf("equal-time roots not ordered by ID: %+v", stats)
+	}
+}

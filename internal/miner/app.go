@@ -1,0 +1,283 @@
+package miner
+
+import (
+	"sort"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/kcore"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// app implements gthinker.App for quasi-clique mining.
+type app struct {
+	g   *graph.Graph
+	cfg Config
+	k   int // ⌈γ(τsize−1)⌉
+
+	collectors []*quasiclique.Collector // one per worker
+	rec        *metrics.Recorder
+}
+
+func newApp(g *graph.Graph, cfg Config, workers int) *app {
+	a := &app{g: g, cfg: cfg, k: cfg.Params.K(), rec: metrics.NewRecorder()}
+	a.collectors = make([]*quasiclique.Collector, workers)
+	for i := range a.collectors {
+		a.collectors[i] = quasiclique.NewCollector()
+	}
+	return a
+}
+
+// Spawn is Algorithm 4: one task per vertex v with degree ≥ k, pulling
+// the adjacency lists of v's larger neighbors.
+func (a *app) Spawn(v graph.V, adj []graph.V, _ *gthinker.Ctx) *gthinker.Task {
+	if len(adj) < a.k {
+		return nil
+	}
+	var pulls []graph.V
+	for _, u := range adj {
+		if u > v {
+			pulls = append(pulls, u)
+		}
+	}
+	// Any quasi-clique whose minimum vertex is v needs ≥ τsize−1
+	// members larger than v, all within two hops; with no larger
+	// neighbors there is nothing to find.
+	if len(pulls) == 0 {
+		return nil
+	}
+	t := gthinker.NewTask(&Payload{Iteration: 1, Root: v})
+	t.Pulls = pulls
+	return t
+}
+
+// IsBig classifies tasks by (estimated) |ext(S)| against τsplit.
+func (a *app) IsBig(t *gthinker.Task) bool {
+	p := t.Payload.(*Payload)
+	return p.extSize(len(t.Pulls)) > a.cfg.TauSplit
+}
+
+// Compute dispatches on the task iteration (Algorithm 5).
+func (a *app) Compute(t *gthinker.Task, frontier map[graph.V][]graph.V, ctx *gthinker.Ctx) bool {
+	p := t.Payload.(*Payload)
+	switch p.Iteration {
+	case 1:
+		return a.iteration1(t, p, frontier, ctx)
+	case 2:
+		return a.iteration2(p, frontier)
+	default:
+		return a.iteration3(p, ctx)
+	}
+}
+
+// iteration1 is Algorithm 6: absorb the pulled 1-hop neighborhood,
+// degree-filter it (Theorem 2), peel the partial subgraph to its
+// k-core counting unpulled 2-hop destinations toward degrees, and pull
+// those 2-hop vertices.
+func (a *app) iteration1(t *gthinker.Task, p *Payload, frontier map[graph.V][]graph.V, ctx *gthinker.Ctx) bool {
+	v := p.Root
+	// V1/V2 split by global degree (lines 3–4).
+	v2 := make(map[graph.V]bool)
+	var v1 []graph.V
+	for u, adj := range frontier {
+		if len(adj) >= a.k {
+			v1 = append(v1, u)
+		} else {
+			v2[u] = true
+		}
+	}
+	sort.Slice(v1, func(i, j int) bool { return v1[i] < v1[j] })
+
+	// t.g over V1 ∪ {v} (lines 5–9): keep destinations w ≥ v that are
+	// not degree-pruned; destinations beyond V1 ∪ v are unpulled
+	// 2-hop vertices and stay untouched.
+	p.GVerts = append([]graph.V{v}, v1...)
+	p.GAdj = make([][]graph.V, len(p.GVerts))
+	p.GAdj[0] = v1 // v's neighbors > v with degree ≥ k
+	for i, u := range v1 {
+		src := frontier[u]
+		row := make([]graph.V, 0, len(src))
+		for _, w := range src {
+			if w >= v && !v2[w] {
+				row = append(row, w)
+			}
+		}
+		p.GAdj[i+1] = row
+	}
+
+	// Line 10: t.g ← k-core(t.g), counting unpulled destinations.
+	if !a.peelPartial(p) {
+		return false // v was peeled (line 11)
+	}
+
+	// Lines 12–15: pull all 2-hop vertices (w > v, not already known).
+	known := make(map[graph.V]bool, len(frontier)+1)
+	known[v] = true
+	for u := range frontier {
+		known[u] = true
+	}
+	pullSet := make(map[graph.V]bool)
+	for _, row := range p.GAdj {
+		for _, w := range row {
+			if w > v && !known[w] {
+				pullSet[w] = true
+			}
+		}
+	}
+	for w := range pullSet {
+		ctx.Pull(w)
+	}
+	p.Iteration = 2
+	_ = t
+	return true
+}
+
+// peelPartial shrinks p.GVerts/GAdj to the k-core, treating adjacency
+// entries outside GVerts as fixed degree credit. Returns false if the
+// root fell out.
+func (a *app) peelPartial(p *Payload) bool {
+	idx := make(map[graph.V]int32, len(p.GVerts))
+	for i, u := range p.GVerts {
+		idx[u] = int32(i)
+	}
+	local := make([][]int32, len(p.GVerts))
+	extra := make([]int, len(p.GVerts))
+	for i, row := range p.GAdj {
+		lr := make([]int32, 0, len(row))
+		for _, w := range row {
+			if j, ok := idx[w]; ok {
+				lr = append(lr, j)
+			} else {
+				extra[i]++
+			}
+		}
+		local[i] = lr
+	}
+	keep := kcore.PeelLocal(local, a.k, extra)
+	if !keep[0] { // root is GVerts[0]
+		return false
+	}
+	verts := p.GVerts[:0]
+	adj := p.GAdj[:0]
+	for i, ok := range keep {
+		if !ok {
+			continue
+		}
+		row := p.GAdj[i][:0]
+		for _, w := range p.GAdj[i] {
+			if j, isMember := idx[w]; !isMember || keep[j] {
+				row = append(row, w)
+			}
+		}
+		verts = append(verts, p.GVerts[i])
+		adj = append(adj, row)
+	}
+	p.GVerts, p.GAdj = verts, adj
+	return true
+}
+
+// iteration2 is Algorithm 7: absorb the pulled 2-hop vertices
+// (degree-filtered), induce the exact subgraph over the final member
+// set, peel to the k-core, and set up the mining state.
+func (a *app) iteration2(p *Payload, frontier map[graph.V][]graph.V) bool {
+	v := p.Root
+	members := make(map[graph.V][]graph.V, len(p.GVerts)+len(frontier))
+	for i, u := range p.GVerts {
+		members[u] = p.GAdj[i]
+	}
+	for u, adj := range frontier {
+		if len(adj) >= a.k {
+			members[u] = adj
+		}
+	}
+	verts := make([]graph.V, 0, len(members))
+	for u := range members {
+		verts = append(verts, u)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+
+	// Exact induced adjacency over members (destinations outside the
+	// member set cannot belong to any valid quasi-clique rooted at v:
+	// they are < v, degree-pruned, or beyond two hops).
+	idx := make(map[graph.V]uint32, len(verts))
+	for i, u := range verts {
+		idx[u] = uint32(i)
+	}
+	adj := make([][]uint32, len(verts))
+	for i, u := range verts {
+		src := members[u]
+		row := make([]uint32, 0, len(src))
+		for _, w := range src {
+			if j, ok := idx[w]; ok && w != u {
+				row = append(row, j)
+			}
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
+		adj[i] = row
+	}
+	sub := &quasiclique.Sub{Label: verts, Adj: adj}
+
+	// Line 9: final k-core peel.
+	peeled, _ := sub.PeelKCore(a.k)
+	if peeled.N() == 0 || peeled.Label[0] != v {
+		return false // line 10: v pruned
+	}
+	p.GVerts, p.GAdj = nil, nil
+	p.Sub = peeled
+	p.S = []uint32{0} // v is the smallest label
+	p.Ext = make([]uint32, 0, peeled.N()-1)
+	for i := 1; i < peeled.N(); i++ {
+		p.Ext = append(p.Ext, uint32(i))
+	}
+	p.Iteration = 3
+	a.rec.RootStarted(v, peeled.N())
+	return true // no pulls: engine runs iteration 3 immediately
+}
+
+// iteration3 mines the task subgraph (Algorithms 8–10). It returns
+// false: a task always completes in this iteration, possibly after
+// decomposing its remaining workload into subtasks.
+func (a *app) iteration3(p *Payload, ctx *gthinker.Ctx) bool {
+	sub := p.Sub
+	if sub == nil || len(p.S)+len(p.Ext) < a.cfg.Params.MinSize {
+		return false
+	}
+	col := a.collectors[ctx.WorkerID]
+	m := quasiclique.NewMiner(sub, a.cfg.Params, a.cfg.Options)
+	m.Abort = ctx.Aborted
+	m.Emit = func(locals []uint32) { col.Add(sub.Labels(locals)) }
+
+	var mater time.Duration
+	subtasks := 0
+	offload := func(S, ext []uint32) {
+		t0 := time.Now()
+		child, s2, e2 := quasiclique.MakeSubtask(sub, S, ext)
+		nt := gthinker.NewTask(&Payload{
+			Iteration: 3, Root: p.Root, Sub: child, S: s2, Ext: e2,
+		})
+		mater += time.Since(t0)
+		subtasks++
+		ctx.AddTask(nt)
+	}
+
+	start := time.Now()
+	switch a.cfg.Strategy {
+	case SizeThreshold:
+		// Algorithm 8: decompose the top level whenever the task is
+		// still above τsplit; subtasks re-evaluate on their own.
+		if len(p.Ext) > a.cfg.TauSplit {
+			m.TimedOut = func() bool { return true }
+			m.Offload = offload
+		}
+	default: // TimeDelayed, Algorithm 10
+		deadline := start.Add(a.cfg.TauTime)
+		m.TimedOut = func() bool { return !time.Now().Before(deadline) }
+		m.Offload = offload
+	}
+	m.RecursiveMine(p.S, p.Ext)
+	total := time.Since(start)
+	a.rec.TaskDone(p.Root, total-mater, mater, subtasks)
+	return false
+}

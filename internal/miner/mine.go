@@ -1,0 +1,116 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// Strategy selects the divide-and-conquer flavor of iteration 3.
+type Strategy int
+
+const (
+	// TimeDelayed is Algorithm 10 (the paper's default): mine by
+	// backtracking until τtime elapses, then wrap every remaining
+	// subtree into an independent subtask.
+	TimeDelayed Strategy = iota
+	// SizeThreshold is Algorithm 8: decompose any task whose |ext(S)|
+	// exceeds τsplit before mining it.
+	SizeThreshold
+)
+
+func (s Strategy) String() string {
+	if s == SizeThreshold {
+		return "size-threshold"
+	}
+	return "time-delayed"
+}
+
+// Config parameterizes a parallel mining run.
+type Config struct {
+	Params  quasiclique.Params
+	Options quasiclique.Options
+	// TauSplit routes tasks with |ext(S)| > τsplit to the global
+	// big-task queue (and, under SizeThreshold, forces decomposition).
+	// Default 256.
+	TauSplit int
+	// TauTime is the backtracking budget before time-delayed
+	// decomposition kicks in. Default 100 ms. Use a tiny positive
+	// value (e.g. time.Nanosecond) to decompose maximally.
+	TauTime time.Duration
+	// Strategy defaults to TimeDelayed.
+	Strategy Strategy
+}
+
+func (c Config) withDefaults() Config {
+	if c.TauSplit == 0 {
+		c.TauSplit = 256
+	}
+	if c.TauTime == 0 {
+		c.TauTime = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Result is the outcome of a parallel mining run.
+type Result struct {
+	// Cliques are the final maximal quasi-cliques (or raw candidates
+	// when Options.SkipMaximalityFilter is set), canonically ordered.
+	Cliques [][]graph.V
+	// Candidates counts distinct candidates before the maximality
+	// filter.
+	Candidates int
+	// Engine reports engine-level metrics (queues, spilling,
+	// stealing, per-worker busy time).
+	Engine *gthinker.Metrics
+	// Recorder exposes per-root mining/materialization accounting
+	// (Figures 1–3, Table 6).
+	Recorder *metrics.Recorder
+}
+
+// Mine runs the parallel quasi-clique miner over g on a simulated
+// cluster described by ecfg.
+func Mine(g *graph.Graph, cfg Config, ecfg gthinker.Config) (*Result, error) {
+	return MineContext(context.Background(), g, cfg, ecfg)
+}
+
+// MineContext is Mine with cancellation. On cancellation it returns
+// the (partial, still-valid) results found so far together with the
+// context error.
+func MineContext(ctx context.Context, g *graph.Graph, cfg Config, ecfg gthinker.Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TauSplit < 1 {
+		return nil, fmt.Errorf("miner: TauSplit must be positive, got %d", cfg.TauSplit)
+	}
+	app := newApp(g, cfg, ecfg.TotalWorkers())
+	eng, err := gthinker.NewEngine(g, app, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	met, runErr := eng.RunContext(ctx)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		return nil, runErr
+	}
+	all := quasiclique.NewCollector()
+	for _, c := range app.collectors {
+		all.Merge(c)
+	}
+	res := &Result{Candidates: all.Len(), Engine: met, Recorder: app.rec}
+	sets := all.Sets()
+	if !cfg.Options.SkipMaximalityFilter {
+		sets = quasiclique.FilterMaximal(sets)
+	} else {
+		quasiclique.SortSets(sets)
+	}
+	res.Cliques = sets
+	return res, runErr
+}

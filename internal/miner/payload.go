@@ -1,0 +1,54 @@
+// Package miner is the parallel quasi-clique application on top of the
+// reforged G-thinker engine — the paper's Section 6. It implements
+// task spawning (Algorithm 4), the three compute iterations
+// (Algorithms 5–8), and both decomposition strategies: size-threshold
+// (Algorithm 8) and the paper's headline time-delayed decomposition
+// (Algorithms 9–10).
+package miner
+
+import (
+	"encoding/gob"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// Payload is the task state carried between compute iterations. All
+// fields are exported for gob (disk spilling of queued tasks).
+type Payload struct {
+	// Iteration ∈ {1, 2, 3} selects the next compute stage.
+	Iteration int
+	// Root is the spawning vertex; every quasi-clique found by this
+	// task (and its subtasks) has Root as its minimum vertex, and all
+	// timing is attributed to it.
+	Root graph.V
+
+	// Partial two-hop subgraph under construction (iterations 1–2):
+	// GVerts is sorted; GAdj is parallel to it and may reference
+	// not-yet-pulled two-hop vertices (they count toward degree in
+	// the iteration-1 peel, per Algorithm 6).
+	GVerts []graph.V
+	GAdj   [][]graph.V
+
+	// Mining state (iteration 3, including decomposed subtasks).
+	Sub *quasiclique.Sub
+	S   []uint32
+	Ext []uint32
+}
+
+func init() {
+	gob.Register(&Payload{})
+}
+
+// extSize estimates |ext(S)| for big-task classification before the
+// mining state exists (iterations 1–2 use the best available proxy).
+func (p *Payload) extSize(pullCount int) int {
+	switch p.Iteration {
+	case 3:
+		return len(p.Ext)
+	case 2:
+		return len(p.GVerts)
+	default:
+		return pullCount
+	}
+}

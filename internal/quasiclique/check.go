@@ -1,0 +1,167 @@
+package quasiclique
+
+import (
+	"sort"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+// IsQuasiClique reports whether the vertex set S (sorted) induces a
+// γ-quasi-clique of g per Definition 1: connected, and every member
+// adjacent to at least ⌈γ·(|S|−1)⌉ of the others. Unlike the miner's
+// internal check this verifies connectivity explicitly, so it is valid
+// for any γ ∈ [0, 1]; use it for verification and ground truth.
+func IsQuasiClique(g *graph.Graph, S []graph.V, gamma float64) bool {
+	if len(S) == 0 {
+		return false
+	}
+	need := CeilMul(gamma, len(S)-1)
+	for _, v := range S {
+		if vset.IntersectCount(g.Adj(v), S) < need {
+			return false
+		}
+	}
+	return g.IsConnectedSubset(S)
+}
+
+// OneStepExtensible reports whether some single vertex u ∉ S yields a
+// γ-quasi-clique S ∪ {u}. If true, S is certainly not maximal. The
+// converse does NOT hold (deciding maximality is NP-hard, [32]); this
+// is a cheap necessary-condition check used by cmd/qcverify.
+func OneStepExtensible(g *graph.Graph, S []graph.V, gamma float64) bool {
+	// Only neighbors of S members can connect S ∪ {u}.
+	cand := map[graph.V]bool{}
+	inS := map[graph.V]bool{}
+	for _, v := range S {
+		inS[v] = true
+	}
+	for _, v := range S {
+		for _, u := range g.Adj(v) {
+			if !inS[u] {
+				cand[u] = true
+			}
+		}
+	}
+	for u := range cand {
+		su := make([]graph.V, 0, len(S)+1)
+		su = append(su, S...)
+		su = append(su, u)
+		vset.Sort(su)
+		if IsQuasiClique(g, su, gamma) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubsetSorted reports whether sorted a ⊆ sorted b.
+func IsSubsetSorted(a, b []graph.V) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// FilterMaximal removes duplicates and every set that is a strict
+// subset of another set in the input — the paper's post-processing
+// phase that turns the miner's candidate stream into the final maximal
+// quasi-clique set. Input sets must be sorted; output is in canonical
+// order (size descending, then lexicographic).
+func FilterMaximal(sets [][]graph.V) [][]graph.V {
+	// Deduplicate.
+	seen := make(map[string]bool, len(sets))
+	uniq := make([][]graph.V, 0, len(sets))
+	for _, s := range sets {
+		k := setKey(s)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, s)
+		}
+	}
+	// Large to small: a set can only be contained in a strictly
+	// larger one, which was already indexed.
+	SortSets(uniq)
+	byVertex := map[graph.V][]int{} // vertex -> indices of kept sets
+	kept := make([][]graph.V, 0, len(uniq))
+	for _, s := range uniq {
+		if len(s) == 0 {
+			continue
+		}
+		contained := false
+		// Any superset of s must contain s[0]; probe the shortest
+		// candidate list among s's members for fewer subset tests.
+		probe := s[0]
+		for _, v := range s[1:] {
+			if len(byVertex[v]) < len(byVertex[probe]) {
+				probe = v
+			}
+		}
+		for _, idx := range byVertex[probe] {
+			if IsSubsetSorted(s, kept[idx]) {
+				contained = true
+				break
+			}
+		}
+		if contained {
+			continue
+		}
+		idx := len(kept)
+		kept = append(kept, s)
+		for _, v := range s {
+			byVertex[v] = append(byVertex[v], idx)
+		}
+	}
+	return kept
+}
+
+// SortSets orders sets canonically: size descending, then
+// lexicographically by content.
+func SortSets(sets [][]graph.V) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// SetsEqual reports whether two collections contain the same sets,
+// ignoring order. Both are canonicalized in place.
+func SetsEqual(a, b [][]graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	SortSets(a)
+	SortSets(b)
+	for i := range a {
+		if !vset.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func setKey(s []graph.V) string {
+	buf := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}

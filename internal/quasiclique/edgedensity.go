@@ -1,0 +1,63 @@
+package quasiclique
+
+import (
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+// The paper's Related Work distinguishes the degree-based quasi-clique
+// definition it mines from the edge-density definition of [11, 29, 19]
+// (a vertex set whose induced edge count is at least γ·(n choose 2)).
+// This file provides the density-based checker and a small exhaustive
+// miner so the two notions can be compared; note that density-based
+// quasi-cliques are NOT hereditary either, and a degree-based
+// γ-quasi-clique is always density-γ (each of n vertices has ≥
+// γ(n−1) incident edges ⇒ ≥ γ·n(n−1)/2 edges in total), while the
+// converse fails (density can concentrate on a few vertices).
+
+// IsDensityQuasiClique reports whether the sorted vertex set S induces
+// a connected subgraph with at least ⌈γ·|S|(|S|−1)/2⌉ edges.
+func IsDensityQuasiClique(g *graph.Graph, S []graph.V, gamma float64) bool {
+	if len(S) == 0 {
+		return false
+	}
+	edges := 0
+	for _, v := range S {
+		edges += vset.IntersectCount(g.Adj(v), S)
+	}
+	edges /= 2
+	need := CeilMul(gamma, len(S)*(len(S)-1)/2)
+	if edges < need {
+		return false
+	}
+	return g.IsConnectedSubset(S)
+}
+
+// NaiveDensityMaximal enumerates all maximal density-γ quasi-cliques
+// of size ≥ minSize by brute force (≤ 24 vertices), for comparisons
+// and tests.
+func NaiveDensityMaximal(g *graph.Graph, gamma float64, minSize int) [][]graph.V {
+	n := g.NumVertices()
+	if n > maxNaiveVertices {
+		panic("quasiclique: NaiveDensityMaximal limited to 24 vertices")
+	}
+	var all [][]graph.V
+	var S []graph.V
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		S = S[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				S = append(S, graph.V(v))
+			}
+		}
+		if len(S) < minSize {
+			continue
+		}
+		if IsDensityQuasiClique(g, S, gamma) {
+			cp := make([]graph.V, len(S))
+			copy(cp, S)
+			all = append(all, cp)
+		}
+	}
+	return FilterMaximal(all)
+}

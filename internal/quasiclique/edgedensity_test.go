@@ -1,0 +1,85 @@
+package quasiclique
+
+import (
+	"math/rand"
+	"testing"
+
+	"gthinkerqc/internal/graph"
+)
+
+func TestIsDensityQuasiClique(t *testing.T) {
+	// Triangle plus pendant: {0,1,2} has 3/3 edges (density 1);
+	// {0,1,2,3} has 4/6 edges (density 0.667).
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if !IsDensityQuasiClique(g, []graph.V{0, 1, 2}, 1.0) {
+		t.Error("triangle should be density-1")
+	}
+	if !IsDensityQuasiClique(g, []graph.V{0, 1, 2, 3}, 0.6) {
+		t.Error("4-set should be density-0.6")
+	}
+	if IsDensityQuasiClique(g, []graph.V{0, 1, 2, 3}, 0.7) {
+		t.Error("4-set should fail density-0.7")
+	}
+	// Disconnected sets never qualify.
+	g2 := graph.FromEdges(4, [][2]graph.V{{0, 1}, {2, 3}})
+	if IsDensityQuasiClique(g2, []graph.V{0, 1, 2, 3}, 0.3) {
+		t.Error("disconnected set accepted")
+	}
+	if IsDensityQuasiClique(g, nil, 0.5) {
+		t.Error("empty set accepted")
+	}
+}
+
+// Property from the Related Work comparison: every degree-based
+// γ-quasi-clique is also a density-based γ-quasi-clique (the sum of
+// degrees bounds the edge count from below), but not vice versa.
+func TestDegreeImpliesDensity(t *testing.T) {
+	counterexamples := 0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					b.AddEdge(graph.V(i), graph.V(j))
+				}
+			}
+		}
+		g := b.Build()
+		gamma := 0.5 + 0.1*float64(seed%5)
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			var S []graph.V
+			for v := 0; v < n; v++ {
+				if mask&(1<<uint(v)) != 0 {
+					S = append(S, graph.V(v))
+				}
+			}
+			if len(S) < 3 {
+				continue
+			}
+			deg := IsQuasiClique(g, S, gamma)
+			den := IsDensityQuasiClique(g, S, gamma)
+			if deg && !den {
+				t.Fatalf("seed=%d γ=%v: degree-QC %v is not density-QC", seed, gamma, S)
+			}
+			if den && !deg {
+				counterexamples++
+			}
+		}
+	}
+	if counterexamples == 0 {
+		t.Fatal("expected density-but-not-degree examples (the definitions differ)")
+	}
+	t.Logf("density-but-not-degree sets found: %d", counterexamples)
+}
+
+func TestNaiveDensityMaximal(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	res := NaiveDensityMaximal(g, 0.6, 3)
+	// {0,1,2,3} has density 4/6 ≥ 0.6 and is the whole graph, so it
+	// is the unique maximal density-0.6 quasi-clique of size ≥ 3.
+	if len(res) != 1 || len(res[0]) != 4 {
+		t.Fatalf("density maximal = %v", res)
+	}
+}

@@ -1,0 +1,219 @@
+package quasiclique
+
+import (
+	"context"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/kcore"
+	"gthinkerqc/internal/vset"
+)
+
+// MineStats summarizes one serial mining run.
+type MineStats struct {
+	// KCoreKept is the number of vertices surviving the global k-core
+	// preprocessing (T1).
+	KCoreKept int
+	// Roots is the number of root tasks actually mined (vertices
+	// whose candidate set passed the size threshold).
+	Roots int
+	// Nodes is the total number of set-enumeration tree nodes.
+	Nodes int64
+	// Candidates is the number of quasi-clique candidates emitted
+	// before deduplication and the maximality filter.
+	Candidates int64
+	// Results is the final result count.
+	Results int
+}
+
+// Collector accumulates emitted candidates with deduplication. It is
+// not safe for concurrent use; the parallel engine gives each worker
+// its own collector and merges.
+type Collector struct {
+	seen map[string]bool
+	sets [][]graph.V
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{seen: make(map[string]bool)}
+}
+
+// Add records the sorted vertex set S if it has not been seen.
+func (c *Collector) Add(S []graph.V) {
+	k := setKey(S)
+	if c.seen[k] {
+		return
+	}
+	c.seen[k] = true
+	c.sets = append(c.sets, S)
+}
+
+// Merge folds other's sets into c.
+func (c *Collector) Merge(other *Collector) {
+	for _, s := range other.sets {
+		c.Add(s)
+	}
+}
+
+// Sets returns the collected sets (shared storage).
+func (c *Collector) Sets() [][]graph.V { return c.sets }
+
+// Len returns the number of distinct sets collected.
+func (c *Collector) Len() int { return len(c.sets) }
+
+// MineGraph runs the paper's serial algorithm over an entire graph:
+// global k-core shrink (T1), then one root task per surviving vertex v
+// mining quasi-cliques whose minimum vertex is v (Section 3.1's
+// set-enumeration partitioning), then the maximality post-filter.
+func MineGraph(g *graph.Graph, par Params, opt Options) ([][]graph.V, MineStats, error) {
+	return MineGraphContext(context.Background(), g, par, opt)
+}
+
+// MineGraphContext is MineGraph with cancellation: when ctx is done,
+// mining unwinds promptly and the call returns the results found so
+// far together with ctx.Err().
+func MineGraphContext(ctx context.Context, g *graph.Graph, par Params, opt Options) ([][]graph.V, MineStats, error) {
+	var stats MineStats
+	if err := par.Validate(); err != nil {
+		return nil, stats, err
+	}
+	gk, kept := PrepareGraph(g, par, opt)
+	stats.KCoreKept = len(kept)
+	col := NewCollector()
+	var ctxErr error
+	// Poll ctx cheaply: a done channel probe per tree node would be
+	// costly, so roots check directly and the per-node Abort hook
+	// probes a shared flag refreshed here.
+	cancelled := func() bool {
+		if ctxErr != nil {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			return true
+		default:
+			return false
+		}
+	}
+	for _, v := range kept {
+		if cancelled() {
+			break
+		}
+		rs := mineRootAbortable(gk, v, par, opt, col, cancelled)
+		stats.Nodes += rs.Nodes
+		stats.Candidates += rs.Candidates
+		if rs.Mined {
+			stats.Roots++
+		}
+	}
+	results := col.Sets()
+	if !opt.SkipMaximalityFilter {
+		results = FilterMaximal(results)
+	} else {
+		SortSets(results)
+	}
+	stats.Results = len(results)
+	return results, stats, ctxErr
+}
+
+// PrepareGraph applies the global k-core preprocessing and returns the
+// shrunk graph (same vertex universe, edges only among survivors) plus
+// the sorted list of surviving vertices.
+func PrepareGraph(g *graph.Graph, par Params, opt Options) (*graph.Graph, []graph.V) {
+	n := g.NumVertices()
+	if opt.DisableKCore {
+		all := make([]graph.V, n)
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		return g, all
+	}
+	keep := kcore.KCoreMask(g, par.K())
+	b := graph.NewBuilder(n)
+	var kept []graph.V
+	for v := 0; v < n; v++ {
+		if !keep[v] {
+			continue
+		}
+		kept = append(kept, graph.V(v))
+		for _, u := range g.Adj(graph.V(v)) {
+			if u > graph.V(v) && keep[u] {
+				b.AddEdge(graph.V(v), u)
+			}
+		}
+	}
+	return b.Build(), kept
+}
+
+// RootStats reports one root task's work.
+type RootStats struct {
+	Mined      bool
+	SubSize    int
+	Nodes      int64
+	Candidates int64
+}
+
+// MineRoot mines all quasi-cliques whose minimum vertex is v: it
+// builds the task subgraph over {v} ∪ {u ∈ B̄(v) : u > v}, shrinks it
+// to its k-core (Algorithms 6–7 do the same while pulling), and runs
+// RecursiveMine rooted at S = {v}.
+func MineRoot(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector) RootStats {
+	return mineRootAbortable(gk, v, par, opt, col, nil)
+}
+
+func mineRootAbortable(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector, abort func() bool) RootStats {
+	var rs RootStats
+	sub, localV := BuildRootSub(gk, v, par, opt)
+	if sub == nil {
+		return rs
+	}
+	rs.SubSize = sub.N()
+	m := NewMiner(sub, par, opt)
+	m.Abort = abort
+	m.Emit = func(locals []uint32) { col.Add(sub.Labels(locals)) }
+	S := []uint32{localV}
+	ext := make([]uint32, 0, sub.N()-1)
+	for i := 0; i < sub.N(); i++ {
+		if uint32(i) != localV {
+			ext = append(ext, uint32(i))
+		}
+	}
+	rs.Mined = true
+	m.RecursiveMine(S, ext)
+	rs.Nodes = m.Nodes
+	rs.Candidates = m.EmitCount
+	return rs
+}
+
+// BuildRootSub constructs the k-core-peeled task subgraph for the root
+// vertex v over its >v two-hop neighborhood. It returns nil when the
+// task is pruned outright (candidate set below the size threshold, or
+// v peeled out of the core). The second return value is v's local
+// index.
+func BuildRootSub(gk *graph.Graph, v graph.V, par Params, opt Options) (*Sub, uint32) {
+	k := par.K()
+	if !opt.DisableKCore && gk.Degree(v) < k {
+		return nil, 0
+	}
+	cand := gk.Within2(v, nil)
+	cand = vset.FilterGreater(cand[:0], cand, v)
+	if 1+len(cand) < par.MinSize {
+		return nil, 0
+	}
+	verts := make([]graph.V, 0, len(cand)+1)
+	verts = append(verts, v)
+	verts = append(verts, cand...) // v < all of cand, so sorted
+	sub := SubFromGraph(gk, verts)
+	if !opt.DisableKCore {
+		peeled, _ := sub.PeelKCore(k)
+		sub = peeled
+		if sub.N() == 0 || sub.Label[0] != v {
+			return nil, 0 // v itself was peeled: no quasi-clique rooted here
+		}
+	}
+	if sub.N() < par.MinSize {
+		return nil, 0
+	}
+	return sub, 0 // v is the smallest label, so local index 0
+}

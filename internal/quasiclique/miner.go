@@ -1,0 +1,552 @@
+package quasiclique
+
+import (
+	"sort"
+
+	"gthinkerqc/internal/vset"
+)
+
+// Miner runs the paper's recursive mining algorithm (Algorithm 2) over
+// one task-local subgraph. It is the workhorse shared by the serial
+// driver (MineGraph) and the parallel G-thinker app: the parallel
+// time-delayed variant (Algorithm 10) is RecursiveMine with TimedOut
+// and Offload set.
+//
+// A Miner is single-goroutine; each task owns its own Miner.
+type Miner struct {
+	Sub *Sub
+	Par Params
+	Opt Options
+
+	// Emit receives every candidate quasi-clique as local indices
+	// (unsorted). The slice is only valid during the call.
+	Emit func(locals []uint32)
+
+	// TimedOut, when non-nil and returning true, switches the miner
+	// into decomposition mode: instead of recursing into a child
+	// ⟨S′, ext(S′)⟩ it calls Offload(S′, ext′) (Algorithm 10 lines
+	// 18–24). Offload must copy its arguments if it retains them.
+	TimedOut func() bool
+	Offload  func(S, ext []uint32)
+
+	// Abort, when non-nil and returning true, makes RecursiveMine
+	// unwind as fast as possible (results found so far stay emitted).
+	// It is polled once per expanded tree node; use it for
+	// context-style cancellation of long mining runs.
+	Abort func() bool
+
+	// Counters.
+	Nodes        int64 // set-enumeration tree nodes expanded
+	EmitCount    int64 // candidates emitted
+	OffloadCount int64 // subtrees wrapped into subtasks
+
+	// Scratch state (epoch-stamped to avoid clearing).
+	epoch   int32
+	sStamp  []int32 // membership of S
+	eStamp  []int32 // membership of ext(S)
+	tStamp  []int32 // transient marks (two-hop sets, Γ(u))
+	t2Stamp []int32 // transient marks (cover set)
+	dS      []int32 // degree toward S, per local vertex
+	dE      []int32 // degree toward ext(S), per local vertex
+	unionBf []uint32
+}
+
+// NewMiner returns a Miner over sub with the given parameters.
+func NewMiner(sub *Sub, par Params, opt Options) *Miner {
+	n := sub.N()
+	return &Miner{
+		Sub: sub, Par: par, Opt: opt,
+		sStamp: make([]int32, n), eStamp: make([]int32, n),
+		tStamp: make([]int32, n), t2Stamp: make([]int32, n),
+		dS: make([]int32, n), dE: make([]int32, n),
+	}
+}
+
+func (m *Miner) stampAll(arr []int32, xs []uint32) int32 {
+	m.epoch++
+	e := m.epoch
+	for _, x := range xs {
+		arr[x] = e
+	}
+	return e
+}
+
+// checkEmit emits S if it is a valid quasi-clique of size ≥ τsize and
+// reports whether it did.
+func (m *Miner) checkEmit(S []uint32) bool {
+	if len(S) < m.Par.MinSize || !m.isQC(S) {
+		return false
+	}
+	m.EmitCount++
+	m.Emit(S)
+	return true
+}
+
+// isQC reports whether the set S (local indices) induces a
+// γ-quasi-clique. For γ ≥ 0.5 the degree condition implies
+// connectivity (any two non-adjacent members must share a neighbor),
+// so no reachability check is needed.
+func (m *Miner) isQC(S []uint32) bool {
+	ep := m.stampAll(m.tStamp, S)
+	need := CeilMul(m.Par.Gamma, len(S)-1)
+	for _, v := range S {
+		if m.Sub.DegreeInto(v, m.tStamp, ep) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// isUnionQC reports whether S ∪ rem induces a γ-quasi-clique (the
+// lookahead test of Algorithm 2 lines 8–10).
+func (m *Miner) isUnionQC(S, rem []uint32) bool {
+	m.epoch++
+	ep := m.epoch
+	for _, v := range S {
+		m.tStamp[v] = ep
+	}
+	for _, v := range rem {
+		m.tStamp[v] = ep
+	}
+	n := len(S) + len(rem)
+	need := CeilMul(m.Par.Gamma, n-1)
+	for _, v := range S {
+		if m.Sub.DegreeInto(v, m.tStamp, ep) < need {
+			return false
+		}
+	}
+	for _, v := range rem {
+		if m.Sub.DegreeInto(v, m.tStamp, ep) < need {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Miner) emitUnion(S, rem []uint32) {
+	m.unionBf = m.unionBf[:0]
+	m.unionBf = append(m.unionBf, S...)
+	m.unionBf = append(m.unionBf, rem...)
+	m.EmitCount++
+	m.Emit(m.unionBf)
+}
+
+// filterTwoHop returns a fresh slice with the members of cand within
+// two hops of v in the task subgraph (diameter pruning P1 applied to
+// ext(S′), Algorithm 2 line 12).
+func (m *Miner) filterTwoHop(v uint32, cand []uint32) []uint32 {
+	m.epoch++
+	ep := m.epoch
+	adjV := m.Sub.Adj[v]
+	for _, u := range adjV {
+		m.tStamp[u] = ep
+	}
+	for _, u := range adjV {
+		for _, w := range m.Sub.Adj[u] {
+			m.tStamp[w] = ep
+		}
+	}
+	out := make([]uint32, 0, len(cand))
+	for _, u := range cand {
+		if m.tStamp[u] == ep {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// boundsResult carries the outcome of one upper/lower bound
+// computation inside iterativeBounding.
+type boundsResult struct {
+	prune     bool // prune S's extensions
+	pruneSelf bool // S itself is provably invalid too (no emission check)
+	value     int
+	have      bool
+}
+
+// iterativeBounding is Algorithm 1: it applies the Type II rules
+// (Theorems 4, 6, 8), critical-vertex expansion (Theorem 9), and the
+// iterative Type I rules (Theorems 3, 5, 7) until a fixpoint.
+//
+// It returns pruned = true iff extending S (beyond S itself) is
+// pruned; when extensions are pruned but S survives the Type II
+// checks, G(S) is emission-checked internally. The returned S may have
+// grown (critical-vertex moves) and the returned ext is the shrunk
+// candidate set; iterativeBounding takes ownership of both input
+// slices. pruned == false implies the returned ext is non-empty.
+func (m *Miner) iterativeBounding(S, ext []uint32) (pruned bool, outS, outExt []uint32) {
+	gamma := m.Par.Gamma
+	for {
+		if len(ext) == 0 {
+			m.checkEmit(S)
+			return true, S, ext
+		}
+		epS := m.stampAll(m.sStamp, S)
+		epE := m.stampAll(m.eStamp, ext)
+		// SS/ES degrees for S members; SE degrees for ext members
+		// (EE degrees are delayed until Type I, per the paper's T2).
+		sumS := 0
+		for _, v := range S {
+			ds, de := 0, 0
+			for _, u := range m.Sub.Adj[v] {
+				if m.sStamp[u] == epS {
+					ds++
+				} else if m.eStamp[u] == epE {
+					de++
+				}
+			}
+			m.dS[v], m.dE[v] = int32(ds), int32(de)
+			sumS += ds
+		}
+		for _, u := range ext {
+			m.dS[u] = int32(m.Sub.DegreeInto(u, m.sStamp, epS))
+		}
+
+		ub := m.computeUpper(S, ext, sumS)
+		if ub.prune {
+			if !ub.pruneSelf {
+				m.checkEmit(S)
+			}
+			return true, S, ext
+		}
+		lb := m.computeLower(S, ext, sumS)
+		if lb.prune {
+			return true, S, ext // lower-bound failures invalidate S too
+		}
+		if ub.have && lb.have && ub.value < lb.value {
+			// S needs ≥ L_S ≥ 1 more vertices but can take at most
+			// U_S < L_S, so neither S nor any extension is valid.
+			return true, S, ext
+		}
+
+		// Critical-vertex pruning (P6, Theorem 9): needs L_S.
+		if lb.have && !m.Opt.DisableCriticalVertex {
+			crit := CeilMul(gamma, len(S)+lb.value-1)
+			moved := false
+			for _, v := range S {
+				if int(m.dS[v]+m.dE[v]) != crit {
+					continue
+				}
+				// I = Γ(v) ∩ ext(S); all of I must join S.
+				var I []uint32
+				for _, u := range m.Sub.Adj[v] {
+					if m.eStamp[u] == epE {
+						I = append(I, u)
+					}
+				}
+				if len(I) == 0 {
+					continue
+				}
+				// The paper (T5): examine G(S) before expanding, or
+				// the result is missed if the expansion fails. Quick
+				// omits this check.
+				if !m.Opt.QuickCompat {
+					m.checkEmit(S)
+				}
+				S = mergeSorted(S, I)
+				ext = removeMarked(ext, I, m)
+				moved = true
+				break
+			}
+			if moved {
+				if len(ext) == 0 {
+					m.checkEmit(S)
+					return true, S, ext
+				}
+				continue // recompute degrees and bounds from scratch
+			}
+		}
+
+		// Type II pruning (Theorems 4, 6, 8).
+		extOnlyPruned := false
+		for _, v := range S {
+			a, b := int(m.dS[v]), int(m.dE[v])
+			if !m.Opt.DisableDegreePruning && a+b < CeilMul(gamma, len(S)-1+b) {
+				return true, S, ext // Thm 4(ii): S and extensions pruned
+			}
+			if ub.have && a+ub.value < CeilMul(gamma, len(S)+ub.value-1) {
+				return true, S, ext // Thm 6: includes S′ = S
+			}
+			if lb.have && a+b < CeilMul(gamma, len(S)+lb.value-1) {
+				return true, S, ext // Thm 8: includes S′ = S
+			}
+			if !m.Opt.DisableDegreePruning && b == 0 && a < CeilMul(gamma, len(S)) {
+				extOnlyPruned = true // Thm 4(i): spares S itself
+			}
+		}
+		if extOnlyPruned {
+			m.checkEmit(S)
+			return true, S, ext
+		}
+
+		// Type I pruning (Theorems 3, 5, 7). EE degrees computed here,
+		// only when Type II did not already settle the node.
+		for _, u := range ext {
+			m.dE[u] = int32(m.Sub.DegreeInto(u, m.eStamp, epE))
+		}
+		kept := ext[:0]
+		removed := false
+		for _, u := range ext {
+			a, b := int(m.dS[u]), int(m.dE[u])
+			drop := false
+			if !m.Opt.DisableDegreePruning && a+b < CeilMul(gamma, len(S)+b) {
+				drop = true // Thm 3
+			}
+			if !drop && ub.have && a+ub.value-1 < CeilMul(gamma, len(S)+ub.value-1) {
+				drop = true // Thm 5
+			}
+			if !drop && lb.have && a+b < CeilMul(gamma, len(S)+lb.value-1) {
+				drop = true // Thm 7
+			}
+			if drop {
+				removed = true
+			} else {
+				kept = append(kept, u)
+			}
+		}
+		ext = kept
+		if len(ext) == 0 {
+			m.checkEmit(S)
+			return true, S, ext
+		}
+		if !removed {
+			return false, S, ext
+		}
+	}
+}
+
+// computeUpper derives U_S (P4, Eqs 1–4). Requires dS/dE of S members
+// and dS of ext members to be current.
+func (m *Miner) computeUpper(S, ext []uint32, sumS int) boundsResult {
+	if m.Opt.DisableUpperBound {
+		return boundsResult{}
+	}
+	gamma := m.Par.Gamma
+	dmin := int(m.dS[S[0]] + m.dE[S[0]])
+	for _, v := range S[1:] {
+		if d := int(m.dS[v] + m.dE[v]); d < dmin {
+			dmin = d
+		}
+	}
+	umin := FloorDiv(dmin, gamma) + 1 - len(S) // Eq (3)
+	if umin < 1 {
+		// No extension size is feasible; G(S) itself remains a
+		// candidate (the paper's note below Eq (4)).
+		return boundsResult{prune: true}
+	}
+	if umin > len(ext) {
+		umin = len(ext)
+	}
+	prefix := m.prefixByDegree(ext)
+	for t := umin; t >= 1; t-- { // Eq (4): max feasible t
+		if sumS+prefix[t] >= len(S)*CeilMul(gamma, len(S)+t-1) {
+			return boundsResult{value: t, have: true}
+		}
+	}
+	return boundsResult{prune: true}
+}
+
+// computeLower derives L_S (P5, Eqs 6–8).
+func (m *Miner) computeLower(S, ext []uint32, sumS int) boundsResult {
+	if m.Opt.DisableLowerBound {
+		return boundsResult{}
+	}
+	gamma := m.Par.Gamma
+	dminS := int(m.dS[S[0]])
+	for _, v := range S[1:] {
+		if d := int(m.dS[v]); d < dminS {
+			dminS = d
+		}
+	}
+	lmin := -1
+	for t := 0; t <= len(ext); t++ { // Eq (7)
+		if dminS+t >= CeilMul(gamma, len(S)+t-1) {
+			lmin = t
+			break
+		}
+	}
+	if lmin < 0 {
+		return boundsResult{prune: true, pruneSelf: true}
+	}
+	prefix := m.prefixByDegree(ext)
+	for t := lmin; t <= len(ext); t++ { // Eq (8): min feasible t
+		if sumS+prefix[t] >= len(S)*CeilMul(gamma, len(S)+t-1) {
+			return boundsResult{value: t, have: true}
+		}
+	}
+	return boundsResult{prune: true, pruneSelf: true}
+}
+
+// prefixByDegree returns prefix[t] = Σ_{i≤t} dS(u_i) with ext sorted by
+// dS non-increasing (Figures 6 and 7).
+func (m *Miner) prefixByDegree(ext []uint32) []int {
+	byDeg := make([]uint32, len(ext))
+	copy(byDeg, ext)
+	sort.Slice(byDeg, func(i, j int) bool { return m.dS[byDeg[i]] > m.dS[byDeg[j]] })
+	prefix := make([]int, len(ext)+1)
+	for i, u := range byDeg {
+		prefix[i+1] = prefix[i] + int(m.dS[u])
+	}
+	return prefix
+}
+
+// RecursiveMine is Algorithm 2 (and, with TimedOut/Offload set,
+// Algorithm 10). S must be sorted; ext is an ordered candidate list.
+// It returns true iff some valid quasi-clique strictly extending S was
+// found (or offloaded children made that undecidable and a candidate
+// was emitted conservatively).
+func (m *Miner) RecursiveMine(S, ext []uint32) bool {
+	found := false
+	coverLen := 0
+	if !m.Opt.DisableCoverVertex {
+		ext, coverLen = m.applyCover(S, ext)
+	}
+	limit := len(ext) - coverLen
+	for i := 0; i < limit; i++ {
+		if m.Abort != nil && m.Abort() {
+			return found
+		}
+		rem := ext[i:]
+		// Size-threshold cut (Algorithm 2 line 6).
+		if len(S)+len(rem) < m.Par.MinSize {
+			return found
+		}
+		// Lookahead (lines 8–10): if S ∪ ext is itself a
+		// quasi-clique it is the unique maximal result below this
+		// node.
+		if !m.Opt.DisableLookahead && m.isUnionQC(S, rem) {
+			m.emitUnion(S, rem)
+			return true
+		}
+		v := ext[i]
+		m.Nodes++
+		S1 := insertSorted(S, v)
+		ext1 := m.filterTwoHop(v, ext[i+1:])
+		if len(ext1) == 0 {
+			// Quick misses this check (the paper, T6).
+			if !m.Opt.QuickCompat && m.checkEmit(S1) {
+				found = true
+			}
+			continue
+		}
+		prunedB, S2, ext2 := m.iterativeBounding(S1, ext1)
+		if prunedB || len(S2)+len(ext2) < m.Par.MinSize {
+			continue
+		}
+		if m.TimedOut != nil && m.Offload != nil && m.TimedOut() {
+			// Time-delayed decomposition (Algorithm 10 lines 18–24):
+			// wrap the subtree as an independent task. The outcome of
+			// the subtask is unknown here, so G(S′) must be emission-
+			// checked now; a later subtask result may supersede it and
+			// the post-filter removes it then.
+			m.OffloadCount++
+			m.Offload(S2, ext2)
+			m.checkEmit(S2)
+			continue
+		}
+		f := m.RecursiveMine(S2, ext2)
+		if f {
+			found = true
+		} else if m.checkEmit(S2) {
+			found = true
+		}
+	}
+	return found
+}
+
+// applyCover implements cover-vertex pruning (P7): it finds the cover
+// vertex u ∈ ext maximizing |C_S(u)| (Eq 9), moves C_S(u) to the tail
+// of ext, and returns the reordered list plus the tail length.
+func (m *Miner) applyCover(S, ext []uint32) ([]uint32, int) {
+	if len(ext) == 0 {
+		return ext, 0
+	}
+	gamma := m.Par.Gamma
+	epS := m.stampAll(m.sStamp, S)
+	epE := m.stampAll(m.eStamp, ext)
+	thresh := CeilMul(gamma, len(S))
+	for _, v := range S {
+		m.dS[v] = int32(m.Sub.DegreeInto(v, m.sStamp, epS))
+	}
+	bestLen := 0
+	var bestCover []uint32
+	var cand, cand2 []uint32
+	for _, u := range ext {
+		// Applicability: dS(u) ≥ ⌈γ|S|⌉.
+		if int(m.Sub.DegreeInto(u, m.sStamp, epS)) < thresh {
+			continue
+		}
+		// Γ_ext(u); skip early if it cannot beat the current best
+		// (the paper's note under Algorithm 2 line 2).
+		cand = cand[:0]
+		for _, w := range m.Sub.Adj[u] {
+			if m.eStamp[w] == epE {
+				cand = append(cand, w)
+			}
+		}
+		if len(cand) <= bestLen {
+			continue
+		}
+		epU := m.stampAll(m.tStamp, m.Sub.Adj[u])
+		ok := true
+		for _, v := range S {
+			if m.tStamp[v] == epU {
+				continue // v adjacent to u
+			}
+			// Applicability: non-neighbors v need dS(v) ≥ ⌈γ|S|⌉.
+			if int(m.dS[v]) < thresh {
+				ok = false
+				break
+			}
+			cand2 = vset.Intersect(cand2[:0], cand, m.Sub.Adj[v])
+			cand, cand2 = cand2, cand
+			if len(cand) <= bestLen {
+				ok = false
+				break
+			}
+		}
+		if ok && len(cand) > bestLen {
+			bestLen = len(cand)
+			bestCover = append(bestCover[:0], cand...)
+		}
+	}
+	if bestLen == 0 {
+		return ext, 0
+	}
+	epC := m.stampAll(m.t2Stamp, bestCover)
+	out := make([]uint32, 0, len(ext))
+	for _, u := range ext {
+		if m.t2Stamp[u] != epC {
+			out = append(out, u)
+		}
+	}
+	out = append(out, bestCover...)
+	return out, bestLen
+}
+
+// insertSorted returns a fresh sorted slice equal to S ∪ {v}.
+func insertSorted(S []uint32, v uint32) []uint32 {
+	out := make([]uint32, 0, len(S)+1)
+	i := sort.Search(len(S), func(i int) bool { return S[i] >= v })
+	out = append(out, S[:i]...)
+	out = append(out, v)
+	out = append(out, S[i:]...)
+	return out
+}
+
+// mergeSorted returns a fresh sorted union of sorted a and sorted b.
+func mergeSorted(a, b []uint32) []uint32 {
+	return vset.Union(make([]uint32, 0, len(a)+len(b)), a, b)
+}
+
+// removeMarked returns ext minus the members of I, preserving order.
+func removeMarked(ext, I []uint32, m *Miner) []uint32 {
+	ep := m.stampAll(m.t2Stamp, I)
+	out := ext[:0]
+	for _, u := range ext {
+		if m.t2Stamp[u] != ep {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package quasiclique
+
+import (
+	"gthinkerqc/internal/graph"
+)
+
+// maxNaiveVertices bounds the exhaustive enumeration (2^n subsets).
+const maxNaiveVertices = 24
+
+// NaiveAll enumerates every vertex set of size ≥ par.MinSize that
+// induces a γ-quasi-clique, by checking all 2^n subsets against
+// Definition 1 (including connectivity, so it is valid for any γ).
+// It is the ground-truth oracle for property tests and panics if the
+// graph has more than 24 vertices.
+func NaiveAll(g *graph.Graph, par Params) [][]graph.V {
+	n := g.NumVertices()
+	if n > maxNaiveVertices {
+		panic("quasiclique: NaiveAll limited to 24 vertices")
+	}
+	var out [][]graph.V
+	var S []graph.V
+	for mask := uint32(1); mask < 1<<uint(n); mask++ {
+		S = S[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				S = append(S, graph.V(v))
+			}
+		}
+		if len(S) < par.MinSize {
+			continue
+		}
+		if IsQuasiClique(g, S, par.Gamma) {
+			cp := make([]graph.V, len(S))
+			copy(cp, S)
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// NaiveMaximal returns the exact answer to the paper's Definition 3:
+// all maximal γ-quasi-cliques of g with at least MinSize vertices.
+// Maximality is judged against quasi-cliques of every size; since any
+// proper superset of a valid set also meets the size threshold, the
+// subset filter over NaiveAll is exact.
+func NaiveMaximal(g *graph.Graph, par Params) [][]graph.V {
+	all := NaiveAll(g, par)
+	// A set ≥ MinSize could only be non-maximal due to a strictly
+	// larger quasi-clique, which is also ≥ MinSize and hence in all.
+	return FilterMaximal(all)
+}

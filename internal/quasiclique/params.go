@@ -1,0 +1,101 @@
+// Package quasiclique implements the paper's core contribution: the
+// corrected recursive algorithm for mining maximal γ-quasi-cliques
+// (Section 4) together with the seven pruning-rule families (P1)–(P7)
+// of Section 3.2, an exhaustive ground-truth enumerator, a
+// Quick-compatible ablation mode reproducing the original algorithm's
+// missed results, and the maximality post-filter.
+//
+// A γ-quasi-clique is a connected subgraph in which every vertex is
+// adjacent to at least ⌈γ·(n−1)⌉ of the other n−1 vertices. The miner
+// requires γ ≥ 0.5, which bounds the quasi-clique diameter by 2
+// (Theorem 1) and is the regime the paper evaluates.
+package quasiclique
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the user-facing problem parameters of Definition 3.
+type Params struct {
+	// Gamma is the minimum degree ratio γ ∈ [0.5, 1].
+	Gamma float64
+	// MinSize is the minimum quasi-clique size τsize ≥ 2.
+	MinSize int
+}
+
+// Validate reports whether the parameters are in the supported range.
+func (p Params) Validate() error {
+	if !(p.Gamma >= 0.5 && p.Gamma <= 1) { // also rejects NaN
+		return fmt.Errorf("quasiclique: Gamma = %v out of supported range [0.5, 1] (diameter-2 pruning requires γ ≥ 0.5)", p.Gamma)
+	}
+	if p.MinSize < 2 {
+		return fmt.Errorf("quasiclique: MinSize = %d, need ≥ 2", p.MinSize)
+	}
+	return nil
+}
+
+// K returns the degree threshold k = ⌈γ·(τsize−1)⌉ of Theorem 2: any
+// vertex with global degree < k cannot appear in a valid quasi-clique,
+// so graphs can be shrunk to their k-core (pruning T1).
+func (p Params) K() int { return CeilMul(p.Gamma, p.MinSize-1) }
+
+// CeilMul returns ⌈gamma·n⌉ robustly for the binary-float γ values used
+// in practice (0.9, 0.8, ...): the product is nudged down by 1e-9
+// before rounding up, so 0.9×10 = 9.000000000000002 yields 9, not 10.
+// Erring low loosens a pruning threshold, which is always sound.
+func CeilMul(gamma float64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	v := int(math.Ceil(gamma*float64(n) - 1e-9))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FloorDiv returns ⌊x/gamma⌋ robustly (nudged up by 1e-9 before
+// rounding down). Erring high loosens the upper bound U_S, which is
+// always sound.
+func FloorDiv(x int, gamma float64) int {
+	return int(math.Floor(float64(x)/gamma + 1e-9))
+}
+
+// Options toggles individual techniques for ablation studies. The zero
+// value enables everything (the paper's full algorithm). Disabling a
+// rule never changes the final result set (each rule only skips
+// provably fruitless work); it changes running time and the number of
+// non-maximal candidates emitted before post-processing.
+type Options struct {
+	// DisableKCore skips the global k-core preprocessing (T1). The
+	// paper reports this is "a dominating factor to scale beyond a
+	// small graph".
+	DisableKCore bool
+	// DisableLookahead skips the G(S ∪ ext(S)) early-accept of [27]
+	// (Algorithm 2 lines 8–10).
+	DisableLookahead bool
+	// DisableCoverVertex skips cover-vertex pruning (P7).
+	DisableCoverVertex bool
+	// DisableCriticalVertex skips critical-vertex pruning (P6).
+	DisableCriticalVertex bool
+	// DisableUpperBound skips U_S computation and Theorems 5–6 (P4).
+	DisableUpperBound bool
+	// DisableLowerBound skips L_S computation and Theorems 7–8 (P5);
+	// it implies DisableCriticalVertex (the critical-vertex condition
+	// is defined in terms of L_S).
+	DisableLowerBound bool
+	// DisableDegreePruning skips Theorems 3–4 (P3).
+	DisableDegreePruning bool
+	// QuickCompat reproduces the original Quick algorithm's two missed
+	// checks (the paper, T5/T6): (1) G(S') is not examined when
+	// ext(S') becomes empty after diameter shrinking; (2) G(S) is not
+	// examined before critical-vertex expansion. With this set the
+	// miner can MISS results — it exists to reproduce the paper's
+	// "Quick misses results" claim.
+	QuickCompat bool
+	// SkipMaximalityFilter leaves non-maximal candidates in the
+	// output, mirroring the paper's released code ("currently we do
+	// not include a processing step to remove non-maximal results").
+	SkipMaximalityFilter bool
+}

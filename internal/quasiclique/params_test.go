@@ -1,0 +1,107 @@
+package quasiclique
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCeilMulExactness(t *testing.T) {
+	cases := []struct {
+		gamma float64
+		n     int
+		want  int
+	}{
+		{0.9, 10, 9},   // 0.9*10 = 9.000000000000002 in float64
+		{0.9, 20, 18},  // 18.000000000000004
+		{0.8, 5, 4},    // 4.000000000000001
+		{0.5, 7, 4},    // 3.5 -> 4
+		{0.5, 8, 4},    // exact
+		{1.0, 13, 13},  // exact
+		{0.6, 3, 2},    // 1.7999... -> 2
+		{0.7, 10, 7},   // exact-ish
+		{0.85, 20, 17}, // 17.000000000000004
+		{0.9, 0, 0},
+		{0.9, -3, 0},
+	}
+	for _, c := range cases {
+		if got := CeilMul(c.gamma, c.n); got != c.want {
+			t.Errorf("CeilMul(%v, %d) = %d, want %d", c.gamma, c.n, got, c.want)
+		}
+	}
+}
+
+func TestFloorDivExactness(t *testing.T) {
+	cases := []struct {
+		x     int
+		gamma float64
+		want  int
+	}{
+		{9, 0.9, 10},
+		{18, 0.9, 20},
+		{4, 0.8, 5},
+		{7, 0.5, 14},
+		{13, 1.0, 13},
+		{10, 0.6, 16}, // 16.666 -> 16
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.x, c.gamma); got != c.want {
+			t.Errorf("FloorDiv(%d, %v) = %d, want %d", c.x, c.gamma, got, c.want)
+		}
+	}
+}
+
+// Property: CeilMul agrees with exact rational arithmetic for γ = p/100.
+func TestQuickCeilMulAgainstRational(t *testing.T) {
+	f := func(p100 uint8, n uint8) bool {
+		p := 50 + int(p100)%51 // γ·100 ∈ [50, 100]
+		gamma := float64(p) / 100
+		nn := int(n) % 200
+		want := (p*nn + 99) / 100 // ⌈p·n/100⌉ in integers
+		return CeilMul(gamma, nn) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FloorDiv agrees with exact rational arithmetic.
+func TestQuickFloorDivAgainstRational(t *testing.T) {
+	f := func(p100 uint8, x uint8) bool {
+		p := 50 + int(p100)%51
+		gamma := float64(p) / 100
+		xx := int(x) % 200
+		want := xx * 100 / p // ⌊x·100/p⌋
+		return FloorDiv(xx, gamma) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Gamma: 0.9, MinSize: 3}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, p := range []Params{
+		{Gamma: 0.4, MinSize: 3},
+		{Gamma: 1.1, MinSize: 3},
+		{Gamma: math.NaN(), MinSize: 3},
+		{Gamma: 0.9, MinSize: 1},
+		{Gamma: 0.9, MinSize: 0},
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestParamsK(t *testing.T) {
+	// k = ⌈γ(τsize−1)⌉: the paper's YouTube setting γ=0.9, τ=18 → 16.
+	if k := (Params{Gamma: 0.9, MinSize: 18}).K(); k != 16 {
+		t.Fatalf("K = %d, want 16", k)
+	}
+	if k := (Params{Gamma: 0.5, MinSize: 12}).K(); k != 6 {
+		t.Fatalf("K = %d, want 6", k)
+	}
+}

@@ -1,0 +1,121 @@
+package quasiclique
+
+import (
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/kcore"
+	"gthinkerqc/internal/vset"
+)
+
+// Sub is a task-local subgraph with vertices remapped to dense local
+// indices [0, n). Label maps local index → global vertex ID and is
+// strictly increasing, so comparisons on local indices agree with
+// global ID order (which the set-enumeration tree relies on).
+type Sub struct {
+	Label []graph.V
+	Adj   [][]uint32 // sorted local adjacency
+}
+
+// N returns the number of local vertices.
+func (s *Sub) N() int { return len(s.Label) }
+
+// NumEdges returns the number of undirected edges.
+func (s *Sub) NumEdges() int {
+	t := 0
+	for _, a := range s.Adj {
+		t += len(a)
+	}
+	return t / 2
+}
+
+// Labels translates local indices to sorted global IDs.
+func (s *Sub) Labels(locals []uint32) []graph.V {
+	out := make([]graph.V, len(locals))
+	for i, l := range locals {
+		out[i] = s.Label[l]
+	}
+	vset.Sort(out)
+	return out
+}
+
+// SubFromGraph induces the subgraph of g on the sorted vertex set
+// verts.
+func SubFromGraph(g *graph.Graph, verts []graph.V) *Sub {
+	local := make(map[graph.V]uint32, len(verts))
+	for i, v := range verts {
+		local[v] = uint32(i)
+	}
+	adj := make([][]uint32, len(verts))
+	for i, v := range verts {
+		gadj := g.Adj(v)
+		row := make([]uint32, 0, len(gadj))
+		for _, u := range gadj {
+			if lu, ok := local[u]; ok {
+				row = append(row, lu)
+			}
+		}
+		adj[i] = row // sorted: g.Adj sorted and verts→local monotone
+	}
+	label := make([]graph.V, len(verts))
+	copy(label, verts)
+	return &Sub{Label: label, Adj: adj}
+}
+
+// Induce returns the subgraph of s induced on the sorted local index
+// set keep, with indices remapped densely.
+func (s *Sub) Induce(keep []uint32) *Sub {
+	remap := make([]int32, s.N())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for i, v := range keep {
+		remap[v] = int32(i)
+	}
+	label := make([]graph.V, len(keep))
+	adj := make([][]uint32, len(keep))
+	for i, v := range keep {
+		label[i] = s.Label[v]
+		row := make([]uint32, 0, len(s.Adj[v]))
+		for _, u := range s.Adj[v] {
+			if r := remap[u]; r >= 0 {
+				row = append(row, uint32(r))
+			}
+		}
+		adj[i] = row
+	}
+	return &Sub{Label: label, Adj: adj}
+}
+
+// PeelKCore returns the k-core of s as a new Sub plus the sorted local
+// indices (w.r.t. s) that survived. If the core is empty it returns an
+// empty Sub.
+func (s *Sub) PeelKCore(k int) (*Sub, []uint32) {
+	adj32 := make([][]int32, s.N())
+	for i, row := range s.Adj {
+		r := make([]int32, len(row))
+		for j, u := range row {
+			r[j] = int32(u)
+		}
+		adj32[i] = r
+	}
+	keepMask := kcore.PeelLocal(adj32, k, nil)
+	var keep []uint32
+	for i, ok := range keepMask {
+		if ok {
+			keep = append(keep, uint32(i))
+		}
+	}
+	return s.Induce(keep), keep
+}
+
+// DegreeInto counts, for vertex v, how many neighbors u have
+// stamp[u] == epoch. The caller stamps the membership set first; this
+// is how the miner computes the SS/SE/ES/EE degree quadruple (T2).
+func (s *Sub) DegreeInto(v uint32, stamp []int32, epoch int32) int {
+	d := 0
+	for _, u := range s.Adj[v] {
+		if stamp[u] == epoch {
+			d++
+		}
+	}
+	return d
+}

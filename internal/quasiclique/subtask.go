@@ -1,0 +1,37 @@
+package quasiclique
+
+import "sort"
+
+// MakeSubtask materializes the divide-and-conquer child ⟨S, ext(S)⟩ as
+// an independent task over its own induced subgraph (Algorithm 8 line
+// 19 / Algorithm 10 lines 20–21): the child's subgraph is the parent
+// subgraph induced on S ∪ ext(S), which shrinks at every division so
+// subtask subgraphs — and their materialization cost, measured in
+// Table 6 — keep getting smaller.
+//
+// S and ext are local indices of parent; the returned S' and ext' are
+// local indices of the returned child Sub.
+func MakeSubtask(parent *Sub, S, ext []uint32) (*Sub, []uint32, []uint32) {
+	keep := make([]uint32, 0, len(S)+len(ext))
+	keep = append(keep, S...)
+	keep = append(keep, ext...)
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	child := parent.Induce(keep)
+	// keep is sorted and S/ext are disjoint, so a vertex's new local
+	// index is its position in keep.
+	pos := func(x uint32) uint32 {
+		i := sort.Search(len(keep), func(i int) bool { return keep[i] >= x })
+		return uint32(i)
+	}
+	newS := make([]uint32, len(S))
+	for i, x := range S {
+		newS[i] = pos(x)
+	}
+	sort.Slice(newS, func(i, j int) bool { return newS[i] < newS[j] })
+	newExt := make([]uint32, len(ext))
+	for i, x := range ext {
+		newExt[i] = pos(x)
+	}
+	sort.Slice(newExt, func(i, j int) bool { return newExt[i] < newExt[j] })
+	return child, newS, newExt
+}

@@ -1,0 +1,156 @@
+// Package vset provides kernels over sorted, duplicate-free uint32
+// vertex-ID slices. These are the hot inner loops of both the graph
+// substrate (adjacency lists are sorted) and the miner (ext(S) and
+// neighborhood intersections).
+package vset
+
+import "sort"
+
+// Sort sorts xs in place in increasing order.
+func Sort(xs []uint32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// IsSorted reports whether xs is sorted strictly increasing (sorted and
+// duplicate-free).
+func IsSorted(xs []uint32) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] >= xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dedup sorts xs and removes duplicates in place, returning the
+// shortened slice.
+func Dedup(xs []uint32) []uint32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	Sort(xs)
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// Contains reports whether sorted xs contains x, by binary search.
+func Contains(xs []uint32, x uint32) bool {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+	return i < len(xs) && xs[i] == x
+}
+
+// Intersect appends a ∩ b (both sorted strictly increasing) to dst and
+// returns the extended slice.
+func Intersect(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectCount returns |a ∩ b| for sorted strictly increasing a, b.
+func IntersectCount(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Union appends a ∪ b (both sorted strictly increasing) to dst and
+// returns the extended slice.
+func Union(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// Difference appends a \ b (both sorted strictly increasing) to dst and
+// returns the extended slice.
+func Difference(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(dst, a[i:]...)
+}
+
+// Remove deletes x from sorted xs in place if present, returning the
+// shortened slice.
+func Remove(xs []uint32, x uint32) []uint32 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= x })
+	if i >= len(xs) || xs[i] != x {
+		return xs
+	}
+	return append(xs[:i], xs[i+1:]...)
+}
+
+// Equal reports whether a and b hold the same elements in the same
+// order.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterGreater appends the elements of sorted xs strictly greater than
+// x to dst and returns the extended slice.
+func FilterGreater(dst, xs []uint32, x uint32) []uint32 {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] > x })
+	return append(dst, xs[i:]...)
+}

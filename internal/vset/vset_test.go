@@ -1,0 +1,171 @@
+package vset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]uint32{5, 3, 5, 1, 3, 3, 9})
+	if !Equal(got, []uint32{1, 3, 5, 9}) {
+		t.Fatalf("Dedup = %v", got)
+	}
+	if got := Dedup(nil); len(got) != 0 {
+		t.Fatalf("Dedup(nil) = %v", got)
+	}
+	if got := Dedup([]uint32{7}); !Equal(got, []uint32{7}) {
+		t.Fatalf("Dedup singleton = %v", got)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]uint32{1, 2, 9}) || !IsSorted(nil) || !IsSorted([]uint32{4}) {
+		t.Error("IsSorted false negatives")
+	}
+	if IsSorted([]uint32{1, 1}) || IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted false positives")
+	}
+}
+
+func TestContains(t *testing.T) {
+	xs := []uint32{2, 4, 8, 16}
+	for _, x := range xs {
+		if !Contains(xs, x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{0, 3, 17} {
+		if Contains(xs, x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains on nil slice")
+	}
+}
+
+func TestIntersectUnionDifference(t *testing.T) {
+	a := []uint32{1, 3, 5, 7, 9}
+	b := []uint32{3, 4, 5, 10}
+	if got := Intersect(nil, a, b); !Equal(got, []uint32{3, 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := IntersectCount(a, b); got != 2 {
+		t.Errorf("IntersectCount = %d", got)
+	}
+	if got := Union(nil, a, b); !Equal(got, []uint32{1, 3, 4, 5, 7, 9, 10}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Difference(nil, a, b); !Equal(got, []uint32{1, 7, 9}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if got := Difference(nil, b, a); !Equal(got, []uint32{4, 10}) {
+		t.Errorf("Difference reversed = %v", got)
+	}
+}
+
+func TestIntersectAppendsToDst(t *testing.T) {
+	dst := []uint32{42}
+	got := Intersect(dst, []uint32{1, 2}, []uint32{2, 3})
+	if !Equal(got, []uint32{42, 2}) {
+		t.Fatalf("Intersect with dst = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	xs := []uint32{1, 2, 3}
+	xs = Remove(xs, 2)
+	if !Equal(xs, []uint32{1, 3}) {
+		t.Fatalf("Remove = %v", xs)
+	}
+	xs = Remove(xs, 99) // absent: no-op
+	if !Equal(xs, []uint32{1, 3}) {
+		t.Fatalf("Remove absent = %v", xs)
+	}
+	xs = Remove(xs, 1)
+	xs = Remove(xs, 3)
+	if len(xs) != 0 {
+		t.Fatalf("Remove all = %v", xs)
+	}
+}
+
+func TestFilterGreater(t *testing.T) {
+	xs := []uint32{1, 5, 9, 12}
+	if got := FilterGreater(nil, xs, 5); !Equal(got, []uint32{9, 12}) {
+		t.Fatalf("FilterGreater = %v", got)
+	}
+	if got := FilterGreater(nil, xs, 0); !Equal(got, xs) {
+		t.Fatalf("FilterGreater(0) = %v", got)
+	}
+	if got := FilterGreater(nil, xs, 12); len(got) != 0 {
+		t.Fatalf("FilterGreater(max) = %v", got)
+	}
+}
+
+// mkSorted converts arbitrary fuzz input into a sorted duplicate-free
+// slice over a small universe so intersections are non-trivial.
+func mkSorted(raw []uint16) []uint32 {
+	m := map[uint32]bool{}
+	for _, x := range raw {
+		m[uint32(x)%512] = true
+	}
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestQuickAlgebraAgainstMaps(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		a, b := mkSorted(ra), mkSorted(rb)
+		ma := map[uint32]bool{}
+		for _, x := range a {
+			ma[x] = true
+		}
+		var wantI, wantU, wantD []uint32
+		for _, x := range b {
+			if ma[x] {
+				wantI = append(wantI, x)
+			}
+		}
+		seen := map[uint32]bool{}
+		for _, x := range append(append([]uint32{}, a...), b...) {
+			seen[x] = true
+		}
+		for k := range seen {
+			wantU = append(wantU, k)
+		}
+		sort.Slice(wantU, func(i, j int) bool { return wantU[i] < wantU[j] })
+		mb := map[uint32]bool{}
+		for _, x := range b {
+			mb[x] = true
+		}
+		for _, x := range a {
+			if !mb[x] {
+				wantD = append(wantD, x)
+			}
+		}
+		return Equal(Intersect(nil, a, b), wantI) &&
+			Equal(Union(nil, a, b), wantU) &&
+			Equal(Difference(nil, a, b), wantD) &&
+			IntersectCount(a, b) == len(wantI)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |A∪B| = |A| + |B| - |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		a, b := mkSorted(ra), mkSorted(rb)
+		u := Union(nil, a, b)
+		return len(u) == len(a)+len(b)-IntersectCount(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
