@@ -31,8 +31,12 @@ func main() {
 		mlist    = flag.String("mlist", "1,2,4", "machine counts for table5b")
 		figDS    = flag.String("figure-dataset", "YouTube", "dataset for figures 1-3")
 		csvDir   = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
+		binCache = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (one contiguous read on later runs)")
 	)
 	flag.Parse()
+	if *binCache != "" {
+		experiments.SetBinaryCacheDir(*binCache)
+	}
 	writeCSV := func(name string, fn func(f *os.File) error) {
 		if *csvDir == "" {
 			return

@@ -1,0 +1,3 @@
+module gthinkerqc
+
+go 1.21

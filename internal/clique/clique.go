@@ -7,6 +7,8 @@
 package clique
 
 import (
+	"sort"
+
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/vset"
 )
@@ -81,8 +83,18 @@ func bkPivot(g *graph.Graph, R, P, X []graph.V, report func([]graph.V)) {
 			vset.Intersect(nil, X, adj),
 			report)
 		P = vset.Remove(P, v)
-		X = vset.Union(nil, X, []graph.V{v})
+		X = insertSorted(X, v) // in place: X is owned by this frame
 	}
+}
+
+// insertSorted inserts v into sorted xs in place (xs must not already
+// contain v), avoiding the fresh union slice per loop iteration.
+func insertSorted(xs []graph.V, v graph.V) []graph.V {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
 }
 
 // degeneracyOrder returns the ordering produced by repeatedly removing

@@ -11,6 +11,10 @@
 package experiments
 
 import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -34,9 +38,19 @@ var DefaultCluster = Cluster{Machines: 1, Workers: 2}
 
 // graphCache avoids rebuilding stand-ins across grid cells.
 var (
-	cacheMu    sync.Mutex
-	graphCache = map[string]*graph.Graph{}
+	cacheMu     sync.Mutex
+	graphCache  = map[string]*graph.Graph{}
+	binCacheDir string
 )
+
+// SetBinaryCacheDir makes buildDataset persist stand-ins to dir in the
+// binary CSR format and reload them in one contiguous read on later
+// runs (qcbench -bincache). Empty disables the disk cache.
+func SetBinaryCacheDir(dir string) {
+	cacheMu.Lock()
+	binCacheDir = dir
+	cacheMu.Unlock()
+}
 
 // buildDataset returns the named stand-in (cached) and its default
 // parameters.
@@ -47,13 +61,38 @@ func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
 	}
 	cacheMu.Lock()
 	g, ok := graphCache[name]
+	dir := binCacheDir
 	cacheMu.Unlock()
-	if !ok {
-		g = s.Build()
-		cacheMu.Lock()
-		graphCache[name] = g
-		cacheMu.Unlock()
+	if ok {
+		return g, s, nil
 	}
+	path := ""
+	if dir != "" {
+		// Key the cache file by the stand-in's full parameter set, not
+		// just its name, so editing a generator's parameters invalidates
+		// the cached graph instead of silently reusing it. (Changing the
+		// generation *code* without touching parameters still needs a
+		// manual cache wipe.)
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%+v", s)
+		path = filepath.Join(dir, fmt.Sprintf("%s-%016x.gqc", name, h.Sum64()))
+		if cached, err := graph.ReadBinaryFile(path); err == nil {
+			cacheMu.Lock()
+			graphCache[name] = cached
+			cacheMu.Unlock()
+			return cached, s, nil
+		}
+	}
+	g = s.Build()
+	if path != "" {
+		// Best effort: a failed write only costs the next run a rebuild.
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			_ = graph.WriteBinaryFile(path, g)
+		}
+	}
+	cacheMu.Lock()
+	graphCache[name] = g
+	cacheMu.Unlock()
 	return g, s, nil
 }
 

@@ -1,27 +1,33 @@
 package graph
 
-import "gthinkerqc/internal/vset"
+import (
+	"math"
+	"slices"
+)
 
-// Builder accumulates edges and produces an immutable Graph. Duplicate
-// edges and self loops are dropped; direction is ignored.
+// Builder accumulates edges and produces an immutable CSR Graph in one
+// pass: count degrees, prefix-sum into offsets, scatter, then sort and
+// deduplicate each row in place. Duplicate edges and self loops are
+// dropped; direction is ignored.
 type Builder struct {
-	adj [][]V
+	n     int
+	edges []V // flat (u, v) pairs, each undirected edge stored once
 }
 
 // NewBuilder returns a Builder for a graph over vertices [0, n).
 func NewBuilder(n int) *Builder {
-	return &Builder{adj: make([][]V, n)}
+	return &Builder{n: n}
 }
 
 // Grow ensures the builder covers vertices [0, n).
 func (b *Builder) Grow(n int) {
-	for len(b.adj) < n {
-		b.adj = append(b.adj, nil)
+	if n > b.n {
+		b.n = n
 	}
 }
 
 // NumVertices returns the current vertex-universe size.
-func (b *Builder) NumVertices() int { return len(b.adj) }
+func (b *Builder) NumVertices() int { return b.n }
 
 // AddEdge records the undirected edge {u, v}. Self loops are ignored.
 // The universe grows as needed.
@@ -29,24 +35,68 @@ func (b *Builder) AddEdge(u, v V) {
 	if u == v {
 		return
 	}
-	if n := int(max32(u, v)) + 1; n > len(b.adj) {
-		b.Grow(n)
+	if n := int(max(u, v)) + 1; n > b.n {
+		b.n = n
 	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.edges = append(b.edges, u, v)
 }
 
-// Build sorts and deduplicates adjacency lists and returns the Graph.
-// The Builder must not be used afterwards.
+// Build assembles the CSR arrays, sorts and deduplicates every
+// adjacency row, and returns the Graph. The Builder must not be used
+// afterwards.
 func (b *Builder) Build() *Graph {
-	m := 0
-	for v := range b.adj {
-		b.adj[v] = vset.Dedup(b.adj[v])
-		m += len(b.adj[v])
+	n := b.n
+	// b.edges holds flat (u,v) pairs, and each pair scatters exactly
+	// two adjacency entries — so len(b.edges) IS the entry count.
+	if len(b.edges) > math.MaxUint32 {
+		panic("graph: adjacency exceeds uint32 offset range")
 	}
-	g := &Graph{adj: b.adj, m: m / 2}
-	b.adj = nil
-	return g
+	// Degree count (each recorded edge contributes to both endpoints).
+	deg := make([]uint32, n)
+	for i := 0; i < len(b.edges); i += 2 {
+		deg[b.edges[i]]++
+		deg[b.edges[i+1]]++
+	}
+	offsets := make([]uint32, n+1)
+	var sum uint32
+	for v := 0; v < n; v++ {
+		offsets[v] = sum
+		sum += deg[v]
+	}
+	offsets[n] = sum
+	// Scatter, reusing deg as per-row write cursors.
+	neighbors := make([]V, sum)
+	cursor := deg
+	copy(cursor, offsets[:n])
+	for i := 0; i < len(b.edges); i += 2 {
+		u, v := b.edges[i], b.edges[i+1]
+		neighbors[cursor[u]] = v
+		cursor[u]++
+		neighbors[cursor[v]] = u
+		cursor[v]++
+	}
+	b.edges = nil
+	// Sort each row, drop duplicates, and compact the packed array so
+	// rows stay contiguous. w is the global write cursor; it only ever
+	// trails the read position, so compaction is in place.
+	var w uint32
+	for v := 0; v < n; v++ {
+		row := neighbors[offsets[v]:offsets[v+1]]
+		slices.Sort(row)
+		start := w
+		var prev V
+		for i, u := range row {
+			if i > 0 && u == prev {
+				continue
+			}
+			neighbors[w] = u
+			w++
+			prev = u
+		}
+		offsets[v] = start
+	}
+	offsets[n] = w
+	return &Graph{offsets: offsets, neighbors: neighbors[:w:w], m: int(w) / 2}
 }
 
 // FromEdges builds a graph over [0, n) from an edge list.
@@ -68,11 +118,4 @@ func FromAdjacency(adj [][]V) *Graph {
 		}
 	}
 	return b.Build()
-}
-
-func max32(a, b V) V {
-	if a > b {
-		return a
-	}
-	return b
 }

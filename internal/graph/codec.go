@@ -8,21 +8,71 @@ import (
 	"os"
 )
 
-// Binary codec for graphs: a compact little-endian format so generated
-// benchmark datasets load quickly.
+// Binary codec for graphs. The current version ("GQC2") serializes the
+// CSR arrays verbatim so a prebuilt graph loads with two contiguous
+// array reads and zero per-vertex work:
 //
-//	magic  [4]byte  "GQC1"
-//	n      uint32   number of vertices
-//	m      uint64   number of undirected edges
-//	deg    [n]uint32
-//	adj    concatenated sorted adjacency lists, uint32 each
+//	magic     [4]byte   "GQC2"
+//	n         uint32    number of vertices
+//	m         uint64    number of undirected edges
+//	offsets   [n+1]uint32
+//	neighbors [2m]uint32  (packed sorted adjacency)
+//
+// The legacy version ("GQC1": degree array + concatenated adjacency)
+// is still readable; ReadBinary dispatches on the magic.
 
-var magic = [4]byte{'G', 'Q', 'C', '1'}
+var (
+	magicV2 = [4]byte{'G', 'Q', 'C', '2'}
+	magicV1 = [4]byte{'G', 'Q', 'C', '1'}
+)
 
-// WriteBinary serializes g to w.
+// ioBufSize sizes the bufio layers; chunkSize is the conversion
+// buffer the uint32 array codec stages through.
+const (
+	ioBufSize = 1 << 20
+	chunkSize = 1 << 16
+)
+
+// writeUint32s writes xs little-endian through buf (len multiple of 4).
+func writeUint32s(w io.Writer, xs []uint32, buf []byte) error {
+	for len(xs) > 0 {
+		n := len(buf) / 4
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], xs[i])
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+// readUint32s fills dst from little-endian data through buf.
+func readUint32s(r io.Reader, dst []uint32, buf []byte) error {
+	for len(dst) > 0 {
+		n := len(buf) / 4
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if _, err := io.ReadFull(r, buf[:4*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// WriteBinary serializes g to w in the current (CSR) format.
 func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(magic[:]); err != nil {
+	bw := bufio.NewWriterSize(w, ioBufSize)
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return err
 	}
 	var hdr [12]byte
@@ -31,33 +81,30 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var buf [4]byte
-	for _, a := range g.adj {
-		binary.LittleEndian.PutUint32(buf[:], uint32(len(a)))
-		if _, err := bw.Write(buf[:]); err != nil {
-			return err
-		}
+	buf := make([]byte, chunkSize)
+	if err := writeUint32s(bw, g.offsets, buf); err != nil {
+		return err
 	}
-	for _, a := range g.adj {
-		for _, u := range a {
-			binary.LittleEndian.PutUint32(buf[:], u)
-			if _, err := bw.Write(buf[:]); err != nil {
-				return err
-			}
-		}
+	if err := writeUint32s(bw, g.neighbors, buf); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary, accepting
+// both the current CSR format and the legacy degree-array format. CSR
+// loads get O(|E|) structural validation (monotone offsets, in-range
+// IDs, strictly sorted rows) — enough to make a corrupt file an error
+// instead of a panic without paying the per-edge symmetry search of
+// full Validate, which would dominate the contiguous-read fast path
+// on large graphs; legacy loads are fully validated. Callers loading
+// untrusted files that need the symmetry guarantee can run Validate
+// themselves.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	br := bufio.NewReaderSize(r, ioBufSize)
 	var m4 [4]byte
 	if _, err := io.ReadFull(br, m4[:]); err != nil {
 		return nil, fmt.Errorf("graph: read magic: %w", err)
-	}
-	if m4 != magic {
-		return nil, fmt.Errorf("graph: bad magic %q", m4[:])
 	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -65,32 +112,73 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	m := binary.LittleEndian.Uint64(hdr[4:12])
-	degs := make([]uint32, n)
-	if err := binary.Read(br, binary.LittleEndian, degs); err != nil {
-		return nil, fmt.Errorf("graph: read degrees: %w", err)
+	if 2*m > uint64(^uint32(0)) {
+		return nil, fmt.Errorf("graph: edge count %d exceeds uint32 offsets", m)
 	}
-	total := 0
-	for _, d := range degs {
-		total += int(d)
+	switch m4 {
+	case magicV2:
+		g, err := readCSR(br, n, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.validateStructure(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	case magicV1:
+		g, err := readLegacy(br, n, m)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("graph: bad magic %q", m4[:])
 	}
-	if uint64(total) != 2*m {
-		return nil, fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*m)
+}
+
+// readCSR reads the v2 payload: the two CSR arrays, verbatim.
+func readCSR(br io.Reader, n int, m uint64) (*Graph, error) {
+	buf := make([]byte, chunkSize)
+	offsets := make([]uint32, n+1)
+	if err := readUint32s(br, offsets, buf); err != nil {
+		return nil, fmt.Errorf("graph: read offsets: %w", err)
 	}
-	flat := make([]V, total)
-	if err := binary.Read(br, binary.LittleEndian, flat); err != nil {
+	if uint64(offsets[n]) != 2*m {
+		return nil, fmt.Errorf("graph: offsets end %d != 2m = %d", offsets[n], 2*m)
+	}
+	neighbors := make([]V, 2*m)
+	if err := readUint32s(br, neighbors, buf); err != nil {
 		return nil, fmt.Errorf("graph: read adjacency: %w", err)
 	}
-	adj := make([][]V, n)
-	off := 0
-	for v := 0; v < n; v++ {
-		adj[v] = flat[off : off+int(degs[v]) : off+int(degs[v])]
-		off += int(degs[v])
+	return &Graph{offsets: offsets, neighbors: neighbors, m: int(m)}, nil
+}
+
+// readLegacy reads the v1 payload (per-vertex degrees followed by the
+// concatenated adjacency) into CSR form.
+func readLegacy(br io.Reader, n int, m uint64) (*Graph, error) {
+	buf := make([]byte, chunkSize)
+	degs := make([]uint32, n)
+	if err := readUint32s(br, degs, buf); err != nil {
+		return nil, fmt.Errorf("graph: read degrees: %w", err)
 	}
-	g := &Graph{adj: adj, m: int(m)}
-	if err := g.Validate(); err != nil {
-		return nil, err
+	offsets := make([]uint32, n+1)
+	var total uint64
+	for v, d := range degs {
+		offsets[v] = uint32(total)
+		total += uint64(d)
 	}
-	return g, nil
+	offsets[n] = uint32(total)
+	if total != 2*m {
+		return nil, fmt.Errorf("graph: degree sum %d != 2m = %d", total, 2*m)
+	}
+	neighbors := make([]V, total)
+	if err := readUint32s(br, neighbors, buf); err != nil {
+		return nil, fmt.Errorf("graph: read adjacency: %w", err)
+	}
+	return &Graph{offsets: offsets, neighbors: neighbors, m: int(m)}, nil
 }
 
 // WriteBinaryFile writes g to path.

@@ -1,14 +1,35 @@
 // Package graph provides the immutable undirected-graph substrate used
 // by the quasi-clique miner and the G-thinker engine.
 //
-// A Graph stores one sorted adjacency list per vertex. Vertices are
-// dense uint32 IDs in [0, N). Graphs are immutable after Build, which
-// is what lets the engine's partitioned vertex table serve concurrent
-// reads without locks.
+// # Layout
+//
+// A Graph is stored in CSR (compressed sparse row) form: one packed
+// neighbors array plus an offsets array with n+1 entries, so the sorted
+// adjacency list of vertex v is neighbors[offsets[v]:offsets[v+1]].
+// Vertices are dense uint32 IDs in [0, N). Compared to a slice of
+// per-vertex slices, CSR costs one allocation instead of n+1, keeps
+// every adjacency list contiguous in memory (the scans in Within2 and
+// task-subgraph construction walk neighbors-of-neighbors, so locality
+// matters), and serializes as two flat arrays (see codec.go).
+//
+// # Sharing invariants
+//
+// Graphs are immutable after Build. That is what lets the engine's
+// partitioned vertex table serve concurrent reads without locks: every
+// worker on a machine scans the same offsets/neighbors arrays, and
+// Adj returns a capacity-clamped sub-slice of the shared neighbors
+// array, so callers cannot append into a sibling's row. Nothing in
+// this package mutates a built Graph.
+//
+// Traversals that need per-call visited marks take a *Scratch — a
+// reusable epoch-stamped marker — instead of allocating maps, so the
+// per-task hot paths (Within2, subgraph induction) are allocation-free
+// when the caller threads one Scratch per worker.
 package graph
 
 import (
 	"fmt"
+	"slices"
 
 	"gthinkerqc/internal/vset"
 )
@@ -16,65 +37,113 @@ import (
 // V is a vertex identifier.
 type V = uint32
 
-// Graph is an immutable simple undirected graph.
+// Graph is an immutable simple undirected graph in CSR form.
 type Graph struct {
-	adj [][]V
-	m   int // number of undirected edges
+	offsets   []uint32 // len n+1; row v is neighbors[offsets[v]:offsets[v+1]]
+	neighbors []V      // packed sorted adjacency lists
+	m         int      // number of undirected edges
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.adj) }
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
 
 // NumEdges returns |E| (each undirected edge counted once).
 func (g *Graph) NumEdges() int { return g.m }
 
-// Adj returns v's sorted adjacency list. The returned slice is shared;
-// callers must not modify it.
-func (g *Graph) Adj(v V) []V { return g.adj[v] }
+// Adj returns v's sorted adjacency list. The returned slice aliases
+// the shared neighbors array (capacity-clamped); callers must not
+// modify it.
+func (g *Graph) Adj(v V) []V {
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	return g.neighbors[lo:hi:hi]
+}
 
 // Degree returns d(v).
-func (g *Graph) Degree(v V) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v V) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // HasEdge reports whether {u, v} ∈ E.
 func (g *Graph) HasEdge(u, v V) bool {
 	// Search the shorter adjacency list.
-	if len(g.adj[v]) < len(g.adj[u]) {
+	if g.Degree(v) < g.Degree(u) {
 		u, v = v, u
 	}
-	return vset.Contains(g.adj[u], v)
+	return vset.Contains(g.Adj(u), v)
 }
 
 // MaxDegree returns the maximum vertex degree (0 for the empty graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for _, a := range g.adj {
-		if len(a) > max {
-			max = len(a)
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(V(v)); d > max {
+			max = d
 		}
 	}
 	return max
 }
 
+// Scratch is a reusable epoch-stamped visited marker over the vertex
+// universe. A zero Scratch is ready to use; it grows on demand and is
+// cleared in O(1) by bumping the epoch, so traversals that thread one
+// Scratch per worker never allocate per call. Not safe for concurrent
+// use — give each worker its own.
+type Scratch struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Begin starts a new mark generation over a universe of n vertices.
+// All previous marks become invisible.
+func (s *Scratch) Begin(n int) {
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could alias, clear once
+		clear(s.stamp)
+		s.epoch = 1
+	}
+}
+
+// Mark marks v in the current generation.
+func (s *Scratch) Mark(v V) { s.stamp[v] = s.epoch }
+
+// Marked reports whether v was marked in the current generation.
+func (s *Scratch) Marked(v V) bool { return s.stamp[v] == s.epoch }
+
 // Within2 appends to dst every vertex u ≠ v with distance δ(u,v) ≤ 2
 // (the paper's B̄(v) minus v itself), sorted increasing, and returns the
 // extended slice. This is the candidate universe of a task spawned from
 // v under diameter-2 pruning (P1, valid for γ ≥ 0.5).
+//
+// Within2 allocates a fresh marker per call; the mining hot paths use
+// Within2Scratch with a per-worker Scratch instead.
 func (g *Graph) Within2(v V, dst []V) []V {
-	mark := make(map[V]struct{}, len(g.adj[v])*4)
-	for _, u := range g.adj[v] {
-		mark[u] = struct{}{}
+	var s Scratch
+	return g.Within2Scratch(v, dst, &s)
+}
+
+// Within2Scratch is Within2 with a caller-provided Scratch: zero
+// allocations beyond growth of dst (and one-time growth of s).
+func (g *Graph) Within2Scratch(v V, dst []V, s *Scratch) []V {
+	s.Begin(g.NumVertices())
+	s.Mark(v) // excluded from the result
+	adjV := g.Adj(v)
+	for _, u := range adjV {
+		if !s.Marked(u) {
+			s.Mark(u)
+			dst = append(dst, u)
+		}
 	}
-	for _, u := range g.adj[v] {
-		for _, w := range g.adj[u] {
-			if w != v {
-				mark[w] = struct{}{}
+	for _, u := range adjV {
+		for _, w := range g.Adj(u) {
+			if !s.Marked(w) {
+				s.Mark(w)
+				dst = append(dst, w)
 			}
 		}
 	}
-	for u := range mark {
-		dst = append(dst, u)
-	}
-	vset.Sort(dst)
+	slices.Sort(dst)
 	return dst
 }
 
@@ -83,7 +152,7 @@ func (g *Graph) Within2(v V, dst []V) []V {
 func (g *Graph) InducedDegrees(S []V) []int {
 	degs := make([]int, len(S))
 	for i, v := range S {
-		degs[i] = vset.IntersectCount(g.adj[v], S)
+		degs[i] = vset.IntersectCount(g.Adj(v), S)
 	}
 	return degs
 }
@@ -94,10 +163,6 @@ func (g *Graph) IsConnectedSubset(S []V) bool {
 	if len(S) <= 1 {
 		return true
 	}
-	idx := make(map[V]int, len(S))
-	for i, v := range S {
-		idx[v] = i
-	}
 	seen := make([]bool, len(S))
 	stack := []int{0}
 	seen[0] = true
@@ -105,8 +170,11 @@ func (g *Graph) IsConnectedSubset(S []V) bool {
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[S[i]] {
-			if j, ok := idx[w]; ok && !seen[j] {
+		for _, w := range g.Adj(S[i]) {
+			// S is sorted, so membership and index come from one
+			// binary search — no per-call map.
+			j, ok := slices.BinarySearch(S, w)
+			if ok && !seen[j] {
 				seen[j] = true
 				visited++
 				stack = append(stack, j)
@@ -119,7 +187,7 @@ func (g *Graph) IsConnectedSubset(S []V) bool {
 // ConnectedComponents returns the vertex sets of the connected
 // components, each sorted, in order of smallest member.
 func (g *Graph) ConnectedComponents() [][]V {
-	n := len(g.adj)
+	n := g.NumVertices()
 	seen := make([]bool, n)
 	var comps [][]V
 	for s := 0; s < n; s++ {
@@ -133,7 +201,7 @@ func (g *Graph) ConnectedComponents() [][]V {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, w := range g.adj[v] {
+			for _, w := range g.Adj(v) {
 				if !seen[w] {
 					seen[w] = true
 					stack = append(stack, w)
@@ -146,12 +214,27 @@ func (g *Graph) ConnectedComponents() [][]V {
 	return comps
 }
 
-// Validate checks structural invariants (sorted adjacency, symmetry, no
-// self loops) and returns an error describing the first violation.
-// Intended for tests and loaders.
-func (g *Graph) Validate() error {
+// validateStructure checks the O(|E|) invariants that make a Graph
+// safe to traverse: monotone offsets matching the neighbors array,
+// strictly sorted rows, no self loops, IDs in range, and the edge
+// count. It does not probe symmetry — that is Validate's per-edge
+// binary search, too costly for the codec's contiguous-read path.
+func (g *Graph) validateStructure() error {
+	if len(g.offsets) == 0 || g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.offsets[v+1] < g.offsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+	}
+	if int(g.offsets[g.NumVertices()]) != len(g.neighbors) {
+		return fmt.Errorf("graph: offsets end %d != |neighbors| = %d",
+			g.offsets[g.NumVertices()], len(g.neighbors))
+	}
 	edges := 0
-	for v, a := range g.adj {
+	for v := 0; v < g.NumVertices(); v++ {
+		a := g.Adj(V(v))
 		if !vset.IsSorted(a) {
 			return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
 		}
@@ -159,17 +242,31 @@ func (g *Graph) Validate() error {
 			if u == V(v) {
 				return fmt.Errorf("graph: self loop at %d", v)
 			}
-			if int(u) >= len(g.adj) {
+			if int(u) >= g.NumVertices() {
 				return fmt.Errorf("graph: edge (%d,%d) out of range", v, u)
-			}
-			if !vset.Contains(g.adj[u], V(v)) {
-				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
 			}
 		}
 		edges += len(a)
 	}
 	if edges != 2*g.m {
 		return fmt.Errorf("graph: edge count %d != sum(deg)/2 = %d", g.m, edges/2)
+	}
+	return nil
+}
+
+// Validate checks all structural invariants including symmetry and
+// returns an error describing the first violation. Intended for tests
+// and loaders of untrusted data.
+func (g *Graph) Validate() error {
+	if err := g.validateStructure(); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Adj(V(v)) {
+			if !vset.Contains(g.Adj(u), V(v)) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
 	}
 	return nil
 }

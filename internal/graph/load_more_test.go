@@ -40,10 +40,23 @@ func TestLoadEdgeListExtraColumns(t *testing.T) {
 	}
 }
 
+// csrGraph hand-builds a (possibly invalid) CSR graph for Validate
+// tests, bypassing the Builder's normalization.
+func csrGraph(rows [][]V, m int) *Graph {
+	offsets := make([]uint32, len(rows)+1)
+	var neighbors []V
+	for v, r := range rows {
+		offsets[v] = uint32(len(neighbors))
+		neighbors = append(neighbors, r...)
+	}
+	offsets[len(rows)] = uint32(len(neighbors))
+	return &Graph{offsets: offsets, neighbors: neighbors, m: m}
+}
+
 func TestReadBinaryCorruptDegreeSum(t *testing.T) {
-	// Craft a header whose degree sum disagrees with 2m.
+	// Craft a legacy-format header whose degree sum disagrees with 2m.
 	var buf bytes.Buffer
-	buf.Write(magic[:])
+	buf.Write(magicV1[:])
 	hdr := make([]byte, 12)
 	binary.LittleEndian.PutUint32(hdr[0:4], 2)  // n = 2
 	binary.LittleEndian.PutUint64(hdr[4:12], 5) // m = 5 (impossible)
@@ -84,23 +97,23 @@ func TestWriteEdgeListFileError(t *testing.T) {
 
 func TestValidateCatchesCorruption(t *testing.T) {
 	// Hand-build broken graphs to exercise each Validate branch.
-	asym := &Graph{adj: [][]V{{1}, {}}, m: 0}
+	asym := csrGraph([][]V{{1}, {}}, 0)
 	if err := asym.Validate(); err == nil {
 		t.Fatal("asymmetric adjacency accepted")
 	}
-	self := &Graph{adj: [][]V{{0}}, m: 0}
+	self := csrGraph([][]V{{0}}, 0)
 	if err := self.Validate(); err == nil {
 		t.Fatal("self loop accepted")
 	}
-	unsorted := &Graph{adj: [][]V{{2, 1}, {0}, {0}}, m: 2}
+	unsorted := csrGraph([][]V{{2, 1}, {0}, {0}}, 2)
 	if err := unsorted.Validate(); err == nil {
 		t.Fatal("unsorted adjacency accepted")
 	}
-	oob := &Graph{adj: [][]V{{9}}, m: 0}
+	oob := csrGraph([][]V{{9}}, 0)
 	if err := oob.Validate(); err == nil {
 		t.Fatal("out-of-range edge accepted")
 	}
-	badCount := &Graph{adj: [][]V{{1}, {0}}, m: 7}
+	badCount := csrGraph([][]V{{1}, {0}}, 7)
 	if err := badCount.Validate(); err == nil {
 		t.Fatal("bad edge count accepted")
 	}

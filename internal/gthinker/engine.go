@@ -69,8 +69,17 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 	}
 
 	// Partition the vertex table by hash, like G-thinker's key-value
-	// store over machine memories.
+	// store over machine memories. Counting first sizes each partition
+	// exactly, so the per-machine vertex slices are single contiguous
+	// allocations like the CSR arrays they index into.
+	counts := make([]int, cfg.Machines)
+	for v := 0; v < g.NumVertices(); v++ {
+		counts[owner(graph.V(v), cfg.Machines)]++
+	}
 	parts := make([][]graph.V, cfg.Machines)
+	for i := range parts {
+		parts[i] = make([]graph.V, 0, counts[i])
+	}
 	for v := 0; v < g.NumVertices(); v++ {
 		o := owner(graph.V(v), cfg.Machines)
 		parts[o] = append(parts[o], graph.V(v))

@@ -112,7 +112,7 @@ func Degeneracy(g *graph.Graph) int {
 // entries that are not themselves peelable vertices — Algorithm 6
 // counts 2-hop destinations that have not been pulled yet toward the
 // degree check while never removing them.
-func PeelLocal(adj [][]int32, k int, extraDegree []int) []bool {
+func PeelLocal(adj [][]uint32, k int, extraDegree []int) []bool {
 	n := len(adj)
 	deg := make([]int, n)
 	for v := 0; v < n; v++ {
@@ -125,11 +125,11 @@ func PeelLocal(adj [][]int32, k int, extraDegree []int) []bool {
 	for i := range keep {
 		keep[i] = true
 	}
-	queue := make([]int32, 0, n)
+	queue := make([]uint32, 0, n)
 	for v := 0; v < n; v++ {
 		if deg[v] < k {
 			keep[v] = false
-			queue = append(queue, int32(v))
+			queue = append(queue, uint32(v))
 		}
 	}
 	for len(queue) > 0 {

@@ -167,7 +167,7 @@ func TestQuickKCoreInvariant(t *testing.T) {
 
 func TestPeelLocal(t *testing.T) {
 	// Local triangle 0-1-2 plus pendant 3 attached to 2.
-	adj := [][]int32{{1, 2}, {0, 2}, {0, 1, 3}, {2}}
+	adj := [][]uint32{{1, 2}, {0, 2}, {0, 1, 3}, {2}}
 	keep := PeelLocal(adj, 2, nil)
 	want := []bool{true, true, true, false}
 	for i := range want {
@@ -187,7 +187,7 @@ func TestPeelLocal(t *testing.T) {
 func TestPeelLocalExtraDegree(t *testing.T) {
 	// Path 0-1 with extra degree credit 5 on both: nothing peels even
 	// at k=3 because unpulled 2-hop destinations count toward degree.
-	adj := [][]int32{{1}, {0}}
+	adj := [][]uint32{{1}, {0}}
 	keep := PeelLocal(adj, 3, []int{5, 5})
 	if !keep[0] || !keep[1] {
 		t.Fatalf("keep = %v, want all true", keep)
@@ -201,7 +201,7 @@ func TestPeelLocalExtraDegree(t *testing.T) {
 
 func TestPeelLocalCascade(t *testing.T) {
 	// Chain 0-1-2-3-4: 2-core is empty (cascading peel).
-	adj := [][]int32{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
+	adj := [][]uint32{{1}, {0, 2}, {1, 3}, {2, 4}, {3}}
 	keep := PeelLocal(adj, 2, nil)
 	for i, k := range keep {
 		if k {

@@ -127,27 +127,31 @@ func Expand(g *graph.Graph, cfg Config) ([][]graph.V, Stats, error) {
 // γ-quasi-clique with the largest remaining degree slack, until no
 // single vertex can be added. The result is 1-step-maximal (the
 // post-processing of [32] checks maximality separately; deciding it
-// exactly is NP-hard).
+// exactly is NP-hard). Candidate collection uses an epoch-stamped
+// graph.Scratch instead of two maps per growth round.
 func growGreedy(g *graph.Graph, seed []graph.V, gamma float64) []graph.V {
 	S := append([]graph.V{}, seed...)
 	vset.Sort(S)
+	var mark graph.Scratch
+	var cand []graph.V
 	for {
 		// Candidates: neighbors of S members, not in S.
-		inS := make(map[graph.V]bool, len(S))
+		mark.Begin(g.NumVertices())
 		for _, v := range S {
-			inS[v] = true
+			mark.Mark(v)
 		}
-		candSet := map[graph.V]bool{}
+		cand = cand[:0]
 		for _, v := range S {
 			for _, u := range g.Adj(v) {
-				if !inS[u] {
-					candSet[u] = true
+				if !mark.Marked(u) {
+					mark.Mark(u)
+					cand = append(cand, u)
 				}
 			}
 		}
 		var best graph.V
 		bestSlack := -1
-		for u := range candSet {
+		for _, u := range cand {
 			su := insertSortedV(S, u)
 			if slack := qcSlack(g, su, gamma); slack >= 0 && slack > bestSlack {
 				best = u

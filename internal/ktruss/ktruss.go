@@ -7,7 +7,7 @@
 package ktruss
 
 import (
-	"sort"
+	"slices"
 
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/vset"
@@ -55,11 +55,11 @@ func Trussness(g *graph.Graph) map[[2]graph.V]int {
 				queue = append(queue, e)
 			}
 		}
-		sort.Slice(queue, func(i, j int) bool {
-			if queue[i].u != queue[j].u {
-				return queue[i].u < queue[j].u
+		slices.SortFunc(queue, func(a, b edge) int {
+			if a.u != b.u {
+				return int(a.u) - int(b.u)
 			}
-			return queue[i].v < queue[j].v
+			return int(a.v) - int(b.v)
 		})
 		if len(queue) == 0 {
 			k++

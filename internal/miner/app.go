@@ -1,7 +1,6 @@
 package miner
 
 import (
-	"sort"
 	"time"
 
 	"gthinkerqc/internal/graph"
@@ -9,7 +8,31 @@ import (
 	"gthinkerqc/internal/kcore"
 	"gthinkerqc/internal/metrics"
 	"gthinkerqc/internal/quasiclique"
+	"gthinkerqc/internal/vset"
 )
+
+// wscratch is one worker's reusable task-construction state: an
+// epoch-stamped marker over global vertex IDs (the shared
+// graph.Scratch core) with two value slots, plus the row-pointer
+// buffer of iteration 2. It replaces the per-Compute maps (V2 split,
+// known/pull dedup, global→local index) that dominated task-spawn
+// cost. Owned by exactly one worker.
+type wscratch struct {
+	marks graph.Scratch
+	idxA  []uint32    // global → collect-order row index (iterations 1–2)
+	idxB  []uint32    // global → sorted local index (iteration 2)
+	rows  [][]graph.V // iteration-2 row pointers, collect order
+}
+
+// begin starts a new mark generation over n vertices. Marks from
+// older generations become invisible.
+func (ws *wscratch) begin(n int) {
+	ws.marks.Begin(n)
+	if len(ws.idxA) < n {
+		ws.idxA = make([]uint32, n)
+		ws.idxB = make([]uint32, n)
+	}
+}
 
 // app implements gthinker.App for quasi-clique mining.
 type app struct {
@@ -18,14 +41,17 @@ type app struct {
 	k   int // ⌈γ(τsize−1)⌉
 
 	collectors []*quasiclique.Collector // one per worker
+	scratches  []*wscratch              // one per worker
 	rec        *metrics.Recorder
 }
 
 func newApp(g *graph.Graph, cfg Config, workers int) *app {
 	a := &app{g: g, cfg: cfg, k: cfg.Params.K(), rec: metrics.NewRecorder()}
 	a.collectors = make([]*quasiclique.Collector, workers)
+	a.scratches = make([]*wscratch, workers)
 	for i := range a.collectors {
 		a.collectors[i] = quasiclique.NewCollector()
+		a.scratches[i] = &wscratch{}
 	}
 	return a
 }
@@ -66,7 +92,7 @@ func (a *app) Compute(t *gthinker.Task, frontier map[graph.V][]graph.V, ctx *gth
 	case 1:
 		return a.iteration1(t, p, frontier, ctx)
 	case 2:
-		return a.iteration2(p, frontier)
+		return a.iteration2(p, frontier, a.scratches[ctx.WorkerID])
 	default:
 		return a.iteration3(p, ctx)
 	}
@@ -78,29 +104,34 @@ func (a *app) Compute(t *gthinker.Task, frontier map[graph.V][]graph.V, ctx *gth
 // those 2-hop vertices.
 func (a *app) iteration1(t *gthinker.Task, p *Payload, frontier map[graph.V][]graph.V, ctx *gthinker.Ctx) bool {
 	v := p.Root
-	// V1/V2 split by global degree (lines 3–4).
-	v2 := make(map[graph.V]bool)
-	var v1 []graph.V
+	n := a.g.NumVertices()
+	ws := a.scratches[ctx.WorkerID]
+
+	// V1/V2 split by global degree (lines 3–4); V2 members are marked
+	// in the scratch instead of a per-call set.
+	ws.begin(n)
+	v1 := make([]graph.V, 0, len(frontier))
 	for u, adj := range frontier {
 		if len(adj) >= a.k {
 			v1 = append(v1, u)
 		} else {
-			v2[u] = true
+			ws.marks.Mark(u)
 		}
 	}
-	sort.Slice(v1, func(i, j int) bool { return v1[i] < v1[j] })
+	vset.Sort(v1)
 
 	// t.g over V1 ∪ {v} (lines 5–9): keep destinations w ≥ v that are
 	// not degree-pruned; destinations beyond V1 ∪ v are unpulled
 	// 2-hop vertices and stay untouched.
-	p.GVerts = append([]graph.V{v}, v1...)
+	p.GVerts = append(make([]graph.V, 0, len(v1)+1), v)
+	p.GVerts = append(p.GVerts, v1...)
 	p.GAdj = make([][]graph.V, len(p.GVerts))
 	p.GAdj[0] = v1 // v's neighbors > v with degree ≥ k
 	for i, u := range v1 {
 		src := frontier[u]
 		row := make([]graph.V, 0, len(src))
 		for _, w := range src {
-			if w >= v && !v2[w] {
+			if w >= v && !ws.marks.Marked(w) {
 				row = append(row, w)
 			}
 		}
@@ -108,26 +139,25 @@ func (a *app) iteration1(t *gthinker.Task, p *Payload, frontier map[graph.V][]gr
 	}
 
 	// Line 10: t.g ← k-core(t.g), counting unpulled destinations.
-	if !a.peelPartial(p) {
+	if !a.peelPartial(p, ws) {
 		return false // v was peeled (line 11)
 	}
 
 	// Lines 12–15: pull all 2-hop vertices (w > v, not already known).
-	known := make(map[graph.V]bool, len(frontier)+1)
-	known[v] = true
+	// One generation marks both the known set (v and the frontier) and
+	// each vertex as it is pulled, so the pull set needs no map either.
+	ws.begin(n)
+	ws.marks.Mark(v)
 	for u := range frontier {
-		known[u] = true
+		ws.marks.Mark(u)
 	}
-	pullSet := make(map[graph.V]bool)
 	for _, row := range p.GAdj {
 		for _, w := range row {
-			if w > v && !known[w] {
-				pullSet[w] = true
+			if w > v && !ws.marks.Marked(w) {
+				ws.marks.Mark(w) // now pulled: dedup further hits
+				ctx.Pull(w)
 			}
 		}
-	}
-	for w := range pullSet {
-		ctx.Pull(w)
 	}
 	p.Iteration = 2
 	_ = t
@@ -137,23 +167,34 @@ func (a *app) iteration1(t *gthinker.Task, p *Payload, frontier map[graph.V][]gr
 // peelPartial shrinks p.GVerts/GAdj to the k-core, treating adjacency
 // entries outside GVerts as fixed degree credit. Returns false if the
 // root fell out.
-func (a *app) peelPartial(p *Payload) bool {
-	idx := make(map[graph.V]int32, len(p.GVerts))
+func (a *app) peelPartial(p *Payload, ws *wscratch) bool {
+	ws.begin(a.g.NumVertices())
 	for i, u := range p.GVerts {
-		idx[u] = int32(i)
+		ws.marks.Mark(u)
+		ws.idxA[u] = uint32(i)
 	}
-	local := make([][]int32, len(p.GVerts))
+	// Exact-count pass, then one packed array for the local rows.
 	extra := make([]int, len(p.GVerts))
+	total := 0
 	for i, row := range p.GAdj {
-		lr := make([]int32, 0, len(row))
 		for _, w := range row {
-			if j, ok := idx[w]; ok {
-				lr = append(lr, j)
+			if ws.marks.Marked(w) {
+				total++
 			} else {
 				extra[i]++
 			}
 		}
-		local[i] = lr
+	}
+	flat := make([]uint32, 0, total)
+	local := make([][]uint32, len(p.GVerts))
+	for i, row := range p.GAdj {
+		start := len(flat)
+		for _, w := range row {
+			if ws.marks.Marked(w) {
+				flat = append(flat, ws.idxA[w])
+			}
+		}
+		local[i] = flat[start:len(flat):len(flat)]
 	}
 	keep := kcore.PeelLocal(local, a.k, extra)
 	if !keep[0] { // root is GVerts[0]
@@ -167,7 +208,7 @@ func (a *app) peelPartial(p *Payload) bool {
 		}
 		row := p.GAdj[i][:0]
 		for _, w := range p.GAdj[i] {
-			if j, isMember := idx[w]; !isMember || keep[j] {
+			if !ws.marks.Marked(w) || keep[ws.idxA[w]] {
 				row = append(row, w)
 			}
 		}
@@ -181,41 +222,57 @@ func (a *app) peelPartial(p *Payload) bool {
 // iteration2 is Algorithm 7: absorb the pulled 2-hop vertices
 // (degree-filtered), induce the exact subgraph over the final member
 // set, peel to the k-core, and set up the mining state.
-func (a *app) iteration2(p *Payload, frontier map[graph.V][]graph.V) bool {
+func (a *app) iteration2(p *Payload, frontier map[graph.V][]graph.V, ws *wscratch) bool {
 	v := p.Root
-	members := make(map[graph.V][]graph.V, len(p.GVerts)+len(frontier))
+	ws.begin(a.g.NumVertices())
+	// Collect the member set: the peeled partial subgraph plus every
+	// pulled 2-hop vertex that survives the degree filter. idxA
+	// remembers each member's row in collect order.
+	verts := make([]graph.V, 0, len(p.GVerts)+len(frontier))
+	clear(ws.rows) // drop slice headers pinning the previous task's rows
+	ws.rows = ws.rows[:0]
 	for i, u := range p.GVerts {
-		members[u] = p.GAdj[i]
+		ws.marks.Mark(u)
+		ws.idxA[u] = uint32(len(ws.rows))
+		verts = append(verts, u)
+		ws.rows = append(ws.rows, p.GAdj[i])
 	}
 	for u, adj := range frontier {
-		if len(adj) >= a.k {
-			members[u] = adj
+		if len(adj) >= a.k && !ws.marks.Marked(u) {
+			ws.marks.Mark(u)
+			ws.idxA[u] = uint32(len(ws.rows))
+			verts = append(verts, u)
+			ws.rows = append(ws.rows, adj)
 		}
 	}
-	verts := make([]graph.V, 0, len(members))
-	for u := range members {
-		verts = append(verts, u)
+	vset.Sort(verts)
+	for i, u := range verts {
+		ws.idxB[u] = uint32(i)
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
 
 	// Exact induced adjacency over members (destinations outside the
 	// member set cannot belong to any valid quasi-clique rooted at v:
-	// they are < v, degree-pruned, or beyond two hops).
-	idx := make(map[graph.V]uint32, len(verts))
-	for i, u := range verts {
-		idx[u] = uint32(i)
-	}
-	adj := make([][]uint32, len(verts))
-	for i, u := range verts {
-		src := members[u]
-		row := make([]uint32, 0, len(src))
-		for _, w := range src {
-			if j, ok := idx[w]; ok && w != u {
-				row = append(row, j)
+	// they are < v, degree-pruned, or beyond two hops). Source rows
+	// are sorted by global ID and verts→local is monotone, so rows
+	// come out sorted without a per-row sort.
+	total := 0
+	for _, u := range verts {
+		for _, w := range ws.rows[ws.idxA[u]] {
+			if ws.marks.Marked(w) && w != u {
+				total++
 			}
 		}
-		sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
-		adj[i] = row
+	}
+	flat := make([]uint32, 0, total)
+	adj := make([][]uint32, len(verts))
+	for i, u := range verts {
+		start := len(flat)
+		for _, w := range ws.rows[ws.idxA[u]] {
+			if ws.marks.Marked(w) && w != u {
+				flat = append(flat, ws.idxB[w])
+			}
+		}
+		adj[i] = flat[start:len(flat):len(flat)]
 	}
 	sub := &quasiclique.Sub{Label: verts, Adj: adj}
 

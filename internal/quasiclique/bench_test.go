@@ -1,0 +1,85 @@
+package quasiclique
+
+import (
+	"testing"
+
+	"gthinkerqc/internal/graph"
+)
+
+// benchGraph mirrors the generator in internal/graph's benchmarks.
+func benchGraph(n, attach int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(bound int) graph.V {
+		state = state*6364136223846793005 + 1442695040888963407
+		return graph.V((state >> 33) % uint64(bound))
+	}
+	for v := 1; v < n; v++ {
+		for a := 0; a < attach; a++ {
+			b.AddEdge(graph.V(v), next(v))
+		}
+	}
+	return b.Build()
+}
+
+// BenchmarkSubFromGraph measures task-subgraph materialization, the
+// per-task hot path of root/sub task construction.
+func BenchmarkSubFromGraph(b *testing.B) {
+	g := benchGraph(20000, 8)
+	verts := g.Within2(100, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := SubFromGraph(g, verts); s.N() != len(verts) {
+			b.Fatal("bad sub")
+		}
+	}
+}
+
+// BenchmarkSubFromGraphScratch is the scratch-threaded variant used by
+// the serial driver and the G-thinker workers.
+func BenchmarkSubFromGraphScratch(b *testing.B) {
+	g := benchGraph(20000, 8)
+	verts := g.Within2(100, nil)
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := SubFromGraphScratch(g, verts, &sc); s.N() != len(verts) {
+			b.Fatal("bad sub")
+		}
+	}
+}
+
+// BenchmarkBuildRootSub is the full root-task construction: two-hop
+// candidate scan, induced subgraph, k-core peel.
+func BenchmarkBuildRootSub(b *testing.B) {
+	g := benchGraph(20000, 8)
+	par := Params{Gamma: 0.9, MinSize: 4}
+	var sc Scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRootSubScratch(g, graph.V(i%1000), par, Options{}, &sc)
+	}
+}
+
+// BenchmarkCollectorAdd measures candidate deduplication. Half the adds
+// are duplicates, matching the miner's emission pattern where subtask
+// overlap re-finds sets.
+func BenchmarkCollectorAdd(b *testing.B) {
+	sets := make([][]graph.V, 256)
+	for i := range sets {
+		s := make([]graph.V, 16)
+		for j := range s {
+			s[j] = graph.V(i*31 + j*7)
+		}
+		sets[i] = s
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	c := NewCollector()
+	for i := 0; i < b.N; i++ {
+		c.Add(sets[i%len(sets)])
+	}
+}

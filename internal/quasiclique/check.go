@@ -79,15 +79,20 @@ func IsSubsetSorted(a, b []graph.V) bool {
 // quasi-clique set. Input sets must be sorted; output is in canonical
 // order (size descending, then lexicographic).
 func FilterMaximal(sets [][]graph.V) [][]graph.V {
-	// Deduplicate.
-	seen := make(map[string]bool, len(sets))
+	// Deduplicate by 64-bit fingerprint with a collision bucket,
+	// like Collector.Add (no string key materialized per set).
+	seen := make(map[uint64][]uint32, len(sets))
 	uniq := make([][]graph.V, 0, len(sets))
+next:
 	for _, s := range sets {
-		k := setKey(s)
-		if !seen[k] {
-			seen[k] = true
-			uniq = append(uniq, s)
+		fp := fingerprintSet(s)
+		for _, i := range seen[fp] {
+			if vset.Equal(uniq[i], s) {
+				continue next
+			}
 		}
+		seen[fp] = append(seen[fp], uint32(len(uniq)))
+		uniq = append(uniq, s)
 	}
 	// Large to small: a set can only be contained in a strictly
 	// larger one, which was already indexed.
@@ -156,12 +161,4 @@ func SetsEqual(a, b [][]graph.V) bool {
 		}
 	}
 	return true
-}
-
-func setKey(s []graph.V) string {
-	buf := make([]byte, 0, len(s)*4)
-	for _, v := range s {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(buf)
 }

@@ -25,26 +25,44 @@ type MineStats struct {
 	Results int
 }
 
-// Collector accumulates emitted candidates with deduplication. It is
-// not safe for concurrent use; the parallel engine gives each worker
-// its own collector and merges.
+// Collector accumulates emitted candidates with deduplication. Dedup
+// keys are 64-bit fingerprints of the sorted vertex set; the rare
+// colliding fingerprints fall back to comparing the actual sets in a
+// collision bucket, so adding a duplicate allocates nothing (the old
+// map[string]bool built a 4·|S|-byte string key per Add). It is not
+// safe for concurrent use; the parallel engine gives each worker its
+// own collector and merges.
 type Collector struct {
-	seen map[string]bool
+	seen map[uint64][]uint32 // fingerprint → indices into sets
 	sets [][]graph.V
 }
 
 // NewCollector returns an empty Collector.
 func NewCollector() *Collector {
-	return &Collector{seen: make(map[string]bool)}
+	return &Collector{seen: make(map[uint64][]uint32)}
+}
+
+// fingerprintSet hashes a sorted vertex set (FNV-1a over 32-bit
+// words). Collisions are handled by the caller, so quality only
+// affects bucket sizes, never correctness.
+func fingerprintSet(S []graph.V) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range S {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Add records the sorted vertex set S if it has not been seen.
 func (c *Collector) Add(S []graph.V) {
-	k := setKey(S)
-	if c.seen[k] {
-		return
+	fp := fingerprintSet(S)
+	for _, i := range c.seen[fp] {
+		if vset.Equal(c.sets[i], S) {
+			return
+		}
 	}
-	c.seen[k] = true
+	c.seen[fp] = append(c.seen[fp], uint32(len(c.sets)))
 	c.sets = append(c.sets, S)
 }
 
@@ -96,11 +114,12 @@ func MineGraphContext(ctx context.Context, g *graph.Graph, par Params, opt Optio
 			return false
 		}
 	}
+	var scratch Scratch // reused across every root task of the run
 	for _, v := range kept {
 		if cancelled() {
 			break
 		}
-		rs := mineRootAbortable(gk, v, par, opt, col, cancelled)
+		rs := mineRootAbortable(gk, v, par, opt, col, cancelled, &scratch)
 		stats.Nodes += rs.Nodes
 		stats.Candidates += rs.Candidates
 		if rs.Mined {
@@ -159,12 +178,13 @@ type RootStats struct {
 // to its k-core (Algorithms 6–7 do the same while pulling), and runs
 // RecursiveMine rooted at S = {v}.
 func MineRoot(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector) RootStats {
-	return mineRootAbortable(gk, v, par, opt, col, nil)
+	var s Scratch
+	return mineRootAbortable(gk, v, par, opt, col, nil, &s)
 }
 
-func mineRootAbortable(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector, abort func() bool) RootStats {
+func mineRootAbortable(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector, abort func() bool, s *Scratch) RootStats {
 	var rs RootStats
-	sub, localV := BuildRootSub(gk, v, par, opt)
+	sub, localV := BuildRootSubScratch(gk, v, par, opt, s)
 	if sub == nil {
 		return rs
 	}
@@ -192,19 +212,30 @@ func mineRootAbortable(gk *graph.Graph, v graph.V, par Params, opt Options, col 
 // v peeled out of the core). The second return value is v's local
 // index.
 func BuildRootSub(gk *graph.Graph, v graph.V, par Params, opt Options) (*Sub, uint32) {
+	var s Scratch
+	return BuildRootSubScratch(gk, v, par, opt, &s)
+}
+
+// BuildRootSubScratch is BuildRootSub with a caller-provided Scratch:
+// the two-hop scan, candidate filtering, and subgraph induction all
+// run on reusable per-worker buffers instead of per-call maps.
+func BuildRootSubScratch(gk *graph.Graph, v graph.V, par Params, opt Options, s *Scratch) (*Sub, uint32) {
 	k := par.K()
 	if !opt.DisableKCore && gk.Degree(v) < k {
 		return nil, 0
 	}
-	cand := gk.Within2(v, nil)
-	cand = vset.FilterGreater(cand[:0], cand, v)
+	s.cand = gk.Within2Scratch(v, s.cand[:0], &s.marks)
+	cand := vset.FilterGreater(s.cand[:0], s.cand, v)
 	if 1+len(cand) < par.MinSize {
 		return nil, 0
 	}
-	verts := make([]graph.V, 0, len(cand)+1)
-	verts = append(verts, v)
-	verts = append(verts, cand...) // v < all of cand, so sorted
-	sub := SubFromGraph(gk, verts)
+	s.verts = append(s.verts[:0], v)
+	s.verts = append(s.verts, cand...) // v < all of cand, so sorted
+	// With k-core peeling on (the default), the peel's Induce rebuilds
+	// Label from scratch and the unpeeled Sub dies here, so it may
+	// alias the scratch buffer; only the no-peel path needs its own
+	// label copy (the Sub escapes holding it).
+	sub := subFromGraph(gk, s.verts, s, opt.DisableKCore)
 	if !opt.DisableKCore {
 		peeled, _ := sub.PeelKCore(k)
 		sub = peeled

@@ -452,3 +452,13 @@ func TestSkipMaximalityFilter(t *testing.T) {
 		t.Fatalf("raw candidates do not reduce to ground truth:\n raw %v\n want %v", raw, want)
 	}
 }
+
+// setKey is the test-local canonical string key for a vertex set (the
+// production dedup uses fingerprintSet with collision buckets).
+func setKey(s []graph.V) string {
+	buf := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}

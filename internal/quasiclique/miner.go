@@ -1,6 +1,7 @@
 package quasiclique
 
 import (
+	"slices"
 	"sort"
 
 	"gthinkerqc/internal/vset"
@@ -49,6 +50,8 @@ type Miner struct {
 	dS      []int32 // degree toward S, per local vertex
 	dE      []int32 // degree toward ext(S), per local vertex
 	unionBf []uint32
+	byDeg   []uint32 // prefixByDegree ordering buffer
+	prefix  []int    // prefixByDegree sums buffer
 }
 
 // NewMiner returns a Miner over sub with the given parameters.
@@ -378,13 +381,17 @@ func (m *Miner) computeLower(S, ext []uint32, sumS int) boundsResult {
 }
 
 // prefixByDegree returns prefix[t] = Σ_{i≤t} dS(u_i) with ext sorted by
-// dS non-increasing (Figures 6 and 7).
+// dS non-increasing (Figures 6 and 7). The returned slice aliases the
+// miner's scratch buffer and is valid until the next call.
 func (m *Miner) prefixByDegree(ext []uint32) []int {
-	byDeg := make([]uint32, len(ext))
-	copy(byDeg, ext)
-	sort.Slice(byDeg, func(i, j int) bool { return m.dS[byDeg[i]] > m.dS[byDeg[j]] })
-	prefix := make([]int, len(ext)+1)
-	for i, u := range byDeg {
+	m.byDeg = append(m.byDeg[:0], ext...)
+	slices.SortFunc(m.byDeg, func(a, b uint32) int { return int(m.dS[b] - m.dS[a]) })
+	if cap(m.prefix) < len(ext)+1 {
+		m.prefix = make([]int, len(ext)+1)
+	}
+	prefix := m.prefix[:len(ext)+1]
+	prefix[0] = 0
+	for i, u := range m.byDeg {
 		prefix[i+1] = prefix[i] + int(m.dS[u])
 	}
 	return prefix

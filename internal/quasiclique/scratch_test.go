@@ -1,0 +1,168 @@
+package quasiclique
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/vset"
+)
+
+// TestScratchVariantsMatch checks that the scratch-threaded hot paths
+// produce exactly what the allocating convenience wrappers produce,
+// including when one Scratch is reused across many calls.
+func TestScratchVariantsMatch(t *testing.T) {
+	g := benchGraph(500, 6)
+	var sc Scratch
+	var dst []graph.V
+	for v := 0; v < 200; v++ {
+		want := g.Within2(graph.V(v), nil)
+		dst = g.Within2Scratch(graph.V(v), dst[:0], &sc.marks)
+		if !vset.Equal(want, dst) {
+			t.Fatalf("Within2Scratch(%d) = %v, want %v", v, dst, want)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		verts := append([]graph.V{}, want...)
+		a := SubFromGraph(g, verts)
+		b := SubFromGraphScratch(g, verts, &sc)
+		if !vset.Equal(a.Label, b.Label) || a.N() != b.N() {
+			t.Fatalf("labels differ at %d", v)
+		}
+		for i := range a.Adj {
+			if !vset.Equal(a.Adj[i], b.Adj[i]) {
+				t.Fatalf("row %d differs at root %d", i, v)
+			}
+		}
+	}
+}
+
+// TestBuildRootSubScratchMatches cross-checks the per-worker root-task
+// construction against the standalone path over every vertex.
+func TestBuildRootSubScratchMatches(t *testing.T) {
+	g := benchGraph(400, 5)
+	par := Params{Gamma: 0.8, MinSize: 4}
+	var sc Scratch
+	for v := 0; v < g.NumVertices(); v++ {
+		a, la := BuildRootSub(g, graph.V(v), par, Options{})
+		b, lb := BuildRootSubScratch(g, graph.V(v), par, Options{}, &sc)
+		if (a == nil) != (b == nil) || la != lb {
+			t.Fatalf("prune disagreement at %d: %v vs %v", v, a, b)
+		}
+		if a == nil {
+			continue
+		}
+		if !vset.Equal(a.Label, b.Label) {
+			t.Fatalf("labels differ at %d", v)
+		}
+		for i := range a.Adj {
+			if !vset.Equal(a.Adj[i], b.Adj[i]) {
+				t.Fatalf("row %d differs at %d", i, v)
+			}
+		}
+	}
+}
+
+// TestSubGobRoundtrip covers the packed spill codec for task-local
+// subgraphs, including empty rows.
+func TestSubGobRoundtrip(t *testing.T) {
+	g := benchGraph(300, 4)
+	verts := g.Within2(37, nil)
+	var scOwned Scratch
+	sub := subFromGraph(g, verts, &scOwned, false) // owned: no label copy
+	if &sub.Label[0] != &verts[0] {
+		t.Fatal("owned subFromGraph copied verts")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sub); err != nil {
+		t.Fatal(err)
+	}
+	var back Sub
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !vset.Equal(sub.Label, back.Label) {
+		t.Fatalf("labels differ: %v vs %v", sub.Label, back.Label)
+	}
+	if len(sub.Adj) != len(back.Adj) {
+		t.Fatalf("row count %d vs %d", len(sub.Adj), len(back.Adj))
+	}
+	for i := range sub.Adj {
+		if !vset.Equal(sub.Adj[i], back.Adj[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+// TestSubGobDecodeCorrupt checks that a row-length/payload mismatch is
+// an error, not a panic, when refilling spilled tasks.
+func TestSubGobDecodeCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Label of 2, rows claiming 3 entries, but only 1 in the flat array.
+	for _, v := range []any{[]graph.V{5, 9}, []uint32{2, 1}, []uint32{1}} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var s Sub
+	if err := s.GobDecode(buf.Bytes()); err == nil {
+		t.Fatal("corrupt Sub accepted")
+	}
+}
+
+// TestCollectorFingerprintDedup exercises the fingerprint collector:
+// duplicates (including re-adds after many inserts) are dropped,
+// distinct sets that could share a bucket are kept.
+func TestCollectorFingerprintDedup(t *testing.T) {
+	c := NewCollector()
+	c.Add([]graph.V{1, 2, 3})
+	c.Add([]graph.V{1, 2, 4})
+	c.Add([]graph.V{1, 2, 3}) // dup
+	c.Add([]graph.V{2, 3})
+	c.Add([]graph.V{})        // empty set is a valid key
+	c.Add([]graph.V{})        // dup empty
+	c.Add([]graph.V{1, 2, 4}) // dup
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4", c.Len())
+	}
+	other := NewCollector()
+	other.Add([]graph.V{2, 3}) // dup of c's
+	other.Add([]graph.V{7, 8})
+	c.Merge(other)
+	if c.Len() != 5 {
+		t.Fatalf("after merge len = %d, want 5", c.Len())
+	}
+}
+
+// TestMineDecodedGraphIdentical is the codec cross-check: a graph that
+// went through encode→decode must mine the exact same maximal
+// quasi-clique set as the in-memory original.
+func TestMineDecodedGraphIdentical(t *testing.T) {
+	g := benchGraph(600, 7)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := Params{Gamma: 0.6, MinSize: 4}
+	want, _, err := MineGraph(g, par, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := MineGraph(g2, par, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate test: no results")
+	}
+	if !SetsEqual(want, got) {
+		t.Fatalf("decoded graph mined %d sets, original %d", len(got), len(want))
+	}
+}

@@ -1,6 +1,10 @@
 package quasiclique
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/kcore"
 	"gthinkerqc/internal/vset"
@@ -9,7 +13,9 @@ import (
 // Sub is a task-local subgraph with vertices remapped to dense local
 // indices [0, n). Label maps local index → global vertex ID and is
 // strictly increasing, so comparisons on local indices agree with
-// global ID order (which the set-enumeration tree relies on).
+// global ID order (which the set-enumeration tree relies on). Adj rows
+// built by this package share one packed backing array (CSR-style),
+// mirroring the graph substrate's layout.
 type Sub struct {
 	Label []graph.V
 	Adj   [][]uint32 // sorted local adjacency
@@ -37,31 +43,92 @@ func (s *Sub) Labels(locals []uint32) []graph.V {
 	return out
 }
 
-// SubFromGraph induces the subgraph of g on the sorted vertex set
-// verts.
-func SubFromGraph(g *graph.Graph, verts []graph.V) *Sub {
-	local := make(map[graph.V]uint32, len(verts))
-	for i, v := range verts {
-		local[v] = uint32(i)
+// Scratch is the per-worker reusable state for task construction: an
+// epoch-stamped global→local index map (replacing the per-call maps
+// the hot paths used to allocate) and the candidate/vertex buffers of
+// BuildRootSub. The marker doubles as the two-hop scratch for
+// Within2Scratch — the two phases never overlap within a call. A zero
+// Scratch is ready to use. Not safe for concurrent use — the serial
+// driver owns one, and the G-thinker app threads one per worker.
+type Scratch struct {
+	marks  graph.Scratch // epoch-stamped marker over global vertex IDs
+	idx    []uint32      // global → local index, valid when marked
+	rowLen []uint32      // per-local-vertex row sizes (exact-count pass)
+	cand   []graph.V     // BuildRootSub candidate buffer
+	verts  []graph.V     // BuildRootSub vertex-set buffer
+}
+
+// begin starts a new global→local mapping generation over n vertices.
+func (s *Scratch) begin(n int) {
+	s.marks.Begin(n)
+	if len(s.idx) < n {
+		s.idx = make([]uint32, n)
 	}
-	adj := make([][]uint32, len(verts))
+}
+
+// SubFromGraph induces the subgraph of g on the sorted vertex set
+// verts. verts is copied; the caller keeps ownership.
+func SubFromGraph(g *graph.Graph, verts []graph.V) *Sub {
+	var s Scratch
+	return subFromGraph(g, verts, &s, true)
+}
+
+// SubFromGraphScratch is SubFromGraph with a caller-provided Scratch:
+// only the three allocations that escape into the returned Sub remain
+// (label, row headers, packed adjacency).
+func SubFromGraphScratch(g *graph.Graph, verts []graph.V, s *Scratch) *Sub {
+	return subFromGraph(g, verts, s, true)
+}
+
+// subFromGraph is the core induction. With copyLabel false the Sub's
+// Label aliases verts, so the caller must guarantee verts outlives the
+// Sub (or that the Sub dies first, as in the peeled root-task path).
+func subFromGraph(g *graph.Graph, verts []graph.V, s *Scratch, copyLabel bool) *Sub {
+	s.begin(g.NumVertices())
 	for i, v := range verts {
-		gadj := g.Adj(v)
-		row := make([]uint32, 0, len(gadj))
-		for _, u := range gadj {
-			if lu, ok := local[u]; ok {
-				row = append(row, lu)
+		s.marks.Mark(v)
+		s.idx[v] = uint32(i)
+	}
+	// Exact-count pass: row sizes, so rows slice one packed array
+	// instead of growing n separate ones.
+	if cap(s.rowLen) < len(verts) {
+		s.rowLen = make([]uint32, len(verts))
+	}
+	s.rowLen = s.rowLen[:len(verts)]
+	total := 0
+	for i, v := range verts {
+		c := uint32(0)
+		for _, u := range g.Adj(v) {
+			if s.marks.Marked(u) {
+				c++
 			}
 		}
-		adj[i] = row // sorted: g.Adj sorted and verts→local monotone
+		s.rowLen[i] = c
+		total += int(c)
 	}
-	label := make([]graph.V, len(verts))
-	copy(label, verts)
+	flat := make([]uint32, 0, total)
+	adj := make([][]uint32, len(verts))
+	for i, v := range verts {
+		start := len(flat)
+		for _, u := range g.Adj(v) {
+			if s.marks.Marked(u) {
+				flat = append(flat, s.idx[u])
+			}
+		}
+		adj[i] = flat[start:len(flat):len(flat)]
+		// sorted: g.Adj sorted and verts→local monotone
+	}
+	label := verts
+	if copyLabel {
+		label = make([]graph.V, len(verts))
+		copy(label, verts)
+	}
 	return &Sub{Label: label, Adj: adj}
 }
 
 // Induce returns the subgraph of s induced on the sorted local index
-// set keep, with indices remapped densely.
+// set keep, with indices remapped densely. Rows are exact-counted into
+// one packed backing array.
 func (s *Sub) Induce(keep []uint32) *Sub {
 	remap := make([]int32, s.N())
 	for i := range remap {
@@ -70,17 +137,26 @@ func (s *Sub) Induce(keep []uint32) *Sub {
 	for i, v := range keep {
 		remap[v] = int32(i)
 	}
+	total := 0
+	for _, v := range keep {
+		for _, u := range s.Adj[v] {
+			if remap[u] >= 0 {
+				total++
+			}
+		}
+	}
+	flat := make([]uint32, 0, total)
 	label := make([]graph.V, len(keep))
 	adj := make([][]uint32, len(keep))
 	for i, v := range keep {
 		label[i] = s.Label[v]
-		row := make([]uint32, 0, len(s.Adj[v]))
+		start := len(flat)
 		for _, u := range s.Adj[v] {
 			if r := remap[u]; r >= 0 {
-				row = append(row, uint32(r))
+				flat = append(flat, uint32(r))
 			}
 		}
-		adj[i] = row
+		adj[i] = flat[start:len(flat):len(flat)]
 	}
 	return &Sub{Label: label, Adj: adj}
 }
@@ -89,15 +165,7 @@ func (s *Sub) Induce(keep []uint32) *Sub {
 // indices (w.r.t. s) that survived. If the core is empty it returns an
 // empty Sub.
 func (s *Sub) PeelKCore(k int) (*Sub, []uint32) {
-	adj32 := make([][]int32, s.N())
-	for i, row := range s.Adj {
-		r := make([]int32, len(row))
-		for j, u := range row {
-			r[j] = int32(u)
-		}
-		adj32[i] = r
-	}
-	keepMask := kcore.PeelLocal(adj32, k, nil)
+	keepMask := kcore.PeelLocal(s.Adj, k, nil)
 	var keep []uint32
 	for i, ok := range keepMask {
 		if ok {
@@ -118,4 +186,51 @@ func (s *Sub) DegreeInto(v uint32, stamp []int32, epoch int32) int {
 		}
 	}
 	return d
+}
+
+// GobEncode serializes the Sub for the engine's task-spill codec as
+// three flat arrays (labels, row lengths, packed adjacency) instead of
+// one slice header per row.
+func (s *Sub) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	enc := gob.NewEncoder(&b)
+	rowLen := make([]uint32, len(s.Adj))
+	total := 0
+	for i, row := range s.Adj {
+		rowLen[i] = uint32(len(row))
+		total += len(row)
+	}
+	flat := make([]uint32, 0, total)
+	for _, row := range s.Adj {
+		flat = append(flat, row...)
+	}
+	for _, v := range []any{s.Label, rowLen, flat} {
+		if err := enc.Encode(v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// GobDecode restores a Sub spilled by GobEncode, rebuilding the packed
+// row layout.
+func (s *Sub) GobDecode(data []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var rowLen, flat []uint32
+	for _, v := range []any{&s.Label, &rowLen, &flat} {
+		if err := dec.Decode(v); err != nil {
+			return err
+		}
+	}
+	s.Adj = make([][]uint32, len(rowLen))
+	off := 0
+	for i, n := range rowLen {
+		end := off + int(n)
+		if end > len(flat) {
+			return fmt.Errorf("quasiclique: corrupt Sub: rows need %d entries, have %d", end, len(flat))
+		}
+		s.Adj[i] = flat[off:end:end]
+		off = end
+	}
+	return nil
 }

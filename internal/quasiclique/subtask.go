@@ -1,6 +1,10 @@
 package quasiclique
 
-import "sort"
+import (
+	"sort"
+
+	"gthinkerqc/internal/vset"
+)
 
 // MakeSubtask materializes the divide-and-conquer child ⟨S, ext(S)⟩ as
 // an independent task over its own induced subgraph (Algorithm 8 line
@@ -15,7 +19,7 @@ func MakeSubtask(parent *Sub, S, ext []uint32) (*Sub, []uint32, []uint32) {
 	keep := make([]uint32, 0, len(S)+len(ext))
 	keep = append(keep, S...)
 	keep = append(keep, ext...)
-	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	vset.Sort(keep)
 	child := parent.Induce(keep)
 	// keep is sorted and S/ext are disjoint, so a vertex's new local
 	// index is its position in keep.
@@ -27,11 +31,11 @@ func MakeSubtask(parent *Sub, S, ext []uint32) (*Sub, []uint32, []uint32) {
 	for i, x := range S {
 		newS[i] = pos(x)
 	}
-	sort.Slice(newS, func(i, j int) bool { return newS[i] < newS[j] })
+	vset.Sort(newS)
 	newExt := make([]uint32, len(ext))
 	for i, x := range ext {
 		newExt[i] = pos(x)
 	}
-	sort.Slice(newExt, func(i, j int) bool { return newExt[i] < newExt[j] })
+	vset.Sort(newExt)
 	return child, newS, newExt
 }

@@ -4,11 +4,16 @@
 // neighborhood intersections).
 package vset
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
-// Sort sorts xs in place in increasing order.
+// Sort sorts xs in place in increasing order. It uses the stdlib
+// generic sort, which allocates nothing (sort.Slice builds a reflect
+// swapper per call — measurable in the per-task hot paths).
 func Sort(xs []uint32) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 }
 
 // IsSorted reports whether xs is sorted strictly increasing (sorted and
