@@ -6,15 +6,23 @@
 //	qcbench -exp all            # everything (a few minutes)
 //	qcbench -exp table2         # one experiment
 //	qcbench -exp table5a -machines 1 -threads 1,2,4
+//	qcbench -exp table2 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
 //
 // Experiments: table1 table2 table3 table4 table5a table5b table6
 // fig1 fig2 fig3 ablation quickmiss kernel decomp all
+//
+// -cpuprofile / -memprofile write pprof profiles of the selected
+// experiments (kernel work like the mining hot loop can be profiled
+// without ad-hoc patches); profiles are flushed on normal exit, not
+// when an experiment fails.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -24,18 +32,53 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run")
-		machines = flag.Int("machines", 1, "default machines for single-shape experiments")
-		threads  = flag.Int("threads", 2, "default threads per machine")
-		tlist    = flag.String("tlist", "1,2,4", "thread counts for table5a")
-		mlist    = flag.String("mlist", "1,2,4", "machine counts for table5b")
-		figDS    = flag.String("figure-dataset", "YouTube", "dataset for figures 1-3")
-		csvDir   = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
-		binCache = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (one contiguous read on later runs)")
+		exp        = flag.String("exp", "all", "experiment to run")
+		machines   = flag.Int("machines", 1, "default machines for single-shape experiments")
+		threads    = flag.Int("threads", 2, "default threads per machine")
+		tlist      = flag.String("tlist", "1,2,4", "thread counts for table5a")
+		mlist      = flag.String("mlist", "1,2,4", "machine counts for table5b")
+		figDS      = flag.String("figure-dataset", "YouTube", "dataset for figures 1-3")
+		csvDir     = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
+		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (one contiguous read on later runs)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 	if *binCache != "" {
 		experiments.SetBinaryCacheDir(*binCache)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "qcbench: cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err == nil {
+				runtime.GC() // settle live heap before the snapshot
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qcbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	writeCSV := func(name string, fn func(f *os.File) error) {
 		if *csvDir == "" {

@@ -3,11 +3,23 @@
 // The miner uses bitsets for membership marks over task-local vertex
 // indices (0..n-1), where n is the size of a task subgraph. Operations
 // are not safe for concurrent mutation; each task owns its bitsets.
+//
+// Beyond the pointer-based Set, the package exposes a flat Matrix (n
+// rows of ⌈n/64⌉ words in one packed array) and word-slice kernels
+// (AndCount, AndTo, OrWith, ...) that operate on raw []uint64 rows.
+// These are the dense-adjacency hot loops of the quasi-clique mining
+// kernel: a degree-into-set query becomes one popcount-over-AND sweep
+// of a matrix row against a membership row, with no per-row pointer
+// chasing.
 package bitset
 
 import "math/bits"
 
 const wordBits = 64
+
+// WordsFor returns the number of 64-bit words needed to cover a
+// universe of n bits.
+func WordsFor(n int) int { return (n + wordBits - 1) / wordBits }
 
 // Set is a fixed-universe bitset. The zero value is an empty set over an
 // empty universe; use New to size it.
@@ -158,4 +170,125 @@ func (s *Set) ForEach(fn func(i int) bool) {
 			w &= w - 1
 		}
 	}
+}
+
+// Matrix is a flat n×n bit matrix: n rows of Stride() words each,
+// packed into one backing array. Row i is the dense adjacency (or any
+// per-vertex bit row) of vertex i. The zero Matrix is empty; Reset
+// sizes it. Backing storage grows monotonically across Resets, so a
+// pooled owner (one Matrix per mining worker) reaches a steady state
+// with no per-task allocation.
+type Matrix struct {
+	words  []uint64
+	n      int
+	stride int
+}
+
+// Reset resizes the matrix to n×n and clears every row. Storage is
+// reused (and grown monotonically) across calls.
+func (m *Matrix) Reset(n int) {
+	if n < 0 {
+		panic("bitset: negative matrix size")
+	}
+	m.n = n
+	m.stride = WordsFor(n)
+	need := n * m.stride
+	if cap(m.words) < need {
+		m.words = make([]uint64, need)
+		return
+	}
+	m.words = m.words[:need]
+	clear(m.words)
+}
+
+// N returns the number of rows (= universe size).
+func (m *Matrix) N() int { return m.n }
+
+// Stride returns the number of words per row.
+func (m *Matrix) Stride() int { return m.stride }
+
+// Row returns row i as a word slice of length Stride(). The slice
+// aliases the matrix storage and is invalidated by the next Reset.
+func (m *Matrix) Row(i int) []uint64 {
+	return m.words[i*m.stride : (i+1)*m.stride : (i+1)*m.stride]
+}
+
+// Set sets bit j in row i.
+func (m *Matrix) Set(i, j int) {
+	m.words[i*m.stride+j/wordBits] |= 1 << (uint(j) % wordBits)
+}
+
+// Word-slice kernels. All operands must have equal length; these are
+// the branch-free inner loops of the dense mining kernel, kept free of
+// bounds surprises by slicing rows to exactly Stride() words.
+
+// SetBit sets bit i in row w.
+func SetBit(w []uint64, i int) {
+	w[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// TestBit reports whether bit i is set in row w.
+func TestBit(w []uint64, i int) bool {
+	return w[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// FillBits clears dst and sets the bit of every member of xs.
+func FillBits(dst []uint64, xs []uint32) {
+	clear(dst)
+	for _, x := range xs {
+		dst[x/wordBits] |= 1 << (uint64(x) % wordBits)
+	}
+}
+
+// CountWords returns the population count of the row.
+func CountWords(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// AndCount returns the population count of a ∩ b without writing
+// anything — the dense kernel's degree-into-set query.
+func AndCount(a, b []uint64) int {
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x & b[i])
+	}
+	return c
+}
+
+// AndTo stores a ∩ b into dst.
+func AndTo(dst, a, b []uint64) {
+	for i, x := range a {
+		dst[i] = x & b[i]
+	}
+}
+
+// AndWith replaces dst with dst ∩ a.
+func AndWith(dst, a []uint64) {
+	for i, x := range a {
+		dst[i] &= x
+	}
+}
+
+// OrWith replaces dst with dst ∪ a.
+func OrWith(dst, a []uint64) {
+	for i, x := range a {
+		dst[i] |= x
+	}
+}
+
+// AppendBits appends the set bit positions of w, in increasing order,
+// to dst as uint32 indices and returns the extended slice.
+func AppendBits(dst []uint32, w []uint64) []uint32 {
+	for wi, x := range w {
+		base := uint32(wi * wordBits)
+		for x != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(x)))
+			x &= x - 1
+		}
+	}
+	return dst
 }

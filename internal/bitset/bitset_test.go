@@ -209,3 +209,112 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestMatrixBasics(t *testing.T) {
+	var m Matrix
+	m.Reset(130) // three words per row
+	if m.N() != 130 || m.Stride() != 3 {
+		t.Fatalf("N=%d Stride=%d", m.N(), m.Stride())
+	}
+	m.Set(0, 5)
+	m.Set(0, 129)
+	m.Set(129, 0)
+	if !TestBit(m.Row(0), 5) || !TestBit(m.Row(0), 129) || !TestBit(m.Row(129), 0) {
+		t.Fatal("set bits not visible")
+	}
+	if TestBit(m.Row(1), 5) || TestBit(m.Row(128), 0) {
+		t.Fatal("bit bled into wrong row")
+	}
+	if CountWords(m.Row(0)) != 2 {
+		t.Fatalf("row 0 count = %d", CountWords(m.Row(0)))
+	}
+	// Reset must clear reused storage.
+	m.Reset(64)
+	if m.Stride() != 1 || CountWords(m.Row(0)) != 0 {
+		t.Fatal("Reset left stale bits")
+	}
+	// Growing again reuses or reallocates, always clean.
+	m.Reset(200)
+	for i := 0; i < 200; i++ {
+		if CountWords(m.Row(i)) != 0 {
+			t.Fatalf("row %d dirty after grow", i)
+		}
+	}
+}
+
+func TestWordKernels(t *testing.T) {
+	const n = 190
+	mk := func(xs []uint32) []uint64 {
+		w := make([]uint64, WordsFor(n))
+		FillBits(w, xs)
+		return w
+	}
+	a := mk([]uint32{0, 3, 63, 64, 127, 128, 189})
+	b := mk([]uint32{3, 64, 100, 189})
+	if got := AndCount(a, b); got != 3 {
+		t.Fatalf("AndCount = %d", got)
+	}
+	dst := make([]uint64, len(a))
+	AndTo(dst, a, b)
+	if got := AppendBits(nil, dst); !equalU32(got, []uint32{3, 64, 189}) {
+		t.Fatalf("AndTo bits = %v", got)
+	}
+	AndWith(dst, mk([]uint32{3, 189}))
+	if CountWords(dst) != 2 {
+		t.Fatalf("AndWith count = %d", CountWords(dst))
+	}
+	OrWith(dst, mk([]uint32{7}))
+	if got := AppendBits(nil, dst); !equalU32(got, []uint32{3, 7, 189}) {
+		t.Fatalf("OrWith bits = %v", got)
+	}
+	// FillBits clears previous content.
+	FillBits(dst, []uint32{50})
+	FillBits(dst, []uint32{51})
+	if got := AppendBits(nil, dst); !equalU32(got, []uint32{51}) {
+		t.Fatalf("FillBits did not clear: %v", got)
+	}
+}
+
+func TestMatrixAgainstSet(t *testing.T) {
+	f := func(edges []uint16, probe []uint16) bool {
+		const n = 150
+		var m Matrix
+		m.Reset(n)
+		s := make([]*Set, n)
+		for i := range s {
+			s[i] = New(n)
+		}
+		for k := 0; k+1 < len(edges); k += 2 {
+			i, j := int(edges[k])%n, int(edges[k+1])%n
+			m.Set(i, j)
+			s[i].Add(j)
+		}
+		for _, p := range probe {
+			i := int(p) % n
+			if CountWords(m.Row(i)) != s[i].Count() {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if TestBit(m.Row(i), j) != s[i].Contains(j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

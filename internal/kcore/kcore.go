@@ -113,19 +113,42 @@ func Degeneracy(g *graph.Graph) int {
 // counts 2-hop destinations that have not been pulled yet toward the
 // degree check while never removing them.
 func PeelLocal(adj [][]uint32, k int, extraDegree []int) []bool {
+	var s PeelScratch
+	return PeelLocalScratch(adj, k, extraDegree, &s)
+}
+
+// PeelScratch holds the reusable buffers of PeelLocalScratch. A zero
+// PeelScratch is ready to use; buffers grow monotonically. Not safe
+// for concurrent use.
+type PeelScratch struct {
+	deg   []int
+	keep  []bool
+	queue []uint32
+}
+
+// PeelLocalScratch is PeelLocal with caller-provided buffers: the
+// per-task peels of the mining drivers run allocation-free in steady
+// state. The returned mask aliases s and is valid until the next call
+// with the same scratch.
+func PeelLocalScratch(adj [][]uint32, k int, extraDegree []int, s *PeelScratch) []bool {
 	n := len(adj)
-	deg := make([]int, n)
+	if cap(s.deg) < n {
+		s.deg = make([]int, n)
+		s.keep = make([]bool, n)
+		s.queue = make([]uint32, 0, n)
+	}
+	deg := s.deg[:n]
 	for v := 0; v < n; v++ {
 		deg[v] = len(adj[v])
 		if extraDegree != nil {
 			deg[v] += extraDegree[v]
 		}
 	}
-	keep := make([]bool, n)
+	keep := s.keep[:n]
 	for i := range keep {
 		keep[i] = true
 	}
-	queue := make([]uint32, 0, n)
+	queue := s.queue[:0]
 	for v := 0; v < n; v++ {
 		if deg[v] < k {
 			keep[v] = false

@@ -19,9 +19,11 @@ import (
 // cost. Owned by exactly one worker.
 type wscratch struct {
 	marks graph.Scratch
-	idxA  []uint32    // global → collect-order row index (iterations 1–2)
-	idxB  []uint32    // global → sorted local index (iteration 2)
-	rows  [][]graph.V // iteration-2 row pointers, collect order
+	idxA  []uint32            // global → collect-order row index (iterations 1–2)
+	idxB  []uint32            // global → sorted local index (iteration 2)
+	rows  [][]graph.V         // iteration-2 row pointers, collect order
+	qs    quasiclique.Scratch // iteration-2 k-core peel buffers
+	peel  kcore.PeelScratch   // iteration-1 partial-peel buffers
 }
 
 // begin starts a new mark generation over n vertices. Marks from
@@ -42,6 +44,7 @@ type app struct {
 
 	collectors []*quasiclique.Collector // one per worker
 	scratches  []*wscratch              // one per worker
+	miners     []*quasiclique.Miner     // one per worker, Reset per task
 	rec        *metrics.Recorder
 }
 
@@ -49,9 +52,14 @@ func newApp(g *graph.Graph, cfg Config, workers int) *app {
 	a := &app{g: g, cfg: cfg, k: cfg.Params.K(), rec: metrics.NewRecorder()}
 	a.collectors = make([]*quasiclique.Collector, workers)
 	a.scratches = make([]*wscratch, workers)
+	a.miners = make([]*quasiclique.Miner, workers)
 	for i := range a.collectors {
-		a.collectors[i] = quasiclique.NewCollector()
+		col := quasiclique.NewCollector()
+		a.collectors[i] = col
 		a.scratches[i] = &wscratch{}
+		m := quasiclique.NewPooledMiner(cfg.Params, cfg.Options)
+		m.Emit = func(locals []uint32) { col.Add(m.Sub.Labels(locals)) }
+		a.miners[i] = m
 	}
 	return a
 }
@@ -196,7 +204,7 @@ func (a *app) peelPartial(p *Payload, ws *wscratch) bool {
 		}
 		local[i] = flat[start:len(flat):len(flat)]
 	}
-	keep := kcore.PeelLocal(local, a.k, extra)
+	keep := kcore.PeelLocalScratch(local, a.k, extra, &ws.peel)
 	if !keep[0] { // root is GVerts[0]
 		return false
 	}
@@ -277,7 +285,7 @@ func (a *app) iteration2(p *Payload, frontier map[graph.V][]graph.V, ws *wscratc
 	sub := &quasiclique.Sub{Label: verts, Adj: adj}
 
 	// Line 9: final k-core peel.
-	peeled, _ := sub.PeelKCore(a.k)
+	peeled, _ := sub.PeelKCoreScratch(a.k, &ws.qs)
 	if peeled.N() == 0 || peeled.Label[0] != v {
 		return false // line 10: v pruned
 	}
@@ -301,10 +309,9 @@ func (a *app) iteration3(p *Payload, ctx *gthinker.Ctx) bool {
 	if sub == nil || len(p.S)+len(p.Ext) < a.cfg.Params.MinSize {
 		return false
 	}
-	col := a.collectors[ctx.WorkerID]
-	m := quasiclique.NewMiner(sub, a.cfg.Params, a.cfg.Options)
+	m := a.miners[ctx.WorkerID]
+	m.Reset(sub)
 	m.Abort = ctx.Aborted
-	m.Emit = func(locals []uint32) { col.Add(sub.Labels(locals)) }
 
 	var mater time.Duration
 	subtasks := 0
@@ -320,6 +327,9 @@ func (a *app) iteration3(p *Payload, ctx *gthinker.Ctx) bool {
 	}
 
 	start := time.Now()
+	// The pooled miner keeps callbacks across Resets, so both branches
+	// assign TimedOut/Offload explicitly (nil clears a previous task's).
+	m.TimedOut, m.Offload = nil, nil
 	switch a.cfg.Strategy {
 	case SizeThreshold:
 		// Algorithm 8: decompose the top level whenever the task is

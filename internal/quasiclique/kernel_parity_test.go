@@ -1,0 +1,266 @@
+package quasiclique
+
+import (
+	"math"
+	"testing"
+
+	"gthinkerqc/internal/graph"
+)
+
+// forceDense makes every task subgraph use the bitset kernel;
+// forceSparse disables it everywhere.
+var (
+	forceDense  = Options{DenseThreshold: math.MaxInt}
+	forceSparse = Options{DenseThreshold: -1}
+)
+
+// TestDenseSparseKernelParity mines randomized graphs across sizes,
+// densities, γ, and τsize with the bitset kernel forced on vs forced
+// off: the sorted result sets must be identical (and match the
+// exhaustive oracle on the small instances).
+func TestDenseSparseKernelParity(t *testing.T) {
+	configs := []Params{
+		{Gamma: 0.5, MinSize: 3},
+		{Gamma: 0.6, MinSize: 3},
+		{Gamma: 0.7, MinSize: 4},
+		{Gamma: 0.9, MinSize: 4},
+		{Gamma: 1.0, MinSize: 3},
+	}
+	for _, par := range configs {
+		for seed := int64(0); seed < 30; seed++ {
+			n := 6 + int(seed%10)
+			p := 0.25 + 0.5*float64(seed%5)/5
+			g := randomGraph(seed*13+int64(par.MinSize), n, p)
+			dense, _, err := MineGraph(g, par, forceDense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, _, err := MineGraph(g, par, forceSparse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SetsEqual(dense, sparse) {
+				t.Fatalf("γ=%v τ=%d seed=%d n=%d p=%.2f: kernels disagree\n dense  %v\n sparse %v",
+					par.Gamma, par.MinSize, seed, n, p, dense, sparse)
+			}
+			if want := NaiveMaximal(g, par); !SetsEqual(dense, want) {
+				t.Fatalf("γ=%v τ=%d seed=%d: kernels agree but wrong\n got  %v\n want %v",
+					par.Gamma, par.MinSize, seed, dense, want)
+			}
+		}
+	}
+}
+
+// TestDenseSparseKernelParityLarger runs bigger sparse random graphs
+// (beyond oracle reach) where root subgraphs vary widely in size, so
+// both kernels cover non-trivial enumeration trees.
+func TestDenseSparseKernelParityLarger(t *testing.T) {
+	par := Params{Gamma: 0.8, MinSize: 4}
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 120, 0.12)
+		dense, _, err := MineGraph(g, par, forceDense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, _, err := MineGraph(g, par, forceSparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SetsEqual(dense, sparse) {
+			t.Fatalf("seed=%d: kernels disagree (%d vs %d results)", seed, len(dense), len(sparse))
+		}
+	}
+}
+
+// TestDenseThresholdStraddle sets DenseThreshold so that some task
+// subgraphs of the same run are mined dense and others sparse, and
+// checks the mixed run against both pure runs. It also verifies the
+// straddle actually happened (both kernels saw work).
+func TestDenseThresholdStraddle(t *testing.T) {
+	par := Params{Gamma: 0.7, MinSize: 3}
+	for seed := int64(1); seed <= 10; seed++ {
+		g := randomGraph(seed, 40, 0.2)
+		// Find a threshold between the smallest and largest root
+		// subgraph so the run genuinely mixes kernels.
+		gk, kept := PrepareGraph(g, par, Options{})
+		minN, maxN := math.MaxInt, 0
+		for _, v := range kept {
+			if sub, _ := BuildRootSub(gk, v, par, Options{}); sub != nil {
+				if sub.N() < minN {
+					minN = sub.N()
+				}
+				if sub.N() > maxN {
+					maxN = sub.N()
+				}
+			}
+		}
+		if minN >= maxN {
+			continue // all tasks the same size: nothing to straddle
+		}
+		mixed := Options{DenseThreshold: (minN + maxN) / 2}
+		got, _, err := MineGraph(g, par, mixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := MineGraph(g, par, forceSparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SetsEqual(got, want) {
+			t.Fatalf("seed=%d threshold=%d: mixed-kernel run disagrees", seed, mixed.DenseThreshold)
+		}
+	}
+}
+
+// TestMinerParityDirect drives RecursiveMine directly (no driver, no
+// maximality filter) on one subgraph with both kernels and compares
+// the raw emission streams, which must match set-for-set in order.
+func TestMinerParityDirect(t *testing.T) {
+	par := Params{Gamma: 0.6, MinSize: 3}
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomGraph(seed, 12, 0.4)
+		all := make([]graph.V, g.NumVertices())
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		sub := SubFromGraph(g, all)
+		run := func(opt Options) [][]graph.V {
+			m := NewMiner(sub, par, opt)
+			var got [][]graph.V
+			m.Emit = func(locals []uint32) { got = append(got, sub.Labels(locals)) }
+			S := []uint32{0}
+			ext := make([]uint32, 0, sub.N()-1)
+			for i := 1; i < sub.N(); i++ {
+				ext = append(ext, uint32(i))
+			}
+			m.RecursiveMine(S, ext)
+			return got
+		}
+		dense := run(forceDense)
+		sparse := run(forceSparse)
+		if len(dense) != len(sparse) {
+			t.Fatalf("seed=%d: emission counts differ: %d vs %d", seed, len(dense), len(sparse))
+		}
+		for i := range dense {
+			if !setEqualV(dense[i], sparse[i]) {
+				t.Fatalf("seed=%d emission %d: %v vs %v", seed, i, dense[i], sparse[i])
+			}
+		}
+	}
+}
+
+// TestPooledMinerReuse reuses one miner across many differently-sized
+// subgraphs (exercising Reset's monotonic growth and dense/sparse
+// switching) and checks each task against a fresh miner.
+func TestPooledMinerReuse(t *testing.T) {
+	par := Params{Gamma: 0.6, MinSize: 3}
+	pooled := NewPooledMiner(par, Options{DenseThreshold: 10})
+	var got [][]graph.V
+	pooled.Emit = func(locals []uint32) { got = append(got, pooled.Sub.Labels(locals)) }
+	for seed := int64(0); seed < 30; seed++ {
+		n := 5 + int(seed*3%13) // sizes hop around the threshold
+		g := randomGraph(seed, n, 0.45)
+		all := make([]graph.V, n)
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		sub := SubFromGraph(g, all)
+		got = got[:0]
+		pooled.Reset(sub)
+		S := []uint32{0}
+		ext := make([]uint32, 0, sub.N()-1)
+		for i := 1; i < sub.N(); i++ {
+			ext = append(ext, uint32(i))
+		}
+		pooled.RecursiveMine(S, ext)
+
+		fresh := NewMiner(sub, par, Options{DenseThreshold: 10})
+		var want [][]graph.V
+		fresh.Emit = func(locals []uint32) { want = append(want, sub.Labels(locals)) }
+		ext = ext[:0]
+		for i := 1; i < sub.N(); i++ {
+			ext = append(ext, uint32(i))
+		}
+		fresh.RecursiveMine(S, ext)
+
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d n=%d: pooled emitted %d, fresh %d", seed, n, len(got), len(want))
+		}
+		for i := range got {
+			if !setEqualV(got[i], want[i]) {
+				t.Fatalf("seed=%d emission %d: pooled %v, fresh %v", seed, i, got[i], want[i])
+			}
+		}
+		if pooled.Nodes != fresh.Nodes {
+			t.Fatalf("seed=%d: pooled expanded %d nodes, fresh %d", seed, pooled.Nodes, fresh.Nodes)
+		}
+	}
+}
+
+// TestEpochBeyondInt32 mines one task to populate the stamp arrays
+// with low epochs, then pins the pooled miner's (int64) epoch counter
+// just below the int32 boundary and mines again: crossing 2³¹ must be
+// a non-event — no truncation, no collision with the stale low-epoch
+// marks — producing exactly a fresh miner's emissions. Guards against
+// regressing to a narrower counter, which a pooled miner genuinely
+// exhausts mid-task on big runs.
+func TestEpochBeyondInt32(t *testing.T) {
+	par := Params{Gamma: 0.6, MinSize: 3}
+	for _, opt := range []Options{forceSparse, forceDense} {
+		for seed := int64(0); seed < 10; seed++ {
+			g := randomGraph(seed, 11, 0.45)
+			all := make([]graph.V, g.NumVertices())
+			for i := range all {
+				all[i] = graph.V(i)
+			}
+			sub := SubFromGraph(g, all)
+			rootExt := func() []uint32 {
+				ext := make([]uint32, 0, sub.N()-1)
+				for i := 1; i < sub.N(); i++ {
+					ext = append(ext, uint32(i))
+				}
+				return ext
+			}
+			m := NewPooledMiner(par, opt)
+			var got [][]graph.V
+			m.Emit = func(locals []uint32) { got = append(got, m.Sub.Labels(locals)) }
+			m.Reset(sub)
+			m.RecursiveMine([]uint32{0}, rootExt()) // stamps now hold low epochs
+			m.epoch = math.MaxInt32 - 3             // cross 2³¹ mid-task
+			got = got[:0]
+			m.Reset(sub)
+			m.RecursiveMine([]uint32{0}, rootExt())
+			// Only the stamp-based sparse kernel reliably burns
+			// enough generations to cross the boundary; the dense
+			// kernel may not touch the counter at all.
+			if opt.DenseThreshold < 0 && m.epoch <= math.MaxInt32 {
+				t.Fatalf("seed=%d: epoch stayed below 2³¹ (epoch=%d); test graph too small", seed, m.epoch)
+			}
+
+			fresh := NewMiner(sub, par, opt)
+			var want [][]graph.V
+			fresh.Emit = func(locals []uint32) { want = append(want, sub.Labels(locals)) }
+			fresh.RecursiveMine([]uint32{0}, rootExt())
+			if len(got) != len(want) {
+				t.Fatalf("opt=%+v seed=%d: boundary-crossing miner emitted %d, fresh %d", opt, seed, len(got), len(want))
+			}
+			for i := range got {
+				if !setEqualV(got[i], want[i]) {
+					t.Fatalf("opt=%+v seed=%d emission %d: %v vs %v", opt, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func setEqualV(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

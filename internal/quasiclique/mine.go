@@ -114,12 +114,17 @@ func MineGraphContext(ctx context.Context, g *graph.Graph, par Params, opt Optio
 			return false
 		}
 	}
-	var scratch Scratch // reused across every root task of the run
+	// One Scratch and one pooled Miner serve every root task of the
+	// run: task construction and mining both hit steady-state buffers.
+	var scratch Scratch
+	m := NewPooledMiner(par, opt)
+	m.Abort = cancelled
+	m.Emit = func(locals []uint32) { col.Add(m.Sub.Labels(locals)) }
 	for _, v := range kept {
 		if cancelled() {
 			break
 		}
-		rs := mineRootAbortable(gk, v, par, opt, col, cancelled, &scratch)
+		rs := mineRoot(gk, v, par, opt, m, &scratch)
 		stats.Nodes += rs.Nodes
 		stats.Candidates += rs.Candidates
 		if rs.Mined {
@@ -179,28 +184,30 @@ type RootStats struct {
 // RecursiveMine rooted at S = {v}.
 func MineRoot(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector) RootStats {
 	var s Scratch
-	return mineRootAbortable(gk, v, par, opt, col, nil, &s)
+	m := NewPooledMiner(par, opt)
+	m.Emit = func(locals []uint32) { col.Add(m.Sub.Labels(locals)) }
+	return mineRoot(gk, v, par, opt, m, &s)
 }
 
-func mineRootAbortable(gk *graph.Graph, v graph.V, par Params, opt Options, col *Collector, abort func() bool, s *Scratch) RootStats {
+// mineRoot mines one root task on a pooled miner (Emit/Abort already
+// installed) and per-run scratch.
+func mineRoot(gk *graph.Graph, v graph.V, par Params, opt Options, m *Miner, s *Scratch) RootStats {
 	var rs RootStats
 	sub, localV := BuildRootSubScratch(gk, v, par, opt, s)
 	if sub == nil {
 		return rs
 	}
 	rs.SubSize = sub.N()
-	m := NewMiner(sub, par, opt)
-	m.Abort = abort
-	m.Emit = func(locals []uint32) { col.Add(sub.Labels(locals)) }
-	S := []uint32{localV}
-	ext := make([]uint32, 0, sub.N()-1)
+	m.Reset(sub)
+	s.rootS = append(s.rootS[:0], localV)
+	s.rootExt = s.rootExt[:0]
 	for i := 0; i < sub.N(); i++ {
 		if uint32(i) != localV {
-			ext = append(ext, uint32(i))
+			s.rootExt = append(s.rootExt, uint32(i))
 		}
 	}
 	rs.Mined = true
-	m.RecursiveMine(S, ext)
+	m.RecursiveMine(s.rootS, s.rootExt)
 	rs.Nodes = m.Nodes
 	rs.Candidates = m.EmitCount
 	return rs
@@ -237,7 +244,7 @@ func BuildRootSubScratch(gk *graph.Graph, v graph.V, par Params, opt Options, s 
 	// label copy (the Sub escapes holding it).
 	sub := subFromGraph(gk, s.verts, s, opt.DisableKCore)
 	if !opt.DisableKCore {
-		peeled, _ := sub.PeelKCore(k)
+		peeled, _ := sub.PeelKCoreScratch(k, s)
 		sub = peeled
 		if sub.N() == 0 || sub.Label[0] != v {
 			return nil, 0 // v itself was peeled: no quasi-clique rooted here

@@ -1,9 +1,11 @@
 package quasiclique
 
 import (
+	"math/bits"
 	"slices"
 	"sort"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/vset"
 )
 
@@ -13,7 +15,22 @@ import (
 // time-delayed variant (Algorithm 10) is RecursiveMine with TimedOut
 // and Offload set.
 //
-// A Miner is single-goroutine; each task owns its own Miner.
+// A Miner is single-goroutine and designed for per-worker pooling:
+// construct one with NewPooledMiner, then Reset it onto each task's
+// subgraph. All internal state — stamp arrays, the dense adjacency
+// matrix, and the per-depth recursion arena — grows monotonically and
+// is reused across tasks, so steady-state mining allocates nothing per
+// expanded tree node. NewMiner remains as the one-shot convenience
+// constructor (NewPooledMiner + Reset).
+//
+// For subgraphs with at most Options.DenseThreshold vertices, Reset
+// builds a flat bitset adjacency matrix (Sub.BuildDense) and every hot
+// set operation — degree-into-set, the quasi-clique checks, two-hop
+// filtering, bound degree passes, and cover-vertex intersections —
+// runs as popcount-over-AND word loops instead of per-element stamp
+// scans. Larger subgraphs fall back to the epoch-stamped sparse
+// kernel. Both kernels compute identical values, so the enumeration
+// tree and the emitted results are identical.
 type Miner struct {
 	Sub *Sub
 	Par Params
@@ -36,38 +53,126 @@ type Miner struct {
 	// context-style cancellation of long mining runs.
 	Abort func() bool
 
-	// Counters.
+	// Counters, zeroed by Reset.
 	Nodes        int64 // set-enumeration tree nodes expanded
 	EmitCount    int64 // candidates emitted
 	OffloadCount int64 // subtrees wrapped into subtasks
 
-	// Scratch state (epoch-stamped to avoid clearing).
-	epoch   int32
-	sStamp  []int32 // membership of S
-	eStamp  []int32 // membership of ext(S)
-	tStamp  []int32 // transient marks (two-hop sets, Γ(u))
-	t2Stamp []int32 // transient marks (cover set)
+	// Scratch state (epoch-stamped to avoid clearing). Epochs are
+	// int64: pooled miners accumulate generations across every task of
+	// a run, and an int32 counter could genuinely wrap mid-task on big
+	// mining jobs, silently colliding with stale marks. 2⁶³ cannot be
+	// exhausted.
+	epoch   int64
+	sStamp  []int64 // membership of S
+	eStamp  []int64 // membership of ext(S)
+	tStamp  []int64 // transient marks (two-hop sets, Γ(u))
+	t2Stamp []int64 // transient marks (cover set)
 	dS      []int32 // degree toward S, per local vertex
 	dE      []int32 // degree toward ext(S), per local vertex
 	unionBf []uint32
 	byDeg   []uint32 // prefixByDegree ordering buffer
 	prefix  []int    // prefixByDegree sums buffer
+
+	// Dense kernel state: the flat adjacency matrix attached to Sub by
+	// Reset, plus stride-sized membership rows mirroring the stamp
+	// arrays (sStamp→sBits, eStamp→eBits, tStamp→tBits, t2Stamp→
+	// t2Bits), so the two kernels have the same non-interference
+	// structure.
+	mat    bitset.Matrix
+	sBits  []uint64
+	eBits  []uint64
+	tBits  []uint64
+	t2Bits []uint64
+
+	// Recursion arena: frames[d] holds the reusable S′/ext′ buffers
+	// for children produced at depth d, sized by Reset so the slice
+	// never grows (and frame pointers never move) mid-recursion.
+	frames []frame
+
+	// applyCover / critical-vertex scratch, live only within one call.
+	coverBuf []uint32
+	candBuf  []uint32
+	candBuf2 []uint32
+	critBuf  []uint32
+	mergeBuf []uint32
 }
 
-// NewMiner returns a Miner over sub with the given parameters.
+// frame is one recursion level's child buffers.
+type frame struct {
+	S   []uint32
+	ext []uint32
+}
+
+// NewMiner returns a Miner bound to sub with the given parameters.
 func NewMiner(sub *Sub, par Params, opt Options) *Miner {
-	n := sub.N()
-	return &Miner{
-		Sub: sub, Par: par, Opt: opt,
-		sStamp: make([]int32, n), eStamp: make([]int32, n),
-		tStamp: make([]int32, n), t2Stamp: make([]int32, n),
-		dS: make([]int32, n), dE: make([]int32, n),
-	}
+	m := NewPooledMiner(par, opt)
+	m.Reset(sub)
+	return m
 }
 
-func (m *Miner) stampAll(arr []int32, xs []uint32) int32 {
+// NewPooledMiner returns an unbound Miner for per-worker reuse. Bind a
+// task with Reset before mining. Emit/TimedOut/Offload/Abort survive
+// Reset, so pooled callers can install them once.
+func NewPooledMiner(par Params, opt Options) *Miner {
+	return &Miner{Par: par, Opt: opt}
+}
+
+// Reset rebinds the miner to sub and zeroes the per-task counters.
+// Every internal buffer is retained and grown monotonically, so a
+// pooled miner reaches a steady state with no per-task allocation.
+// When sub fits the dense threshold, Reset builds sub's bitset
+// adjacency matrix in the miner-owned storage; the previous Sub's
+// dense view (if it was this miner's) is detached.
+func (m *Miner) Reset(sub *Sub) {
+	if m.Sub != nil && m.Sub != sub && m.Sub.Dense == &m.mat {
+		m.Sub.Dense = nil
+	}
+	m.Sub = sub
+	n := sub.N()
+	if len(m.sStamp) < n {
+		m.sStamp = make([]int64, n)
+		m.eStamp = make([]int64, n)
+		m.tStamp = make([]int64, n)
+		m.t2Stamp = make([]int64, n)
+		m.dS = make([]int32, n)
+		m.dE = make([]int32, n)
+		m.epoch = 0
+	}
+	// Each recursion level grows S by ≥ 1 vertex, so depth < n and
+	// frames never needs to grow (which would move frame pointers)
+	// mid-recursion.
+	if len(m.frames) < n+1 {
+		frames := make([]frame, n+1)
+		copy(frames, m.frames)
+		m.frames = frames
+	}
+	sub.Dense = nil
+	if thr := m.Opt.denseThreshold(); n > 0 && n <= thr {
+		sub.BuildDense(&m.mat)
+		stride := m.mat.Stride()
+		if cap(m.sBits) < stride {
+			m.sBits = make([]uint64, stride)
+			m.eBits = make([]uint64, stride)
+			m.tBits = make([]uint64, stride)
+			m.t2Bits = make([]uint64, stride)
+		}
+		m.sBits = m.sBits[:stride]
+		m.eBits = m.eBits[:stride]
+		m.tBits = m.tBits[:stride]
+		m.t2Bits = m.t2Bits[:stride]
+	}
+	m.Nodes, m.EmitCount, m.OffloadCount = 0, 0, 0
+}
+
+// nextEpoch starts a new stamp generation.
+func (m *Miner) nextEpoch() int64 {
 	m.epoch++
-	e := m.epoch
+	return m.epoch
+}
+
+func (m *Miner) stampAll(arr []int64, xs []uint32) int64 {
+	e := m.nextEpoch()
 	for _, x := range xs {
 		arr[x] = e
 	}
@@ -90,8 +195,17 @@ func (m *Miner) checkEmit(S []uint32) bool {
 // connectivity (any two non-adjacent members must share a neighbor),
 // so no reachability check is needed.
 func (m *Miner) isQC(S []uint32) bool {
-	ep := m.stampAll(m.tStamp, S)
 	need := CeilMul(m.Par.Gamma, len(S)-1)
+	if d := m.Sub.Dense; d != nil {
+		bitset.FillBits(m.tBits, S)
+		for _, v := range S {
+			if bitset.AndCount(d.Row(int(v)), m.tBits) < need {
+				return false
+			}
+		}
+		return true
+	}
+	ep := m.stampAll(m.tStamp, S)
 	for _, v := range S {
 		if m.Sub.DegreeInto(v, m.tStamp, ep) < need {
 			return false
@@ -103,16 +217,32 @@ func (m *Miner) isQC(S []uint32) bool {
 // isUnionQC reports whether S ∪ rem induces a γ-quasi-clique (the
 // lookahead test of Algorithm 2 lines 8–10).
 func (m *Miner) isUnionQC(S, rem []uint32) bool {
-	m.epoch++
-	ep := m.epoch
+	n := len(S) + len(rem)
+	need := CeilMul(m.Par.Gamma, n-1)
+	if d := m.Sub.Dense; d != nil {
+		bitset.FillBits(m.tBits, S)
+		for _, v := range rem {
+			bitset.SetBit(m.tBits, int(v))
+		}
+		for _, v := range S {
+			if bitset.AndCount(d.Row(int(v)), m.tBits) < need {
+				return false
+			}
+		}
+		for _, v := range rem {
+			if bitset.AndCount(d.Row(int(v)), m.tBits) < need {
+				return false
+			}
+		}
+		return true
+	}
+	ep := m.nextEpoch()
 	for _, v := range S {
 		m.tStamp[v] = ep
 	}
 	for _, v := range rem {
 		m.tStamp[v] = ep
 	}
-	n := len(S) + len(rem)
-	need := CeilMul(m.Par.Gamma, n-1)
 	for _, v := range S {
 		if m.Sub.DegreeInto(v, m.tStamp, ep) < need {
 			return false
@@ -134,12 +264,29 @@ func (m *Miner) emitUnion(S, rem []uint32) {
 	m.Emit(m.unionBf)
 }
 
-// filterTwoHop returns a fresh slice with the members of cand within
-// two hops of v in the task subgraph (diameter pruning P1 applied to
-// ext(S′), Algorithm 2 line 12).
-func (m *Miner) filterTwoHop(v uint32, cand []uint32) []uint32 {
-	m.epoch++
-	ep := m.epoch
+// filterTwoHopInto appends to dst the members of cand within two hops
+// of v in the task subgraph (diameter pruning P1 applied to ext(S′),
+// Algorithm 2 line 12) and returns the extended slice.
+func (m *Miner) filterTwoHopInto(v uint32, cand, dst []uint32) []uint32 {
+	if d := m.Sub.Dense; d != nil {
+		row := d.Row(int(v))
+		tb := m.tBits
+		copy(tb, row)
+		for wi, x := range row {
+			base := wi * 64
+			for x != 0 {
+				bitset.OrWith(tb, d.Row(base+bits.TrailingZeros64(x)))
+				x &= x - 1
+			}
+		}
+		for _, u := range cand {
+			if bitset.TestBit(tb, int(u)) {
+				dst = append(dst, u)
+			}
+		}
+		return dst
+	}
+	ep := m.nextEpoch()
 	adjV := m.Sub.Adj[v]
 	for _, u := range adjV {
 		m.tStamp[u] = ep
@@ -149,13 +296,12 @@ func (m *Miner) filterTwoHop(v uint32, cand []uint32) []uint32 {
 			m.tStamp[w] = ep
 		}
 	}
-	out := make([]uint32, 0, len(cand))
 	for _, u := range cand {
 		if m.tStamp[u] == ep {
-			out = append(out, u)
+			dst = append(dst, u)
 		}
 	}
-	return out
+	return dst
 }
 
 // boundsResult carries the outcome of one upper/lower bound
@@ -174,35 +320,53 @@ type boundsResult struct {
 // It returns pruned = true iff extending S (beyond S itself) is
 // pruned; when extensions are pruned but S survives the Type II
 // checks, G(S) is emission-checked internally. The returned S may have
-// grown (critical-vertex moves) and the returned ext is the shrunk
-// candidate set; iterativeBounding takes ownership of both input
-// slices. pruned == false implies the returned ext is non-empty.
+// grown (critical-vertex moves, in place when capacity allows) and the
+// returned ext is the shrunk candidate set; iterativeBounding takes
+// ownership of both input slices and mutates them in place. pruned ==
+// false implies the returned ext is non-empty.
 func (m *Miner) iterativeBounding(S, ext []uint32) (pruned bool, outS, outExt []uint32) {
 	gamma := m.Par.Gamma
+	d := m.Sub.Dense
 	for {
 		if len(ext) == 0 {
 			m.checkEmit(S)
 			return true, S, ext
 		}
-		epS := m.stampAll(m.sStamp, S)
-		epE := m.stampAll(m.eStamp, ext)
+		var epS, epE int64
+		if d != nil {
+			bitset.FillBits(m.sBits, S)
+			bitset.FillBits(m.eBits, ext)
+		} else {
+			epS = m.stampAll(m.sStamp, S)
+			epE = m.stampAll(m.eStamp, ext)
+		}
 		// SS/ES degrees for S members; SE degrees for ext members
 		// (EE degrees are delayed until Type I, per the paper's T2).
 		sumS := 0
 		for _, v := range S {
 			ds, de := 0, 0
-			for _, u := range m.Sub.Adj[v] {
-				if m.sStamp[u] == epS {
-					ds++
-				} else if m.eStamp[u] == epE {
-					de++
+			if d != nil {
+				row := d.Row(int(v))
+				ds = bitset.AndCount(row, m.sBits)
+				de = bitset.AndCount(row, m.eBits)
+			} else {
+				for _, u := range m.Sub.Adj[v] {
+					if m.sStamp[u] == epS {
+						ds++
+					} else if m.eStamp[u] == epE {
+						de++
+					}
 				}
 			}
 			m.dS[v], m.dE[v] = int32(ds), int32(de)
 			sumS += ds
 		}
 		for _, u := range ext {
-			m.dS[u] = int32(m.Sub.DegreeInto(u, m.sStamp, epS))
+			if d != nil {
+				m.dS[u] = int32(bitset.AndCount(d.Row(int(u)), m.sBits))
+			} else {
+				m.dS[u] = int32(m.Sub.DegreeInto(u, m.sStamp, epS))
+			}
 		}
 
 		ub := m.computeUpper(S, ext, sumS)
@@ -231,12 +395,18 @@ func (m *Miner) iterativeBounding(S, ext []uint32) (pruned bool, outS, outExt []
 					continue
 				}
 				// I = Γ(v) ∩ ext(S); all of I must join S.
-				var I []uint32
-				for _, u := range m.Sub.Adj[v] {
-					if m.eStamp[u] == epE {
-						I = append(I, u)
+				I := m.critBuf[:0]
+				if d != nil {
+					bitset.AndTo(m.tBits, d.Row(int(v)), m.eBits)
+					I = bitset.AppendBits(I, m.tBits)
+				} else {
+					for _, u := range m.Sub.Adj[v] {
+						if m.eStamp[u] == epE {
+							I = append(I, u)
+						}
 					}
 				}
+				m.critBuf = I
 				if len(I) == 0 {
 					continue
 				}
@@ -246,7 +416,8 @@ func (m *Miner) iterativeBounding(S, ext []uint32) (pruned bool, outS, outExt []
 				if !m.Opt.QuickCompat {
 					m.checkEmit(S)
 				}
-				S = mergeSorted(S, I)
+				m.mergeBuf = vset.Union(m.mergeBuf[:0], S, I)
+				S = append(S[:0], m.mergeBuf...)
 				ext = removeMarked(ext, I, m)
 				moved = true
 				break
@@ -285,7 +456,11 @@ func (m *Miner) iterativeBounding(S, ext []uint32) (pruned bool, outS, outExt []
 		// Type I pruning (Theorems 3, 5, 7). EE degrees computed here,
 		// only when Type II did not already settle the node.
 		for _, u := range ext {
-			m.dE[u] = int32(m.Sub.DegreeInto(u, m.eStamp, epE))
+			if d != nil {
+				m.dE[u] = int32(bitset.AndCount(d.Row(int(u)), m.eBits))
+			} else {
+				m.dE[u] = int32(m.Sub.DegreeInto(u, m.eStamp, epE))
+			}
 		}
 		kept := ext[:0]
 		removed := false
@@ -398,16 +573,26 @@ func (m *Miner) prefixByDegree(ext []uint32) []int {
 }
 
 // RecursiveMine is Algorithm 2 (and, with TimedOut/Offload set,
-// Algorithm 10). S must be sorted; ext is an ordered candidate list.
-// It returns true iff some valid quasi-clique strictly extending S was
-// found (or offloaded children made that undecidable and a candidate
-// was emitted conservatively).
+// Algorithm 10). S must be sorted; ext is an ordered candidate list,
+// which the miner may reorder and shrink in place. It returns true iff
+// some valid quasi-clique strictly extending S was found (or offloaded
+// children made that undecidable and a candidate was emitted
+// conservatively).
+//
+// All per-node state lives in the miner's depth-indexed recursion
+// arena: the only copies made are at the Offload boundary, whose
+// contract already requires the callee to copy.
 func (m *Miner) RecursiveMine(S, ext []uint32) bool {
+	return m.mine(S, ext, 0)
+}
+
+func (m *Miner) mine(S, ext []uint32, depth int) bool {
 	found := false
 	coverLen := 0
 	if !m.Opt.DisableCoverVertex {
 		ext, coverLen = m.applyCover(S, ext)
 	}
+	fr := &m.frames[depth]
 	limit := len(ext) - coverLen
 	for i := 0; i < limit; i++ {
 		if m.Abort != nil && m.Abort() {
@@ -427,16 +612,17 @@ func (m *Miner) RecursiveMine(S, ext []uint32) bool {
 		}
 		v := ext[i]
 		m.Nodes++
-		S1 := insertSorted(S, v)
-		ext1 := m.filterTwoHop(v, ext[i+1:])
-		if len(ext1) == 0 {
+		fr.S = insertSortedInto(fr.S[:0], S, v)
+		fr.ext = m.filterTwoHopInto(v, ext[i+1:], fr.ext[:0])
+		if len(fr.ext) == 0 {
 			// Quick misses this check (the paper, T6).
-			if !m.Opt.QuickCompat && m.checkEmit(S1) {
+			if !m.Opt.QuickCompat && m.checkEmit(fr.S) {
 				found = true
 			}
 			continue
 		}
-		prunedB, S2, ext2 := m.iterativeBounding(S1, ext1)
+		prunedB, S2, ext2 := m.iterativeBounding(fr.S, fr.ext)
+		fr.S, fr.ext = S2, ext2 // keep any grown capacity for reuse
 		if prunedB || len(S2)+len(ext2) < m.Par.MinSize {
 			continue
 		}
@@ -451,7 +637,7 @@ func (m *Miner) RecursiveMine(S, ext []uint32) bool {
 			m.checkEmit(S2)
 			continue
 		}
-		f := m.RecursiveMine(S2, ext2)
+		f := m.mine(S2, ext2, depth+1)
 		if f {
 			found = true
 		} else if m.checkEmit(S2) {
@@ -463,21 +649,77 @@ func (m *Miner) RecursiveMine(S, ext []uint32) bool {
 
 // applyCover implements cover-vertex pruning (P7): it finds the cover
 // vertex u ∈ ext maximizing |C_S(u)| (Eq 9), moves C_S(u) to the tail
-// of ext, and returns the reordered list plus the tail length.
+// of ext in place, and returns the reordered list plus the tail
+// length.
 func (m *Miner) applyCover(S, ext []uint32) ([]uint32, int) {
 	if len(ext) == 0 {
 		return ext, 0
 	}
 	gamma := m.Par.Gamma
+	thresh := CeilMul(gamma, len(S))
+	bestLen := 0
+	if d := m.Sub.Dense; d != nil {
+		bitset.FillBits(m.sBits, S)
+		bitset.FillBits(m.eBits, ext)
+		for _, v := range S {
+			m.dS[v] = int32(bitset.AndCount(d.Row(int(v)), m.sBits))
+		}
+		for _, u := range ext {
+			row := d.Row(int(u))
+			// Applicability: dS(u) ≥ ⌈γ|S|⌉.
+			if bitset.AndCount(row, m.sBits) < thresh {
+				continue
+			}
+			// Γ_ext(u); skip early if it cannot beat the current best
+			// (the paper's note under Algorithm 2 line 2).
+			bitset.AndTo(m.tBits, row, m.eBits)
+			cnt := bitset.CountWords(m.tBits)
+			if cnt <= bestLen {
+				continue
+			}
+			ok := true
+			for _, v := range S {
+				if bitset.TestBit(row, int(v)) {
+					continue // v adjacent to u
+				}
+				// Applicability: non-neighbors v need dS(v) ≥ ⌈γ|S|⌉.
+				if int(m.dS[v]) < thresh {
+					ok = false
+					break
+				}
+				bitset.AndWith(m.tBits, d.Row(int(v)))
+				cnt = bitset.CountWords(m.tBits)
+				if cnt <= bestLen {
+					ok = false
+					break
+				}
+			}
+			if ok && cnt > bestLen {
+				bestLen = cnt
+				copy(m.t2Bits, m.tBits)
+			}
+		}
+		if bestLen == 0 {
+			return ext, 0
+		}
+		m.coverBuf = bitset.AppendBits(m.coverBuf[:0], m.t2Bits)
+		w := 0
+		for _, u := range ext {
+			if !bitset.TestBit(m.t2Bits, int(u)) {
+				ext[w] = u
+				w++
+			}
+		}
+		copy(ext[w:], m.coverBuf)
+		return ext, bestLen
+	}
 	epS := m.stampAll(m.sStamp, S)
 	epE := m.stampAll(m.eStamp, ext)
-	thresh := CeilMul(gamma, len(S))
 	for _, v := range S {
 		m.dS[v] = int32(m.Sub.DegreeInto(v, m.sStamp, epS))
 	}
-	bestLen := 0
-	var bestCover []uint32
-	var cand, cand2 []uint32
+	bestCover := m.coverBuf[:0]
+	cand, cand2 := m.candBuf, m.candBuf2
 	for _, u := range ext {
 		// Applicability: dS(u) ≥ ⌈γ|S|⌉.
 		if int(m.Sub.DegreeInto(u, m.sStamp, epS)) < thresh {
@@ -517,36 +759,32 @@ func (m *Miner) applyCover(S, ext []uint32) ([]uint32, int) {
 			bestCover = append(bestCover[:0], cand...)
 		}
 	}
+	m.coverBuf, m.candBuf, m.candBuf2 = bestCover, cand, cand2
 	if bestLen == 0 {
 		return ext, 0
 	}
 	epC := m.stampAll(m.t2Stamp, bestCover)
-	out := make([]uint32, 0, len(ext))
+	w := 0
 	for _, u := range ext {
 		if m.t2Stamp[u] != epC {
-			out = append(out, u)
+			ext[w] = u
+			w++
 		}
 	}
-	out = append(out, bestCover...)
-	return out, bestLen
+	copy(ext[w:], bestCover)
+	return ext, bestLen
 }
 
-// insertSorted returns a fresh sorted slice equal to S ∪ {v}.
-func insertSorted(S []uint32, v uint32) []uint32 {
-	out := make([]uint32, 0, len(S)+1)
+// insertSortedInto appends sorted S ∪ {v} to dst and returns it.
+func insertSortedInto(dst, S []uint32, v uint32) []uint32 {
 	i := sort.Search(len(S), func(i int) bool { return S[i] >= v })
-	out = append(out, S[:i]...)
-	out = append(out, v)
-	out = append(out, S[i:]...)
-	return out
+	dst = append(dst, S[:i]...)
+	dst = append(dst, v)
+	dst = append(dst, S[i:]...)
+	return dst
 }
 
-// mergeSorted returns a fresh sorted union of sorted a and sorted b.
-func mergeSorted(a, b []uint32) []uint32 {
-	return vset.Union(make([]uint32, 0, len(a)+len(b)), a, b)
-}
-
-// removeMarked returns ext minus the members of I, preserving order.
+// removeMarked returns ext minus the members of I, filtering in place.
 func removeMarked(ext, I []uint32, m *Miner) []uint32 {
 	ep := m.stampAll(m.t2Stamp, I)
 	out := ext[:0]

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/kcore"
 	"gthinkerqc/internal/vset"
@@ -19,6 +20,14 @@ import (
 type Sub struct {
 	Label []graph.V
 	Adj   [][]uint32 // sorted local adjacency
+
+	// Dense, when non-nil, is the flat adjacency bit matrix of the
+	// subgraph (row v = Γ(v) as bits). It is transient mining state,
+	// not part of the subgraph's identity: the storage belongs to the
+	// Miner currently bound to this Sub (Miner.Reset attaches it for
+	// subgraphs up to the dense threshold and detaches it when the
+	// miner moves on), and it is never serialized.
+	Dense *bitset.Matrix
 }
 
 // N returns the number of local vertices.
@@ -56,6 +65,12 @@ type Scratch struct {
 	rowLen []uint32      // per-local-vertex row sizes (exact-count pass)
 	cand   []graph.V     // BuildRootSub candidate buffer
 	verts  []graph.V     // BuildRootSub vertex-set buffer
+
+	remap   []int32           // InduceScratch local remap table
+	keep    []uint32          // PeelKCoreScratch survivor list
+	peel    kcore.PeelScratch // PeelKCoreScratch peel buffers
+	rootS   []uint32          // serial driver's root S = {v}
+	rootExt []uint32          // serial driver's root ext(S)
 }
 
 // begin starts a new global→local mapping generation over n vertices.
@@ -130,7 +145,19 @@ func subFromGraph(g *graph.Graph, verts []graph.V, s *Scratch, copyLabel bool) *
 // set keep, with indices remapped densely. Rows are exact-counted into
 // one packed backing array.
 func (s *Sub) Induce(keep []uint32) *Sub {
-	remap := make([]int32, s.N())
+	var sc Scratch
+	return s.InduceScratch(keep, &sc)
+}
+
+// InduceScratch is Induce with a caller-provided Scratch: the remap
+// table comes from the scratch, so only the three allocations that
+// escape into the returned Sub remain (label, row headers, packed
+// adjacency).
+func (s *Sub) InduceScratch(keep []uint32, sc *Scratch) *Sub {
+	if cap(sc.remap) < s.N() {
+		sc.remap = make([]int32, s.N())
+	}
+	remap := sc.remap[:s.N()]
 	for i := range remap {
 		remap[i] = -1
 	}
@@ -165,20 +192,44 @@ func (s *Sub) Induce(keep []uint32) *Sub {
 // indices (w.r.t. s) that survived. If the core is empty it returns an
 // empty Sub.
 func (s *Sub) PeelKCore(k int) (*Sub, []uint32) {
-	keepMask := kcore.PeelLocal(s.Adj, k, nil)
-	var keep []uint32
+	var sc Scratch
+	return s.PeelKCoreScratch(k, &sc)
+}
+
+// PeelKCoreScratch is PeelKCore with a caller-provided Scratch: the
+// peel buffers, survivor list, and induction remap table are all
+// reused. The returned index slice aliases the scratch and is valid
+// until its next use.
+func (s *Sub) PeelKCoreScratch(k int, sc *Scratch) (*Sub, []uint32) {
+	keepMask := kcore.PeelLocalScratch(s.Adj, k, nil, &sc.peel)
+	sc.keep = sc.keep[:0]
 	for i, ok := range keepMask {
 		if ok {
-			keep = append(keep, uint32(i))
+			sc.keep = append(sc.keep, uint32(i))
 		}
 	}
-	return s.Induce(keep), keep
+	return s.InduceScratch(sc.keep, sc), sc.keep
+}
+
+// BuildDense fills m with the flat adjacency bit matrix of s and
+// attaches it as s.Dense. The matrix storage stays owned by the
+// caller (in practice the pooled Miner), so the view is only valid
+// while that owner remains bound to s.
+func (s *Sub) BuildDense(m *bitset.Matrix) {
+	m.Reset(s.N())
+	for i, row := range s.Adj {
+		r := m.Row(i)
+		for _, u := range row {
+			bitset.SetBit(r, int(u))
+		}
+	}
+	s.Dense = m
 }
 
 // DegreeInto counts, for vertex v, how many neighbors u have
 // stamp[u] == epoch. The caller stamps the membership set first; this
 // is how the miner computes the SS/SE/ES/EE degree quadruple (T2).
-func (s *Sub) DegreeInto(v uint32, stamp []int32, epoch int32) int {
+func (s *Sub) DegreeInto(v uint32, stamp []int64, epoch int64) int {
 	d := 0
 	for _, u := range s.Adj[v] {
 		if stamp[u] == epoch {
