@@ -7,6 +7,9 @@
 //	qcbench -exp table2         # one experiment
 //	qcbench -exp table5a -machines 1 -threads 1,2,4
 //	qcbench -exp table2 -cpuprofile cpu.pb.gz -memprofile heap.pb.gz
+//	qcbench -exp table2 -bincache /tmp/qc   # cache graphs; later runs
+//	                                        # mmap them zero-copy
+//	                                        # (-mmap=false to heap-load)
 //
 // Experiments: table1 table2 table3 table4 table5a table5b table6
 // fig1 fig2 fig3 ablation quickmiss kernel decomp all
@@ -39,7 +42,8 @@ func main() {
 		mlist      = flag.String("mlist", "1,2,4", "machine counts for table5b")
 		figDS      = flag.String("figure-dataset", "YouTube", "dataset for figures 1-3")
 		csvDir     = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
-		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (one contiguous read on later runs)")
+		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (mmap'd zero-copy on later runs)")
+		useMmap    = flag.Bool("mmap", true, "with -bincache: mmap cached graphs and alias the CSR arrays into the mapping instead of reading them into the heap")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -47,6 +51,7 @@ func main() {
 	if *binCache != "" {
 		experiments.SetBinaryCacheDir(*binCache)
 	}
+	experiments.SetUseMmap(*useMmap)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

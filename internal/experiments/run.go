@@ -24,6 +24,7 @@ import (
 	"gthinkerqc/internal/metrics"
 	"gthinkerqc/internal/miner"
 	"gthinkerqc/internal/quasiclique"
+	"gthinkerqc/internal/store"
 )
 
 // Cluster is the simulated cluster shape used by an experiment.
@@ -41,15 +42,40 @@ var (
 	cacheMu     sync.Mutex
 	graphCache  = map[string]*graph.Graph{}
 	binCacheDir string
+	useMmap     = true
+	mappings    []*store.MappedGraph
 )
 
 // SetBinaryCacheDir makes buildDataset persist stand-ins to dir in the
-// binary CSR format and reload them in one contiguous read on later
-// runs (qcbench -bincache). Empty disables the disk cache.
+// binary CSR format and reload them on later runs (qcbench -bincache)
+// — by default zero-copy via mmap (see SetUseMmap). Empty disables the
+// disk cache.
 func SetBinaryCacheDir(dir string) {
 	cacheMu.Lock()
 	binCacheDir = dir
 	cacheMu.Unlock()
+}
+
+// SetUseMmap selects how cached binary graphs are loaded: mmap'd with
+// the CSR arrays aliased into the mapping (default, qcbench -mmap), or
+// read into the heap (qcbench -mmap=false). Mapped graphs stay mapped
+// for the life of the process; CloseMappings releases them (tests).
+func SetUseMmap(on bool) {
+	cacheMu.Lock()
+	useMmap = on
+	cacheMu.Unlock()
+}
+
+// CloseMappings drops every cached graph and munmaps the mapped ones.
+// Graphs returned by earlier buildDataset calls become invalid.
+func CloseMappings() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	graphCache = map[string]*graph.Graph{}
+	for _, m := range mappings {
+		m.Close()
+	}
+	mappings = nil
 }
 
 // buildDataset returns the named stand-in (cached) and its default
@@ -62,6 +88,7 @@ func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
 	cacheMu.Lock()
 	g, ok := graphCache[name]
 	dir := binCacheDir
+	mmapWanted := useMmap
 	cacheMu.Unlock()
 	if ok {
 		return g, s, nil
@@ -76,7 +103,7 @@ func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%+v", s)
 		path = filepath.Join(dir, fmt.Sprintf("%s-%016x.gqc", name, h.Sum64()))
-		if cached, err := graph.ReadBinaryFile(path); err == nil {
+		if cached, err := loadCached(path, mmapWanted); err == nil {
 			cacheMu.Lock()
 			graphCache[name] = cached
 			cacheMu.Unlock()
@@ -94,6 +121,23 @@ func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
 	graphCache[name] = g
 	cacheMu.Unlock()
 	return g, s, nil
+}
+
+// loadCached loads one binary cache file, preferring the zero-copy
+// mmap path. Mapped handles are retained so the aliased graphs stay
+// valid for the whole process (experiment cells share them freely).
+func loadCached(path string, mmapWanted bool) (*graph.Graph, error) {
+	if !mmapWanted {
+		return graph.ReadBinaryFile(path)
+	}
+	m, err := store.MapGraph(path)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	mappings = append(mappings, m)
+	cacheMu.Unlock()
+	return m.Graph(), nil
 }
 
 // RunSpec describes one parallel mining run of an experiment cell.

@@ -81,6 +81,33 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
+// FromCSR wraps prebuilt CSR arrays as a Graph without copying: the
+// Graph aliases offsets and neighbors, so the caller controls their
+// lifetime (internal/store points them into an mmap'd GQC2 file, in
+// which case the Graph dies with the mapping). Validation is the O(n)
+// offsets invariants only — the caller vouches for the O(|E|) row
+// properties (strictly sorted, symmetric, self-loop-free, IDs in
+// range), as for arrays produced by WriteBinary. Run Validate for
+// untrusted data.
+func FromCSR(offsets []uint32, neighbors []V, m int) (*Graph, error) {
+	if len(offsets) == 0 || offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets must start at 0")
+	}
+	for v := 1; v < len(offsets); v++ {
+		if offsets[v] < offsets[v-1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", v-1)
+		}
+	}
+	if int(offsets[len(offsets)-1]) != len(neighbors) {
+		return nil, fmt.Errorf("graph: offsets end %d != |neighbors| = %d",
+			offsets[len(offsets)-1], len(neighbors))
+	}
+	if len(neighbors) != 2*m {
+		return nil, fmt.Errorf("graph: |neighbors| = %d != 2m = %d", len(neighbors), 2*m)
+	}
+	return &Graph{offsets: offsets, neighbors: neighbors, m: m}, nil
+}
+
 // Scratch is a reusable epoch-stamped visited marker over the vertex
 // universe. A zero Scratch is ready to use; it grows on demand and is
 // cleared in O(1) by bumping the epoch, so traversals that thread one

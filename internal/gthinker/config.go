@@ -5,6 +5,33 @@ import (
 	"time"
 )
 
+// SpillFormat selects the on-disk encoding of spilled task batches.
+type SpillFormat int
+
+const (
+	// SpillAuto (default) uses the raw columnar format when the App
+	// implements TaskCodec and gob otherwise.
+	SpillAuto SpillFormat = iota
+	// SpillGob forces the reflective gob encoding (legacy format,
+	// works for any gob-registered payload).
+	SpillGob
+	// SpillColumnar forces the raw columnar format (GQS1, see
+	// internal/store); NewEngine rejects it if the App does not
+	// implement TaskCodec.
+	SpillColumnar
+)
+
+func (f SpillFormat) String() string {
+	switch f {
+	case SpillGob:
+		return "gob"
+	case SpillColumnar:
+		return "columnar"
+	default:
+		return "auto"
+	}
+}
+
 // Config sizes the simulated cluster and its queues.
 type Config struct {
 	// Machines is the number of simulated machines (vertex-table
@@ -37,6 +64,10 @@ type Config struct {
 	// uses the in-process loopback. Use NewTCPTransport with one
 	// VertexServer per machine for a real socket path.
 	Transport Transport
+	// SpillFormat selects the task-batch spill encoding; the zero
+	// value (SpillAuto) picks the raw columnar format whenever the
+	// App provides a TaskCodec.
+	SpillFormat SpillFormat
 }
 
 // withDefaults fills zero fields.
@@ -81,6 +112,9 @@ func (c Config) validate() error {
 	}
 	if c.BatchSize > c.QueueCap {
 		return fmt.Errorf("gthinker: BatchSize %d exceeds QueueCap %d", c.BatchSize, c.QueueCap)
+	}
+	if c.SpillFormat < SpillAuto || c.SpillFormat > SpillColumnar {
+		return fmt.Errorf("gthinker: unknown SpillFormat %d", c.SpillFormat)
 	}
 	return nil
 }

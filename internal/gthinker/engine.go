@@ -2,6 +2,7 @@ package gthinker
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,8 +31,9 @@ type Engine struct {
 	errOnce sync.Once
 	err     error
 
-	spillRoot string
-	ownSpill  bool
+	spillRoot  string
+	ownSpill   bool
+	spillCodec TaskCodec // nil = gob spill format
 
 	stealRounds   atomic.Uint64
 	tasksStolen   atomic.Uint64
@@ -53,6 +55,21 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 	} else {
 		e.transport = newLoopback(g)
 	}
+
+	// Resolve the spill encoding once: columnar (GQS1 raw arrays) when
+	// the app can encode its own payloads, reflective gob otherwise.
+	var codec TaskCodec
+	switch cfg.SpillFormat {
+	case SpillColumnar:
+		c, ok := app.(TaskCodec)
+		if !ok {
+			return nil, fmt.Errorf("gthinker: SpillColumnar requires the App to implement TaskCodec (%T does not)", app)
+		}
+		codec = c
+	case SpillAuto:
+		codec, _ = app.(TaskCodec)
+	}
+	e.spillCodec = codec
 
 	if cfg.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "gthinker-spill-")
@@ -91,9 +108,9 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 		if err := os.MkdirAll(mdir, 0o755); err != nil {
 			return nil, err
 		}
-		m.lbig = newSpillList(mdir, "big", &e.disk)
+		m.lbig = newSpillList(mdir, "big", &e.disk, codec)
 		for j := 0; j < cfg.WorkersPerMachine; j++ {
-			w := &worker{id: wid, m: m, lsmall: newSpillList(mdir, "small-"+strconv.Itoa(j), &e.disk)}
+			w := &worker{id: wid, m: m, lsmall: newSpillList(mdir, "small-"+strconv.Itoa(j), &e.disk, codec)}
 			w.ctx = Ctx{WorkerID: wid, MachineID: i, aborted: e.doneFlag.Load}
 			m.workers = append(m.workers, w)
 			wid++
@@ -208,10 +225,30 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 	aux.Wait()
 
 	met := e.collectMetrics(time.Since(start))
+	e.cleanupSpill()
+	return met, e.err
+}
+
+// cleanupSpill removes whatever the run left on disk. A clean run's
+// spill files were already unlinked by their refills; leftovers exist
+// only after cancellation or failure. User-provided SpillDirs are left
+// in place but emptied (the per-machine subdirectories this engine
+// created are removed once empty).
+func (e *Engine) cleanupSpill() {
+	for _, m := range e.machines {
+		m.lbig.removeAll()
+		for _, w := range m.workers {
+			w.lsmall.removeAll()
+		}
+	}
 	if e.ownSpill {
 		os.RemoveAll(e.spillRoot)
+		return
 	}
-	return met, e.err
+	for i := range e.machines {
+		// Best effort: fails harmlessly if a foreign file appeared.
+		os.Remove(filepath.Join(e.spillRoot, "machine-"+strconv.Itoa(i)))
+	}
 }
 
 func (e *Engine) allSpawned() bool {
@@ -303,6 +340,8 @@ func (e *Engine) collectMetrics(wall time.Duration) *Metrics {
 	met.RemoteFetches = e.transport.Fetches()
 	met.SpillFiles = e.disk.files.Load()
 	met.SpillBytesWritten = e.disk.written.Load()
+	met.SpillBytesRead = e.disk.read.Load()
+	met.RefillBatches = e.disk.refills.Load()
 	met.PeakSpillBytes = e.disk.peak.Load()
 	met.StealRounds = e.stealRounds.Load()
 	met.TasksStolen = e.tasksStolen.Load()

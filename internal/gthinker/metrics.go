@@ -25,6 +25,8 @@ type Metrics struct {
 
 	SpillFiles        int64
 	SpillBytesWritten int64
+	SpillBytesRead    int64 // bytes read back by batch refills
+	RefillBatches     int64 // spill files refilled (and unlinked)
 	PeakSpillBytes    int64 // high-water mark of on-disk task bytes
 
 	StealRounds uint64 // master periods that moved at least one task
@@ -71,9 +73,10 @@ func (m *Metrics) BusyImbalance() float64 {
 // String renders a compact summary.
 func (m *Metrics) String() string {
 	return fmt.Sprintf(
-		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d spill=%dB(peak %dB) cache=%d/%d busy=%v imbalance=%.2f",
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d busy=%v imbalance=%.2f",
 		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
 		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.SpillBytesWritten, m.PeakSpillBytes,
+		m.SpillBytesRead, m.RefillBatches,
 		m.CacheHits, m.CacheHits+m.CacheMisses, m.TotalBusy().Round(time.Millisecond),
 		m.BusyImbalance())
 }

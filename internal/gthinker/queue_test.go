@@ -97,7 +97,7 @@ func TestReadyConcurrent(t *testing.T) {
 func TestSpillListRoundTrip(t *testing.T) {
 	gob.Register([]graph.V{})
 	var acct diskAccount
-	l := newSpillList(t.TempDir(), "test", &acct)
+	l := newSpillList(t.TempDir(), "test", &acct, nil)
 	in := make([]*Task, 10)
 	for i := range in {
 		in[i] = NewTask([]graph.V{graph.V(i), graph.V(i * 2)})
@@ -143,7 +143,7 @@ func TestSpillListRoundTrip(t *testing.T) {
 
 func TestSpillEmptyBatchNoop(t *testing.T) {
 	var acct diskAccount
-	l := newSpillList(t.TempDir(), "x", &acct)
+	l := newSpillList(t.TempDir(), "x", &acct, nil)
 	if err := l.spill(nil); err != nil {
 		t.Fatal(err)
 	}

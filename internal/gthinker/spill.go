@@ -1,21 +1,27 @@
 package gthinker
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"gthinkerqc/internal/store"
 )
 
 // diskAccount tracks spill-disk usage across the engine (Table 2's
-// "Disk" column and the paper's 22 TB-overflow anecdote).
+// "Disk" column and the paper's 22 TB-overflow anecdote), on both the
+// write and the refill side.
 type diskAccount struct {
 	written atomic.Int64 // total bytes ever written
 	current atomic.Int64 // bytes currently on disk
 	peak    atomic.Int64 // high-water mark of current
 	files   atomic.Int64 // total files ever written
+	read    atomic.Int64 // total bytes read back by refills
+	refills atomic.Int64 // total batch refills
 }
 
 func (a *diskAccount) add(n int64) {
@@ -33,8 +39,10 @@ func (a *diskAccount) add(n int64) {
 func (a *diskAccount) remove(n int64) { a.current.Add(-n) }
 
 // spillList is one task-file list (Lsmall of a worker or Lbig of a
-// machine): batches of tasks gob-encoded to disk, refilled LIFO so the
-// most recently deferred work resumes first.
+// machine): batches of tasks encoded to disk, refilled LIFO so the
+// most recently deferred work resumes first. With a non-nil codec the
+// batches use the raw columnar GQS1 format (internal/store); without
+// one they are gob streams.
 type spillList struct {
 	mu    sync.Mutex
 	dir   string
@@ -42,6 +50,7 @@ type spillList struct {
 	seq   int
 	files []spillFile
 	acct  *diskAccount
+	codec TaskCodec // nil = gob
 }
 
 type spillFile struct {
@@ -50,8 +59,8 @@ type spillFile struct {
 	count int
 }
 
-func newSpillList(dir, name string, acct *diskAccount) *spillList {
-	return &spillList{dir: dir, name: name, acct: acct}
+func newSpillList(dir, name string, acct *diskAccount, codec TaskCodec) *spillList {
+	return &spillList{dir: dir, name: name, acct: acct, codec: codec}
 }
 
 // count returns the number of spilled tasks.
@@ -65,48 +74,108 @@ func (l *spillList) count() int {
 	return n
 }
 
+// batchEncoders recycles columnar encode buffers across spills (and
+// across lists — Lbig spills race with Lsmall spills of every worker).
+var batchEncoders = sync.Pool{New: func() any { return new(store.BatchEncoder) }}
+
 // spill writes tasks as one batch file.
 func (l *spillList) spill(tasks []*Task) error {
 	if len(tasks) == 0 {
 		return nil
 	}
+	ext := ".gob"
+	if l.codec != nil {
+		ext = ".gqs"
+	}
 	l.mu.Lock()
 	l.seq++
-	path := filepath.Join(l.dir, fmt.Sprintf("%s-%06d.gob", l.name, l.seq))
+	path := filepath.Join(l.dir, fmt.Sprintf("%s-%06d%s", l.name, l.seq, ext))
 	l.mu.Unlock()
 
+	var size int64
+	var err error
+	if l.codec != nil {
+		size, err = writeColumnar(path, tasks, l.codec)
+	} else {
+		size, err = writeGob(path, tasks)
+	}
+	if err != nil {
+		// A failed write can leave a partial file that nothing tracks;
+		// unlink it so the shutdown sweep's empty-SpillDir guarantee
+		// holds even on I/O errors (e.g. a full disk).
+		os.Remove(path)
+		return err
+	}
+	l.acct.add(size)
+	l.mu.Lock()
+	l.files = append(l.files, spillFile{path: path, size: size, count: len(tasks)})
+	l.mu.Unlock()
+	return nil
+}
+
+// writeColumnar encodes tasks as one GQS1 batch — the flat arrays of
+// every payload written verbatim — and writes it in a single syscall.
+func writeColumnar(path string, tasks []*Task, codec TaskCodec) (int64, error) {
+	enc := batchEncoders.Get().(*store.BatchEncoder)
+	defer batchEncoders.Put(enc)
+	enc.Reset()
+	for _, t := range tasks {
+		buf := enc.BeginRecord()
+		buf = store.AppendU64(buf, t.ID)
+		buf = store.AppendU32(buf, uint32(len(t.Pulls)))
+		buf = store.AppendU32s(buf, t.Pulls)
+		if t.Payload == nil {
+			buf = store.AppendU32(buf, 0)
+		} else {
+			buf = store.AppendU32(buf, 1)
+			lenOff := len(buf)
+			buf = store.AppendU32(buf, 0) // payload length, patched below
+			var err error
+			buf, err = codec.AppendTaskPayload(buf, t.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("gthinker: spill encode task: %w", err)
+			}
+			binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
+		}
+		enc.EndRecord(buf)
+	}
+	data := enc.Finish()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("gthinker: spill: %w", err)
+	}
+	return int64(len(data)), nil
+}
+
+// writeGob encodes tasks as the legacy gob stream.
+func writeGob(path string, tasks []*Task) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("gthinker: spill: %w", err)
+		return 0, fmt.Errorf("gthinker: spill: %w", err)
 	}
 	enc := gob.NewEncoder(f)
 	if err := enc.Encode(len(tasks)); err != nil {
 		f.Close()
-		return fmt.Errorf("gthinker: spill encode: %w", err)
+		return 0, fmt.Errorf("gthinker: spill encode: %w", err)
 	}
 	for _, t := range tasks {
 		if err := enc.Encode(t); err != nil {
 			f.Close()
-			return fmt.Errorf("gthinker: spill encode task: %w", err)
+			return 0, fmt.Errorf("gthinker: spill encode task: %w", err)
 		}
 	}
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	l.acct.add(info.Size())
-	l.mu.Lock()
-	l.files = append(l.files, spillFile{path: path, size: info.Size(), count: len(tasks)})
-	l.mu.Unlock()
-	return nil
+	return info.Size(), nil
 }
 
-// refill pops the newest batch file and decodes its tasks; ok=false
-// when the list is empty.
+// refill pops the newest batch file, decodes its tasks, and unlinks
+// the file; ok=false when the list is empty.
 func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
 	l.mu.Lock()
 	if len(l.files) == 0 {
@@ -117,29 +186,103 @@ func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
 	l.files = l.files[:len(l.files)-1]
 	l.mu.Unlock()
 
-	f, err := os.Open(sf.path)
+	if l.codec != nil {
+		tasks, err = readColumnar(sf.path, l.codec)
+	} else {
+		tasks, err = readGob(sf.path)
+	}
+	if err == nil {
+		err = os.Remove(sf.path)
+	}
 	if err != nil {
-		return nil, false, fmt.Errorf("gthinker: refill: %w", err)
-	}
-	dec := gob.NewDecoder(f)
-	var n int
-	if err := dec.Decode(&n); err != nil {
-		f.Close()
-		return nil, false, fmt.Errorf("gthinker: refill decode: %w", err)
-	}
-	tasks = make([]*Task, 0, n)
-	for i := 0; i < n; i++ {
-		var t Task
-		if err := dec.Decode(&t); err != nil {
-			f.Close()
-			return nil, false, fmt.Errorf("gthinker: refill decode task: %w", err)
-		}
-		tasks = append(tasks, &t)
-	}
-	f.Close()
-	if err := os.Remove(sf.path); err != nil {
+		// Re-track the file so the shutdown sweep (removeAll) still
+		// unlinks it and the disk accounting stays truthful; the run is
+		// failing on this error anyway.
+		l.mu.Lock()
+		l.files = append(l.files, sf)
+		l.mu.Unlock()
 		return nil, false, err
 	}
 	l.acct.remove(sf.size)
+	l.acct.read.Add(sf.size)
+	l.acct.refills.Add(1)
 	return tasks, true, nil
+}
+
+// readColumnar loads one GQS1 batch: a single sequential read, then
+// per task a header walk plus pointer fix-up (decoded arrays alias the
+// batch buffer, which the tasks keep alive).
+func readColumnar(path string, codec TaskCodec) ([]*Task, error) {
+	d, _, err := store.ReadBatchFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("gthinker: refill: %w", err)
+	}
+	tasks := make([]*Task, 0, d.Count())
+	for {
+		rec, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("gthinker: refill: %w", err)
+		}
+		if rec == nil {
+			return tasks, nil
+		}
+		c := store.NewCursor(rec)
+		t := &Task{ID: c.U64()}
+		t.Pulls = c.U32s(int(c.U32()))
+		hasPayload := c.U32()
+		if hasPayload != 0 {
+			data := c.Bytes(int(c.U32()))
+			if c.Err() == nil {
+				t.Payload, err = codec.DecodeTaskPayload(data)
+				if err != nil {
+					return nil, fmt.Errorf("gthinker: refill decode task: %w", err)
+				}
+			}
+		}
+		if err := c.Err(); err != nil {
+			return nil, fmt.Errorf("gthinker: refill decode task: %w", err)
+		}
+		if c.Remaining() != 0 {
+			return nil, fmt.Errorf("gthinker: refill decode task: %d trailing bytes", c.Remaining())
+		}
+		tasks = append(tasks, t)
+	}
+}
+
+// readGob loads one legacy gob batch.
+func readGob(path string) ([]*Task, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gthinker: refill: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("gthinker: refill decode: %w", err)
+	}
+	tasks := make([]*Task, 0, n)
+	for i := 0; i < n; i++ {
+		var t Task
+		if err := dec.Decode(&t); err != nil {
+			return nil, fmt.Errorf("gthinker: refill decode task: %w", err)
+		}
+		tasks = append(tasks, &t)
+	}
+	return tasks, nil
+}
+
+// removeAll unlinks every remaining batch file (engine shutdown: a
+// cancelled or failed run can leave spilled tasks behind; a clean run
+// leaves nothing). Errors are ignored — the files are best-effort
+// temporaries at this point.
+func (l *spillList) removeAll() {
+	l.mu.Lock()
+	files := l.files
+	l.files = nil
+	l.mu.Unlock()
+	for _, f := range files {
+		os.Remove(f.path)
+		l.acct.remove(f.size)
+	}
 }

@@ -112,3 +112,19 @@ type App interface {
 	// is |ext(S)| > τsplit.
 	IsBig(t *Task) bool
 }
+
+// TaskCodec is an optional App extension that turns disk spilling
+// into raw array I/O. Apps that implement it (in addition to App) get
+// the columnar GQS1 batch format of internal/store instead of gob:
+// spill writes each payload's flat arrays verbatim and refill is one
+// sequential read plus pointer fix-up, with no reflection and no
+// per-field allocation.
+type TaskCodec interface {
+	// AppendTaskPayload appends the payload's raw encoding to dst and
+	// returns the extended buffer (append-style).
+	AppendTaskPayload(dst []byte, payload any) ([]byte, error)
+	// DecodeTaskPayload reconstructs a payload from the bytes written
+	// by AppendTaskPayload. The returned payload may alias data, which
+	// stays live and is never reused by the engine.
+	DecodeTaskPayload(data []byte) (any, error)
+}

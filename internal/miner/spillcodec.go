@@ -1,0 +1,110 @@
+package miner
+
+import (
+	"fmt"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/quasiclique"
+	"gthinkerqc/internal/store"
+)
+
+// The app implements gthinker.TaskCodec, so spilled task batches use
+// the raw columnar GQS1 format instead of gob. A Payload is a handful
+// of flat uint32 arrays (plus the Sub's three), so its record is the
+// arrays written verbatim, little-endian:
+//
+//	iteration uint32
+//	root      uint32
+//	flags     uint32           bit 0: Sub present
+//	gvCount   uint32, gverts [gvCount]uint32
+//	rowCount  uint32, rowLens [rowCount]uint32
+//	flatLen   uint32, flat    [flatLen]uint32    (GAdj packed)
+//	Sub raw encoding (if flags&1, see quasiclique.Sub.AppendRaw)
+//	sCount    uint32, s   [sCount]uint32
+//	extCount  uint32, ext [extCount]uint32
+//
+// Decode is a sequential walk plus pointer fix-up: the arrays alias
+// the batch read buffer (each task's regions are its own, so in-place
+// mutation by later compute iterations stays safe), and GAdj rows are
+// re-sliced out of the packed array.
+
+const payloadHasSub = 1 << 0
+
+// AppendTaskPayload implements gthinker.TaskCodec.
+func (a *app) AppendTaskPayload(dst []byte, payload any) ([]byte, error) {
+	p, ok := payload.(*Payload)
+	if !ok {
+		return nil, fmt.Errorf("miner: spill codec: unexpected payload type %T", payload)
+	}
+	dst = store.AppendU32(dst, uint32(p.Iteration))
+	dst = store.AppendU32(dst, uint32(p.Root))
+	flags := uint32(0)
+	if p.Sub != nil {
+		flags |= payloadHasSub
+	}
+	dst = store.AppendU32(dst, flags)
+	dst = store.AppendU32(dst, uint32(len(p.GVerts)))
+	dst = store.AppendU32s(dst, p.GVerts)
+	dst = store.AppendU32(dst, uint32(len(p.GAdj)))
+	total := 0
+	for _, row := range p.GAdj {
+		dst = store.AppendU32(dst, uint32(len(row)))
+		total += len(row)
+	}
+	dst = store.AppendU32(dst, uint32(total))
+	for _, row := range p.GAdj {
+		dst = store.AppendU32s(dst, row)
+	}
+	if p.Sub != nil {
+		dst = p.Sub.AppendRaw(dst)
+	}
+	dst = store.AppendU32(dst, uint32(len(p.S)))
+	dst = store.AppendU32s(dst, p.S)
+	dst = store.AppendU32(dst, uint32(len(p.Ext)))
+	dst = store.AppendU32s(dst, p.Ext)
+	return dst, nil
+}
+
+// DecodeTaskPayload implements gthinker.TaskCodec.
+func (a *app) DecodeTaskPayload(data []byte) (any, error) {
+	c := store.NewCursor(data)
+	p := &Payload{}
+	p.Iteration = int(c.U32())
+	p.Root = graph.V(c.U32())
+	flags := c.U32()
+	p.GVerts = c.U32s(int(c.U32()))
+	rows := int(c.U32())
+	rowLen := c.U32s(rows)
+	flat := c.U32s(int(c.U32()))
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("miner: corrupt spilled payload: %w", err)
+	}
+	gadj, err := store.SplitRows(flat, rowLen)
+	if err != nil {
+		return nil, fmt.Errorf("miner: corrupt spilled payload: GAdj %w", err)
+	}
+	if rows != len(p.GVerts) {
+		// GAdj is parallel to GVerts by construction; a mismatch is
+		// corruption that would panic iteration 2 later.
+		return nil, fmt.Errorf("miner: corrupt spilled payload: %d GAdj rows for %d GVerts",
+			rows, len(p.GVerts))
+	}
+	if rows > 0 {
+		p.GAdj = gadj
+	}
+	if flags&payloadHasSub != 0 {
+		p.Sub = &quasiclique.Sub{}
+		if err := p.Sub.DecodeRaw(c); err != nil {
+			return nil, err
+		}
+	}
+	p.S = c.U32s(int(c.U32()))
+	p.Ext = c.U32s(int(c.U32()))
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("miner: corrupt spilled payload: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("miner: corrupt spilled payload: %d trailing bytes", c.Remaining())
+	}
+	return p, nil
+}

@@ -8,6 +8,7 @@ import (
 	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/kcore"
+	"gthinkerqc/internal/store"
 	"gthinkerqc/internal/vset"
 )
 
@@ -237,6 +238,65 @@ func (s *Sub) DegreeInto(v uint32, stamp []int64, epoch int64) int {
 		}
 	}
 	return d
+}
+
+// AppendRaw appends the Sub's columnar encoding for the engine's GQS1
+// spill path: the three flat arrays written verbatim, little-endian,
+// with no reflection —
+//
+//	n       uint32        number of local vertices
+//	flatLen uint32        total adjacency entries (2·|E|)
+//	labels  [n]uint32
+//	rowLens [n]uint32
+//	flat    [flatLen]uint32
+//
+// It is the raw twin of GobEncode (which stays as the wire/legacy
+// codec); DecodeRaw restores it with pointer fix-up instead of a
+// reflective decode.
+func (s *Sub) AppendRaw(dst []byte) []byte {
+	total := 0
+	for _, row := range s.Adj {
+		total += len(row)
+	}
+	dst = store.AppendU32(dst, uint32(len(s.Label)))
+	dst = store.AppendU32(dst, uint32(total))
+	dst = store.AppendU32s(dst, s.Label)
+	for _, row := range s.Adj {
+		dst = store.AppendU32(dst, uint32(len(row)))
+	}
+	for _, row := range s.Adj {
+		dst = store.AppendU32s(dst, row)
+	}
+	return dst
+}
+
+// DecodeRaw restores a Sub written by AppendRaw from c. The label and
+// adjacency arrays may alias the cursor's buffer (each spilled task's
+// regions are exclusively its own, so the usual in-place mining
+// mutations remain safe); rows are rebuilt as capacity-clamped slices
+// of the packed array. Corrupt input is an error, never a panic.
+func (s *Sub) DecodeRaw(c *store.Cursor) error {
+	n := int(c.U32())
+	flatLen := int(c.U32())
+	label := c.U32s(n)
+	rowLen := c.U32s(n)
+	flat := c.U32s(flatLen)
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("quasiclique: corrupt raw Sub: %w", err)
+	}
+	adj, err := store.SplitRows(flat, rowLen)
+	if err != nil {
+		return fmt.Errorf("quasiclique: corrupt raw Sub: %w", err)
+	}
+	for _, u := range flat {
+		if int(u) >= n {
+			return fmt.Errorf("quasiclique: corrupt raw Sub: local index %d out of range [0,%d)", u, n)
+		}
+	}
+	s.Label = label
+	s.Adj = adj
+	s.Dense = nil
+	return nil
 }
 
 // GobEncode serializes the Sub for the engine's task-spill codec as

@@ -1,0 +1,8 @@
+package store
+
+// Test hooks: force the portable fallbacks so both sides of every
+// zero-copy branch are exercised on any host.
+
+func SetMmapDisabledForTest(v bool) { mmapDisabled = v }
+
+func SetZeroCopyForTest(v bool) { zeroCopy = v }

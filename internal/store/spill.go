@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// spillMagic identifies (and versions) the columnar task-batch format;
+// a future incompatible layout bumps the trailing digit.
+var spillMagic = [4]byte{'G', 'Q', 'S', '1'}
+
+// BatchEncoder builds one GQS1 spill batch in a single reusable
+// buffer. Usage per record:
+//
+//	buf := e.BeginRecord()
+//	buf = appendFields(buf)      // store.AppendU32 etc.
+//	e.EndRecord(buf)
+//
+// The Begin/End split (instead of a callback) keeps the encode loop
+// closure-free, so batch encoding allocates only when the buffer
+// grows.
+type BatchEncoder struct {
+	buf   []byte
+	count int
+	rec   int // offset of the current record's length prefix
+}
+
+// Reset starts a new batch, reusing the buffer.
+func (e *BatchEncoder) Reset() {
+	e.buf = append(e.buf[:0], spillMagic[:]...)
+	e.buf = AppendU32(e.buf, 0) // count, patched by Finish
+	e.count = 0
+	e.rec = -1
+}
+
+// BeginRecord reserves the record's length prefix and returns the
+// buffer for the caller to append the record fields to.
+func (e *BatchEncoder) BeginRecord() []byte {
+	e.rec = len(e.buf)
+	return AppendU32(e.buf, 0) // recLen, patched by EndRecord
+}
+
+// EndRecord accepts the extended buffer back and patches the record's
+// length prefix.
+func (e *BatchEncoder) EndRecord(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[e.rec:], uint32(len(buf)-e.rec-4))
+	e.buf = buf
+	e.count++
+	e.rec = -1
+}
+
+// Finish patches the batch header and returns the encoded bytes,
+// which remain valid until the next Reset.
+func (e *BatchEncoder) Finish() []byte {
+	binary.LittleEndian.PutUint32(e.buf[4:], uint32(e.count))
+	return e.buf
+}
+
+// BatchDecoder iterates the records of one GQS1 batch read into
+// memory. Records alias the batch buffer.
+type BatchDecoder struct {
+	data  []byte
+	off   int
+	count int
+	read  int
+}
+
+// DecodeBatch validates the batch header of data and returns a
+// decoder positioned at the first record.
+func DecodeBatch(data []byte) (*BatchDecoder, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("store: spill batch too short (%d bytes)", len(data))
+	}
+	var magic [4]byte
+	copy(magic[:], data)
+	if magic != spillMagic {
+		return nil, fmt.Errorf("store: bad spill magic %q (want %q)", magic[:], spillMagic[:])
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:]))
+	// Every record needs at least its 4-byte length prefix, so a count
+	// that could not fit in the file is corruption, not a big batch.
+	if count > (len(data)-8)/4 {
+		return nil, fmt.Errorf("store: spill batch claims %d records in %d bytes", count, len(data))
+	}
+	return &BatchDecoder{data: data, off: 8, count: count}, nil
+}
+
+// Count returns the number of records in the batch.
+func (d *BatchDecoder) Count() int { return d.count }
+
+// Next returns the next record's bytes, or (nil, nil) after the last
+// record. A batch with bytes beyond its declared records is rejected.
+func (d *BatchDecoder) Next() ([]byte, error) {
+	if d.read == d.count {
+		if d.off != len(d.data) {
+			return nil, fmt.Errorf("store: spill batch has %d trailing bytes after %d records",
+				len(d.data)-d.off, d.count)
+		}
+		return nil, nil
+	}
+	if len(d.data)-d.off < 4 {
+		return nil, fmt.Errorf("store: spill batch truncated in record %d length", d.read)
+	}
+	n := int(binary.LittleEndian.Uint32(d.data[d.off:]))
+	d.off += 4
+	if n > len(d.data)-d.off {
+		return nil, fmt.Errorf("store: spill batch truncated: record %d wants %d bytes, %d remain",
+			d.read, n, len(d.data)-d.off)
+	}
+	rec := d.data[d.off : d.off+n : d.off+n]
+	d.off += n
+	d.read++
+	return rec, nil
+}
+
+// ReadBatchFile reads one spill file into memory and returns its
+// decoder. The whole batch is one sequential read; records alias the
+// returned decoder's buffer.
+func ReadBatchFile(path string) (*BatchDecoder, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := DecodeBatch(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return d, int64(len(data)), nil
+}

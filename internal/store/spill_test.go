@@ -1,0 +1,145 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func encodeBatch(records [][]uint32) []byte {
+	var e BatchEncoder
+	e.Reset()
+	for _, rec := range records {
+		buf := e.BeginRecord()
+		buf = AppendU32(buf, uint32(len(rec)))
+		buf = AppendU32s(buf, rec)
+		e.EndRecord(buf)
+	}
+	return append([]byte(nil), e.Finish()...)
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	records := [][]uint32{{1, 2, 3}, {}, {0xffffffff}}
+	data := encodeBatch(records)
+	d, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count() != len(records) {
+		t.Fatalf("count = %d", d.Count())
+	}
+	for i, want := range records {
+		rec, err := d.Next()
+		if err != nil || rec == nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		c := NewCursor(rec)
+		got := c.U32s(int(c.U32()))
+		if c.Err() != nil || len(got) != len(want) {
+			t.Fatalf("record %d: got %v want %v (err %v)", i, got, want, c.Err())
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record %d[%d] = %d want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	if rec, err := d.Next(); rec != nil || err != nil {
+		t.Fatalf("past end: %v %v", rec, err)
+	}
+}
+
+func TestBatchEncoderReuse(t *testing.T) {
+	var e BatchEncoder
+	for round := 0; round < 3; round++ {
+		e.Reset()
+		buf := e.BeginRecord()
+		buf = AppendU32(buf, uint32(round))
+		e.EndRecord(buf)
+		d, err := DecodeBatch(e.Finish())
+		if err != nil || d.Count() != 1 {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		rec, _ := d.Next()
+		if NewCursor(rec).U32() != uint32(round) {
+			t.Fatalf("round %d: stale buffer", round)
+		}
+	}
+}
+
+func TestBatchRejectsCorruption(t *testing.T) {
+	good := encodeBatch([][]uint32{{1, 2}, {3}})
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		errWant string
+	}{
+		{"too short", func(b []byte) []byte { return b[:6] }, "too short"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad spill magic"},
+		{"wrong version", func(b []byte) []byte { b[3] = '9'; return b }, "bad spill magic"},
+		{"count too large", func(b []byte) []byte { b[4] = 0xff; b[5] = 0xff; return b }, "claims"},
+		{"truncated record", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0) }, "trailing"},
+		{"record length past end", func(b []byte) []byte { b[8] = 0xf0; return b }, "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), good...))
+			d, err := DecodeBatch(data)
+			for err == nil {
+				var rec []byte
+				rec, err = d.Next()
+				if rec == nil && err == nil {
+					t.Fatal("corrupt batch decoded cleanly")
+				}
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Fatalf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+}
+
+func TestReadBatchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.gqs")
+	data := encodeBatch([][]uint32{{9}})
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, size, err := ReadBatchFile(path)
+	if err != nil || size != int64(len(data)) || d.Count() != 1 {
+		t.Fatalf("d=%+v size=%d err=%v", d, size, err)
+	}
+	if _, _, err := ReadBatchFile(filepath.Join(dir, "missing.gqs")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(path, data[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBatchFile(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("truncated file error %v should name the file", err)
+	}
+}
+
+// FuzzDecodeBatch hardens the batch decoder: arbitrary bytes must
+// produce an error or a clean iteration, never a panic or an
+// allocation proportional to a corrupt count.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(encodeBatch([][]uint32{{1, 2, 3}, {}}))
+	f.Add([]byte("GQS1\x02\x00\x00\x00"))
+	f.Add([]byte("GQS1\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		for {
+			rec, err := d.Next()
+			if err != nil || rec == nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package store owns the miner's on-disk representations end to end:
+// the zero-copy graph load path and the raw columnar task-spill
+// format. Both exist for the same codesign reason (Guo et al., VLDB
+// 2020, Section 5): the divide-and-conquer task flood only scales when
+// the system layer keeps bulk data off reflective serializers and out
+// of the allocator.
+//
+// # GQC2 — binary graph files (mmap.go)
+//
+// The graph codec (internal/graph, format "GQC2") writes the CSR
+// arrays verbatim:
+//
+//	magic     [4]byte   "GQC2"
+//	n         uint32    number of vertices
+//	m         uint64    number of undirected edges
+//	offsets   [n+1]uint32
+//	neighbors [2m]uint32
+//
+// Because the payload *is* the in-memory layout, MapGraph can mmap the
+// file and alias offsets/neighbors straight into the mapping: startup
+// cost is header validation plus an O(n) offsets check, independent of
+// |E|, and page faults lazily materialize only the adjacency actually
+// touched. When the platform, file version, or alignment rules out
+// aliasing, MapGraph falls back to the heap loader transparently.
+//
+// Alias-lifetime rule: a mapped Graph's arrays live in the mapping,
+// so the Graph (and every Adj slice handed out from it) is valid only
+// until MappedGraph.Close munmaps the file. Close only after the last
+// user of the Graph is done; heap-fallback loads have no such
+// constraint (Close is then a no-op).
+//
+// # GQS1 — columnar task-spill batches (spill.go)
+//
+// Task batches spilled by the G-thinker engine used to be gob streams:
+// one reflective encode per task on the way out, one reflective decode
+// (plus dozens of small allocations) on the way back in. GQS1 replaces
+// that with length-prefixed raw records:
+//
+//	magic   [4]byte  "GQS1"
+//	count   uint32   number of task records
+//	count × { recLen uint32; record [recLen]byte }
+//
+// Record bytes are produced by the app's task codec (flat little-
+// endian arrays — for the quasi-clique miner the Sub's label /
+// row-length / packed-adjacency arrays written verbatim), so a refill
+// is one sequential file read plus pointer fix-up: Uint32s
+// reinterprets 4-aligned regions of the read buffer as []uint32
+// in place, and decoded slices alias the batch buffer. The buffer is
+// plain heap memory (not a mapping), so aliases keep it alive via the
+// GC and need no explicit lifecycle; each record's regions belong to
+// exactly one task, so in-place mutation by the task is safe.
+//
+// All integers are little-endian. On big-endian hosts, or at
+// misaligned offsets, the zero-copy casts degrade to copying loops
+// with identical results.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host's native byte order
+// matches the on-disk (little-endian) order, which is what allows
+// reinterpreting file bytes as []uint32 without a conversion pass.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// zeroCopy gates the unsafe []byte→[]uint32 reinterpretation; tests
+// clear it to exercise the portable copying fallback.
+var zeroCopy = true
+
+// AppendU32 appends v little-endian.
+func AppendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// AppendU64 appends v little-endian.
+func AppendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// AppendU32s appends the raw values of xs little-endian (no count
+// prefix). On little-endian hosts this is one bulk copy of the slice's
+// underlying bytes.
+func AppendU32s(dst []byte, xs []uint32) []byte {
+	if len(xs) == 0 {
+		return dst
+	}
+	if hostLittleEndian {
+		return append(dst, unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(xs))), 4*len(xs))...)
+	}
+	for _, x := range xs {
+		dst = AppendU32(dst, x)
+	}
+	return dst
+}
+
+// Uint32s reinterprets data (len must be 4n) as n little-endian
+// uint32s. When the host is little-endian and data is 4-aligned the
+// result aliases data — the "pointer fix-up" fast path — otherwise the
+// values are copied out. Callers must treat the result as aliasing
+// data either way.
+func Uint32s(data []byte) []uint32 {
+	n := len(data) / 4
+	if n == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&data[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(data[4*i:])
+	}
+	return out
+}
+
+// SplitRows re-slices the packed array flat into len(rowLens)
+// capacity-clamped rows — the pointer fix-up shared by every columnar
+// decoder. The rows must cover flat exactly; anything else is
+// corruption, reported as an error before any row escapes.
+func SplitRows(flat []uint32, rowLens []uint32) ([][]uint32, error) {
+	rows := make([][]uint32, len(rowLens))
+	off := 0
+	for i, rl := range rowLens {
+		end := off + int(rl)
+		if end < off || end > len(flat) {
+			return nil, fmt.Errorf("store: corrupt rows: need %d entries, have %d", end, len(flat))
+		}
+		rows[i] = flat[off:end:end]
+		off = end
+	}
+	if off != len(flat) {
+		return nil, fmt.Errorf("store: corrupt rows: cover %d of %d entries", off, len(flat))
+	}
+	return rows, nil
+}
+
+// Cursor walks a byte buffer of little-endian fields with a sticky
+// error: after the first short read every subsequent call returns zero
+// values, so decoders can read a whole structure and check Err once.
+type Cursor struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewCursor returns a cursor over data.
+func NewCursor(data []byte) *Cursor { return &Cursor{data: data} }
+
+// Err returns the first decoding error, or nil.
+func (c *Cursor) Err() error { return c.err }
+
+// Remaining returns the number of unread bytes.
+func (c *Cursor) Remaining() int { return len(c.data) - c.off }
+
+func (c *Cursor) fail(n int) {
+	if c.err == nil {
+		c.err = fmt.Errorf("store: truncated input: need %d bytes at offset %d, have %d",
+			n, c.off, len(c.data)-c.off)
+	}
+}
+
+// Bytes consumes and returns the next n bytes (aliasing the buffer),
+// or nil after setting the sticky error when fewer remain. Once the
+// cursor has failed, every further read returns nil.
+func (c *Cursor) Bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(c.data)-c.off {
+		c.fail(n)
+		return nil
+	}
+	b := c.data[c.off : c.off+n : c.off+n]
+	c.off += n
+	return b
+}
+
+// U32 consumes one little-endian uint32.
+func (c *Cursor) U32() uint32 {
+	b := c.Bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 consumes one little-endian uint64.
+func (c *Cursor) U64() uint64 {
+	b := c.Bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// U32s consumes n uint32s. The bounds check happens before any
+// allocation, so a corrupt count cannot trigger a huge make; the
+// result may alias the buffer (see Uint32s).
+func (c *Cursor) U32s(n int) []uint32 {
+	b := c.Bytes(4 * n)
+	if b == nil {
+		return nil
+	}
+	return Uint32s(b)
+}

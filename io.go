@@ -5,6 +5,7 @@ import (
 
 	"gthinkerqc/internal/datagen"
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/store"
 )
 
 // LoadEdgeList parses a whitespace-separated edge list (the format of
@@ -32,6 +33,21 @@ func LoadEdgeListFile(path string) (*Graph, error) {
 // (written by SaveBinaryFile or cmd/qcgen).
 func LoadBinaryFile(path string) (*Graph, error) {
 	return graph.ReadBinaryFile(path)
+}
+
+// MappedGraph is a Graph whose CSR arrays (ideally) alias a read-only
+// file mapping; see MapBinaryFile.
+type MappedGraph = store.MappedGraph
+
+// MapBinaryFile memory-maps a binary graph file written by
+// SaveBinaryFile and points the Graph's CSR arrays straight at the
+// mapping: load cost is header validation plus an O(n) offsets check,
+// independent of edge count, and only the adjacency actually touched
+// is ever faulted in. The Graph is valid until Close; when zero-copy
+// mapping is unavailable (legacy file version, unsupported platform)
+// the file is read into the heap instead and Close is a no-op.
+func MapBinaryFile(path string) (*MappedGraph, error) {
+	return store.MapGraph(path)
 }
 
 // SaveBinaryFile writes g in the compact binary format.
