@@ -10,6 +10,10 @@
 //	qcbench -exp table2 -bincache /tmp/qc   # cache graphs; later runs
 //	                                        # mmap them zero-copy
 //	                                        # (-mmap=false to heap-load)
+//	qcbench -exp table2 -machines 4 -tcp    # the same simulated cluster
+//	                                        # over real loopback sockets
+//	                                        # (batched adjacency RPCs +
+//	                                        # GQS1 task-steal frames)
 //
 // Experiments: table1 table2 table3 table4 table5a table5b table6
 // fig1 fig2 fig3 ablation quickmiss kernel decomp all
@@ -44,6 +48,7 @@ func main() {
 		csvDir     = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
 		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (mmap'd zero-copy on later runs)")
 		useMmap    = flag.Bool("mmap", true, "with -bincache: mmap cached graphs and alias the CSR arrays into the mapping instead of reading them into the heap")
+		useTCP     = flag.Bool("tcp", false, "run the simulated cluster over real loopback sockets: per-machine vertex/task servers plus a batched TCP transport (remote pulls and stolen task batches cross the wire)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -52,6 +57,7 @@ func main() {
 		experiments.SetBinaryCacheDir(*binCache)
 	}
 	experiments.SetUseMmap(*useMmap)
+	experiments.SetUseTCP(*useTCP)
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

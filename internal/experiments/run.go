@@ -43,6 +43,7 @@ var (
 	graphCache  = map[string]*graph.Graph{}
 	binCacheDir string
 	useMmap     = true
+	useTCP      bool
 	mappings    []*store.MappedGraph
 )
 
@@ -64,6 +65,23 @@ func SetUseMmap(on bool) {
 	cacheMu.Lock()
 	useMmap = on
 	cacheMu.Unlock()
+}
+
+// SetUseTCP selects the simulated cluster's data plane: the in-process
+// loopback transport (default), or real loopback sockets (qcbench
+// -tcp) — per-machine VertexServers and TaskServers with a
+// TCPTransport, so every remote adjacency pull is a batched RPC and
+// stolen big-task batches cross the wire as GQS1 bytes.
+func SetUseTCP(on bool) {
+	cacheMu.Lock()
+	useTCP = on
+	cacheMu.Unlock()
+}
+
+func tcpWanted() bool {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return useTCP
 }
 
 // CloseMappings drops every cached graph and munmaps the mapped ones.
@@ -225,6 +243,7 @@ func Run(spec RunSpec) (Outcome, error) {
 		Machines:           spec.Cluster.Machines,
 		WorkersPerMachine:  spec.Cluster.Workers,
 		DisableGlobalQueue: spec.DisableGlobalQueue,
+		InProcessTCP:       tcpWanted(),
 	})
 	if err != nil {
 		return Outcome{}, err

@@ -60,10 +60,24 @@ type Config struct {
 	// DisableGlobalQueue routes every task to local queues, reverting
 	// the paper's reforge (ablation: original G-thinker behavior).
 	DisableGlobalQueue bool
-	// Transport overrides the inter-machine vertex fetch path; nil
-	// uses the in-process loopback. Use NewTCPTransport with one
-	// VertexServer per machine for a real socket path.
+	// Transport overrides the inter-machine data plane; nil uses the
+	// in-process loopback. A Transport serves batched adjacency
+	// fetches (FetchAdjBatch: the engine issues one round trip per
+	// owning machine when resolving a task's pulls); if it also
+	// implements TaskChannel, the stealing master ships stolen
+	// big-task batches through it as GQS1 bytes instead of moving
+	// them in memory. For a socket path, wire a NewTCPTransport to
+	// one VertexServer (and optionally one TaskServer + TaskSink) per
+	// machine before the engine runs — or set InProcessTCP to have
+	// the engine do exactly that on loopback TCP.
 	Transport Transport
+	// InProcessTCP bootstraps a real socket deployment inside the
+	// process: one VertexServer per machine, one TaskServer per
+	// machine when the App implements TaskCodec, and a TCPTransport
+	// connecting them on 127.0.0.1. Every remote adjacency pull and
+	// every stolen big-task batch then crosses a real socket
+	// (qcbench -tcp). Mutually exclusive with Transport.
+	InProcessTCP bool
 	// SpillFormat selects the task-batch spill encoding; the zero
 	// value (SpillAuto) picks the raw columnar format whenever the
 	// App provides a TaskCodec.
@@ -115,6 +129,9 @@ func (c Config) validate() error {
 	}
 	if c.SpillFormat < SpillAuto || c.SpillFormat > SpillColumnar {
 		return fmt.Errorf("gthinker: unknown SpillFormat %d", c.SpillFormat)
+	}
+	if c.InProcessTCP && c.Transport != nil {
+		return fmt.Errorf("gthinker: InProcessTCP and Transport are mutually exclusive")
 	}
 	return nil
 }

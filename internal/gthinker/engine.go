@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/store"
 )
 
 // Engine runs an App over a graph on a simulated cluster. Create one
@@ -35,11 +36,19 @@ type Engine struct {
 	ownSpill   bool
 	spillCodec TaskCodec // nil = gob spill format
 
-	stealRounds   atomic.Uint64
-	tasksStolen   atomic.Uint64
-	peakHeap      atomic.Uint64
-	spawnedTasks  atomic.Uint64
-	subtasksAdded atomic.Uint64
+	// Engine-owned network endpoints (Config.InProcessTCP): one vertex
+	// server and (with a codec) one task server per machine, plus the
+	// transport connecting them, all torn down after Run.
+	ownVServers  []*VertexServer
+	ownTServers  []*TaskServer
+	ownTransport *TCPTransport
+
+	stealRounds       atomic.Uint64
+	tasksStolen       atomic.Uint64
+	tasksStolenRemote atomic.Uint64
+	peakHeap          atomic.Uint64
+	spawnedTasks      atomic.Uint64
+	subtasksAdded     atomic.Uint64
 }
 
 // NewEngine prepares a run. The graph must be immutable for the
@@ -117,7 +126,72 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 		}
 		e.machines = append(e.machines, m)
 	}
+	if cfg.InProcessTCP {
+		if err := e.bootstrapTCP(); err != nil {
+			e.closeOwnedNetwork()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// bootstrapTCP stands up a real socket deployment inside the process:
+// one VertexServer per machine (adjacency fetches), one TaskServer per
+// machine when the app provides a TaskCodec (stolen-task delivery),
+// and a TCPTransport connecting them on loopback TCP.
+func (e *Engine) bootstrapTCP() error {
+	n := e.cfg.Machines
+	vaddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := ServeVertexTable("127.0.0.1:0", e.g)
+		if err != nil {
+			return err
+		}
+		e.ownVServers = append(e.ownVServers, s)
+		vaddrs[i] = s.Addr()
+	}
+	tr := NewTCPTransport(vaddrs, e.g.NumVertices())
+	if e.spillCodec != nil {
+		taddrs := make([]string, n)
+		for i := 0; i < n; i++ {
+			s, err := ServeTasks("127.0.0.1:0", e.spillCodec, e.TaskSink(i))
+			if err != nil {
+				tr.Close()
+				return err
+			}
+			e.ownTServers = append(e.ownTServers, s)
+			taddrs[i] = s.Addr()
+		}
+		tr.SetTaskAddrs(taddrs)
+	}
+	e.ownTransport = tr
+	e.transport = tr
+	return nil
+}
+
+// closeOwnedNetwork tears down the InProcessTCP endpoints (no-op
+// otherwise).
+func (e *Engine) closeOwnedNetwork() {
+	if e.ownTransport != nil {
+		e.ownTransport.Close()
+	}
+	for _, s := range e.ownTServers {
+		s.Close()
+	}
+	for _, s := range e.ownVServers {
+		s.Close()
+	}
+}
+
+// TaskSink returns the stolen-batch delivery callback for machine mid,
+// for wiring a TaskServer: batches the server decodes land on that
+// machine's global queue exactly as an in-memory steal move would.
+func (e *Engine) TaskSink(mid int) func([]*Task) {
+	m := e.machines[mid]
+	return func(tasks []*Task) {
+		m.qglobal.pushBackAll(tasks)
+		m.stolenIn.Add(uint64(len(tasks)))
+	}
 }
 
 // isBig classifies a task, honoring the DisableGlobalQueue ablation.
@@ -226,6 +300,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 
 	met := e.collectMetrics(time.Since(start))
 	e.cleanupSpill()
+	e.closeOwnedNetwork()
 	return met, e.err
 }
 
@@ -303,12 +378,17 @@ func (e *Engine) stealRound() {
 		if want < 1 {
 			want = 1
 		}
-		batch := e.machines[hi].qglobal.popBackBatch(want)
+		batch := e.stealFrom(e.machines[hi], want)
 		if len(batch) == 0 {
 			continue
 		}
-		e.machines[recv].qglobal.pushBackAll(batch)
-		e.machines[recv].stolenIn.Add(uint64(len(batch)))
+		if err := e.dispatchStolen(recv, batch); err != nil {
+			// Don't lose the tasks: hand them back to the donor before
+			// the run fails on the transport error.
+			e.machines[hi].qglobal.pushBackAll(batch)
+			e.fail(err)
+			return
+		}
 		e.tasksStolen.Add(uint64(len(batch)))
 		counts[hi] -= len(batch)
 		counts[recv] += len(batch)
@@ -317,6 +397,73 @@ func (e *Engine) stealRound() {
 	if moved {
 		e.stealRounds.Add(1)
 	}
+}
+
+// stealFrom pops up to want big tasks from m's global queue, refilling
+// from the spill list when the in-memory queue cannot cover the
+// request. bigPending counts queued AND spilled tasks, so without the
+// refill a machine whose backlog sits on disk is sized as a donor yet
+// donates nothing — receivers starve while it pays spill I/O.
+func (e *Engine) stealFrom(m *machine, want int) []*Task {
+	batch := m.qglobal.popBackBatch(want)
+	for len(batch) < want {
+		refill, ok, err := m.lbig.refill()
+		if err != nil {
+			e.fail(err)
+			break
+		}
+		if !ok {
+			break
+		}
+		need := want - len(batch)
+		if need > len(refill) {
+			need = len(refill)
+		}
+		batch = append(batch, refill[:need]...)
+		m.qglobal.pushBackAll(refill[need:])
+	}
+	return batch
+}
+
+// dispatchStolen hands a stolen batch to the receiving machine: as
+// GQS1 bytes through the transport's task channel when one is
+// configured (real distributed stealing — the same serialization as
+// spill files), as an in-memory queue move otherwise (also the
+// fallback for a batch too large for one wire frame).
+func (e *Engine) dispatchStolen(recv int, batch []*Task) error {
+	if tc := e.taskChannel(); tc != nil {
+		enc := batchEncoders.Get().(*store.BatchEncoder)
+		data, err := encodeTaskBatch(enc, batch, e.spillCodec)
+		if err == nil && len(data) <= maxFramePayload {
+			err = tc.SendTasks(recv, data)
+			batchEncoders.Put(enc)
+			if err != nil {
+				return err
+			}
+			e.tasksStolenRemote.Add(uint64(len(batch)))
+			return nil
+		}
+		batchEncoders.Put(enc)
+		if err != nil {
+			return err
+		}
+	}
+	e.TaskSink(recv)(batch)
+	return nil
+}
+
+// taskChannel returns the transport's task channel when remote task
+// shipping is possible: the transport implements it, delivery is
+// configured, and the app has a codec to serialize payloads.
+func (e *Engine) taskChannel() TaskChannel {
+	if e.spillCodec == nil {
+		return nil
+	}
+	tc, ok := e.transport.(TaskChannel)
+	if !ok || !tc.TaskChannelReady() {
+		return nil
+	}
+	return tc
 }
 
 func (e *Engine) collectMetrics(wall time.Duration) *Metrics {
@@ -345,6 +492,11 @@ func (e *Engine) collectMetrics(wall time.Duration) *Metrics {
 	met.PeakSpillBytes = e.disk.peak.Load()
 	met.StealRounds = e.stealRounds.Load()
 	met.TasksStolen = e.tasksStolen.Load()
+	met.TasksStolenRemote = e.tasksStolenRemote.Load()
+	if ts, ok := e.transport.(TransportStats); ok {
+		met.BatchedFetches = ts.BatchedFetches()
+		met.WireBytesSent, met.WireBytesReceived = ts.WireBytes()
+	}
 	// Take one final heap sample: short jobs can finish between
 	// sampler ticks.
 	var ms runtime.MemStats

@@ -109,6 +109,11 @@ func (f *failingTransport) FetchAdj(int, graph.V) ([]graph.V, error) {
 	f.fetches.Add(1)
 	return nil, errors.New("synthetic transport failure")
 }
+
+func (f *failingTransport) FetchAdjBatch(int, []graph.V) ([][]graph.V, error) {
+	f.fetches.Add(1)
+	return nil, errors.New("synthetic transport failure")
+}
 func (f *failingTransport) Fetches() uint64 { return f.fetches.Load() }
 
 func TestEngineTransportFailure(t *testing.T) {
@@ -144,12 +149,17 @@ func TestVertexServerMalformedRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	tr := NewTCPTransport([]string{srv.Addr()})
+	tr := NewTCPTransport([]string{srv.Addr()}, g.NumVertices())
 	defer tr.Close()
-	// Out-of-range vertex: the server drops the connection; the
-	// client sees an error, not a hang.
-	if _, err := tr.FetchAdj(0, 9999); err == nil {
+	// Out-of-range vertex: the server answers with an explicit opError
+	// frame naming the problem — not a silently dropped connection
+	// that the client reports as a bare EOF.
+	_, err = tr.FetchAdj(0, 9999)
+	if err == nil {
 		t.Fatal("out-of-range fetch succeeded")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("error does not carry the server's message: %v", err)
 	}
 	// The transport recovers with a fresh connection afterwards.
 	adj, err := tr.FetchAdj(0, 3)

@@ -1,0 +1,210 @@
+package gthinker
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+)
+
+// vecApp is a do-nothing app that provides the vecCodec TaskCodec, so
+// engines built on it get columnar spilling and a working task
+// channel.
+type vecApp struct {
+	nilApp
+	vecCodec
+}
+
+// TestStealRefillsFromSpilledBacklog is the regression test for the
+// steal-master stall: a donor whose big tasks all sit in spill files
+// (bigPending counts them) used to donate nothing because stealRound
+// drained only the in-memory queue — receivers starved while the
+// donor paid refill I/O alone.
+func TestStealRefillsFromSpilledBacklog(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.2, 1)
+	e, err := NewEngine(g, vecApp{}, Config{
+		Machines: 2, WorkersPerMachine: 1,
+		QueueCap: 8, BatchSize: 4, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0's entire backlog is on disk, as after QueueCap
+	// overflow: two spilled batches, an empty queue.
+	mkTasks := func(n int) []*Task {
+		ts := make([]*Task, n)
+		for i := range ts {
+			ts[i] = NewTask([]graph.V{graph.V(i)})
+		}
+		return ts
+	}
+	if err := e.machines[0].lbig.spill(mkTasks(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.machines[0].lbig.spill(mkTasks(4)); err != nil {
+		t.Fatal(err)
+	}
+	if e.machines[0].qglobal.len() != 0 || e.machines[0].bigPending() != 8 {
+		t.Fatalf("setup wrong: queue=%d pending=%d",
+			e.machines[0].qglobal.len(), e.machines[0].bigPending())
+	}
+
+	e.stealRound()
+
+	if got := e.machines[1].qglobal.len(); got == 0 {
+		t.Fatal("spilled backlog donated nothing")
+	}
+	if e.tasksStolen.Load() == 0 {
+		t.Fatal("steal counter not updated")
+	}
+	// Nothing was lost: queued tasks plus tasks still on disk cover
+	// the original eight.
+	remaining := e.machines[0].qglobal.len() + e.machines[0].lbig.count() +
+		e.machines[1].qglobal.len()
+	if remaining != 8 {
+		t.Fatalf("tasks lost in spill-backed steal: %d of 8 remain", remaining)
+	}
+	e.cleanupSpill()
+}
+
+// TestStealFromPartialRefill: a refilled batch larger than the steal
+// request leaves the excess on the donor's queue, not on the floor.
+func TestStealFromPartialRefill(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.2, 1)
+	e, err := NewEngine(g, vecApp{}, Config{
+		Machines: 2, WorkersPerMachine: 1,
+		QueueCap: 8, BatchSize: 8, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]*Task, 6)
+	for i := range ts {
+		ts[i] = NewTask([]graph.V{graph.V(i)})
+	}
+	if err := e.machines[0].lbig.spill(ts); err != nil {
+		t.Fatal(err)
+	}
+	batch := e.stealFrom(e.machines[0], 2)
+	if len(batch) != 2 {
+		t.Fatalf("stealFrom returned %d tasks, want 2", len(batch))
+	}
+	if got := e.machines[0].qglobal.len(); got != 4 {
+		t.Fatalf("refill excess lost: %d queued, want 4", got)
+	}
+	if e.machines[0].lbig.count() != 0 {
+		t.Fatal("spill file not consumed")
+	}
+	e.cleanupSpill()
+}
+
+// TestStealRoundShipsRemote drives one steal round over the in-process
+// TCP plane and checks the batch crossed the wire as GQS1 bytes: the
+// receiving machine's queue is filled by its TaskServer (via TaskSink)
+// with decoded equivalents, not the sender's Task pointers.
+func TestStealRoundShipsRemote(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.2, 1)
+	e, err := NewEngine(g, vecApp{}, Config{
+		Machines: 2, WorkersPerMachine: 1,
+		SpillDir: t.TempDir(), InProcessTCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.closeOwnedNetwork()
+	if e.taskChannel() == nil {
+		t.Fatal("in-process TCP engine has no task channel")
+	}
+	orig := make(map[uint64]*Task, 10)
+	for i := 0; i < 10; i++ {
+		tk := NewTask([]graph.V{graph.V(i), graph.V(i * 2)})
+		tk.Pulls = []graph.V{graph.V(i + 50)}
+		orig[tk.ID] = tk
+		e.machines[0].qglobal.pushBack(tk)
+	}
+
+	e.stealRound()
+
+	if e.tasksStolenRemote.Load() == 0 {
+		t.Fatal("steal moved tasks in memory despite a configured task channel")
+	}
+	got := e.machines[1].qglobal.popBackBatch(100)
+	if len(got) == 0 {
+		t.Fatal("receiver got nothing")
+	}
+	for _, tk := range got {
+		want, ok := orig[tk.ID]
+		if !ok {
+			t.Fatalf("received unknown task %d", tk.ID)
+		}
+		if tk == want {
+			t.Fatal("received the sender's pointer: batch never crossed the wire")
+		}
+		if tk.Pulls[0] != want.Pulls[0] {
+			t.Fatalf("task %d pulls corrupted: %v vs %v", tk.ID, tk.Pulls, want.Pulls)
+		}
+		p, q := tk.Payload.([]graph.V), want.Payload.([]graph.V)
+		if len(p) != len(q) || p[0] != q[0] || p[1] != q[1] {
+			t.Fatalf("task %d payload corrupted: %v vs %v", tk.ID, p, q)
+		}
+	}
+	if int(e.tasksStolenRemote.Load()) != len(got) {
+		t.Fatalf("remote-steal counter %d != received %d", e.tasksStolenRemote.Load(), len(got))
+	}
+}
+
+// slowSpawnApp widens the spawn/termination race window: Spawn takes
+// longer than the 1 ms watcher tick, so a watcher that treats an
+// advanced spawn cursor as "spawned and accounted" fires mid-spawn.
+// The spawned task is big, landing on the machine's global queue —
+// the placement the racing worker loop abandons on doneFlag (a small
+// task is popped back off qlocal within the same step and computed
+// even after a premature doneFlag).
+type slowSpawnApp struct {
+	computed atomic.Int64
+}
+
+func (a *slowSpawnApp) Spawn(v graph.V, adj []graph.V, _ *Ctx) *Task {
+	time.Sleep(3 * time.Millisecond)
+	return NewTask([]graph.V{v})
+}
+
+func (a *slowSpawnApp) Compute(t *Task, _ map[graph.V][]graph.V, _ *Ctx) bool {
+	a.computed.Add(1)
+	return false
+}
+
+func (a *slowSpawnApp) IsBig(*Task) bool { return true }
+
+// TestSpawnTerminationRace is the regression test for the dropped
+// final task: liveness must be reserved before the spawn cursor
+// advances, otherwise the termination watcher can observe
+// allSpawned() && live == 0 while the last Spawn is still running and
+// end the job before its task reaches a queue. A single-vertex
+// partition makes the first cursor advance the last one, so every
+// iteration used to race; hammered repeatedly (and under -race in CI).
+func TestSpawnTerminationRace(t *testing.T) {
+	g := graph.NewBuilder(1).Build()
+	dir := t.TempDir()
+	const runs = 50
+	app := &slowSpawnApp{}
+	for i := 0; i < runs; i++ {
+		e, err := NewEngine(g, app, Config{Machines: 1, WorkersPerMachine: 1, SpillDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.TasksSpawned != 1 || met.TasksFinished != 1 {
+			t.Fatalf("run %d dropped the final task: spawned=%d finished=%d",
+				i, met.TasksSpawned, met.TasksFinished)
+		}
+	}
+	if got := app.computed.Load(); got != runs {
+		t.Fatalf("computed %d of %d spawned tasks", got, runs)
+	}
+}

@@ -19,9 +19,16 @@ type Metrics struct {
 
 	LocalReads    uint64 // vertex-table reads served locally
 	RemoteFetches uint64 // adjacency lists fetched across machines
-	CacheHits     uint64
-	CacheMisses   uint64
-	CacheEvicted  uint64
+	// BatchedFetches counts remote fetch round trips: the resolve path
+	// groups a task's cache-missed pulls by owning machine, so this is
+	// O(owners) per task where RemoteFetches is O(pulls). The ratio is
+	// the latency saving of the batched RPC plane.
+	BatchedFetches    uint64
+	WireBytesSent     uint64 // transport bytes written (frame headers included)
+	WireBytesReceived uint64 // transport bytes read
+	CacheHits         uint64
+	CacheMisses       uint64
+	CacheEvicted      uint64
 
 	SpillFiles        int64
 	SpillBytesWritten int64
@@ -31,6 +38,10 @@ type Metrics struct {
 
 	StealRounds uint64 // master periods that moved at least one task
 	TasksStolen uint64
+	// TasksStolenRemote counts stolen tasks that crossed the wire as
+	// GQS1 batches through the transport's task channel (a subset of
+	// TasksStolen; the rest moved in memory).
+	TasksStolenRemote uint64
 
 	// WorkerBusy is per-worker accumulated Compute time (dense worker
 	// IDs across machines). The spread between workers is the paper's
@@ -73,10 +84,12 @@ func (m *Metrics) BusyImbalance() float64 {
 // String renders a compact summary.
 func (m *Metrics) String() string {
 	return fmt.Sprintf(
-		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d busy=%v imbalance=%.2f",
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB busy=%v imbalance=%.2f",
 		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
-		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.SpillBytesWritten, m.PeakSpillBytes,
+		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.TasksStolenRemote, m.SpillBytesWritten, m.PeakSpillBytes,
 		m.SpillBytesRead, m.RefillBatches,
-		m.CacheHits, m.CacheHits+m.CacheMisses, m.TotalBusy().Round(time.Millisecond),
+		m.CacheHits, m.CacheHits+m.CacheMisses,
+		m.BatchedFetches, m.RemoteFetches, m.WireBytesSent, m.WireBytesReceived,
+		m.TotalBusy().Round(time.Millisecond),
 		m.BusyImbalance())
 }

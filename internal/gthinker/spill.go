@@ -113,11 +113,12 @@ func (l *spillList) spill(tasks []*Task) error {
 	return nil
 }
 
-// writeColumnar encodes tasks as one GQS1 batch — the flat arrays of
-// every payload written verbatim — and writes it in a single syscall.
-func writeColumnar(path string, tasks []*Task, codec TaskCodec) (int64, error) {
-	enc := batchEncoders.Get().(*store.BatchEncoder)
-	defer batchEncoders.Put(enc)
+// encodeTaskBatch encodes tasks as one GQS1 batch via codec — the one
+// serialization shared by spill files, the TCP task channel (stolen
+// batches cross the wire as these exact bytes), and batch refills.
+// The returned bytes alias enc's buffer and are valid until its next
+// Reset.
+func encodeTaskBatch(enc *store.BatchEncoder, tasks []*Task, codec TaskCodec) ([]byte, error) {
 	enc.Reset()
 	for _, t := range tasks {
 		buf := enc.BeginRecord()
@@ -133,13 +134,65 @@ func writeColumnar(path string, tasks []*Task, codec TaskCodec) (int64, error) {
 			var err error
 			buf, err = codec.AppendTaskPayload(buf, t.Payload)
 			if err != nil {
-				return 0, fmt.Errorf("gthinker: spill encode task: %w", err)
+				return nil, fmt.Errorf("gthinker: encode task: %w", err)
 			}
 			binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
 		}
 		enc.EndRecord(buf)
 	}
-	data := enc.Finish()
+	return enc.Finish(), nil
+}
+
+// decodeTaskBatch decodes one GQS1 batch (read from a spill file or
+// received as an opTaskSteal frame) back into tasks. Decoded slices
+// alias data, which the tasks keep alive; each record's regions belong
+// to exactly one task, so in-place mutation stays safe.
+func decodeTaskBatch(data []byte, codec TaskCodec) ([]*Task, error) {
+	d, err := store.DecodeBatch(data)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]*Task, 0, d.Count())
+	for {
+		rec, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return tasks, nil
+		}
+		c := store.NewCursor(rec)
+		t := &Task{ID: c.U64()}
+		t.Pulls = c.U32s(int(c.U32()))
+		hasPayload := c.U32()
+		if hasPayload != 0 {
+			payload := c.Bytes(int(c.U32()))
+			if c.Err() == nil {
+				t.Payload, err = codec.DecodeTaskPayload(payload)
+				if err != nil {
+					return nil, fmt.Errorf("gthinker: decode task: %w", err)
+				}
+			}
+		}
+		if err := c.Err(); err != nil {
+			return nil, fmt.Errorf("gthinker: decode task: %w", err)
+		}
+		if c.Remaining() != 0 {
+			return nil, fmt.Errorf("gthinker: decode task: %d trailing bytes", c.Remaining())
+		}
+		tasks = append(tasks, t)
+	}
+}
+
+// writeColumnar encodes tasks as one GQS1 batch — the flat arrays of
+// every payload written verbatim — and writes it in a single syscall.
+func writeColumnar(path string, tasks []*Task, codec TaskCodec) (int64, error) {
+	enc := batchEncoders.Get().(*store.BatchEncoder)
+	defer batchEncoders.Put(enc)
+	data, err := encodeTaskBatch(enc, tasks, codec)
+	if err != nil {
+		return 0, fmt.Errorf("gthinker: spill: %w", err)
+	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return 0, fmt.Errorf("gthinker: spill: %w", err)
 	}
@@ -213,40 +266,15 @@ func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
 // per task a header walk plus pointer fix-up (decoded arrays alias the
 // batch buffer, which the tasks keep alive).
 func readColumnar(path string, codec TaskCodec) ([]*Task, error) {
-	d, _, err := store.ReadBatchFile(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("gthinker: refill: %w", err)
 	}
-	tasks := make([]*Task, 0, d.Count())
-	for {
-		rec, err := d.Next()
-		if err != nil {
-			return nil, fmt.Errorf("gthinker: refill: %w", err)
-		}
-		if rec == nil {
-			return tasks, nil
-		}
-		c := store.NewCursor(rec)
-		t := &Task{ID: c.U64()}
-		t.Pulls = c.U32s(int(c.U32()))
-		hasPayload := c.U32()
-		if hasPayload != 0 {
-			data := c.Bytes(int(c.U32()))
-			if c.Err() == nil {
-				t.Payload, err = codec.DecodeTaskPayload(data)
-				if err != nil {
-					return nil, fmt.Errorf("gthinker: refill decode task: %w", err)
-				}
-			}
-		}
-		if err := c.Err(); err != nil {
-			return nil, fmt.Errorf("gthinker: refill decode task: %w", err)
-		}
-		if c.Remaining() != 0 {
-			return nil, fmt.Errorf("gthinker: refill decode task: %d trailing bytes", c.Remaining())
-		}
-		tasks = append(tasks, t)
+	tasks, err := decodeTaskBatch(data, codec)
+	if err != nil {
+		return nil, fmt.Errorf("gthinker: refill %s: %w", path, err)
 	}
+	return tasks, nil
 }
 
 // readGob loads one legacy gob batch.

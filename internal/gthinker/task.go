@@ -17,13 +17,21 @@
 //     then ready small tasks, then popping big tasks, then local ones,
 //     and stop a spawn batch as soon as it produces a big task,
 //   - a master that periodically rebalances pending big tasks across
-//     machines (task stealing).
+//     machines (task stealing), refilling donors from their spill
+//     lists so a backlog on disk still donates,
+//   - a batched RPC plane (tcp.go): a multi-op length-prefixed frame
+//     protocol serving adjacency batches (one round trip per owning
+//     machine per task, not per vertex), a task channel shipping
+//     stolen big-task batches as GQS1 bytes (the spill serialization
+//     reused as the wire format), and health probes.
 //
 // The cluster is simulated in one process: "machines" are groups of
-// worker goroutines and the network is a loopback Transport. Every
-// engine mechanism the paper evaluates lives above the transport, so
-// the exercised code paths match the distributed original; see
-// DESIGN.md §3 for the substitution argument.
+// worker goroutines and the network is a loopback Transport — or,
+// with Config.InProcessTCP, per-machine VertexServers/TaskServers and
+// a TCPTransport exchanging real socket traffic on 127.0.0.1. Every
+// engine mechanism the paper evaluates lives above the Transport
+// interface, so the exercised code paths match the distributed
+// original; see DESIGN.md §3 for the substitution argument.
 package gthinker
 
 import (

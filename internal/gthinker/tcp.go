@@ -11,110 +11,362 @@ import (
 	"sync/atomic"
 
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/store"
 )
 
-// The TCP transport gives the vertex-table protocol a real network
-// path: each simulated machine's partition is served by a
-// VertexServer, and TCPTransport performs one socket round trip per
-// cache-missed adjacency fetch. The wire protocol is minimal:
+// The TCP layer gives the engine a real network path: each simulated
+// machine's vertex partition is served by a VertexServer, stolen
+// big-task batches are delivered to a TaskServer, and TCPTransport
+// connects to both. Every exchange is one length-prefixed multi-op
+// frame in each direction:
 //
-//	request:  uvarint vertexID
-//	response: uvarint degree, then degree × uvarint vertex IDs
+//	frame: op uint8, payloadLen uint32 (LE), payload [payloadLen]byte
 //
-// A production deployment would add batching and pipelining; this
-// implementation exists to prove the engine runs unchanged over real
-// sockets (see TestEngineTCPTransport).
+// Ops (requests answered by a frame with the same op, or opError):
+//
+//	opAdjBatch  payload: count u32, count × u32 vertex IDs
+//	            reply:   answered u32 (1 ≤ answered ≤ count), then
+//	            answered × { deg u32, deg × u32 vertex IDs } for the
+//	            first `answered` requested ids. The server answers a
+//	            prefix when the full reply would overflow the frame
+//	            budget; the client re-requests the remainder, so a
+//	            huge batch degrades to more round trips instead of an
+//	            un-receivable frame.
+//	opTaskSteal payload: one GQS1 task batch (store.BatchEncoder
+//	            framing, records encoded by the engine's TaskCodec —
+//	            byte-identical to a spill file's contents)
+//	            reply:   empty (acknowledgement after delivery)
+//	opHealth    payload: empty
+//	            reply:   u64 requests-served counter
+//	opError     reply payload: UTF-8 message; the server closes the
+//	            connection afterwards (the stream may be out of sync)
+//
+// Batching is the point: the engine resolves a task's remote pulls
+// with one opAdjBatch per owning machine instead of one round trip
+// per vertex, and a stolen batch of C big tasks crosses the wire as
+// one opTaskSteal frame. All integers are little-endian, matching the
+// GQS1/GQC2 on-disk formats.
+//
+// Allocation off the wire is bounded on both sides: a frame's payload
+// length is checked against maxFramePayload (and, server-side,
+// against the largest possible request for the served graph) before
+// the receive buffer is allocated, per-record counts are bounds-
+// checked by store.Cursor against the bytes actually present before
+// any slice is built, and adjacency degrees are validated against the
+// known vertex count — a corrupt or malicious peer yields a protocol
+// error, not an OOM.
 
-// VertexServer serves adjacency lists of a graph over TCP.
+const (
+	opAdjBatch  byte = 0x01
+	opTaskSteal byte = 0x02
+	opHealth    byte = 0x03
+	opError     byte = 0x7F
+)
+
+// maxFramePayload caps any frame accepted off a socket (64 MiB —
+// comfortably above a BatchSize×τsplit task batch or a dense
+// adjacency response, far below an allocation that could OOM the
+// process).
+const maxFramePayload = 64 << 20
+
+// maxWireFrame is the absolute frame ceiling (1 GiB): writeFrame
+// refuses anything larger instead of letting the u32 length prefix
+// wrap and desync the stream.
+const maxWireFrame = 1 << 30
+
+// adjFrameBudget is the adjacency-response frame budget base — a var
+// so tests can shrink it and exercise prefix answering without
+// gigabyte graphs.
+var adjFrameBudget = maxFramePayload
+
+// adjResponseLimit returns the adjacency-response frame budget for a
+// graph of n vertices: adjFrameBudget, widened just enough that one
+// maximum-degree row (deg < n) always fits — the server's prefix
+// answering guarantees progress only if a single answer can ship.
+func adjResponseLimit(n int) int {
+	lim := adjFrameBudget
+	if need := 12 + 4*n; need > lim {
+		lim = need
+	}
+	if lim > maxWireFrame {
+		lim = maxWireFrame
+	}
+	return lim
+}
+
+// frameHeaderLen is op (1 byte) + payload length (4 bytes).
+const frameHeaderLen = 5
+
+// writeFrame emits one frame and flushes it.
+func writeFrame(w *bufio.Writer, op byte, payload []byte) error {
+	if len(payload) > maxWireFrame {
+		return fmt.Errorf("gthinker: frame payload of %d bytes exceeds wire limit %d",
+			len(payload), maxWireFrame)
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// errFrameTooLarge marks a declared payload length over the reader's
+// limit — a protocol violation the server reports back, unlike plain
+// I/O errors.
+var errFrameTooLarge = errors.New("frame exceeds size limit")
+
+// readFrame reads one frame, bounding the payload allocation by
+// maxPayload before it happens. The returned payload is freshly
+// allocated per frame, so decoded slices may alias it indefinitely.
+func readFrame(r *bufio.Reader, maxPayload int) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	// Compare in uint64 before any int conversion: on 32-bit hosts a
+	// declared length ≥ 2³¹ must hit this check, not wrap negative and
+	// panic the allocation below.
+	n32 := binary.LittleEndian.Uint32(hdr[1:])
+	if uint64(n32) > uint64(maxPayload) {
+		return 0, nil, fmt.Errorf("gthinker: %w: %d bytes declared, limit %d",
+			errFrameTooLarge, n32, maxPayload)
+	}
+	payload := make([]byte, int(n32))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// serveFrames is the per-connection loop shared by both servers: read
+// a request frame, dispatch it, write the reply. A dispatch error is
+// reported to the client as an opError frame and closes the
+// connection (after opError the stream state is not trusted).
+func serveFrames(conn net.Conn, maxReq int, dispatch func(op byte, payload []byte) ([]byte, error)) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(r, maxReq)
+		if err != nil {
+			if errors.Is(err, errFrameTooLarge) {
+				writeFrame(w, opError, []byte(err.Error()))
+			}
+			return // EOF/broken pipe: client done
+		}
+		resp, err := dispatch(op, payload)
+		if err != nil {
+			writeFrame(w, opError, []byte(err.Error()))
+			return
+		}
+		if err := writeFrame(w, op, resp); err != nil {
+			return
+		}
+	}
+}
+
+// listener wraps the accept loop shared by both servers.
+type listener struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+func (l *listener) serve(addr string, handle func(net.Conn)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	l.ln = ln
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				defer conn.Close()
+				handle(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+func (l *listener) addr() string { return l.ln.Addr().String() }
+
+func (l *listener) close() error {
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+// VertexServer serves adjacency lists of a graph over TCP (opAdjBatch
+// and opHealth).
 type VertexServer struct {
 	g      *graph.Graph
-	ln     net.Listener
-	wg     sync.WaitGroup
+	l      listener
 	served atomic.Uint64
-	closed atomic.Bool
 }
 
 // ServeVertexTable starts a server on addr ("127.0.0.1:0" picks a free
 // port). Close it when done.
 func ServeVertexTable(addr string, g *graph.Graph) (*VertexServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
+	s := &VertexServer{g: g}
+	if err := s.l.serve(addr, s.handle); err != nil {
 		return nil, fmt.Errorf("gthinker: vertex server: %w", err)
 	}
-	s := &VertexServer{g: g, ln: ln}
-	s.wg.Add(1)
-	go s.acceptLoop()
 	return s, nil
 }
 
 // Addr returns the bound address.
-func (s *VertexServer) Addr() string { return s.ln.Addr().String() }
+func (s *VertexServer) Addr() string { return s.l.addr() }
 
-// Served returns the number of requests answered.
+// Served returns the number of adjacency lists served (each id of a
+// batch counts once, mirroring Transport.Fetches on the client side).
 func (s *VertexServer) Served() uint64 { return s.served.Load() }
 
 // Close stops the server and waits for handlers to drain.
-func (s *VertexServer) Close() error {
-	s.closed.Store(true)
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *VertexServer) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			s.handle(conn)
-		}()
-	}
-}
+func (s *VertexServer) Close() error { return s.l.close() }
 
 func (s *VertexServer) handle(conn net.Conn) {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	buf := make([]byte, binary.MaxVarintLen64)
-	for {
-		id, err := binary.ReadUvarint(r)
-		if err != nil {
-			return // EOF or broken pipe: client done
-		}
-		if id >= uint64(s.g.NumVertices()) {
-			return // malformed request: drop the connection
-		}
-		adj := s.g.Adj(graph.V(id))
-		n := binary.PutUvarint(buf, uint64(len(adj)))
-		if _, err := w.Write(buf[:n]); err != nil {
-			return
-		}
-		for _, u := range adj {
-			n = binary.PutUvarint(buf, uint64(u))
-			if _, err := w.Write(buf[:n]); err != nil {
-				return
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-		s.served.Add(1)
+	// The largest well-formed request asks for every vertex once.
+	maxReq := 8 + 4*s.g.NumVertices()
+	if maxReq > maxFramePayload {
+		maxReq = maxFramePayload
 	}
+	serveFrames(conn, maxReq, func(op byte, payload []byte) ([]byte, error) {
+		switch op {
+		case opAdjBatch:
+			return s.adjBatch(payload)
+		case opHealth:
+			return store.AppendU64(nil, s.served.Load()), nil
+		default:
+			return nil, fmt.Errorf("gthinker: vertex server: unknown op 0x%02x", op)
+		}
+	})
 }
 
-// TCPTransport fetches adjacency lists from per-machine VertexServers.
-// One pooled connection per owner, serialized by a mutex — adequate
-// for the fetch granularity of this engine (the cache absorbs reuse).
-type TCPTransport struct {
-	addrs   []string
-	mu      []sync.Mutex
-	conns   []*tcpConn
-	fetches atomic.Uint64
+// adjBatch answers one batched fetch. Malformed requests (bad counts,
+// out-of-range vertices, trailing bytes) produce an error — reported
+// to the client as opError — instead of a silently dropped connection.
+// When the full reply would overflow the frame budget, the server
+// answers the longest prefix that fits (always at least one id, which
+// adjResponseLimit guarantees is shippable) and the client re-requests
+// the rest.
+func (s *VertexServer) adjBatch(payload []byte) ([]byte, error) {
+	n := s.g.NumVertices()
+	c := store.NewCursor(payload)
+	count := int(c.U32())
+	if count > n {
+		return nil, fmt.Errorf("gthinker: vertex server: batch of %d requests exceeds vertex count %d", count, n)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("gthinker: vertex server: empty batch request")
+	}
+	ids := c.U32s(count)
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: vertex server: malformed batch request: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("gthinker: vertex server: %d trailing bytes in batch request", c.Remaining())
+	}
+	for _, id := range ids {
+		if int(id) >= n {
+			return nil, fmt.Errorf("gthinker: vertex server: vertex %d out of range [0,%d)", id, n)
+		}
+	}
+	limit := adjResponseLimit(n)
+	size := 4
+	answered := 0
+	for _, id := range ids {
+		need := 4 + 4*len(s.g.Adj(id))
+		if answered > 0 && size+need > limit {
+			break
+		}
+		size += need
+		answered++
+	}
+	resp := make([]byte, 0, size)
+	resp = store.AppendU32(resp, uint32(answered))
+	for _, id := range ids[:answered] {
+		adj := s.g.Adj(id)
+		resp = store.AppendU32(resp, uint32(len(adj)))
+		resp = store.AppendU32s(resp, adj)
+	}
+	s.served.Add(uint64(answered))
+	return resp, nil
+}
+
+// TaskServer receives stolen big-task batches (opTaskSteal) for one
+// machine: each frame is one GQS1 batch, decoded with the app's
+// TaskCodec — the same serialization as spill files — and handed to
+// the deliver callback before the acknowledgement goes out, so a
+// sender's SendTasks return means the tasks are enqueued.
+type TaskServer struct {
+	l         listener
+	codec     TaskCodec
+	deliver   func([]*Task)
+	delivered atomic.Uint64
+}
+
+// ServeTasks starts a task channel endpoint on addr. deliver receives
+// each decoded batch (typically Engine.TaskSink, which pushes onto the
+// machine's global queue); it runs on the connection goroutine and
+// must be safe for concurrent use.
+func ServeTasks(addr string, codec TaskCodec, deliver func([]*Task)) (*TaskServer, error) {
+	if codec == nil || deliver == nil {
+		return nil, fmt.Errorf("gthinker: task server needs a codec and a deliver callback")
+	}
+	s := &TaskServer{codec: codec, deliver: deliver}
+	if err := s.l.serve(addr, s.handle); err != nil {
+		return nil, fmt.Errorf("gthinker: task server: %w", err)
+	}
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TaskServer) Addr() string { return s.l.addr() }
+
+// Delivered returns the number of tasks delivered.
+func (s *TaskServer) Delivered() uint64 { return s.delivered.Load() }
+
+// Close stops the server and waits for handlers to drain.
+func (s *TaskServer) Close() error { return s.l.close() }
+
+func (s *TaskServer) handle(conn net.Conn) {
+	serveFrames(conn, maxFramePayload, func(op byte, payload []byte) ([]byte, error) {
+		switch op {
+		case opTaskSteal:
+			tasks, err := decodeTaskBatch(payload, s.codec)
+			if err != nil {
+				return nil, fmt.Errorf("gthinker: task server: %w", err)
+			}
+			s.deliver(tasks)
+			s.delivered.Add(uint64(len(tasks)))
+			return nil, nil
+		case opHealth:
+			return store.AppendU64(nil, s.delivered.Load()), nil
+		default:
+			return nil, fmt.Errorf("gthinker: task server: unknown op 0x%02x", op)
+		}
+	})
+}
+
+// connPool keeps one pooled connection per peer address, serialized by
+// a per-peer mutex — adequate for the fetch granularity of this engine
+// (the vertex cache absorbs reuse; the steal master is one goroutine).
+type connPool struct {
+	addrs []string
+	mu    []sync.Mutex
+	conns []*tcpConn
 }
 
 type tcpConn struct {
@@ -123,85 +375,234 @@ type tcpConn struct {
 	w *bufio.Writer
 }
 
-// NewTCPTransport returns a transport over one server address per
-// machine.
-func NewTCPTransport(addrs []string) *TCPTransport {
-	return &TCPTransport{
+func newConnPool(addrs []string) connPool {
+	return connPool{
 		addrs: addrs,
 		mu:    make([]sync.Mutex, len(addrs)),
 		conns: make([]*tcpConn, len(addrs)),
 	}
 }
 
-// FetchAdj performs one request/response round trip to the owner.
-func (t *TCPTransport) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
-	if owner < 0 || owner >= len(t.addrs) {
-		return nil, fmt.Errorf("gthinker: no server for machine %d", owner)
+// roundTrip performs one framed request/response exchange with peer i,
+// bounding the response allocation by maxResp and accounting wire
+// bytes in sent/recvd. On any error the pooled connection is dropped
+// (the next call redials).
+func (p *connPool) roundTrip(i int, op byte, payload []byte, maxResp int, sent, recvd *atomic.Uint64) ([]byte, error) {
+	if i < 0 || i >= len(p.addrs) {
+		return nil, fmt.Errorf("gthinker: no server for machine %d", i)
 	}
-	t.mu[owner].Lock()
-	defer t.mu[owner].Unlock()
-	cc := t.conns[owner]
+	p.mu[i].Lock()
+	defer p.mu[i].Unlock()
+	cc := p.conns[i]
 	if cc == nil {
-		c, err := net.Dial("tcp", t.addrs[owner])
+		c, err := net.Dial("tcp", p.addrs[i])
 		if err != nil {
-			return nil, fmt.Errorf("gthinker: dial %s: %w", t.addrs[owner], err)
+			return nil, fmt.Errorf("gthinker: dial %s: %w", p.addrs[i], err)
 		}
 		cc = &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
-		t.conns[owner] = cc
+		p.conns[i] = cc
 	}
-	buf := make([]byte, binary.MaxVarintLen64)
-	n := binary.PutUvarint(buf, uint64(v))
-	if _, err := cc.w.Write(buf[:n]); err != nil {
-		t.drop(owner)
+	if err := writeFrame(cc.w, op, payload); err != nil {
+		p.drop(i)
 		return nil, err
 	}
-	if err := cc.w.Flush(); err != nil {
-		t.drop(owner)
-		return nil, err
-	}
-	deg, err := binary.ReadUvarint(cc.r)
+	sent.Add(uint64(frameHeaderLen + len(payload)))
+	respOp, resp, err := readFrame(cc.r, maxResp)
 	if err != nil {
-		t.drop(owner)
+		p.drop(i)
+		return nil, fmt.Errorf("gthinker: machine %d: %w", i, err)
+	}
+	recvd.Add(uint64(frameHeaderLen + len(resp)))
+	if respOp == opError {
+		// The server closes its end after an opError; drop ours too.
+		p.drop(i)
+		return nil, fmt.Errorf("gthinker: machine %d: server error: %s", i, resp)
+	}
+	if respOp != op {
+		p.drop(i)
+		return nil, fmt.Errorf("gthinker: machine %d: response op 0x%02x for request 0x%02x", i, respOp, op)
+	}
+	return resp, nil
+}
+
+func (p *connPool) drop(i int) {
+	if cc := p.conns[i]; cc != nil {
+		cc.c.Close()
+		p.conns[i] = nil
+	}
+}
+
+func (p *connPool) close() error {
+	var firstErr error
+	for i := range p.conns {
+		p.mu[i].Lock()
+		if p.conns[i] != nil {
+			if err := p.conns[i].c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			p.conns[i] = nil
+		}
+		p.mu[i].Unlock()
+	}
+	return firstErr
+}
+
+// TCPTransport is the socket implementation of Transport (plus
+// TaskChannel and TransportStats): adjacency batches go to per-machine
+// VertexServers, stolen task batches to per-machine TaskServers.
+type TCPTransport struct {
+	verts       connPool
+	tasks       connPool
+	numVertices int
+
+	fetches atomic.Uint64
+	batches atomic.Uint64
+	shipped atomic.Uint64
+	sent    atomic.Uint64
+	recvd   atomic.Uint64
+}
+
+// NewTCPTransport returns a transport over one VertexServer address
+// per machine. numVertices is the served graph's vertex count, used to
+// validate counts and degrees read off the wire before any dependent
+// allocation; pass the real count (0 disables only the semantic check,
+// the frame-size cap always applies).
+func NewTCPTransport(addrs []string, numVertices int) *TCPTransport {
+	return &TCPTransport{verts: newConnPool(addrs), numVertices: numVertices}
+}
+
+// SetTaskAddrs configures the task channel with one TaskServer address
+// per machine, enabling remote task stealing. Call before the engine
+// runs; the transport is not ready to ship tasks without it.
+func (t *TCPTransport) SetTaskAddrs(addrs []string) {
+	t.tasks = newConnPool(addrs)
+}
+
+// FetchAdj performs a one-vertex batch round trip.
+func (t *TCPTransport) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
+	out, err := t.FetchAdjBatch(owner, []graph.V{v})
+	if err != nil {
 		return nil, fmt.Errorf("gthinker: fetch %d from %d: %w", v, owner, err)
 	}
-	adj := make([]graph.V, deg)
-	for i := range adj {
-		id, err := binary.ReadUvarint(cc.r)
+	return out[0], nil
+}
+
+// FetchAdjBatch fetches the adjacency lists of ids from their owner,
+// normally in one round trip; when the server answers a prefix to keep
+// a reply inside the frame budget, the remainder is re-requested, so a
+// huge batch costs extra round trips instead of failing.
+func (t *TCPTransport) FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error) {
+	out := make([][]graph.V, 0, len(ids))
+	maxResp := adjResponseLimit(t.numVertices)
+	for rest := ids; len(rest) > 0; {
+		req := make([]byte, 0, 4+4*len(rest))
+		req = store.AppendU32(req, uint32(len(rest)))
+		req = store.AppendU32s(req, rest)
+		resp, err := t.verts.roundTrip(owner, opAdjBatch, req, maxResp, &t.sent, &t.recvd)
 		if err != nil {
-			t.drop(owner)
 			return nil, err
 		}
-		adj[i] = graph.V(id)
+		part, err := decodeAdjBatchResponse(resp, len(rest), t.numVertices)
+		if err != nil {
+			return nil, fmt.Errorf("gthinker: machine %d: %w", owner, err)
+		}
+		out = append(out, part...)
+		rest = rest[len(part):]
+		t.batches.Add(1)
 	}
-	t.fetches.Add(1)
-	return adj, nil
+	t.fetches.Add(uint64(len(ids)))
+	return out, nil
 }
 
-func (t *TCPTransport) drop(owner int) {
-	if cc := t.conns[owner]; cc != nil {
-		cc.c.Close()
-		t.conns[owner] = nil
+// decodeAdjBatchResponse decodes one opAdjBatch reply: the answered
+// count (1 ≤ answered ≤ requested), then that many adjacency lists.
+// The lists alias payload (freshly allocated per frame by readFrame,
+// so they stay valid and immutable). Counts and degrees are validated
+// against requested/numVertices and against the bytes actually present
+// — a lying peer cannot trigger an oversized allocation or an endless
+// re-request loop.
+func decodeAdjBatchResponse(payload []byte, requested, numVertices int) ([][]graph.V, error) {
+	c := store.NewCursor(payload)
+	answered := int(c.U32())
+	if c.Err() == nil && (answered < 1 || answered > requested) {
+		return nil, fmt.Errorf("gthinker: adj batch response answers %d of %d requests", answered, requested)
 	}
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
+	}
+	out := make([][]graph.V, answered)
+	for i := range out {
+		deg := c.U32()
+		if numVertices > 0 && deg > uint32(numVertices) {
+			return nil, fmt.Errorf("gthinker: adjacency %d of %d: degree %d exceeds vertex count %d",
+				i, answered, deg, numVertices)
+		}
+		out[i] = c.U32s(int(deg))
+	}
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("gthinker: %d trailing bytes in adj batch response", c.Remaining())
+	}
+	return out, nil
 }
 
-// Fetches returns the number of successful remote fetches.
+// SendTasks ships one GQS1 task batch to machine dest's TaskServer and
+// waits for the acknowledgement (sent after delivery).
+func (t *TCPTransport) SendTasks(dest int, batch []byte) error {
+	if len(t.tasks.addrs) == 0 {
+		return fmt.Errorf("gthinker: task channel not configured (SetTaskAddrs)")
+	}
+	if _, err := t.tasks.roundTrip(dest, opTaskSteal, batch, maxFramePayload, &t.sent, &t.recvd); err != nil {
+		return err
+	}
+	t.shipped.Add(1)
+	return nil
+}
+
+// TaskChannelReady reports whether SetTaskAddrs configured the task
+// channel.
+func (t *TCPTransport) TaskChannelReady() bool { return len(t.tasks.addrs) > 0 }
+
+// Health performs one opHealth round trip to machine's VertexServer
+// and returns its served counter.
+func (t *TCPTransport) Health(machine int) (uint64, error) {
+	resp, err := t.verts.roundTrip(machine, opHealth, nil, maxFramePayload, &t.sent, &t.recvd)
+	if err != nil {
+		return 0, err
+	}
+	c := store.NewCursor(resp)
+	served := c.U64()
+	if err := c.Err(); err != nil {
+		return 0, fmt.Errorf("gthinker: malformed health response: %w", err)
+	}
+	return served, nil
+}
+
+// Fetches returns the number of adjacency lists fetched.
 func (t *TCPTransport) Fetches() uint64 { return t.fetches.Load() }
+
+// BatchedFetches returns the number of fetch round trips.
+func (t *TCPTransport) BatchedFetches() uint64 { return t.batches.Load() }
+
+// BatchesShipped returns the number of task batches sent.
+func (t *TCPTransport) BatchesShipped() uint64 { return t.shipped.Load() }
+
+// WireBytes returns total bytes sent and received, frame headers
+// included.
+func (t *TCPTransport) WireBytes() (sent, received uint64) {
+	return t.sent.Load(), t.recvd.Load()
+}
 
 // Close tears down pooled connections.
 func (t *TCPTransport) Close() error {
-	var firstErr error
-	for i := range t.conns {
-		t.mu[i].Lock()
-		if t.conns[i] != nil {
-			if err := t.conns[i].c.Close(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			t.conns[i] = nil
-		}
-		t.mu[i].Unlock()
+	err := t.verts.close()
+	if terr := t.tasks.close(); err == nil {
+		err = terr
 	}
-	if firstErr != nil && !errors.Is(firstErr, io.EOF) {
-		return firstErr
+	if err != nil && !errors.Is(err, io.EOF) {
+		return err
 	}
 	return nil
 }

@@ -1,10 +1,17 @@
 package gthinker
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"strings"
 	"testing"
 
 	"gthinkerqc/internal/datagen"
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/store"
 	"gthinkerqc/internal/vset"
 )
 
@@ -15,7 +22,7 @@ func TestVertexServerRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	tr := NewTCPTransport([]string{srv.Addr()})
+	tr := NewTCPTransport([]string{srv.Addr()}, g.NumVertices())
 	defer tr.Close()
 	for v := 0; v < g.NumVertices(); v++ {
 		adj, err := tr.FetchAdj(0, graph.V(v))
@@ -32,16 +39,299 @@ func TestVertexServerRoundTrip(t *testing.T) {
 	if srv.Served() != uint64(g.NumVertices()) {
 		t.Fatalf("served = %d", srv.Served())
 	}
+	sent, recvd := tr.WireBytes()
+	if sent == 0 || recvd == 0 {
+		t.Fatalf("wire bytes not accounted: %d/%d", sent, recvd)
+	}
+}
+
+// TestFetchAdjBatchParity: one batched round trip returns exactly the
+// lists that per-vertex fetches (and the graph itself) return, in
+// request order.
+func TestFetchAdjBatchParity(t *testing.T) {
+	g := datagen.ErdosRenyi(120, 0.1, 4)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport([]string{srv.Addr()}, g.NumVertices())
+	defer tr.Close()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		ids := make([]graph.V, 1+rng.Intn(40))
+		for i := range ids {
+			ids[i] = graph.V(rng.Intn(g.NumVertices()))
+		}
+		before := tr.BatchedFetches()
+		adjs, err := tr.FetchAdjBatch(0, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.BatchedFetches() != before+1 {
+			t.Fatal("batch did not count as one round trip")
+		}
+		if len(adjs) != len(ids) {
+			t.Fatalf("%d lists for %d ids", len(adjs), len(ids))
+		}
+		for i, id := range ids {
+			single, err := tr.FetchAdj(0, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !vset.Equal(adjs[i], single) || !vset.Equal(adjs[i], g.Adj(id)) {
+				t.Fatalf("batch adjacency of %d diverges: %v vs %v vs %v",
+					id, adjs[i], single, g.Adj(id))
+			}
+		}
+	}
+	if tr.Fetches() <= tr.BatchedFetches() {
+		t.Fatalf("fetch accounting: %d lists over %d round trips",
+			tr.Fetches(), tr.BatchedFetches())
+	}
 }
 
 func TestTCPTransportErrors(t *testing.T) {
-	tr := NewTCPTransport([]string{"127.0.0.1:1"}) // nothing listens here
+	tr := NewTCPTransport([]string{"127.0.0.1:1"}, 10) // nothing listens here
 	defer tr.Close()
 	if _, err := tr.FetchAdj(0, 0); err == nil {
 		t.Fatal("dial to dead server succeeded")
 	}
 	if _, err := tr.FetchAdj(5, 0); err == nil {
 		t.Fatal("out-of-range owner accepted")
+	}
+	if err := tr.SendTasks(0, nil); err == nil || !strings.Contains(err.Error(), "task channel") {
+		t.Fatalf("unconfigured task channel accepted a send: %v", err)
+	}
+	if tr.TaskChannelReady() {
+		t.Fatal("task channel ready without addresses")
+	}
+}
+
+// rogueServer accepts one connection and answers every frame with a
+// fixed raw response, for driving the client through malformed input.
+func rogueServer(t *testing.T, resp []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					if _, _, err := readFrame(r, maxFramePayload); err != nil {
+						return
+					}
+					if _, err := conn.Write(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTCPBoundedAllocation: a peer declaring absurd sizes must produce
+// a protocol error before any dependent allocation, not an OOM.
+func TestTCPBoundedAllocation(t *testing.T) {
+	// Degree far beyond the vertex count, inside a well-formed frame.
+	payload := store.AppendU32(store.AppendU32(nil, 1), 1<<30) // answered=1, deg huge
+	frame := append([]byte{opAdjBatch}, binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))...)
+	frame = append(frame, payload...)
+	tr := NewTCPTransport([]string{rogueServer(t, frame)}, 100)
+	defer tr.Close()
+	if _, err := tr.FetchAdj(0, 3); err == nil || !strings.Contains(err.Error(), "exceeds vertex count") {
+		t.Fatalf("huge degree accepted: %v", err)
+	}
+
+	// Frame length beyond the hard cap: rejected from the header alone
+	// (the length field is compared before the int conversion, so even
+	// ≥ 2³¹ values fail cleanly on 32-bit hosts).
+	huge := append([]byte{opAdjBatch}, binary.LittleEndian.AppendUint32(nil, 1<<31)...)
+	tr2 := NewTCPTransport([]string{rogueServer(t, huge)}, 100)
+	defer tr2.Close()
+	if _, err := tr2.FetchAdj(0, 3); err == nil || !strings.Contains(err.Error(), "exceeds size limit") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+
+	// An answered count above the requested count would desync the
+	// re-request loop; rejected before any list is decoded.
+	over := store.AppendU32(nil, 9) // answered=9 for a 1-id request
+	frameO := append([]byte{opAdjBatch}, binary.LittleEndian.AppendUint32(nil, uint32(len(over)))...)
+	frameO = append(frameO, over...)
+	trO := NewTCPTransport([]string{rogueServer(t, frameO)}, 100)
+	defer trO.Close()
+	if _, err := trO.FetchAdj(0, 3); err == nil || !strings.Contains(err.Error(), "answers") {
+		t.Fatalf("over-answered response accepted: %v", err)
+	}
+
+	// Truncated adjacency data: the degree claims more than the frame
+	// holds; the cursor's bounds check fires before the slice is built.
+	short := store.AppendU32(store.AppendU32(nil, 1), 90) // deg 90 ≤ n, no data follows
+	frame3 := append([]byte{opAdjBatch}, binary.LittleEndian.AppendUint32(nil, uint32(len(short)))...)
+	frame3 = append(frame3, short...)
+	tr3 := NewTCPTransport([]string{rogueServer(t, frame3)}, 100)
+	defer tr3.Close()
+	if _, err := tr3.FetchAdj(0, 3); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated response accepted: %v", err)
+	}
+}
+
+// TestFetchAdjBatchPrefixAnswer shrinks the adjacency frame budget so
+// the server must answer in prefixes: the batch completes over several
+// round trips with results identical to the graph.
+func TestFetchAdjBatchPrefixAnswer(t *testing.T) {
+	old := adjFrameBudget
+	adjFrameBudget = 64 // a handful of rows per frame
+	g := datagen.ErdosRenyi(50, 0.2, 3)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		adjFrameBudget = old
+		t.Fatal(err)
+	}
+	tr := NewTCPTransport([]string{srv.Addr()}, g.NumVertices())
+	ids := make([]graph.V, g.NumVertices())
+	for i := range ids {
+		ids[i] = graph.V(i)
+	}
+	adjs, ferr := tr.FetchAdjBatch(0, ids)
+	trips := tr.BatchedFetches()
+	// Tear down before restoring the budget so no handler goroutine
+	// reads the var concurrently with the write.
+	tr.Close()
+	srv.Close()
+	adjFrameBudget = old
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if trips < 2 {
+		t.Fatalf("tiny budget produced %d round trips; prefix answering not exercised", trips)
+	}
+	for i, id := range ids {
+		if !vset.Equal(adjs[i], g.Adj(id)) {
+			t.Fatalf("adjacency of %d corrupted across prefix answers", id)
+		}
+	}
+	if srv.Served() != uint64(len(ids)) || tr.Fetches() != uint64(len(ids)) {
+		t.Fatalf("served=%d fetches=%d, want %d", srv.Served(), tr.Fetches(), len(ids))
+	}
+}
+
+// TestVertexServerUnknownOp: protocol garbage gets an explicit opError
+// frame back, never a silent close.
+func TestVertexServerUnknownOp(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.3, 1)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	if err := writeFrame(w, 0x42, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := readFrame(bufio.NewReader(conn), maxFramePayload)
+	if err != nil {
+		t.Fatalf("no response to unknown op: %v", err)
+	}
+	if op != opError || !bytes.Contains(payload, []byte("unknown op")) {
+		t.Fatalf("op=0x%02x payload=%q", op, payload)
+	}
+}
+
+// TestHealthOp: the health probe reports the server's served counter.
+func TestHealthOp(t *testing.T) {
+	g := datagen.ErdosRenyi(20, 0.2, 2)
+	srv, err := ServeVertexTable("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport([]string{srv.Addr()}, g.NumVertices())
+	defer tr.Close()
+	if n, err := tr.Health(0); err != nil || n != 0 {
+		t.Fatalf("health before traffic: %d, %v", n, err)
+	}
+	if _, err := tr.FetchAdjBatch(0, []graph.V{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tr.Health(0); err != nil || n != 3 {
+		t.Fatalf("health after batch of 3: %d, %v", n, err)
+	}
+}
+
+// TestTaskServerWireRoundTrip ships a GQS1 batch through SendTasks and
+// checks the decoded tasks that reach the sink are identical — the
+// spill serialization doubling as the wire format.
+func TestTaskServerWireRoundTrip(t *testing.T) {
+	in := make([]*Task, 12)
+	for i := range in {
+		in[i] = NewTask([]graph.V{graph.V(i), graph.V(i * 3)})
+		in[i].Pulls = []graph.V{graph.V(i + 7)}
+	}
+	in[4].Payload = nil
+	var got []*Task
+	done := make(chan struct{})
+	srv, err := ServeTasks("127.0.0.1:0", vecCodec{}, func(tasks []*Task) {
+		got = tasks
+		close(done)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(nil, 1)
+	tr.SetTaskAddrs([]string{srv.Addr()})
+	defer tr.Close()
+	if !tr.TaskChannelReady() {
+		t.Fatal("task channel not ready")
+	}
+	var enc store.BatchEncoder
+	data, err := encodeTaskBatch(&enc, in, vecCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SendTasks(0, data); err != nil {
+		t.Fatal(err)
+	}
+	<-done // SendTasks acks after delivery, so this never blocks
+	if len(got) != len(in) {
+		t.Fatalf("delivered %d of %d tasks", len(got), len(in))
+	}
+	for i, tk := range got {
+		if tk.ID != in[i].ID || !vset.Equal(tk.Pulls, in[i].Pulls) {
+			t.Fatalf("task %d corrupted over the wire: %+v vs %+v", i, tk, in[i])
+		}
+		if i == 4 {
+			if tk.Payload != nil {
+				t.Fatalf("nil payload resurrected: %v", tk.Payload)
+			}
+			continue
+		}
+		if !vset.Equal(tk.Payload.([]graph.V), in[i].Payload.([]graph.V)) {
+			t.Fatalf("task %d payload corrupted: %v vs %v", i, tk.Payload, in[i].Payload)
+		}
+	}
+	if srv.Delivered() != uint64(len(in)) {
+		t.Fatalf("delivered counter = %d", srv.Delivered())
+	}
+	// A corrupt batch is rejected with an explicit server error.
+	if err := tr.SendTasks(0, data[:len(data)-2]); err == nil || !strings.Contains(err.Error(), "server error") {
+		t.Fatalf("corrupt batch accepted: %v", err)
 	}
 }
 
@@ -70,7 +360,7 @@ func TestEngineTCPTransport(t *testing.T) {
 		}
 	}()
 
-	tr := NewTCPTransport(addrs)
+	tr := NewTCPTransport(addrs, g.NumVertices())
 	defer tr.Close()
 	app := &triApp{g: g}
 	e, err := NewEngine(g, app, Config{
@@ -90,6 +380,13 @@ func TestEngineTCPTransport(t *testing.T) {
 	if met.RemoteFetches == 0 {
 		t.Fatal("no remote fetches went over TCP")
 	}
+	if met.BatchedFetches == 0 || met.BatchedFetches > met.RemoteFetches {
+		t.Fatalf("batch accounting: %d round trips for %d fetches",
+			met.BatchedFetches, met.RemoteFetches)
+	}
+	if met.WireBytesSent == 0 || met.WireBytesReceived == 0 {
+		t.Fatalf("wire bytes not surfaced: %+v", met)
+	}
 	total := uint64(0)
 	for _, s := range servers {
 		total += s.Served()
@@ -97,4 +394,69 @@ func TestEngineTCPTransport(t *testing.T) {
 	if total != met.RemoteFetches {
 		t.Fatalf("server-side count %d != engine count %d", total, met.RemoteFetches)
 	}
+}
+
+// --- fuzz targets for the multi-op frame decoders -----------------------
+
+// FuzzAdjBatchRequest feeds arbitrary bytes to the server-side request
+// decoder: it must reject garbage with an error, never panic or
+// over-allocate.
+func FuzzAdjBatchRequest(f *testing.F) {
+	g := datagen.ErdosRenyi(30, 0.2, 5)
+	srv := &VertexServer{g: g}
+	good := store.AppendU32s(store.AppendU32(nil, 3), []graph.V{1, 2, 3})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(store.AppendU32(nil, 1<<31))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := srv.adjBatch(data)
+		if err == nil {
+			// A valid request must round-trip through the client decoder.
+			count := int(binary.LittleEndian.Uint32(data))
+			if _, derr := decodeAdjBatchResponse(resp, count, g.NumVertices()); derr != nil {
+				t.Fatalf("server accepted %q but client rejects response: %v", data, derr)
+			}
+		}
+	})
+}
+
+// FuzzAdjBatchResponse feeds arbitrary bytes to the client-side
+// response decoder.
+func FuzzAdjBatchResponse(f *testing.F) {
+	f.Add([]byte{}, 1)
+	f.Add(store.AppendU32s(store.AppendU32(nil, 2), []graph.V{4, 5}), 1)
+	f.Add(store.AppendU32(nil, 1<<30), 1)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1<<10 {
+			return
+		}
+		decodeAdjBatchResponse(data, count, 1000) // must not panic
+	})
+}
+
+// FuzzTaskBatchDecode feeds arbitrary bytes to the wire-batch decoder
+// (the opTaskSteal path).
+func FuzzTaskBatchDecode(f *testing.F) {
+	var enc store.BatchEncoder
+	good, _ := encodeTaskBatch(&enc, mkVecTasks(3), vecCodec{})
+	f.Add(append([]byte(nil), good...))
+	f.Add([]byte("GQS1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeTaskBatch(data, vecCodec{}) // must not panic
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{opAdjBatch, 0, 0, 0, 0})
+	f.Add([]byte{opError, 255, 255, 255, 255, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			if _, _, err := readFrame(r, 1<<16); err != nil {
+				return
+			}
+		}
+	})
 }

@@ -11,12 +11,56 @@ import (
 // implementation reads the shared immutable graph directly; the TCP
 // implementation (tcp.go) performs real socket round trips —
 // everything above this interface is transport-agnostic.
+//
+// Contract: FetchAdjBatch(owner, ids) returns exactly one adjacency
+// list per requested id, in request order. Returned slices are read
+// by concurrent tasks and retained by the vertex cache, so they must
+// stay immutable and valid for the lifetime of the run (aliasing a
+// receive buffer is fine as long as that buffer is never reused).
+// Implementations must be safe for concurrent use by every worker of
+// every machine.
 type Transport interface {
 	// FetchAdj returns the adjacency list of v owned by machine
-	// `owner`.
+	// `owner`. Equivalent to a one-element FetchAdjBatch; kept for
+	// single-vertex callers and tests.
 	FetchAdj(owner int, v graph.V) ([]graph.V, error)
-	// Fetches returns the number of remote fetches served.
+	// FetchAdjBatch returns the adjacency lists of ids (all owned by
+	// machine `owner`) in one round trip. The engine's resolve path
+	// groups a task's cache-missed pulls by owner and issues one call
+	// per owner, so remote latency is paid O(owners) times per task
+	// instead of O(pulls).
+	FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error)
+	// Fetches returns the number of adjacency lists fetched remotely
+	// (each id of a batch counts once).
 	Fetches() uint64
+}
+
+// TaskChannel is an optional Transport extension: a transport that can
+// ship an encoded big-task batch (GQS1 bytes, see internal/store) to
+// the TaskServer of another machine. The stealing master uses it to
+// move stolen batches across the wire with the same serialization as
+// spill files — one codec for disk, wire, and in-memory refill.
+type TaskChannel interface {
+	// SendTasks delivers one GQS1 batch to machine dest and waits for
+	// its acknowledgement; on return the tasks are on dest's global
+	// queue.
+	SendTasks(dest int, batch []byte) error
+	// TaskChannelReady reports whether task delivery is configured
+	// (e.g. the TCP transport knows every machine's TaskServer
+	// address). The engine falls back to in-memory steal moves when
+	// false.
+	TaskChannelReady() bool
+}
+
+// TransportStats is an optional Transport extension surfacing
+// wire-level counters into Metrics.
+type TransportStats interface {
+	// BatchedFetches returns the number of batched fetch round trips
+	// (≤ Fetches; the gap is the saving over per-vertex fetching).
+	BatchedFetches() uint64
+	// WireBytes returns the total bytes written to and read from the
+	// network, including frame headers.
+	WireBytes() (sent, received uint64)
 }
 
 // loopback is the in-process Transport standing in for the cluster
@@ -24,16 +68,31 @@ type Transport interface {
 type loopback struct {
 	g       *graph.Graph
 	fetches atomic.Uint64
+	batches atomic.Uint64
 }
 
 func newLoopback(g *graph.Graph) *loopback { return &loopback{g: g} }
 
 func (t *loopback) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
 	t.fetches.Add(1)
+	t.batches.Add(1)
 	return t.g.Adj(v), nil
 }
 
-func (t *loopback) Fetches() uint64 { return t.fetches.Load() }
+func (t *loopback) FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error) {
+	out := make([][]graph.V, len(ids))
+	for i, id := range ids {
+		out[i] = t.g.Adj(id)
+	}
+	t.fetches.Add(uint64(len(ids)))
+	t.batches.Add(1)
+	return out, nil
+}
+
+func (t *loopback) Fetches() uint64        { return t.fetches.Load() }
+func (t *loopback) BatchedFetches() uint64 { return t.batches.Load() }
+
+func (t *loopback) WireBytes() (uint64, uint64) { return 0, 0 }
 
 // owner maps a vertex to its machine with a splitmix hash, like
 // G-thinker's hash partitioning of the vertex table.

@@ -1,6 +1,7 @@
 package gthinker
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -91,20 +92,29 @@ func (w *worker) popLocal() *Task {
 // spawnBatch spawns up to C tasks from un-spawned local vertices. Per
 // the third reforge change it stops as soon as a spawned task is big,
 // so one refill cannot flood the global queue.
+//
+// Liveness is reserved BEFORE the spawn cursor advances: the
+// termination watcher fires on allSpawned() && live == 0, and the
+// cursor is what makes allSpawned true, so incrementing live only
+// after Spawn returned left a window where the watcher could observe
+// the final vertex as spawned with nothing alive and end the job
+// before its task ever reached a queue.
 func (w *worker) spawnBatch() {
 	e := w.m.eng
 	for i := 0; i < e.cfg.BatchSize; i++ {
+		e.live.Add(1)
 		idx := int(w.m.spawnCursor.Add(1)) - 1
 		if idx >= len(w.m.verts) {
+			e.live.Add(-1)
 			return
 		}
 		v := w.m.verts[idx]
 		t := e.app.Spawn(v, e.g.Adj(v), &w.ctx)
 		if t == nil {
+			e.live.Add(-1)
 			continue
 		}
 		e.spawnedTasks.Add(1)
-		e.live.Add(1)
 		if e.isBig(t) {
 			w.m.addGlobal(t)
 			return // stop at first big task
@@ -135,14 +145,13 @@ func (w *worker) resolve(t *Task) {
 	}
 	if len(remote) > 0 {
 		missing := w.m.cache.acquire(remote, frontier)
-		for _, id := range missing {
-			adj, err := e.transport.FetchAdj(owner(id, e.cfg.Machines), id)
-			if err != nil {
-				e.fail(err)
-				adj = nil
-			}
-			w.m.cache.insert(id, adj)
-			frontier[id] = adj
+		if len(missing) > 0 && !w.fetchMissing(missing, frontier) {
+			// Transport failure: the engine is stopping. Unpin what
+			// acquire pinned (fetchMissing already unpinned its own
+			// inserts) and drop the task — nothing will run it, and
+			// nothing poisoned the cache.
+			w.releaseExcept(remote, missing)
+			return
 		}
 	}
 	t.frontier = frontier
@@ -152,6 +161,58 @@ func (w *worker) resolve(t *Task) {
 	} else {
 		w.blocal.push(t)
 	}
+}
+
+// fetchMissing pulls the cache-missed remote vertices through the
+// transport, grouped into one batched round trip per owning machine —
+// a task with p pulls spread over k machines pays k network latencies,
+// not p. Fetched lists are inserted pre-pinned and added to frontier.
+// On failure it records the error, unpins everything it inserted, and
+// returns false with the cache unpoisoned.
+func (w *worker) fetchMissing(missing []graph.V, frontier map[graph.V][]graph.V) bool {
+	e := w.m.eng
+	byOwner := make([][]graph.V, e.cfg.Machines)
+	for _, id := range missing {
+		o := owner(id, e.cfg.Machines)
+		byOwner[o] = append(byOwner[o], id)
+	}
+	inserted := make([]graph.V, 0, len(missing))
+	for o, ids := range byOwner {
+		if len(ids) == 0 {
+			continue
+		}
+		adjs, err := e.transport.FetchAdjBatch(o, ids)
+		if err == nil && len(adjs) != len(ids) {
+			err = fmt.Errorf("gthinker: transport returned %d adjacency lists for %d ids", len(adjs), len(ids))
+		}
+		if err != nil {
+			e.fail(err)
+			w.m.cache.release(inserted)
+			return false
+		}
+		for i, id := range ids {
+			w.m.cache.insert(id, adjs[i])
+			frontier[id] = adjs[i]
+			inserted = append(inserted, id)
+		}
+	}
+	return true
+}
+
+// releaseExcept unpins the members of ids that are not in skip (the
+// failed-resolve path: acquire pinned exactly the non-missing ids).
+func (w *worker) releaseExcept(ids, skip []graph.V) {
+	inSkip := make(map[graph.V]bool, len(skip))
+	for _, id := range skip {
+		inSkip[id] = true
+	}
+	held := ids[:0]
+	for _, id := range ids {
+		if !inSkip[id] {
+			held = append(held, id)
+		}
+	}
+	w.m.cache.release(held)
 }
 
 // compute runs Compute iterations until the task suspends on pulls or

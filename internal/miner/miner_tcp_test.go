@@ -1,0 +1,110 @@
+package miner
+
+import (
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// TestMineTCPBitIdentical runs the full miner over the in-process TCP
+// plane — per-machine VertexServers serving batched adjacency fetches
+// and TaskServers receiving stolen GQS1 batches, all over real
+// loopback sockets — and requires results bit-identical to the
+// loopback-transport run on the planted-community graph. Aggressive
+// decomposition plus a 1 ms steal period push real task batches
+// through the wire; CI runs this under -race.
+func TestMineTCPBitIdentical(t *testing.T) {
+	g, _, err := datagen.Planted(datagen.PlantedConfig{
+		N:          400,
+		Background: 0.01,
+		Communities: []datagen.Community{
+			{Size: 12, Density: 0.95, Count: 3},
+			{Size: 9, Density: 1.0, Count: 2},
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 7}
+	cfg := Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4}
+
+	base, err := Mine(g, cfg, gthinker.Config{
+		Machines: 3, WorkersPerMachine: 2, SpillDir: t.TempDir(),
+		StealInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Cliques) == 0 {
+		t.Fatal("planted graph yields no results; parameters are wrong")
+	}
+
+	tcp, err := Mine(g, cfg, gthinker.Config{
+		Machines: 3, WorkersPerMachine: 2, SpillDir: t.TempDir(),
+		StealInterval: time.Millisecond, InProcessTCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quasiclique.SetsEqual(tcp.Cliques, base.Cliques) {
+		t.Fatalf("TCP results diverge from loopback: %d vs %d cliques",
+			len(tcp.Cliques), len(base.Cliques))
+	}
+	met := tcp.Engine
+	if met.RemoteFetches == 0 || met.BatchedFetches == 0 {
+		t.Fatalf("no batched remote fetches went over TCP: %+v", met)
+	}
+	if met.BatchedFetches > met.RemoteFetches {
+		t.Fatalf("batch accounting: %d round trips for %d fetches",
+			met.BatchedFetches, met.RemoteFetches)
+	}
+	if met.WireBytesSent == 0 || met.WireBytesReceived == 0 {
+		t.Fatal("wire traffic not accounted")
+	}
+	if met.TasksStolen != 0 && met.TasksStolenRemote != met.TasksStolen {
+		t.Fatalf("TCP run stole in memory: %d of %d remote",
+			met.TasksStolenRemote, met.TasksStolen)
+	}
+	t.Logf("tcp run: %v", met)
+}
+
+// TestMineTCPWithSpillPressure combines every system mechanism at
+// once: tiny queues force columnar spilling, the steal master refills
+// donors from disk, stolen batches cross the TCP task channel, and
+// adjacency pulls are batched — results must still match the serial
+// miner exactly.
+func TestMineTCPWithSpillPressure(t *testing.T) {
+	g, _, err := datagen.Planted(datagen.PlantedConfig{
+		N: 120, Background: 0.04,
+		Communities: []datagen.Community{{Size: 10, Density: 0.95, Count: 3}},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := quasiclique.Params{Gamma: 0.7, MinSize: 5}
+	want, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(g, Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4},
+		gthinker.Config{
+			Machines: 2, WorkersPerMachine: 2,
+			QueueCap: 4, BatchSize: 2, SpillDir: t.TempDir(),
+			StealInterval: time.Millisecond, InProcessTCP: true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, want) {
+		t.Fatalf("TCP+spill pressure changed results: got %d want %d",
+			len(res.Cliques), len(want))
+	}
+	if res.Engine.SpillBytesWritten == 0 {
+		t.Log("warning: spill path not exercised (queues never overflowed)")
+	}
+}

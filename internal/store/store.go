@@ -50,6 +50,15 @@
 // GC and need no explicit lifecycle; each record's regions belong to
 // exactly one task, so in-place mutation by the task is safe.
 //
+// GQS1 batches are not only a disk format: the engine's TCP task
+// channel ships stolen big-task batches machine-to-machine as the
+// same bytes (one opTaskSteal frame per batch, see
+// internal/gthinker/tcp.go), so spill files, wire transfers, and
+// in-memory refills share one serialization and one set of decode
+// bounds checks — a corrupt count read off a socket fails exactly
+// like a corrupt count read off disk, before any allocation depends
+// on it.
+//
 // All integers are little-endian. On big-endian hosts, or at
 // misaligned offsets, the zero-copy casts degrade to copying loops
 // with identical results.
