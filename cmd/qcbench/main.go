@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"gthinkerqc/internal/experiments"
+	"gthinkerqc/internal/miner"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (mmap'd zero-copy on later runs)")
 		useMmap    = flag.Bool("mmap", true, "with -bincache: mmap cached graphs and alias the CSR arrays into the mapping instead of reading them into the heap")
 		useTCP     = flag.Bool("tcp", false, "run the simulated cluster over real loopback sockets: per-machine vertex/task servers plus a batched TCP transport (remote pulls and stolen task batches cross the wire)")
+		procs      = flag.Int("procs", 0, "run every experiment cell on N REAL qcworker OS processes (one vertex partition each, composed from a generated partition manifest over the TCP control plane); overrides -machines/-tcp")
+		qcworker   = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -58,6 +61,15 @@ func main() {
 	}
 	experiments.SetUseMmap(*useMmap)
 	experiments.SetUseTCP(*useTCP)
+	if *procs > 0 {
+		bin, err := miner.ResolveQCWorker(*qcworker)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: -procs: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.SetProcs(*procs, bin)
+		defer experiments.CleanupProcs()
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -91,13 +103,19 @@ func main() {
 			}
 		}()
 	}
+	// die reports a failure and exits WITHOUT losing the deferred
+	// -procs temp-dir cleanup (os.Exit skips defers).
+	die := func(format string, args ...any) {
+		experiments.CleanupProcs()
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
 	writeCSV := func(name string, fn func(f *os.File) error) {
 		if *csvDir == "" {
 			return
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "qcbench: csv: %v\n", err)
-			os.Exit(1)
+			die("qcbench: csv: %v\n", err)
 		}
 		f, err := os.Create(*csvDir + "/" + name)
 		if err == nil {
@@ -107,8 +125,7 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "qcbench: csv %s: %v\n", name, err)
-			os.Exit(1)
+			die("qcbench: csv %s: %v\n", name, err)
 		}
 	}
 	cluster := experiments.Cluster{Machines: *machines, Workers: *threads}
@@ -120,8 +137,7 @@ func main() {
 		}
 		fmt.Fprintf(w, "==== %s ====\n", name)
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "qcbench: %s: %v\n", name, err)
-			os.Exit(1)
+			die("qcbench: %s: %v\n", name, err)
 		}
 		fmt.Fprintln(w)
 	}

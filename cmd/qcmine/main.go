@@ -11,13 +11,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"gthinkerqc"
+	"gthinkerqc/internal/miner"
 )
 
 func main() {
@@ -30,6 +33,8 @@ func main() {
 		machines = flag.Int("machines", 1, "simulated machines")
 		threads  = flag.Int("threads", 2, "mining threads per machine")
 		serial   = flag.Bool("serial", false, "use the serial miner (Section 4) instead of G-thinker")
+		procs    = flag.Int("procs", 0, "coordinator mode: mine on N real qcworker OS processes (one vertex partition each) spawned from a generated partition manifest")
+		qcworker = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
 		sizeOnly = flag.Bool("size-threshold", false, "use size-threshold decomposition (Algorithm 8) instead of time-delayed (Algorithm 10)")
 		keepAll  = flag.Bool("keep-nonmaximal", false, "skip the maximality post-filter (mirrors the paper's released code)")
 		output   = flag.String("o", "", "result file (default stdout)")
@@ -42,8 +47,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	g, err := loadGraph(*input)
-	if err != nil {
+	var g *gthinkerqc.Graph
+	var err error
+	if *procs > 0 && strings.HasSuffix(*input, ".bin") {
+		// Coordinator mode never mines locally: map the file instead of
+		// copying a possibly huge CSR into this process's heap (the
+		// graph is only consulted for the manifest fingerprint and the
+		// stats summary).
+		mg, merr := gthinkerqc.MapBinaryFile(*input)
+		if merr != nil {
+			fatal(merr)
+		}
+		defer mg.Close()
+		g = mg.Graph()
+	} else if g, err = loadGraph(*input); err != nil {
 		fatal(err)
 	}
 	cfg := gthinkerqc.Config{
@@ -54,9 +71,12 @@ func main() {
 		KeepNonMaximal: *keepAll,
 	}
 	var res *gthinkerqc.Result
-	if *serial {
+	switch {
+	case *serial:
 		res, err = gthinkerqc.MineSerial(g, cfg)
-	} else {
+	case *procs > 0:
+		res, err = mineCluster(g, cfg, *input, *procs, *qcworker)
+	default:
 		res, err = gthinkerqc.MineParallel(g, cfg)
 	}
 	if err != nil {
@@ -91,6 +111,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qcmine: engine: %v\n", res.Engine)
 		}
 	}
+}
+
+// mineCluster runs the coordinator mode: the graph is materialized as
+// a binary file (reused verbatim for .bin inputs, converted once for
+// edge lists), n qcworker processes are spawned against a generated
+// partition manifest, and this process coordinates the run.
+func mineCluster(g *gthinkerqc.Graph, cfg gthinkerqc.Config, input string, n int, qcworkerPath string) (*gthinkerqc.Result, error) {
+	bin, err := miner.ResolveQCWorker(qcworkerPath)
+	if err != nil {
+		return nil, err
+	}
+	graphPath := input
+	if !strings.HasSuffix(input, ".bin") {
+		dir, err := os.MkdirTemp("", "qcmine-procs-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		graphPath = filepath.Join(dir, "graph.bin")
+		if err := gthinkerqc.SaveBinaryFile(graphPath, g); err != nil {
+			return nil, err
+		}
+	}
+	cfg.Machines = n
+	return gthinkerqc.MineCluster(context.Background(), cfg, gthinkerqc.ClusterOptions{
+		GraphPath:     graphPath,
+		WorkerCommand: miner.QCWorkerCommand(bin, graphPath),
+	})
 }
 
 func loadGraph(path string) (*gthinkerqc.Graph, error) {

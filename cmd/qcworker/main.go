@@ -1,0 +1,56 @@
+// Command qcworker serves ONE machine of a distributed quasi-clique
+// mining cluster: it mmaps a binary graph file (GQC2), validates it
+// against the partition manifest, and hosts a single machine runtime —
+// vertex server, task server, and control server — until the
+// coordinator tells it to exit.
+//
+// Usage:
+//
+//	qcworker -graph graph.gqc -manifest cluster.gqm -machine 2
+//
+// On startup it prints
+//
+//	GTHINKER-WORKER READY control=<addr>
+//
+// on stdout; the coordinator (qcmine -procs / qcbench -procs, or any
+// ClusterClient) dials that address, sends the join handshake carrying
+// the job spec, distributes peer addresses, and drives the run. The
+// worker binds the addresses named in its manifest row, or dynamic
+// 127.0.0.1 ports when the row is empty (the single-host flow).
+//
+// Everything this process executes — scheduling, spilling, stealing,
+// termination — is the same MachineRuntime the in-process engine
+// composes; the only difference is that here the cluster's other
+// machines really are other processes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/miner"
+)
+
+func main() {
+	var (
+		graphPath    = flag.String("graph", "", "binary graph file (GQC2, written by qcgen/qcmine)")
+		manifestPath = flag.String("manifest", "", "partition manifest file (GQM1)")
+		machine      = flag.Int("machine", -1, "machine id this process serves")
+	)
+	flag.Parse()
+	if *graphPath == "" || *manifestPath == "" || *machine < 0 {
+		fmt.Fprintln(os.Stderr, "qcworker: -graph, -manifest, and -machine are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	host, cleanup, err := miner.HostWorker(*graphPath, *manifestPath, *machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qcworker:", err)
+		os.Exit(1)
+	}
+	gthinker.PrintWorkerReady(os.Stdout, host)
+	host.WaitExit()
+	cleanup()
+}

@@ -37,6 +37,8 @@ import (
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/gthinker"
 	"gthinkerqc/internal/metrics"
+	"os/exec"
+
 	"gthinkerqc/internal/miner"
 	"gthinkerqc/internal/quasiclique"
 )
@@ -183,6 +185,66 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		Engine:     res.Engine,
 		Tasks:      res.Recorder,
 	}, err
+}
+
+// ClusterOptions shapes a multi-process mining run (MineCluster).
+type ClusterOptions struct {
+	// GraphPath is the binary graph file (GQC2, SaveBinaryFile) every
+	// worker process maps.
+	GraphPath string
+	// WorkerCommand builds the worker process for one machine; it must
+	// run cmd/qcworker (or equivalent) against manifestPath. Typically:
+	//
+	//	func(machine int, manifestPath string) *exec.Cmd {
+	//		return exec.Command("qcworker", "-graph", graphPath,
+	//			"-manifest", manifestPath, "-machine", strconv.Itoa(machine))
+	//	}
+	WorkerCommand func(machine int, manifestPath string) *exec.Cmd
+	// ManifestDir receives the generated partition manifest; empty
+	// uses the graph file's directory.
+	ManifestDir string
+}
+
+// MineCluster mines the graph at opts.GraphPath on cfg.Machines REAL
+// worker OS processes: each spawned worker maps the graph file, serves
+// one hash partition of the vertex table, and mines its own task
+// queues, while this process runs the coordinator (termination
+// detection, task-steal directives, metrics aggregation) over the TCP
+// control plane. Results are bit-identical to MineParallel on the same
+// graph. cfg.SpillDir is ignored — each worker spills into its own
+// temporary directory.
+func MineCluster(ctx context.Context, cfg Config, opts ClusterOptions) (*Result, error) {
+	start := time.Now()
+	strategy := miner.TimeDelayed
+	if cfg.SizeThresholdOnly {
+		strategy = miner.SizeThreshold
+	}
+	res, err := miner.MineProcs(ctx, miner.Config{
+		Params:   cfg.params(),
+		Options:  cfg.options(),
+		TauSplit: cfg.TauSplit,
+		TauTime:  cfg.TauTime,
+		Strategy: strategy,
+	}, gthinker.Config{
+		Machines:          cfg.Machines,
+		WorkersPerMachine: cfg.WorkersPerMachine,
+		QueueCap:          cfg.QueueCap,
+		BatchSize:         cfg.BatchSize,
+	}, miner.ProcsConfig{
+		GraphPath:   opts.GraphPath,
+		Command:     opts.WorkerCommand,
+		ManifestDir: opts.ManifestDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cliques:    res.Cliques,
+		Candidates: res.Candidates,
+		Wall:       time.Since(start),
+		Engine:     res.Engine,
+		Tasks:      res.Recorder,
+	}, nil
 }
 
 // IsQuasiClique reports whether the sorted vertex set S induces a

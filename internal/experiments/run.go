@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -44,6 +45,9 @@ var (
 	binCacheDir string
 	useMmap     = true
 	useTCP      bool
+	procsCount  int
+	workerBin   string
+	procsDir    string
 	mappings    []*store.MappedGraph
 )
 
@@ -84,6 +88,62 @@ func tcpWanted() bool {
 	return useTCP
 }
 
+// SetProcs switches experiment runs to REAL multi-process deployment
+// (qcbench -procs): every cell spawns n qcworker OS processes (the
+// binary at bin), each mapping the cell's graph from a generated GQC2
+// file and serving one vertex partition, composed by a partition
+// manifest and the TCP control plane. n = 0 restores in-process
+// execution. The cell's cluster shape is overridden to n machines.
+func SetProcs(n int, bin string) {
+	cacheMu.Lock()
+	procsCount = n
+	workerBin = bin
+	cacheMu.Unlock()
+}
+
+func procsWanted() (int, string) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return procsCount, workerBin
+}
+
+// datasetFile ensures the named stand-in exists as a GQC2 file on disk
+// (worker processes map their own copy) and returns its path. The
+// bincache directory is reused when set; otherwise a per-run temp
+// directory holds the files.
+func datasetFile(name string) (string, error) {
+	g, s, err := buildDataset(name)
+	if err != nil {
+		return "", err
+	}
+	cacheMu.Lock()
+	dir := binCacheDir
+	if dir == "" {
+		if procsDir == "" {
+			procsDir, err = os.MkdirTemp("", "qcbench-procs-")
+			if err != nil {
+				cacheMu.Unlock()
+				return "", err
+			}
+		}
+		dir = procsDir
+	}
+	cacheMu.Unlock()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", s)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%016x.gqc", name, h.Sum64()))
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := graph.WriteBinaryFile(path, g); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 // CloseMappings drops every cached graph and munmaps the mapped ones.
 // Graphs returned by earlier buildDataset calls become invalid.
 func CloseMappings() {
@@ -94,6 +154,20 @@ func CloseMappings() {
 		m.Close()
 	}
 	mappings = nil
+}
+
+// CleanupProcs removes the temporary directory datasetFile created to
+// hold worker-process graph files (a no-op when a bincache directory
+// supplied them, or in in-process mode). qcbench defers it so -procs
+// runs do not leak graph files to the system temp dir.
+func CleanupProcs() {
+	cacheMu.Lock()
+	dir := procsDir
+	procsDir = ""
+	cacheMu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
 }
 
 // buildDataset returns the named stand-in (cached) and its default
@@ -232,19 +306,36 @@ func Run(spec RunSpec) (Outcome, error) {
 	if spec.NoDecomposition {
 		spec.TauTime = 365 * 24 * time.Hour
 	}
-	start := time.Now()
-	res, err := miner.Mine(g, miner.Config{
+	mcfg := miner.Config{
 		Params:   quasiclique.Params{Gamma: spec.Gamma, MinSize: spec.MinSize},
 		Options:  opt,
 		TauSplit: spec.TauSplit,
 		TauTime:  spec.TauTime,
 		Strategy: strategy,
-	}, gthinker.Config{
-		Machines:           spec.Cluster.Machines,
-		WorkersPerMachine:  spec.Cluster.Workers,
-		DisableGlobalQueue: spec.DisableGlobalQueue,
-		InProcessTCP:       tcpWanted(),
-	})
+	}
+	start := time.Now()
+	var res *miner.Result
+	if procs, bin := procsWanted(); procs > 0 {
+		path, perr := datasetFile(spec.Dataset)
+		if perr != nil {
+			return Outcome{}, perr
+		}
+		res, err = miner.MineProcs(context.Background(), mcfg, gthinker.Config{
+			Machines:           procs,
+			WorkersPerMachine:  spec.Cluster.Workers,
+			DisableGlobalQueue: spec.DisableGlobalQueue,
+		}, miner.ProcsConfig{
+			GraphPath: path,
+			Command:   miner.QCWorkerCommand(bin, path),
+		})
+	} else {
+		res, err = miner.Mine(g, mcfg, gthinker.Config{
+			Machines:           spec.Cluster.Machines,
+			WorkersPerMachine:  spec.Cluster.Workers,
+			DisableGlobalQueue: spec.DisableGlobalQueue,
+			InProcessTCP:       tcpWanted(),
+		})
+	}
 	if err != nil {
 		return Outcome{}, err
 	}

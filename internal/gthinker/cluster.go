@@ -1,0 +1,461 @@
+package gthinker
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"gthinkerqc/internal/graph"
+)
+
+// WorkerHostConfig configures one hosted machine runtime.
+type WorkerHostConfig struct {
+	// Graph is the full graph this machine serves its partition of
+	// (typically an mmap'd GQC2 file in a worker process, the shared
+	// in-memory graph in the in-process composition).
+	Graph *graph.Graph
+	// MachineID is the machine this host will serve. The join
+	// handshake must name the same id.
+	MachineID int
+	// Machines, when non-zero, pins the expected cluster size; a join
+	// naming a different size is rejected. Zero accepts the
+	// coordinator's size (it is still fingerprint-checked against the
+	// manifest by the process main).
+	Machines int
+	// ControlAddr / VertexAddr / TaskAddr are listen addresses; empty
+	// means 127.0.0.1:0 (dynamic, reported through the handshake).
+	ControlAddr string
+	VertexAddr  string
+	TaskAddr    string
+
+	// App + AppConfig preset the application (the in-process
+	// composition, where the engine already built it). Ignored when
+	// NewApp is set.
+	App       App
+	AppConfig Config
+	// NewApp builds the application from the coordinator's opaque job
+	// spec at join time (the worker-process mode: cmd/qcworker wires
+	// the miner's spec decoder here).
+	NewApp func(spec []byte, machines int) (App, Config, error)
+	// Results encodes the app's results for the opResults flush after
+	// shutdown; nil makes opResults an error (in-process compositions
+	// read app state directly).
+	Results func(app App) ([]byte, error)
+
+	// presetVerts hands the host a precomputed vertex partition (the
+	// in-process engine partitions all machines in one pass); nil
+	// derives it from the ownership hash at join.
+	presetVerts []graph.V
+}
+
+// WorkerHost runs ONE MachineRuntime behind the framed TCP protocol:
+// a control server (join/status/steal/metrics/shutdown), a vertex
+// server for the data plane, and a task server for incoming stolen
+// batches. cmd/qcworker runs exactly one host per OS process; the
+// in-process TCP engine runs N of them behind loopback sockets — the
+// same code path either way.
+type WorkerHost struct {
+	hc WorkerHostConfig
+
+	ctl *controlServer
+
+	mu      sync.Mutex
+	app     App
+	cfg     Config
+	rt      *MachineRuntime
+	vserver *VertexServer
+	tserver *TaskServer
+	tr      *TCPTransport
+	joined  bool
+	wired   bool
+	stopped bool
+
+	exitOnce sync.Once
+	exitCh   chan struct{}
+}
+
+// StartWorkerHost begins listening for the coordinator on the control
+// address. The runtime is built at join time and starts mining at
+// start time.
+func StartWorkerHost(hc WorkerHostConfig) (*WorkerHost, error) {
+	if hc.Graph == nil {
+		return nil, fmt.Errorf("gthinker: worker host needs a graph")
+	}
+	if hc.App == nil && hc.NewApp == nil {
+		return nil, fmt.Errorf("gthinker: worker host needs an App or a NewApp factory")
+	}
+	h := &WorkerHost{hc: hc, exitCh: make(chan struct{})}
+	addr := hc.ControlAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ctl, err := serveControl(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	h.ctl = ctl
+	return h, nil
+}
+
+// ControlAddr returns the bound control-plane address.
+func (h *WorkerHost) ControlAddr() string { return h.ctl.addr() }
+
+// Runtime returns the hosted runtime (nil before the join handshake).
+func (h *WorkerHost) Runtime() *MachineRuntime {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rt
+}
+
+// WaitExit blocks until the coordinator sends opExit (or Close is
+// called).
+func (h *WorkerHost) WaitExit() { <-h.exitCh }
+
+// Close tears the host down: control and data servers, transport, and
+// the runtime's workers.
+func (h *WorkerHost) Close() {
+	h.exitOnce.Do(func() { close(h.exitCh) })
+	h.ctl.close()
+	h.mu.Lock()
+	rt, vs, ts, tr := h.rt, h.vserver, h.tserver, h.tr
+	h.mu.Unlock()
+	if rt != nil {
+		rt.Stop()
+	}
+	if tr != nil {
+		tr.Close()
+	}
+	if ts != nil {
+		ts.Close()
+	}
+	if vs != nil {
+		vs.Close()
+	}
+	// A worker process owns its spill directory (the engine sweep that
+	// empties it in-process does not exist here); without this, a
+	// cancelled or failed run leaks spilled task files.
+	if rt != nil {
+		rt.CleanupSpill()
+	}
+}
+
+func (h *WorkerHost) handleJoin(r joinRequest) (vaddr, taddr string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.joined {
+		return "", "", fmt.Errorf("gthinker: machine %d joined twice", h.hc.MachineID)
+	}
+	if r.MachineID != h.hc.MachineID {
+		return "", "", fmt.Errorf("gthinker: this host serves machine %d, not %d", h.hc.MachineID, r.MachineID)
+	}
+	if h.hc.Machines != 0 && r.Machines != h.hc.Machines {
+		return "", "", fmt.Errorf("gthinker: manifest names %d machines, coordinator %d", h.hc.Machines, r.Machines)
+	}
+	if r.Machines < 1 || h.hc.MachineID >= r.Machines {
+		return "", "", fmt.Errorf("gthinker: machine %d cannot serve a cluster of %d", h.hc.MachineID, r.Machines)
+	}
+	if r.NumVerts != h.hc.Graph.NumVertices() || r.NumEdges != uint64(h.hc.Graph.NumEdges()) {
+		return "", "", fmt.Errorf("gthinker: graph fingerprint mismatch: serving |V|=%d |E|=%d, coordinator expects |V|=%d |E|=%d",
+			h.hc.Graph.NumVertices(), h.hc.Graph.NumEdges(), r.NumVerts, r.NumEdges)
+	}
+	app, cfg := h.hc.App, h.hc.AppConfig
+	if h.hc.NewApp != nil {
+		app, cfg, err = h.hc.NewApp(r.Spec, r.Machines)
+		if err != nil {
+			return "", "", err
+		}
+	}
+	cfg.Machines = r.Machines
+	cfg = cfg.withDefaults()
+
+	rt, err := newMachineRuntimeVerts(h.hc.Graph, app, cfg, h.hc.MachineID, nil, h.hc.presetVerts)
+	if err != nil {
+		return "", "", err
+	}
+	va := h.hc.VertexAddr
+	if va == "" {
+		va = "127.0.0.1:0"
+	}
+	vs, err := ServeVertexTable(va, h.hc.Graph)
+	if err != nil {
+		rt.CleanupSpill()
+		return "", "", err
+	}
+	taddr = ""
+	if rt.spillCodec != nil {
+		ta := h.hc.TaskAddr
+		if ta == "" {
+			ta = "127.0.0.1:0"
+		}
+		ts, err := ServeTasks(ta, rt.spillCodec, rt.DeliverTasks)
+		if err != nil {
+			vs.Close()
+			rt.CleanupSpill()
+			return "", "", err
+		}
+		h.tserver = ts
+		taddr = ts.Addr()
+	}
+	h.app, h.cfg, h.rt, h.vserver = app, cfg, rt, vs
+	h.joined = true
+	return vs.Addr(), taddr, nil
+}
+
+// handleStart wires the data plane: the runtime gets a TCPTransport
+// over the full peer address table. Mining starts separately (opRun),
+// so a coordinator can compose a cluster before executing a job — the
+// in-process engine wires at NewEngine and runs at Run.
+func (h *WorkerHost) handleStart(vaddrs, taddrs []string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.joined {
+		return fmt.Errorf("gthinker: start before join")
+	}
+	if h.wired {
+		return fmt.Errorf("gthinker: machine %d wired twice", h.hc.MachineID)
+	}
+	if len(vaddrs) != h.cfg.Machines {
+		return fmt.Errorf("gthinker: address table of %d machines for a cluster of %d", len(vaddrs), h.cfg.Machines)
+	}
+	tr := NewTCPTransport(vaddrs, h.hc.Graph.NumVertices())
+	complete := h.rt.spillCodec != nil
+	for _, t := range taddrs {
+		if t == "" {
+			complete = false
+		}
+	}
+	if complete {
+		tr.SetTaskAddrs(taddrs)
+	}
+	h.tr = tr
+	h.rt.SetTransport(tr, true)
+	h.wired = true
+	return nil
+}
+
+func (h *WorkerHost) handleRun() error {
+	rt, err := h.runtime()
+	if err != nil {
+		return err
+	}
+	return rt.Start()
+}
+
+func (h *WorkerHost) runtime() (*MachineRuntime, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.wired {
+		return nil, fmt.Errorf("gthinker: machine %d has no transport yet", h.hc.MachineID)
+	}
+	return h.rt, nil
+}
+
+func (h *WorkerHost) handleStatus() (MachineStatus, error) {
+	rt, err := h.runtime()
+	if err != nil {
+		return MachineStatus{}, err
+	}
+	return rt.Status(), nil
+}
+
+func (h *WorkerHost) handleSteal(recv, want int) (int, error) {
+	rt, err := h.runtime()
+	if err != nil {
+		return 0, err
+	}
+	return rt.StealTo(recv, want)
+}
+
+func (h *WorkerHost) handleShutdown() error {
+	rt, err := h.runtime()
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	h.stopped = true
+	h.mu.Unlock()
+	rt.Stop()
+	return nil
+}
+
+// afterShutdown guards the reads that need the workers joined.
+func (h *WorkerHost) afterShutdown() (*MachineRuntime, App, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.stopped {
+		return nil, nil, fmt.Errorf("gthinker: machine %d still running (shutdown first)", h.hc.MachineID)
+	}
+	return h.rt, h.app, nil
+}
+
+func (h *WorkerHost) handleMetrics() (*Metrics, error) {
+	rt, _, err := h.afterShutdown()
+	if err != nil {
+		return nil, err
+	}
+	return rt.LocalMetrics(), nil
+}
+
+func (h *WorkerHost) handleResults() ([]byte, error) {
+	_, app, err := h.afterShutdown()
+	if err != nil {
+		return nil, err
+	}
+	if h.hc.Results == nil {
+		return nil, fmt.Errorf("gthinker: machine %d has no results encoder", h.hc.MachineID)
+	}
+	return h.hc.Results(app)
+}
+
+func (h *WorkerHost) handleExit() error {
+	h.exitOnce.Do(func() { close(h.exitCh) })
+	return nil
+}
+
+// WorkerReadyPrefix is the line a worker process prints on stdout once
+// its control server listens; the text after it is the control
+// address the coordinator should dial.
+const WorkerReadyPrefix = "GTHINKER-WORKER READY control="
+
+// PrintWorkerReady emits the readiness line for w's host.
+func PrintWorkerReady(w io.Writer, h *WorkerHost) {
+	fmt.Fprintf(w, "%s%s\n", WorkerReadyPrefix, h.ControlAddr())
+}
+
+// WorkerProcs manages a set of spawned worker OS processes. Each
+// child is reaped exactly once (exec.Cmd.Wait is not safe to call
+// concurrently): Kill and Wait both funnel through the per-child
+// reap, so a timeout-then-kill sequence cannot race the reaper.
+type WorkerProcs struct {
+	cmds     []*exec.Cmd
+	waitOnce []sync.Once
+	waitErr  []error
+	// ControlAddrs holds each worker's reported control address, in
+	// machine order.
+	ControlAddrs []string
+}
+
+// reap waits for child i exactly once and returns its exit error.
+func (p *WorkerProcs) reap(i int) error {
+	p.waitOnce[i].Do(func() { p.waitErr[i] = p.cmds[i].Wait() })
+	return p.waitErr[i]
+}
+
+// signalKill sends SIGKILL to every child without reaping.
+func (p *WorkerProcs) signalKill() {
+	for _, cmd := range p.cmds {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// SpawnWorkerProcs launches one worker process per machine via the
+// command factory, scans each child's stdout for its readiness line,
+// and returns the collected control addresses. The factory's command
+// must print WorkerReadyPrefix+addr on stdout (cmd/qcworker does);
+// stderr passes through to this process. On any error the children
+// already spawned are killed.
+func SpawnWorkerProcs(machines int, command func(machine int) *exec.Cmd, timeout time.Duration) (*WorkerProcs, error) {
+	p := &WorkerProcs{
+		ControlAddrs: make([]string, machines),
+		waitOnce:     make([]sync.Once, machines),
+		waitErr:      make([]error, machines),
+	}
+	type ready struct {
+		machine int
+		addr    string
+		err     error
+	}
+	readyCh := make(chan ready, machines)
+	for i := 0; i < machines; i++ {
+		cmd := command(i)
+		if cmd.Stderr == nil {
+			cmd.Stderr = os.Stderr
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			p.Kill()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			p.Kill()
+			return nil, fmt.Errorf("gthinker: spawn worker %d: %w", i, err)
+		}
+		p.cmds = append(p.cmds, cmd)
+		go func(machine int, r io.Reader) {
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				line := sc.Text()
+				if addr, ok := strings.CutPrefix(line, WorkerReadyPrefix); ok {
+					readyCh <- ready{machine: machine, addr: addr}
+					// Keep draining so the child never blocks on a full
+					// stdout pipe.
+					for sc.Scan() {
+					}
+					return
+				}
+			}
+			readyCh <- ready{machine: machine, err: fmt.Errorf("gthinker: worker %d exited before reporting ready", machine)}
+		}(i, stdout)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for n := 0; n < machines; n++ {
+		select {
+		case r := <-readyCh:
+			if r.err != nil {
+				p.Kill()
+				return nil, r.err
+			}
+			p.ControlAddrs[r.machine] = r.addr
+		case <-deadline.C:
+			p.Kill()
+			return nil, fmt.Errorf("gthinker: workers not ready after %v", timeout)
+		}
+	}
+	return p, nil
+}
+
+// Cmds exposes the spawned process handles (tests kill one mid-run to
+// exercise worker-loss handling).
+func (p *WorkerProcs) Cmds() []*exec.Cmd { return p.cmds }
+
+// Kill terminates every child immediately and reaps it.
+func (p *WorkerProcs) Kill() {
+	p.signalKill()
+	for i := range p.cmds {
+		p.reap(i)
+	}
+}
+
+// Wait reaps every child, failing if any exits non-zero or the
+// timeout passes (stragglers are then killed and reaped before
+// returning).
+func (p *WorkerProcs) Wait(timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() {
+		var first error
+		for i := range p.cmds {
+			if err := p.reap(i); err != nil && first == nil {
+				first = fmt.Errorf("gthinker: worker %d: %w", i, err)
+			}
+		}
+		done <- first
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		// Unblock the reaper goroutine by killing the stragglers, then
+		// let IT finish the reaps — cmd.Wait must not run twice.
+		p.signalKill()
+		<-done
+		return fmt.Errorf("gthinker: workers still running after %v", timeout)
+	}
+}

@@ -54,6 +54,19 @@ type Config struct {
 	// StealInterval is the master's load-balancing period (the paper
 	// uses 1 s on a real cluster; the in-process default is 20 ms).
 	StealInterval time.Duration
+	// StatusInterval is the coordinator's liveness-poll period: every
+	// tick it asks each machine's control plane for a MachineStatus,
+	// feeding termination detection and the steal-ahead hysteresis.
+	// Default 1 ms.
+	StatusInterval time.Duration
+	// StealIdlePolls is the steal-ahead hysteresis trigger: when a
+	// machine reports itself completely idle (all local vertices
+	// spawned, nothing alive) for this many consecutive status polls
+	// while another machine's big-task backlog EWMA stays ≥ 1, the
+	// coordinator runs an off-cycle steal round immediately instead of
+	// waiting for the next StealInterval tick. 0 means the default
+	// (4); a negative value disables off-cycle stealing.
+	StealIdlePolls int
 	// DisableStealing turns off the big-task stealing master
 	// (ablation).
 	DisableStealing bool
@@ -104,7 +117,30 @@ func (c Config) withDefaults() Config {
 	if c.StealInterval == 0 {
 		c.StealInterval = 20 * time.Millisecond
 	}
+	if c.StatusInterval == 0 {
+		c.StatusInterval = time.Millisecond
+	}
 	return c
+}
+
+// defaultStealIdlePolls is the hysteresis streak length when
+// Config.StealIdlePolls is left zero: with the 1 ms default status
+// poll, four polls of sustained idleness trigger an off-cycle steal —
+// well under the 20 ms steal period it is meant to beat, well above
+// the single-poll noise of a queue mid-refill.
+const defaultStealIdlePolls = 4
+
+// stealIdlePolls resolves the hysteresis knob to an effective streak
+// length: 0 means the default, negative disables (returns 0).
+func (c Config) stealIdlePolls() int {
+	switch {
+	case c.StealIdlePolls < 0:
+		return 0
+	case c.StealIdlePolls == 0:
+		return defaultStealIdlePolls
+	default:
+		return c.StealIdlePolls
+	}
 }
 
 // TotalWorkers returns Machines × WorkersPerMachine with defaults

@@ -1,0 +1,407 @@
+package gthinker
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"gthinkerqc/internal/store"
+)
+
+// The control plane extends the PR 4 frame protocol with the ops a
+// coordinator needs to run a cluster of isolated machine runtimes —
+// termination detection, steal directives, and metrics flushes cross
+// the same length-prefixed frames as adjacency batches, so one process
+// per machine (cmd/qcworker) needs nothing the in-process composition
+// does not also exercise. See the op table in tcp.go.
+
+// controlProtoVersion is the handshake version; a coordinator and
+// worker disagreeing on it refuse to pair.
+const controlProtoVersion = 1
+
+// Control-plane ops (continuing the tcp.go data-plane numbering).
+const (
+	opJoin     byte = 0x04
+	opStart    byte = 0x05
+	opStatus   byte = 0x06
+	opStealDo  byte = 0x07
+	opMetrics  byte = 0x08
+	opResults  byte = 0x09
+	opShutdown byte = 0x0A
+	opExit     byte = 0x0B
+	opRun      byte = 0x0C
+)
+
+// maxCtlAddr bounds one address string read off the wire.
+const maxCtlAddr = 1 << 12
+
+// joinRequest is the coordinator's opJoin payload: the identity the
+// worker must agree with before it serves (protocol version, its own
+// machine id, the cluster size, the graph fingerprint) plus the
+// opaque app-level job spec.
+type joinRequest struct {
+	MachineID int
+	Machines  int
+	NumVerts  int
+	NumEdges  uint64
+	Spec      []byte
+}
+
+func appendJoinRequest(dst []byte, r joinRequest) []byte {
+	dst = store.AppendU32(dst, controlProtoVersion)
+	dst = store.AppendU32(dst, uint32(r.MachineID))
+	dst = store.AppendU32(dst, uint32(r.Machines))
+	dst = store.AppendU32(dst, uint32(r.NumVerts))
+	dst = store.AppendU64(dst, r.NumEdges)
+	dst = store.AppendU32(dst, uint32(len(r.Spec)))
+	return append(dst, r.Spec...)
+}
+
+func decodeJoinRequest(data []byte) (joinRequest, error) {
+	c := store.NewCursor(data)
+	if v := c.U32(); c.Err() == nil && v != controlProtoVersion {
+		return joinRequest{}, fmt.Errorf("gthinker: control protocol version %d, want %d", v, controlProtoVersion)
+	}
+	r := joinRequest{
+		MachineID: int(c.U32()),
+		Machines:  int(c.U32()),
+		NumVerts:  int(c.U32()),
+		NumEdges:  c.U64(),
+	}
+	r.Spec = c.Bytes(int(c.U32()))
+	if err := c.Err(); err != nil {
+		return joinRequest{}, fmt.Errorf("gthinker: malformed join request: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return joinRequest{}, fmt.Errorf("gthinker: %d trailing bytes in join request", c.Remaining())
+	}
+	return r, nil
+}
+
+// appendStatus encodes a MachineStatus reply.
+func appendStatus(dst []byte, st MachineStatus) []byte {
+	var flags byte
+	if st.AllSpawned {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = store.AppendU64(dst, uint64(st.Live))
+	dst = store.AppendU64(dst, uint64(st.BigPending))
+	dst = store.AppendU64(dst, st.SentOut)
+	dst = store.AppendU64(dst, st.RecvIn)
+	return store.AppendString(dst, st.Failure)
+}
+
+// maxFailureLen bounds the failure string accepted off the wire.
+const maxFailureLen = 1 << 16
+
+func decodeStatus(data []byte) (MachineStatus, error) {
+	c := store.NewCursor(data)
+	flags := c.Bytes(1)
+	st := MachineStatus{}
+	if len(flags) == 1 {
+		st.AllSpawned = flags[0]&1 != 0
+	}
+	st.Live = int64(c.U64())
+	st.BigPending = int64(c.U64())
+	st.SentOut = c.U64()
+	st.RecvIn = c.U64()
+	st.Failure = c.String(maxFailureLen)
+	if err := c.Err(); err != nil {
+		return MachineStatus{}, fmt.Errorf("gthinker: malformed status reply: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return MachineStatus{}, fmt.Errorf("gthinker: %d trailing bytes in status reply", c.Remaining())
+	}
+	return st, nil
+}
+
+// appendAddrTable encodes the opStart payload: every machine's vertex
+// and task server addresses, in machine order.
+func appendAddrTable(dst []byte, vaddrs, taddrs []string) []byte {
+	dst = store.AppendU32(dst, uint32(len(vaddrs)))
+	for i := range vaddrs {
+		dst = store.AppendString(dst, vaddrs[i])
+		t := ""
+		if i < len(taddrs) {
+			t = taddrs[i]
+		}
+		dst = store.AppendString(dst, t)
+	}
+	return dst
+}
+
+func decodeAddrTable(data []byte) (vaddrs, taddrs []string, err error) {
+	c := store.NewCursor(data)
+	n := int(c.U32())
+	if e := c.Err(); e != nil {
+		return nil, nil, fmt.Errorf("gthinker: malformed start payload: %w", e)
+	}
+	if n < 1 || n > c.Remaining()/8+1 {
+		return nil, nil, fmt.Errorf("gthinker: start payload claims %d machines in %d bytes", n, c.Remaining())
+	}
+	vaddrs = make([]string, n)
+	taddrs = make([]string, n)
+	for i := 0; i < n; i++ {
+		vaddrs[i] = c.String(maxCtlAddr)
+		taddrs[i] = c.String(maxCtlAddr)
+	}
+	if e := c.Err(); e != nil {
+		return nil, nil, fmt.Errorf("gthinker: malformed start payload: %w", e)
+	}
+	if c.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("gthinker: %d trailing bytes in start payload", c.Remaining())
+	}
+	return vaddrs, taddrs, nil
+}
+
+// controlHandler is what a ControlServer dispatches into — implemented
+// by WorkerHost.
+type controlHandler interface {
+	handleJoin(r joinRequest) (vaddr, taddr string, err error)
+	handleStart(vaddrs, taddrs []string) error
+	handleRun() error
+	handleStatus() (MachineStatus, error)
+	handleSteal(recv, want int) (int, error)
+	handleMetrics() (*Metrics, error)
+	handleResults() ([]byte, error)
+	handleShutdown() error
+	handleExit() error
+}
+
+// controlServer answers control-plane ops for one machine.
+type controlServer struct {
+	l listener
+	h controlHandler
+}
+
+func serveControl(addr string, h controlHandler) (*controlServer, error) {
+	s := &controlServer{h: h}
+	if err := s.l.serve(addr, s.handle); err != nil {
+		return nil, fmt.Errorf("gthinker: control server: %w", err)
+	}
+	return s, nil
+}
+
+func (s *controlServer) addr() string { return s.l.addr() }
+func (s *controlServer) close() error { return s.l.close() }
+
+func (s *controlServer) handle(conn net.Conn) {
+	serveFrames(conn, maxFramePayload, func(op byte, payload []byte) ([]byte, error) {
+		switch op {
+		case opJoin:
+			r, err := decodeJoinRequest(payload)
+			if err != nil {
+				return nil, err
+			}
+			vaddr, taddr, err := s.h.handleJoin(r)
+			if err != nil {
+				return nil, err
+			}
+			out := store.AppendString(nil, vaddr)
+			return store.AppendString(out, taddr), nil
+		case opStart:
+			vaddrs, taddrs, err := decodeAddrTable(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.h.handleStart(vaddrs, taddrs)
+		case opStatus:
+			st, err := s.h.handleStatus()
+			if err != nil {
+				return nil, err
+			}
+			return appendStatus(nil, st), nil
+		case opStealDo:
+			c := store.NewCursor(payload)
+			recv := int(c.U32())
+			want := int(c.U32())
+			if err := c.Err(); err != nil || c.Remaining() != 0 {
+				return nil, fmt.Errorf("gthinker: malformed steal directive")
+			}
+			moved, err := s.h.handleSteal(recv, want)
+			if err != nil {
+				return nil, err
+			}
+			return store.AppendU32(nil, uint32(moved)), nil
+		case opMetrics:
+			met, err := s.h.handleMetrics()
+			if err != nil {
+				return nil, err
+			}
+			return appendMetrics(nil, met), nil
+		case opResults:
+			return s.h.handleResults()
+		case opRun:
+			return nil, s.h.handleRun()
+		case opShutdown:
+			return nil, s.h.handleShutdown()
+		case opExit:
+			return nil, s.h.handleExit()
+		default:
+			return nil, fmt.Errorf("gthinker: control server: unknown op 0x%02x", op)
+		}
+	})
+}
+
+// ClusterClient is the coordinator's ControlPlane over framed TCP: one
+// pooled connection per machine's control server. It drives both the
+// in-process TCP composition and real qcworker processes — the
+// coordinator cannot tell the difference, which is the point.
+//
+// Methods are safe for one coordinator goroutine per machine; the
+// shutdown→metrics→results ordering guarantee relies on each machine's
+// requests sharing its pooled connection.
+type ClusterClient struct {
+	pool  connPool
+	sent  atomic.Uint64
+	recvd atomic.Uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialCluster returns a client for the given per-machine control
+// addresses. Connections are established lazily.
+func DialCluster(ctlAddrs []string) *ClusterClient {
+	return &ClusterClient{pool: newConnPool(ctlAddrs)}
+}
+
+// Machines returns the cluster size.
+func (c *ClusterClient) Machines() int { return len(c.pool.addrs) }
+
+// Join performs machine m's join handshake and returns its data-plane
+// listen addresses.
+func (c *ClusterClient) Join(m int, r joinRequest) (vaddr, taddr string, err error) {
+	resp, err := c.pool.roundTrip(m, opJoin, appendJoinRequest(nil, r), maxFramePayload, &c.sent, &c.recvd)
+	if err != nil {
+		return "", "", err
+	}
+	cur := store.NewCursor(resp)
+	vaddr = cur.String(maxCtlAddr)
+	taddr = cur.String(maxCtlAddr)
+	if err := cur.Err(); err != nil {
+		return "", "", fmt.Errorf("gthinker: malformed join reply: %w", err)
+	}
+	return vaddr, taddr, nil
+}
+
+// JoinAll joins every machine with the shared identity (cluster size,
+// graph fingerprint, job spec) and returns the collected address
+// tables.
+func (c *ClusterClient) JoinAll(machines, numVerts int, numEdges uint64, spec []byte) (vaddrs, taddrs []string, err error) {
+	if machines != c.Machines() {
+		return nil, nil, fmt.Errorf("gthinker: joining %d machines with %d control addresses", machines, c.Machines())
+	}
+	vaddrs = make([]string, machines)
+	taddrs = make([]string, machines)
+	for m := 0; m < machines; m++ {
+		vaddrs[m], taddrs[m], err = c.Join(m, joinRequest{
+			MachineID: m, Machines: machines,
+			NumVerts: numVerts, NumEdges: numEdges, Spec: spec,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("gthinker: join machine %d: %w", m, err)
+		}
+	}
+	return vaddrs, taddrs, nil
+}
+
+// StartTransports distributes the full peer address table to every
+// machine; each builds its TCPTransport (mining starts separately,
+// with RunAll).
+func (c *ClusterClient) StartTransports(vaddrs, taddrs []string) error {
+	payload := appendAddrTable(nil, vaddrs, taddrs)
+	for m := 0; m < c.Machines(); m++ {
+		if _, err := c.pool.roundTrip(m, opStart, payload, maxFramePayload, &c.sent, &c.recvd); err != nil {
+			return fmt.Errorf("gthinker: start machine %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
+// RunAll starts mining on every machine.
+func (c *ClusterClient) RunAll() error {
+	for m := 0; m < c.Machines(); m++ {
+		if _, err := c.pool.roundTrip(m, opRun, nil, maxFramePayload, &c.sent, &c.recvd); err != nil {
+			return fmt.Errorf("gthinker: run machine %d: %w", m, err)
+		}
+	}
+	return nil
+}
+
+// Status polls machine m's liveness report.
+func (c *ClusterClient) Status(m int) (MachineStatus, error) {
+	resp, err := c.pool.roundTrip(m, opStatus, nil, maxFramePayload, &c.sent, &c.recvd)
+	if err != nil {
+		return MachineStatus{}, err
+	}
+	return decodeStatus(resp)
+}
+
+// Steal directs machine donor to ship up to want big tasks to recv.
+func (c *ClusterClient) Steal(donor, recv, want int) (int, error) {
+	req := store.AppendU32(nil, uint32(recv))
+	req = store.AppendU32(req, uint32(want))
+	resp, err := c.pool.roundTrip(donor, opStealDo, req, maxFramePayload, &c.sent, &c.recvd)
+	if err != nil {
+		return 0, err
+	}
+	cur := store.NewCursor(resp)
+	moved := int(cur.U32())
+	if err := cur.Err(); err != nil {
+		return 0, fmt.Errorf("gthinker: malformed steal reply: %w", err)
+	}
+	return moved, nil
+}
+
+// Shutdown stops machine m's workers and joins them.
+func (c *ClusterClient) Shutdown(m int) error {
+	_, err := c.pool.roundTrip(m, opShutdown, nil, maxFramePayload, &c.sent, &c.recvd)
+	return err
+}
+
+// CollectMetrics flushes machine m's metrics over the wire. Only valid
+// after Shutdown(m) (same pooled connection, so the worker's join of
+// its mining threads is ordered before this read).
+func (c *ClusterClient) CollectMetrics(m int) (*Metrics, error) {
+	resp, err := c.pool.roundTrip(m, opMetrics, nil, maxFramePayload, &c.sent, &c.recvd)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMetrics(resp)
+}
+
+// Results fetches machine m's app-level result bytes (opaque to the
+// engine; the app's cluster glue decodes and merges them). Only valid
+// after Shutdown(m). Unlike request traffic, the reply is accepted up
+// to the absolute frame ceiling: a worker's whole result set ships as
+// one frame, and a big mining run legitimately exceeds the 64 MiB
+// request budget (writeFrame allows the same ceiling on the sender).
+func (c *ClusterClient) Results(m int) ([]byte, error) {
+	return c.pool.roundTrip(m, opResults, nil, maxWireFrame, &c.sent, &c.recvd)
+}
+
+// Exit tells machine m's host process to terminate after replying.
+func (c *ClusterClient) Exit(m int) error {
+	_, err := c.pool.roundTrip(m, opExit, nil, maxFramePayload, &c.sent, &c.recvd)
+	return err
+}
+
+// WireBytes returns control-plane traffic totals (frame headers
+// included).
+func (c *ClusterClient) WireBytes() (sent, received uint64) {
+	return c.sent.Load(), c.recvd.Load()
+}
+
+// Close drops the pooled control connections.
+func (c *ClusterClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.pool.close()
+}

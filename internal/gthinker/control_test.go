@@ -1,0 +1,87 @@
+package gthinker
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMetricsWireRoundTrip(t *testing.T) {
+	m := &Metrics{
+		Wall: 123 * time.Millisecond, TasksSpawned: 1, SubtasksAdded: 2,
+		TasksFinished: 3, ComputeCalls: 4, BigTasks: 5, SmallTasks: 6,
+		LocalReads: 7, RemoteFetches: 8, BatchedFetches: 9,
+		WireBytesSent: 10, WireBytesReceived: 11, CacheHits: 12,
+		CacheMisses: 13, CacheEvicted: 14, SpillFiles: 15,
+		SpillBytesWritten: 16, SpillBytesRead: 17, RefillBatches: 18,
+		PeakSpillBytes: 19, StealRounds: 20, TasksStolen: 21,
+		TasksStolenRemote: 22, OffCycleSteals: 23, PeakHeapAlloc: 24,
+		WorkerBusy: []time.Duration{time.Second, 2 * time.Second},
+	}
+	got, err := decodeMetrics(appendMetrics(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("metrics wire round trip:\n got  %+v\n want %+v", got, m)
+	}
+	// Corruption must be rejected, not crash.
+	data := appendMetrics(nil, m)
+	for _, bad := range [][]byte{{}, data[:9], data[:len(data)-3], append(append([]byte{}, data...), 1)} {
+		if _, err := decodeMetrics(bad); err == nil {
+			t.Fatalf("corrupt metrics payload of %d bytes accepted", len(bad))
+		}
+	}
+}
+
+func TestStatusWireRoundTrip(t *testing.T) {
+	for _, st := range []MachineStatus{
+		{},
+		{AllSpawned: true, Live: 42, BigPending: 7, SentOut: 3, RecvIn: 9},
+		{AllSpawned: true, Failure: "machine on fire"},
+	} {
+		got, err := decodeStatus(appendStatus(nil, st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != st {
+			t.Fatalf("status round trip: %+v vs %+v", got, st)
+		}
+	}
+	if _, err := decodeStatus([]byte{1, 2}); err == nil {
+		t.Fatal("truncated status accepted")
+	}
+}
+
+func TestJoinRequestRoundTrip(t *testing.T) {
+	r := joinRequest{MachineID: 2, Machines: 5, NumVerts: 1000, NumEdges: 5000, Spec: []byte("spec-bytes")}
+	got, err := decodeJoinRequest(appendJoinRequest(nil, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MachineID != 2 || got.Machines != 5 || got.NumVerts != 1000 ||
+		got.NumEdges != 5000 || string(got.Spec) != "spec-bytes" {
+		t.Fatalf("join round trip: %+v", got)
+	}
+	// Wrong protocol version is refused.
+	bad := appendJoinRequest(nil, r)
+	bad[0] = 99
+	if _, err := decodeJoinRequest(bad); err == nil {
+		t.Fatal("wrong protocol version accepted")
+	}
+}
+
+func TestAddrTableRoundTrip(t *testing.T) {
+	v := []string{"a:1", "b:2", "c:3"}
+	ta := []string{"a:4", "", "c:6"}
+	gv, gt, err := decodeAddrTable(appendAddrTable(nil, v, ta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gv, v) || !reflect.DeepEqual(gt, ta) {
+		t.Fatalf("addr table round trip: %v %v", gv, gt)
+	}
+	if _, _, err := decodeAddrTable([]byte{255, 255, 255, 255}); err == nil {
+		t.Fatal("absurd machine count accepted")
+	}
+}

@@ -1,0 +1,405 @@
+package gthinker
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ControlPlane is the coordinator's view of the cluster: one entry per
+// machine, addressed by machine id. It is the ONLY channel through
+// which cross-machine scheduling decisions flow — the coordinator
+// never reads another machine's memory. Implementations: localControl
+// (direct method calls on in-process runtimes) and ClusterClient
+// (framed TCP ops against per-machine control servers, in-process or
+// across real OS processes).
+type ControlPlane interface {
+	// Machines returns the cluster size.
+	Machines() int
+	// Status returns machine m's liveness report.
+	Status(m int) (MachineStatus, error)
+	// Steal directs machine donor to ship up to want big tasks to
+	// machine recv, returning the number actually moved.
+	Steal(donor, recv, want int) (int, error)
+	// Shutdown stops machine m's workers and joins them. Idempotent.
+	Shutdown(m int) error
+	// CollectMetrics returns machine m's local metrics. Only valid
+	// after Shutdown(m).
+	CollectMetrics(m int) (*Metrics, error)
+}
+
+// localControl is the in-process ControlPlane: direct calls into the
+// runtimes, with steals as in-memory queue moves (the loopback
+// composition — one process, no serialization).
+type localControl struct {
+	rts []*MachineRuntime
+}
+
+func (lc *localControl) Machines() int { return len(lc.rts) }
+
+func (lc *localControl) Status(m int) (MachineStatus, error) {
+	return lc.rts[m].Status(), nil
+}
+
+// Steal moves tasks donor→recv in memory. Delivery precedes the
+// donor-side uncount, preserving the never-under-count invariant the
+// termination scan relies on.
+func (lc *localControl) Steal(donor, recv, want int) (int, error) {
+	batch := lc.rts[donor].stealLocal(want)
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	lc.rts[recv].DeliverTasks(batch)
+	lc.rts[donor].finishSteal(len(batch))
+	return len(batch), nil
+}
+
+func (lc *localControl) Shutdown(m int) error {
+	lc.rts[m].Stop()
+	return nil
+}
+
+func (lc *localControl) CollectMetrics(m int) (*Metrics, error) {
+	return lc.rts[m].LocalMetrics(), nil
+}
+
+// localSteal overlays in-memory stealing on another control plane —
+// the in-process TCP composition uses it when the app provides no
+// TaskCodec (nothing can serialize a task for the wire, but the
+// runtimes still share a process, so the pre-PR5 memory move remains
+// available).
+type localSteal struct {
+	ControlPlane
+	rts []*MachineRuntime
+}
+
+func (ls *localSteal) Steal(donor, recv, want int) (int, error) {
+	lc := localControl{rts: ls.rts}
+	return lc.Steal(donor, recv, want)
+}
+
+// CoordinatorStats reports the scheduling decisions a coordinator made
+// over one run.
+type CoordinatorStats struct {
+	StealRounds    uint64
+	TasksStolen    uint64
+	OffCycleSteals uint64
+}
+
+// RunCoordinator drives an already-composed cluster to completion:
+// status polling, termination detection, steal directives, shutdown,
+// and the final per-machine metrics collection, all through ctl. It is
+// the multi-process coordinator's engine-free entry point (the Engine
+// wraps the same loop around its in-process runtimes). The returned
+// metrics slice holds one entry per machine; entries are nil for
+// machines that could not be reached on the failure path.
+func RunCoordinator(ctx context.Context, ctl ControlPlane, cfg Config) ([]*Metrics, CoordinatorStats, error) {
+	cfg = cfg.withDefaults()
+	c := newCoordinator(ctl, cfg)
+	err := c.run(ctx)
+	return c.perMachine, CoordinatorStats{
+		StealRounds:    c.stealRounds,
+		TasksStolen:    c.tasksStolen,
+		OffCycleSteals: c.offCycleSteals,
+	}, err
+}
+
+// ewmaAlpha smooths the coordinator's per-machine backlog estimate:
+// high enough to track a draining queue within a few polls, low
+// enough that a single empty sample does not erase a backlog.
+const ewmaAlpha = 0.25
+
+// donorEwmaFloor is the smoothed backlog a machine needs to count as
+// a hysteresis donor. It must be reachable by a SUSTAINED backlog of
+// one task (whose EWMA converges to 1 from below, never touching it):
+// 0.5 means "pending more often than not across recent polls", which
+// is exactly the single-straggler skew the off-cycle path exists for.
+const donorEwmaFloor = 0.5
+
+// coordinator runs cluster-wide scheduling over a ControlPlane:
+// termination detection (two consecutive status scans must agree that
+// everything is spawned, nothing is alive, and no transfer moved in
+// between), the periodic task-stealing master (Section 5), and the
+// steal-ahead hysteresis that fires an off-cycle steal when a machine
+// sits persistently idle while another's backlog EWMA stays high.
+type coordinator struct {
+	ctl ControlPlane
+	cfg Config
+
+	stealRounds    uint64
+	tasksStolen    uint64
+	offCycleSteals uint64
+
+	perMachine []*Metrics // collected after shutdown; may hold nils on failure
+}
+
+func newCoordinator(ctl ControlPlane, cfg Config) *coordinator {
+	return &coordinator{ctl: ctl, cfg: cfg}
+}
+
+// run drives the cluster to completion: it polls, steals, detects
+// termination (or failure, or cancellation), shuts every machine down,
+// and collects per-machine metrics. The returned error is nil only for
+// a clean termination.
+func (c *coordinator) run(ctx context.Context) error {
+	err := c.loop(ctx)
+	for m := 0; m < c.ctl.Machines(); m++ {
+		if serr := c.ctl.Shutdown(m); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	// Metrics collection is best-effort on the failure path: a dead
+	// worker process cannot answer, but the survivors' numbers are
+	// still worth aggregating.
+	c.perMachine = make([]*Metrics, c.ctl.Machines())
+	for m := range c.perMachine {
+		met, merr := c.ctl.CollectMetrics(m)
+		if merr != nil {
+			if err == nil {
+				err = merr
+			}
+			continue
+		}
+		c.perMachine[m] = met
+	}
+	return err
+}
+
+func (c *coordinator) loop(ctx context.Context) error {
+	n := c.ctl.Machines()
+	statusTick := time.NewTicker(c.cfg.StatusInterval)
+	defer statusTick.Stop()
+	stealEnabled := !c.cfg.DisableStealing && n > 1
+	var stealC <-chan time.Time
+	if stealEnabled {
+		st := time.NewTicker(c.cfg.StealInterval)
+		defer st.Stop()
+		stealC = st.C
+	}
+	hyst := c.cfg.stealIdlePolls()
+
+	ewma := make([]float64, n)
+	idle := make([]int, n)
+	var prev []MachineStatus
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-statusTick.C:
+			sts, err := c.scan()
+			if err != nil {
+				return err
+			}
+			if terminated(prev, sts) {
+				return nil
+			}
+			if stealEnabled && hyst > 0 {
+				if recv := c.hysteresis(sts, ewma, idle, hyst); recv >= 0 {
+					moved, err := c.stealFor(recv, sts)
+					if err != nil {
+						return err
+					}
+					if moved > 0 {
+						c.offCycleSteals++
+						prev = nil // queues moved; restart the termination window
+						continue
+					}
+				}
+			}
+			prev = sts
+		case <-stealC:
+			sts, err := c.scan()
+			if err != nil {
+				return err
+			}
+			if _, err := c.stealRound(sts); err != nil {
+				return err
+			}
+			prev = nil
+		}
+	}
+}
+
+// scan polls every machine once. A control-plane transport failure or
+// a machine-reported failure aborts the run: a cluster that cannot
+// account for all of its machines must fail, not hang.
+func (c *coordinator) scan() ([]MachineStatus, error) {
+	sts := make([]MachineStatus, c.ctl.Machines())
+	for m := range sts {
+		st, err := c.ctl.Status(m)
+		if err != nil {
+			return nil, fmt.Errorf("gthinker: lost machine %d: %w", m, err)
+		}
+		if st.Failure != "" {
+			return nil, fmt.Errorf("gthinker: machine %d failed: %s", m, st.Failure)
+		}
+		sts[m] = st
+	}
+	return sts, nil
+}
+
+// terminated reports whether two consecutive scans prove the job done.
+// One idle scan is not enough: machine A can be read before a task is
+// stolen into it and machine B after donating it, summing to zero
+// while the task lives on. Any completed transfer bumps a monotone
+// sentOut/recvIn counter, so two scans that BOTH read all-spawned and
+// zero live, with identical transfer counters, bracket a window in
+// which no task existed anywhere.
+func terminated(prev, cur []MachineStatus) bool {
+	if prev == nil {
+		return false
+	}
+	for i := range cur {
+		if !cur[i].AllSpawned || cur[i].Live != 0 {
+			return false
+		}
+		if !prev[i].AllSpawned || prev[i].Live != 0 {
+			return false
+		}
+		if cur[i].SentOut != prev[i].SentOut || cur[i].RecvIn != prev[i].RecvIn {
+			return false
+		}
+	}
+	return true
+}
+
+// hysteresis updates the per-machine backlog EWMAs and idle streaks
+// from one scan, and returns the machine an off-cycle steal should
+// feed (or -1): some machine has been completely idle (all local
+// vertices spawned, nothing alive) for hyst consecutive polls while a
+// donor machine's backlog has persisted across polls. Acting between
+// StealInterval ticks catches skew that would otherwise drain
+// single-threaded on the donor while an idle machine waits.
+func (c *coordinator) hysteresis(sts []MachineStatus, ewma []float64, idle []int, hyst int) int {
+	donor := false
+	for i, st := range sts {
+		ewma[i] = ewmaAlpha*float64(st.BigPending) + (1-ewmaAlpha)*ewma[i]
+		if st.AllSpawned && st.Live == 0 {
+			idle[i]++
+		} else {
+			idle[i] = 0
+		}
+		if ewma[i] >= donorEwmaFloor && st.BigPending > 0 {
+			donor = true
+		}
+	}
+	if !donor {
+		return -1
+	}
+	for i := range sts {
+		if idle[i] >= hyst {
+			for j := range idle {
+				idle[j] = 0
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// stealFor executes an off-cycle steal: feed the idle machine recv
+// from the largest backlog, moving up to half of it (at least one
+// task). Unlike the periodic stealRound it ignores the avg+1 equity
+// guard — a single queued task behind a busy worker IS the skew the
+// hysteresis exists to catch, and an idle machine beats a fair
+// average.
+func (c *coordinator) stealFor(recv int, sts []MachineStatus) (int, error) {
+	donor, best := -1, int64(0)
+	for i, st := range sts {
+		if i != recv && st.BigPending > best {
+			donor, best = i, st.BigPending
+		}
+	}
+	if donor < 0 {
+		return 0, nil
+	}
+	want := int(best+1) / 2
+	if want > c.cfg.BatchSize {
+		want = c.cfg.BatchSize
+	}
+	if want < 1 {
+		want = 1
+	}
+	moved, err := c.ctl.Steal(donor, recv, want)
+	if err != nil {
+		return 0, err
+	}
+	if moved > 0 {
+		c.tasksStolen += uint64(moved)
+		c.stealRounds++
+	}
+	return moved, nil
+}
+
+// stealRoundNow scans and runs one steal round immediately — the unit
+// tests' entry point into the master's plan.
+func (c *coordinator) stealRoundNow() (int, error) {
+	sts, err := c.scan()
+	if err != nil {
+		return 0, err
+	}
+	return c.stealRound(sts)
+}
+
+// stealRound implements the master's plan: compute the average big-task
+// backlog and direct batches (≤ C per machine per period) from loaded
+// machines to idle ones. counts come from the scan that triggered the
+// round.
+func (c *coordinator) stealRound(sts []MachineStatus) (int, error) {
+	n := len(sts)
+	counts := make([]int, n)
+	total := 0
+	for i, st := range sts {
+		counts[i] = int(st.BigPending)
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	avg := total / n
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	movedTotal := 0
+	lo := n - 1
+	for _, hi := range order {
+		if counts[hi] <= avg+1 {
+			break
+		}
+		for lo >= 0 && counts[order[lo]] >= avg {
+			lo--
+		}
+		if lo < 0 || order[lo] == hi {
+			break
+		}
+		recv := order[lo]
+		want := counts[hi] - avg
+		if deficit := avg - counts[recv]; deficit < want {
+			want = deficit
+		}
+		if want > c.cfg.BatchSize {
+			want = c.cfg.BatchSize
+		}
+		if want < 1 {
+			want = 1
+		}
+		moved, err := c.ctl.Steal(hi, recv, want)
+		if err != nil {
+			return movedTotal, err
+		}
+		if moved == 0 {
+			continue
+		}
+		c.tasksStolen += uint64(moved)
+		counts[hi] -= moved
+		counts[recv] += moved
+		movedTotal += moved
+	}
+	if movedTotal > 0 {
+		c.stealRounds++
+	}
+	return movedTotal, nil
+}

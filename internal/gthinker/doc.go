@@ -1,0 +1,94 @@
+// Package gthinker is a reimplementation of the reforged G-thinker
+// engine of the paper's Section 5: a task-based parallel graph-mining
+// runtime with
+//
+//   - a hash-partitioned vertex table (one partition per machine)
+//     serving adjacency lists to tasks,
+//   - a remote-vertex cache per machine with reference counting and
+//     eviction,
+//   - per-worker local task queues (Qlocal) for small tasks and one
+//     machine-wide global queue (Qglobal) for big tasks — the paper's
+//     key reforge, which removes head-of-line blocking behind
+//     expensive tasks,
+//   - disk spilling of task batches when queues overflow (Lsmall and
+//     Lbig file lists), refilled in LIFO order to keep the volume of
+//     partially-processed tasks small,
+//   - prioritized scheduling: workers always prefer ready big tasks,
+//     then ready small tasks, then popping big tasks, then local ones,
+//     and stop a spawn batch as soon as it produces a big task,
+//   - a coordinator that rebalances pending big tasks across machines
+//     (task stealing) both periodically and off-cycle when an idle
+//     machine faces a persistent backlog elsewhere, refilling donors
+//     from their spill lists so a backlog on disk still donates,
+//   - a batched RPC plane (tcp.go): a multi-op length-prefixed frame
+//     protocol serving adjacency batches (one round trip per owning
+//     machine per task, not per vertex), a task channel shipping
+//     stolen big-task batches as GQS1 bytes (the spill serialization
+//     reused as the wire format), health probes, and the control
+//     plane below.
+//
+// # Architecture: runtimes composed by a coordinator
+//
+// The unit of execution is the MachineRuntime: ONE machine's vertex
+// partition, queues, spill lists, cache, and mining workers. A
+// runtime owns no cross-machine state — its data plane is the
+// Transport interface (adjacency fetches in, stolen GQS1 task batches
+// in and out) and its control plane is the MachineStatus /
+// StealTo / Stop surface the coordinator drives. The cluster is then
+// a composition, three ways:
+//
+//   - Engine (default): N runtimes in one process, loopback Transport
+//     (direct reads of the shared graph, ownership-validated), and a
+//     localControl plane of direct method calls.
+//   - Engine with Config.InProcessTCP: N runtimes each behind its own
+//     WorkerHost — control, vertex, and task servers on 127.0.0.1 —
+//     joined and driven by a ClusterClient over real sockets. Every
+//     remote pull, stolen batch, liveness poll, steal directive, and
+//     metrics flush crosses the wire.
+//   - cmd/qcworker: ONE runtime per OS process, hosted by the same
+//     WorkerHost; any coordinator (qcmine -procs, qcbench -procs, or
+//     miner.MineProcs) composes real processes from a partition
+//     manifest. Separate hosts need only routable addresses in the
+//     manifest — nothing above the Transport changes.
+//
+// In every composition the coordinator makes cross-machine decisions
+// exclusively from MachineStatus reports: termination is declared
+// when two consecutive scans agree that every machine has spawned its
+// partition, counts zero live tasks, and has identical sentOut/recvIn
+// transfer counters (a stolen task is counted by its receiver before
+// the donor uncounts it, so the cluster-wide live sum never
+// under-counts — no scan ordering can miss a task in flight).
+//
+// # Deploying a multi-process cluster
+//
+// A deployment is described by a partition manifest (GQM1, see
+// internal/store): the ownership scheme, the machine count, a graph
+// fingerprint (|V|, |E|), and per machine the control / vertex / task
+// listen addresses (empty = bind 127.0.0.1:0 and report through the
+// handshake). Every process derives owner(v) from the manifest alone.
+//
+// Single host, automatic (the coordinator spawns workers):
+//
+//	qcgen -o g.bin -type standin -name Enron
+//	qcmine -input g.bin -gamma 0.85 -minsize 10 -procs 4 -threads 2
+//	qcbench -exp table2 -procs 4 -qcworker ./qcworker
+//
+// Manual composition (what those commands do):
+//
+//	qcworker -graph g.bin -manifest cluster.gqm -machine 0   # × N
+//
+// each worker prints "GTHINKER-WORKER READY control=<addr>"; the
+// coordinator dials every control address (DialCluster) and runs the
+// lifecycle: opJoin (identity check + job spec) → opStart (peer
+// address table; workers build their TCPTransports) → opRun (mining
+// starts) → opStatus polling / opStealDo directives → opShutdown →
+// opMetrics + opResults flushes → opExit. The op table lives in
+// tcp.go; the app-opaque job-spec and result encodings for the
+// quasi-clique miner live in internal/miner (AppendJobSpec,
+// AppendResults).
+//
+// Engine mechanisms the paper evaluates all live above the Transport
+// interface, so the in-process compositions exercise the same code
+// paths as the distributed deployment; see DESIGN.md §3 for the
+// substitution argument.
+package gthinker

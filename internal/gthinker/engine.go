@@ -2,53 +2,46 @@ package gthinker
 
 import (
 	"context"
-	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"gthinkerqc/internal/graph"
-	"gthinkerqc/internal/store"
 )
 
-// Engine runs an App over a graph on a simulated cluster. Create one
-// with NewEngine, call Run once.
+// Engine runs an App over a graph on an in-process cluster: it
+// composes one MachineRuntime per simulated machine with a coordinator
+// over a control plane. With the default loopback transport the
+// control plane is direct method calls; with Config.InProcessTCP every
+// runtime sits behind its own control/vertex/task servers and the
+// coordinator speaks the same framed TCP protocol a real multi-process
+// deployment uses (cmd/qcworker hosts exactly one of these runtimes
+// per OS process). Create one with NewEngine, call Run once.
 type Engine struct {
-	g         *graph.Graph
-	app       App
-	cfg       Config
-	transport Transport
-	machines  []*machine
-	disk      diskAccount
+	g   *graph.Graph
+	app App
+	cfg Config
 
-	live     atomic.Int64 // tasks alive anywhere (queues, buffers, disk, in flight)
-	doneFlag atomic.Bool
+	runtimes []*MachineRuntime
+	ctl      ControlPlane
+	coord    *coordinator
 
-	errOnce sync.Once
-	err     error
+	// sharedTransport is set when every runtime shares one caller-
+	// provided Transport; its stats then override the per-runtime sums
+	// (which would otherwise double-count).
+	sharedTransport Transport
 
-	spillRoot  string
-	ownSpill   bool
-	spillCodec TaskCodec // nil = gob spill format
+	// disk tracks the process-wide spill footprint across the
+	// runtimes' individual accounts (they share one disk here, unlike
+	// real worker processes), so PeakSpillBytes keeps the pre-split
+	// peak-of-sum semantics.
+	disk diskAccount
 
-	// Engine-owned network endpoints (Config.InProcessTCP): one vertex
-	// server and (with a codec) one task server per machine, plus the
-	// transport connecting them, all torn down after Run.
-	ownVServers  []*VertexServer
-	ownTServers  []*TaskServer
-	ownTransport *TCPTransport
+	spillRoot string
+	ownSpill  bool
 
-	stealRounds       atomic.Uint64
-	tasksStolen       atomic.Uint64
-	tasksStolenRemote atomic.Uint64
-	peakHeap          atomic.Uint64
-	spawnedTasks      atomic.Uint64
-	subtasksAdded     atomic.Uint64
+	// InProcessTCP composition, torn down after Run.
+	hosts     []*WorkerHost
+	ctlClient *ClusterClient
 }
 
 // NewEngine prepares a run. The graph must be immutable for the
@@ -59,27 +52,10 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{g: g, app: app, cfg: cfg}
-	if cfg.Transport != nil {
-		e.transport = cfg.Transport
-	} else {
-		e.transport = newLoopback(g)
-	}
 
-	// Resolve the spill encoding once: columnar (GQS1 raw arrays) when
-	// the app can encode its own payloads, reflective gob otherwise.
-	var codec TaskCodec
-	switch cfg.SpillFormat {
-	case SpillColumnar:
-		c, ok := app.(TaskCodec)
-		if !ok {
-			return nil, fmt.Errorf("gthinker: SpillColumnar requires the App to implement TaskCodec (%T does not)", app)
-		}
-		codec = c
-	case SpillAuto:
-		codec, _ = app.(TaskCodec)
-	}
-	e.spillCodec = codec
-
+	// One spill root holds every machine's spill subdirectory, so a
+	// user-provided SpillDir ends the run empty and an engine-owned
+	// temp dir is removed wholesale.
 	if cfg.SpillDir == "" {
 		dir, err := os.MkdirTemp("", "gthinker-spill-")
 		if err != nil {
@@ -93,116 +69,107 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 		}
 		e.spillRoot = cfg.SpillDir
 	}
+	rcfg := cfg
+	rcfg.SpillDir = e.spillRoot
 
-	// Partition the vertex table by hash, like G-thinker's key-value
-	// store over machine memories. Counting first sizes each partition
-	// exactly, so the per-machine vertex slices are single contiguous
-	// allocations like the CSR arrays they index into.
-	counts := make([]int, cfg.Machines)
-	for v := 0; v < g.NumVertices(); v++ {
-		counts[owner(graph.V(v), cfg.Machines)]++
-	}
-	parts := make([][]graph.V, cfg.Machines)
-	for i := range parts {
-		parts[i] = make([]graph.V, 0, counts[i])
-	}
-	for v := 0; v < g.NumVertices(); v++ {
-		o := owner(graph.V(v), cfg.Machines)
-		parts[o] = append(parts[o], graph.V(v))
-	}
-	wid := 0
-	for i := 0; i < cfg.Machines; i++ {
-		m := &machine{id: i, eng: e, verts: parts[i], cache: newVertexCache(cfg.CacheCap)}
-		mdir := filepath.Join(e.spillRoot, "machine-"+strconv.Itoa(i))
-		if err := os.MkdirAll(mdir, 0o755); err != nil {
-			return nil, err
-		}
-		m.lbig = newSpillList(mdir, "big", &e.disk, codec)
-		for j := 0; j < cfg.WorkersPerMachine; j++ {
-			w := &worker{id: wid, m: m, lsmall: newSpillList(mdir, "small-"+strconv.Itoa(j), &e.disk, codec)}
-			w.ctx = Ctx{WorkerID: wid, MachineID: i, aborted: e.doneFlag.Load}
-			m.workers = append(m.workers, w)
-			wid++
-		}
-		e.machines = append(e.machines, m)
-	}
 	if cfg.InProcessTCP {
-		if err := e.bootstrapTCP(); err != nil {
+		if err := e.bootstrapTCP(rcfg); err != nil {
 			e.closeOwnedNetwork()
+			e.removeSpillRoot()
 			return nil, err
 		}
+	} else {
+		shared := cfg.Transport
+		e.sharedTransport = shared
+		parts := partitionVertices(g.NumVertices(), cfg.Machines)
+		for i := 0; i < cfg.Machines; i++ {
+			tr := shared
+			owned := false
+			if tr == nil {
+				tr = newLoopback(g, cfg.Machines)
+				owned = true
+			}
+			rt, err := newMachineRuntimeVerts(g, app, rcfg, i, tr, parts[i])
+			if err != nil {
+				e.removeSpillRoot()
+				return nil, err
+			}
+			rt.ownTransport = owned
+			rt.disk.parent = &e.disk
+			e.runtimes = append(e.runtimes, rt)
+		}
+		e.ctl = &localControl{rts: e.runtimes}
 	}
+	e.coord = newCoordinator(e.ctl, cfg)
 	return e, nil
 }
 
-// bootstrapTCP stands up a real socket deployment inside the process:
-// one VertexServer per machine (adjacency fetches), one TaskServer per
-// machine when the app provides a TaskCodec (stolen-task delivery),
-// and a TCPTransport connecting them on loopback TCP.
-func (e *Engine) bootstrapTCP() error {
+// bootstrapTCP stands up the real socket composition inside the
+// process: one WorkerHost per machine — each owning a MachineRuntime
+// plus its control, vertex, and task servers on loopback TCP — and a
+// ClusterClient control plane that joins and starts them exactly as
+// the multi-process coordinator does. Every remote adjacency pull,
+// stolen big-task batch, liveness poll, steal directive, and metrics
+// flush then crosses a real socket.
+func (e *Engine) bootstrapTCP(rcfg Config) error {
 	n := e.cfg.Machines
-	vaddrs := make([]string, n)
+	ctlAddrs := make([]string, n)
+	parts := partitionVertices(e.g.NumVertices(), n)
 	for i := 0; i < n; i++ {
-		s, err := ServeVertexTable("127.0.0.1:0", e.g)
+		h, err := StartWorkerHost(WorkerHostConfig{
+			Graph: e.g, MachineID: i,
+			App: e.app, AppConfig: rcfg,
+			presetVerts: parts[i],
+		})
 		if err != nil {
 			return err
 		}
-		e.ownVServers = append(e.ownVServers, s)
-		vaddrs[i] = s.Addr()
+		e.hosts = append(e.hosts, h)
+		ctlAddrs[i] = h.ControlAddr()
 	}
-	tr := NewTCPTransport(vaddrs, e.g.NumVertices())
-	if e.spillCodec != nil {
-		taddrs := make([]string, n)
-		for i := 0; i < n; i++ {
-			s, err := ServeTasks("127.0.0.1:0", e.spillCodec, e.TaskSink(i))
-			if err != nil {
-				tr.Close()
-				return err
-			}
-			e.ownTServers = append(e.ownTServers, s)
-			taddrs[i] = s.Addr()
+	cc := DialCluster(ctlAddrs)
+	vaddrs, taddrs, err := cc.JoinAll(n, e.g.NumVertices(), uint64(e.g.NumEdges()), nil)
+	if err != nil {
+		cc.Close()
+		return err
+	}
+	if err := cc.StartTransports(vaddrs, taddrs); err != nil {
+		cc.Close()
+		return err
+	}
+	e.ctlClient = cc
+	for _, h := range e.hosts {
+		rt := h.Runtime()
+		rt.disk.parent = &e.disk
+		e.runtimes = append(e.runtimes, rt)
+	}
+	// Tasks can only cross the wire when the app can serialize them
+	// (every host then has a task server and its address). Without
+	// that, steal directives overlay the in-memory move the shared
+	// process still allows — the pre-refactor behavior for gob apps.
+	wireSteal := true
+	for _, t := range taddrs {
+		if t == "" {
+			wireSteal = false
 		}
-		tr.SetTaskAddrs(taddrs)
 	}
-	e.ownTransport = tr
-	e.transport = tr
+	if wireSteal {
+		e.ctl = cc
+	} else {
+		e.ctl = &localSteal{ControlPlane: cc, rts: e.runtimes}
+	}
 	return nil
 }
 
-// closeOwnedNetwork tears down the InProcessTCP endpoints (no-op
+// closeOwnedNetwork tears down the InProcessTCP composition (no-op
 // otherwise).
 func (e *Engine) closeOwnedNetwork() {
-	if e.ownTransport != nil {
-		e.ownTransport.Close()
+	if e.ctlClient != nil {
+		e.ctlClient.Close()
 	}
-	for _, s := range e.ownTServers {
-		s.Close()
+	for _, h := range e.hosts {
+		h.Close()
 	}
-	for _, s := range e.ownVServers {
-		s.Close()
-	}
-}
-
-// TaskSink returns the stolen-batch delivery callback for machine mid,
-// for wiring a TaskServer: batches the server decodes land on that
-// machine's global queue exactly as an in-memory steal move would.
-func (e *Engine) TaskSink(mid int) func([]*Task) {
-	m := e.machines[mid]
-	return func(tasks []*Task) {
-		m.qglobal.pushBackAll(tasks)
-		m.stolenIn.Add(uint64(len(tasks)))
-	}
-}
-
-// isBig classifies a task, honoring the DisableGlobalQueue ablation.
-func (e *Engine) isBig(t *Task) bool {
-	return !e.cfg.DisableGlobalQueue && e.app.IsBig(t)
-}
-
-// fail records the first error and stops the run.
-func (e *Engine) fail(err error) {
-	e.errOnce.Do(func() { e.err = err })
-	e.doneFlag.Store(true)
 }
 
 // Run executes the job to completion and returns its metrics.
@@ -215,295 +182,80 @@ func (e *Engine) Run() (*Metrics, error) {
 // context error is returned alongside the metrics gathered so far.
 func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 	start := time.Now()
-	stop := make(chan struct{})
-	var aux sync.WaitGroup
-
-	// Termination watcher: the job ends when every machine's spawn
-	// cursor is exhausted and no task is alive anywhere — or when the
-	// caller cancels.
-	aux.Add(1)
-	go func() {
-		defer aux.Done()
-		tick := time.NewTicker(time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ctx.Done():
-				e.fail(ctx.Err())
-				return
-			case <-tick.C:
-				if e.allSpawned() && e.live.Load() == 0 {
-					e.doneFlag.Store(true)
-					return
-				}
-			}
-		}
-	}()
-
-	// Task-stealing master (Section 5: balance pending big tasks
-	// across machines every period).
-	if !e.cfg.DisableStealing && e.cfg.Machines > 1 {
-		aux.Add(1)
-		go func() {
-			defer aux.Done()
-			tick := time.NewTicker(e.cfg.StealInterval)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					e.stealRound()
-				}
-			}
-		}()
-	}
-
-	// Heap sampler for the RAM columns of Tables 2 and 5.
-	aux.Add(1)
-	go func() {
-		defer aux.Done()
-		tick := time.NewTicker(50 * time.Millisecond)
-		defer tick.Stop()
-		var ms runtime.MemStats
-		for {
-			select {
-			case <-stop:
-				return
-			case <-tick.C:
-				runtime.ReadMemStats(&ms)
-				for {
-					p := e.peakHeap.Load()
-					if ms.HeapAlloc <= p || e.peakHeap.CompareAndSwap(p, ms.HeapAlloc) {
-						break
-					}
-				}
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for _, m := range e.machines {
-		for _, w := range m.workers {
-			wg.Add(1)
-			go func(w *worker) {
-				defer wg.Done()
-				w.run()
-			}(w)
+	var runErr error
+	for _, rt := range e.runtimes {
+		if err := rt.Start(); err != nil {
+			runErr = err
+			break
 		}
 	}
-	wg.Wait()
-	close(stop)
-	aux.Wait()
-
-	met := e.collectMetrics(time.Since(start))
+	if runErr == nil {
+		runErr = e.coord.run(ctx)
+	}
+	// Join every runtime from THIS goroutine too: the coordinator's
+	// shutdown may have crossed a socket, and the caller is about to
+	// read app state the workers wrote.
+	for _, rt := range e.runtimes {
+		rt.Stop()
+	}
+	if runErr == nil {
+		for _, rt := range e.runtimes {
+			if err := rt.Err(); err != nil {
+				runErr = err
+				break
+			}
+		}
+	}
+	met := e.aggregateMetrics(time.Since(start))
 	e.cleanupSpill()
 	e.closeOwnedNetwork()
-	return met, e.err
+	return met, runErr
 }
 
-// cleanupSpill removes whatever the run left on disk. A clean run's
-// spill files were already unlinked by their refills; leftovers exist
-// only after cancellation or failure. User-provided SpillDirs are left
-// in place but emptied (the per-machine subdirectories this engine
-// created are removed once empty).
-func (e *Engine) cleanupSpill() {
-	for _, m := range e.machines {
-		m.lbig.removeAll()
-		for _, w := range m.workers {
-			w.lsmall.removeAll()
+// aggregateMetrics merges the per-machine metrics the coordinator
+// collected (over the control plane — the wire, under InProcessTCP)
+// with the coordinator's own steal counters. Machines the control
+// plane could not reach fall back to direct runtime reads — possible
+// here because every composition this engine builds is in-process.
+func (e *Engine) aggregateMetrics(wall time.Duration) *Metrics {
+	per := make([]*Metrics, len(e.runtimes))
+	for i := range per {
+		if e.coord.perMachine != nil && e.coord.perMachine[i] != nil {
+			per[i] = e.coord.perMachine[i]
+		} else {
+			per[i] = e.runtimes[i].LocalMetrics()
 		}
 	}
-	if e.ownSpill {
-		os.RemoveAll(e.spillRoot)
-		return
-	}
-	for i := range e.machines {
-		// Best effort: fails harmlessly if a foreign file appeared.
-		os.Remove(filepath.Join(e.spillRoot, "machine-"+strconv.Itoa(i)))
-	}
-}
-
-func (e *Engine) allSpawned() bool {
-	for _, m := range e.machines {
-		if int(m.spawnCursor.Load()) < len(m.verts) {
-			return false
-		}
-	}
-	return true
-}
-
-// stealRound implements the master's plan: compute the average big-task
-// backlog and move batches (≤ C per machine per period) from loaded
-// machines to idle ones.
-func (e *Engine) stealRound() {
-	n := len(e.machines)
-	counts := make([]int, n)
-	total := 0
-	for i, m := range e.machines {
-		counts[i] = m.bigPending()
-		total += counts[i]
-	}
-	if total == 0 {
-		return
-	}
-	avg := total / n
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
-	moved := false
-	lo := n - 1
-	for _, hi := range order {
-		if counts[hi] <= avg+1 {
-			break
-		}
-		for lo >= 0 && counts[order[lo]] >= avg {
-			lo--
-		}
-		if lo < 0 || order[lo] == hi {
-			break
-		}
-		recv := order[lo]
-		want := counts[hi] - avg
-		if deficit := avg - counts[recv]; deficit < want {
-			want = deficit
-		}
-		if want > e.cfg.BatchSize {
-			want = e.cfg.BatchSize
-		}
-		if want < 1 {
-			want = 1
-		}
-		batch := e.stealFrom(e.machines[hi], want)
-		if len(batch) == 0 {
-			continue
-		}
-		if err := e.dispatchStolen(recv, batch); err != nil {
-			// Don't lose the tasks: hand them back to the donor before
-			// the run fails on the transport error.
-			e.machines[hi].qglobal.pushBackAll(batch)
-			e.fail(err)
-			return
-		}
-		e.tasksStolen.Add(uint64(len(batch)))
-		counts[hi] -= len(batch)
-		counts[recv] += len(batch)
-		moved = true
-	}
-	if moved {
-		e.stealRounds.Add(1)
-	}
-}
-
-// stealFrom pops up to want big tasks from m's global queue, refilling
-// from the spill list when the in-memory queue cannot cover the
-// request. bigPending counts queued AND spilled tasks, so without the
-// refill a machine whose backlog sits on disk is sized as a donor yet
-// donates nothing — receivers starve while it pays spill I/O.
-func (e *Engine) stealFrom(m *machine, want int) []*Task {
-	batch := m.qglobal.popBackBatch(want)
-	for len(batch) < want {
-		refill, ok, err := m.lbig.refill()
-		if err != nil {
-			e.fail(err)
-			break
-		}
-		if !ok {
-			break
-		}
-		need := want - len(batch)
-		if need > len(refill) {
-			need = len(refill)
-		}
-		batch = append(batch, refill[:need]...)
-		m.qglobal.pushBackAll(refill[need:])
-	}
-	return batch
-}
-
-// dispatchStolen hands a stolen batch to the receiving machine: as
-// GQS1 bytes through the transport's task channel when one is
-// configured (real distributed stealing — the same serialization as
-// spill files), as an in-memory queue move otherwise (also the
-// fallback for a batch too large for one wire frame).
-func (e *Engine) dispatchStolen(recv int, batch []*Task) error {
-	if tc := e.taskChannel(); tc != nil {
-		enc := batchEncoders.Get().(*store.BatchEncoder)
-		data, err := encodeTaskBatch(enc, batch, e.spillCodec)
-		if err == nil && len(data) <= maxFramePayload {
-			err = tc.SendTasks(recv, data)
-			batchEncoders.Put(enc)
-			if err != nil {
-				return err
-			}
-			e.tasksStolenRemote.Add(uint64(len(batch)))
-			return nil
-		}
-		batchEncoders.Put(enc)
-		if err != nil {
-			return err
-		}
-	}
-	e.TaskSink(recv)(batch)
-	return nil
-}
-
-// taskChannel returns the transport's task channel when remote task
-// shipping is possible: the transport implements it, delivery is
-// configured, and the app has a codec to serialize payloads.
-func (e *Engine) taskChannel() TaskChannel {
-	if e.spillCodec == nil {
-		return nil
-	}
-	tc, ok := e.transport.(TaskChannel)
-	if !ok || !tc.TaskChannelReady() {
-		return nil
-	}
-	return tc
-}
-
-func (e *Engine) collectMetrics(wall time.Duration) *Metrics {
-	met := &Metrics{Wall: wall}
-	for _, m := range e.machines {
-		met.BigTasks += m.bigTasks.Load()
-		met.SmallTasks += m.smallTasks.Load()
-		h, mi, ev := m.cache.stats()
-		met.CacheHits += h
-		met.CacheMisses += mi
-		met.CacheEvicted += ev
-		for _, w := range m.workers {
-			met.ComputeCalls += w.computeCalls
-			met.TasksFinished += w.tasksFinished
-			met.LocalReads += w.localReads
-			met.WorkerBusy = append(met.WorkerBusy, w.busy)
-		}
-	}
-	met.TasksSpawned = e.spawnedTasks.Load()
-	met.SubtasksAdded = e.subtasksAdded.Load()
-	met.RemoteFetches = e.transport.Fetches()
-	met.SpillFiles = e.disk.files.Load()
-	met.SpillBytesWritten = e.disk.written.Load()
-	met.SpillBytesRead = e.disk.read.Load()
-	met.RefillBatches = e.disk.refills.Load()
+	met := MergeMachineMetrics(per)
+	met.Wall = wall
+	met.StealRounds = e.coord.stealRounds
+	met.TasksStolen = e.coord.tasksStolen
+	met.OffCycleSteals = e.coord.offCycleSteals
+	// The runtimes share this process's disk: the true peak footprint
+	// is the engine-level peak-of-sum, not the sum of per-machine
+	// peaks reached at different times.
 	met.PeakSpillBytes = e.disk.peak.Load()
-	met.StealRounds = e.stealRounds.Load()
-	met.TasksStolen = e.tasksStolen.Load()
-	met.TasksStolenRemote = e.tasksStolenRemote.Load()
-	if ts, ok := e.transport.(TransportStats); ok {
-		met.BatchedFetches = ts.BatchedFetches()
-		met.WireBytesSent, met.WireBytesReceived = ts.WireBytes()
-	}
-	// Take one final heap sample: short jobs can finish between
-	// sampler ticks.
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	met.PeakHeapAlloc = e.peakHeap.Load()
-	if ms.HeapAlloc > met.PeakHeapAlloc {
-		met.PeakHeapAlloc = ms.HeapAlloc
+	if e.sharedTransport != nil {
+		met.RemoteFetches = e.sharedTransport.Fetches()
+		if ts, ok := e.sharedTransport.(TransportStats); ok {
+			met.BatchedFetches = ts.BatchedFetches()
+			met.WireBytesSent, met.WireBytesReceived = ts.WireBytes()
+		}
 	}
 	return met
+}
+
+// cleanupSpill removes whatever the run left on disk. User-provided
+// SpillDirs are left in place but emptied.
+func (e *Engine) cleanupSpill() {
+	for _, rt := range e.runtimes {
+		rt.CleanupSpill()
+	}
+	e.removeSpillRoot()
+}
+
+func (e *Engine) removeSpillRoot() {
+	if e.ownSpill {
+		os.RemoveAll(e.spillRoot)
+	}
 }

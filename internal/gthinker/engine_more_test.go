@@ -52,31 +52,33 @@ func TestStealRoundDirect(t *testing.T) {
 	}
 	// Load machine 0 with 10 big tasks; machine 1 has none.
 	for i := 0; i < 10; i++ {
-		e.machines[0].qglobal.pushBack(NewTask(i))
+		e.runtimes[0].qglobal.pushBack(NewTask(i))
 	}
-	e.stealRound()
-	m0, m1 := e.machines[0].qglobal.len(), e.machines[1].qglobal.len()
+	if _, err := e.coord.stealRoundNow(); err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := e.runtimes[0].qglobal.len(), e.runtimes[1].qglobal.len()
 	if m1 == 0 {
 		t.Fatalf("no tasks stolen: %d / %d", m0, m1)
 	}
 	if m0+m1 != 10 {
 		t.Fatalf("tasks lost in stealing: %d + %d", m0, m1)
 	}
-	if e.tasksStolen.Load() == 0 || e.stealRounds.Load() == 0 {
+	if e.coord.tasksStolen == 0 || e.coord.stealRounds == 0 {
 		t.Fatal("steal counters not updated")
 	}
 	// Balanced queues: nothing moves.
-	before := e.tasksStolen.Load()
-	e.stealRound()
-	e.stealRound()
-	after := e.tasksStolen.Load()
+	before := e.coord.tasksStolen
+	e.coord.stealRoundNow()
+	e.coord.stealRoundNow()
+	after := e.coord.tasksStolen
 	if after-before > uint64(m0+m1) {
 		t.Fatalf("stealing thrashes on balanced queues: %d moved", after-before)
 	}
 	// Empty queues: no-op.
 	e2, _ := NewEngine(g, &nilApp{}, Config{Machines: 2, SpillDir: t.TempDir()})
-	e2.stealRound()
-	if e2.tasksStolen.Load() != 0 {
+	e2.coord.stealRoundNow()
+	if e2.coord.tasksStolen != 0 {
 		t.Fatal("stole from empty cluster")
 	}
 }
@@ -110,7 +112,7 @@ func (f *failingTransport) FetchAdj(int, graph.V) ([]graph.V, error) {
 	return nil, errors.New("synthetic transport failure")
 }
 
-func (f *failingTransport) FetchAdjBatch(int, []graph.V) ([][]graph.V, error) {
+func (f *failingTransport) FetchAdjBatch(int, []graph.V, [][]graph.V) ([][]graph.V, error) {
 	f.fetches.Add(1)
 	return nil, errors.New("synthetic transport failure")
 }

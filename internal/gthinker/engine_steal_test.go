@@ -19,8 +19,8 @@ type vecApp struct {
 
 // TestStealRefillsFromSpilledBacklog is the regression test for the
 // steal-master stall: a donor whose big tasks all sit in spill files
-// (bigPending counts them) used to donate nothing because stealRound
-// drained only the in-memory queue — receivers starved while the
+// (bigPending counts them) used to donate nothing because the steal
+// round drained only the in-memory queue — receivers starved while the
 // donor paid refill I/O alone.
 func TestStealRefillsFromSpilledBacklog(t *testing.T) {
 	g := datagen.ErdosRenyi(10, 0.2, 1)
@@ -40,29 +40,31 @@ func TestStealRefillsFromSpilledBacklog(t *testing.T) {
 		}
 		return ts
 	}
-	if err := e.machines[0].lbig.spill(mkTasks(4)); err != nil {
+	if err := e.runtimes[0].lbig.spill(mkTasks(4)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.machines[0].lbig.spill(mkTasks(4)); err != nil {
+	if err := e.runtimes[0].lbig.spill(mkTasks(4)); err != nil {
 		t.Fatal(err)
 	}
-	if e.machines[0].qglobal.len() != 0 || e.machines[0].bigPending() != 8 {
+	if e.runtimes[0].qglobal.len() != 0 || e.runtimes[0].bigPending() != 8 {
 		t.Fatalf("setup wrong: queue=%d pending=%d",
-			e.machines[0].qglobal.len(), e.machines[0].bigPending())
+			e.runtimes[0].qglobal.len(), e.runtimes[0].bigPending())
 	}
 
-	e.stealRound()
+	if _, err := e.coord.stealRoundNow(); err != nil {
+		t.Fatal(err)
+	}
 
-	if got := e.machines[1].qglobal.len(); got == 0 {
+	if got := e.runtimes[1].qglobal.len(); got == 0 {
 		t.Fatal("spilled backlog donated nothing")
 	}
-	if e.tasksStolen.Load() == 0 {
+	if e.coord.tasksStolen == 0 {
 		t.Fatal("steal counter not updated")
 	}
 	// Nothing was lost: queued tasks plus tasks still on disk cover
 	// the original eight.
-	remaining := e.machines[0].qglobal.len() + e.machines[0].lbig.count() +
-		e.machines[1].qglobal.len()
+	remaining := e.runtimes[0].qglobal.len() + e.runtimes[0].lbig.count() +
+		e.runtimes[1].qglobal.len()
 	if remaining != 8 {
 		t.Fatalf("tasks lost in spill-backed steal: %d of 8 remain", remaining)
 	}
@@ -84,26 +86,28 @@ func TestStealFromPartialRefill(t *testing.T) {
 	for i := range ts {
 		ts[i] = NewTask([]graph.V{graph.V(i)})
 	}
-	if err := e.machines[0].lbig.spill(ts); err != nil {
+	if err := e.runtimes[0].lbig.spill(ts); err != nil {
 		t.Fatal(err)
 	}
-	batch := e.stealFrom(e.machines[0], 2)
+	batch := e.runtimes[0].stealLocal(2)
 	if len(batch) != 2 {
-		t.Fatalf("stealFrom returned %d tasks, want 2", len(batch))
+		t.Fatalf("stealLocal returned %d tasks, want 2", len(batch))
 	}
-	if got := e.machines[0].qglobal.len(); got != 4 {
+	if got := e.runtimes[0].qglobal.len(); got != 4 {
 		t.Fatalf("refill excess lost: %d queued, want 4", got)
 	}
-	if e.machines[0].lbig.count() != 0 {
+	if e.runtimes[0].lbig.count() != 0 {
 		t.Fatal("spill file not consumed")
 	}
 	e.cleanupSpill()
 }
 
 // TestStealRoundShipsRemote drives one steal round over the in-process
-// TCP plane and checks the batch crossed the wire as GQS1 bytes: the
-// receiving machine's queue is filled by its TaskServer (via TaskSink)
-// with decoded equivalents, not the sender's Task pointers.
+// TCP control plane — the coordinator's directive goes to the donor's
+// control server, the donor ships the batch as GQS1 bytes to the
+// receiver's TaskServer — and checks the batch really crossed the
+// wire: the receiving machine's queue holds decoded equivalents, not
+// the sender's Task pointers.
 func TestStealRoundShipsRemote(t *testing.T) {
 	g := datagen.ErdosRenyi(10, 0.2, 1)
 	e, err := NewEngine(g, vecApp{}, Config{
@@ -114,23 +118,28 @@ func TestStealRoundShipsRemote(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer e.closeOwnedNetwork()
-	if e.taskChannel() == nil {
+	if e.runtimes[0].taskChannel() == nil {
 		t.Fatal("in-process TCP engine has no task channel")
+	}
+	if _, ok := e.ctl.(*ClusterClient); !ok {
+		t.Fatalf("in-process TCP control plane is %T, want *ClusterClient", e.ctl)
 	}
 	orig := make(map[uint64]*Task, 10)
 	for i := 0; i < 10; i++ {
 		tk := NewTask([]graph.V{graph.V(i), graph.V(i * 2)})
 		tk.Pulls = []graph.V{graph.V(i + 50)}
 		orig[tk.ID] = tk
-		e.machines[0].qglobal.pushBack(tk)
+		e.runtimes[0].qglobal.pushBack(tk)
 	}
 
-	e.stealRound()
+	if _, err := e.coord.stealRoundNow(); err != nil {
+		t.Fatal(err)
+	}
 
-	if e.tasksStolenRemote.Load() == 0 {
+	if e.runtimes[0].tasksStolenRemote.Load() == 0 {
 		t.Fatal("steal moved tasks in memory despite a configured task channel")
 	}
-	got := e.machines[1].qglobal.popBackBatch(100)
+	got := e.runtimes[1].qglobal.popBackBatch(100)
 	if len(got) == 0 {
 		t.Fatal("receiver got nothing")
 	}
@@ -150,18 +159,92 @@ func TestStealRoundShipsRemote(t *testing.T) {
 			t.Fatalf("task %d payload corrupted: %v vs %v", tk.ID, p, q)
 		}
 	}
-	if int(e.tasksStolenRemote.Load()) != len(got) {
-		t.Fatalf("remote-steal counter %d != received %d", e.tasksStolenRemote.Load(), len(got))
+	if int(e.runtimes[0].tasksStolenRemote.Load()) != len(got) {
+		t.Fatalf("remote-steal counter %d != received %d",
+			e.runtimes[0].tasksStolenRemote.Load(), len(got))
+	}
+	if e.runtimes[1].recvIn.Load() != uint64(len(got)) || e.runtimes[0].sentOut.Load() != uint64(len(got)) {
+		t.Fatalf("transfer counters wrong: sentOut=%d recvIn=%d moved=%d",
+			e.runtimes[0].sentOut.Load(), e.runtimes[1].recvIn.Load(), len(got))
 	}
 }
 
+// TestStealHysteresisOffCycle is the steal-ahead regression test: one
+// machine holds the entire big-task backlog while the other is idle,
+// and the steal period is far longer than the run — only the
+// coordinator's idle-machine hysteresis can move work. Without it the
+// idle machine would starve until the (never-arriving) steal tick.
+func TestStealHysteresisOffCycle(t *testing.T) {
+	g := datagen.ErdosRenyi(10, 0.2, 1)
+	run := func(idlePolls int) (*Metrics, *Engine) {
+		e, err := NewEngine(g, &countingApp{}, Config{
+			Machines: 2, WorkersPerMachine: 1,
+			SpillDir:       t.TempDir(),
+			StealInterval:  time.Hour, // the periodic master never fires
+			StatusInterval: 200 * time.Microsecond,
+			StealIdlePolls: idlePolls,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Machine 0 holds a skewed backlog of slow big tasks; machine 1
+		// spawns nothing and sits idle. Tasks are preloaded (and
+		// accounted live) before Run, like a donor mid-job.
+		for i := 0; i < 64; i++ {
+			e.runtimes[0].qglobal.pushBack(NewTask(nil))
+			e.runtimes[0].live.Add(1)
+			e.runtimes[0].bigTasks.Add(1)
+		}
+		met, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met, e
+	}
+
+	met, _ := run(2)
+	if met.TasksStolen == 0 || met.OffCycleSteals == 0 {
+		t.Fatalf("hysteresis never fired: stolen=%d offcycle=%d rounds=%d",
+			met.TasksStolen, met.OffCycleSteals, met.StealRounds)
+	}
+	if met.TasksFinished != 64 {
+		t.Fatalf("finished %d of 64 preloaded tasks", met.TasksFinished)
+	}
+
+	// Disabled hysteresis (negative): the same skew drains donor-side
+	// only — no steals can happen inside the run.
+	met, _ = run(-1)
+	if met.TasksStolen != 0 || met.OffCycleSteals != 0 {
+		t.Fatalf("steals happened with hysteresis disabled and a 1h period: stolen=%d offcycle=%d",
+			met.TasksStolen, met.OffCycleSteals)
+	}
+	if met.TasksFinished != 64 {
+		t.Fatalf("finished %d of 64 preloaded tasks", met.TasksFinished)
+	}
+}
+
+// countingApp computes slowly enough that a skewed backlog outlives
+// several status polls; every task is big.
+type countingApp struct {
+	vecApp
+	computed atomic.Int64
+}
+
+func (a *countingApp) Compute(t *Task, _ map[graph.V][]graph.V, _ *Ctx) bool {
+	time.Sleep(time.Millisecond)
+	a.computed.Add(1)
+	return false
+}
+
+func (a *countingApp) IsBig(*Task) bool { return true }
+
 // slowSpawnApp widens the spawn/termination race window: Spawn takes
-// longer than the 1 ms watcher tick, so a watcher that treats an
-// advanced spawn cursor as "spawned and accounted" fires mid-spawn.
-// The spawned task is big, landing on the machine's global queue —
-// the placement the racing worker loop abandons on doneFlag (a small
-// task is popped back off qlocal within the same step and computed
-// even after a premature doneFlag).
+// longer than the watcher tick, so a scan that treats an advanced
+// spawn cursor as "spawned and accounted" fires mid-spawn. The spawned
+// task is big, landing on the machine's global queue — the placement
+// the racing worker loop abandons on doneFlag (a small task is popped
+// back off qlocal within the same step and computed even after a
+// premature doneFlag).
 type slowSpawnApp struct {
 	computed atomic.Int64
 }
@@ -180,11 +263,11 @@ func (a *slowSpawnApp) IsBig(*Task) bool { return true }
 
 // TestSpawnTerminationRace is the regression test for the dropped
 // final task: liveness must be reserved before the spawn cursor
-// advances, otherwise the termination watcher can observe
-// allSpawned() && live == 0 while the last Spawn is still running and
-// end the job before its task reaches a queue. A single-vertex
-// partition makes the first cursor advance the last one, so every
-// iteration used to race; hammered repeatedly (and under -race in CI).
+// advances, otherwise a termination scan can observe allSpawned &&
+// live == 0 while the last Spawn is still running and end the job
+// before its task reaches a queue. A single-vertex partition makes the
+// first cursor advance the last one, so every iteration used to race;
+// hammered repeatedly (and under -race in CI).
 func TestSpawnTerminationRace(t *testing.T) {
 	g := graph.NewBuilder(1).Build()
 	dir := t.TempDir()

@@ -3,6 +3,8 @@ package gthinker
 import (
 	"fmt"
 	"time"
+
+	"gthinkerqc/internal/store"
 )
 
 // Metrics reports one engine run. Aggregate counters are summed over
@@ -42,6 +44,10 @@ type Metrics struct {
 	// GQS1 batches through the transport's task channel (a subset of
 	// TasksStolen; the rest moved in memory).
 	TasksStolenRemote uint64
+	// OffCycleSteals counts steal rounds fired by the coordinator's
+	// idle-machine hysteresis between StealInterval ticks (a subset of
+	// StealRounds).
+	OffCycleSteals uint64
 
 	// WorkerBusy is per-worker accumulated Compute time (dense worker
 	// IDs across machines). The spread between workers is the paper's
@@ -81,6 +87,49 @@ func (m *Metrics) BusyImbalance() float64 {
 	return float64(max) / float64(mean)
 }
 
+// MergeMachineMetrics sums per-machine metrics slices into one cluster
+// aggregate: counters add, WorkerBusy concatenates in machine order
+// (preserving dense worker IDs), and PeakHeapAlloc takes the maximum —
+// machines of a multi-process deployment do not share a heap.
+// Coordinator-owned counters (Wall, StealRounds, TasksStolen,
+// OffCycleSteals) are left for the caller.
+func MergeMachineMetrics(per []*Metrics) *Metrics {
+	out := &Metrics{}
+	for _, m := range per {
+		if m == nil {
+			continue
+		}
+		out.TasksSpawned += m.TasksSpawned
+		out.SubtasksAdded += m.SubtasksAdded
+		out.TasksFinished += m.TasksFinished
+		out.ComputeCalls += m.ComputeCalls
+		out.BigTasks += m.BigTasks
+		out.SmallTasks += m.SmallTasks
+		out.LocalReads += m.LocalReads
+		out.RemoteFetches += m.RemoteFetches
+		out.BatchedFetches += m.BatchedFetches
+		out.WireBytesSent += m.WireBytesSent
+		out.WireBytesReceived += m.WireBytesReceived
+		out.CacheHits += m.CacheHits
+		out.CacheMisses += m.CacheMisses
+		out.CacheEvicted += m.CacheEvicted
+		out.SpillFiles += m.SpillFiles
+		out.SpillBytesWritten += m.SpillBytesWritten
+		out.SpillBytesRead += m.SpillBytesRead
+		out.RefillBatches += m.RefillBatches
+		out.PeakSpillBytes += m.PeakSpillBytes
+		out.StealRounds += m.StealRounds
+		out.TasksStolen += m.TasksStolen
+		out.TasksStolenRemote += m.TasksStolenRemote
+		out.OffCycleSteals += m.OffCycleSteals
+		out.WorkerBusy = append(out.WorkerBusy, m.WorkerBusy...)
+		if m.PeakHeapAlloc > out.PeakHeapAlloc {
+			out.PeakHeapAlloc = m.PeakHeapAlloc
+		}
+	}
+	return out
+}
+
 // String renders a compact summary.
 func (m *Metrics) String() string {
 	return fmt.Sprintf(
@@ -92,4 +141,94 @@ func (m *Metrics) String() string {
 		m.BatchedFetches, m.RemoteFetches, m.WireBytesSent, m.WireBytesReceived,
 		m.TotalBusy().Round(time.Millisecond),
 		m.BusyImbalance())
+}
+
+// appendMetrics encodes one machine's metrics for the control plane's
+// opMetrics flush: the fixed counters little-endian in declaration
+// order, then the per-worker busy times. All fields that are signed in
+// Metrics are non-negative in practice and ship as u64.
+func appendMetrics(dst []byte, m *Metrics) []byte {
+	dst = store.AppendU64(dst, uint64(m.Wall))
+	dst = store.AppendU64(dst, m.TasksSpawned)
+	dst = store.AppendU64(dst, m.SubtasksAdded)
+	dst = store.AppendU64(dst, m.TasksFinished)
+	dst = store.AppendU64(dst, m.ComputeCalls)
+	dst = store.AppendU64(dst, m.BigTasks)
+	dst = store.AppendU64(dst, m.SmallTasks)
+	dst = store.AppendU64(dst, m.LocalReads)
+	dst = store.AppendU64(dst, m.RemoteFetches)
+	dst = store.AppendU64(dst, m.BatchedFetches)
+	dst = store.AppendU64(dst, m.WireBytesSent)
+	dst = store.AppendU64(dst, m.WireBytesReceived)
+	dst = store.AppendU64(dst, m.CacheHits)
+	dst = store.AppendU64(dst, m.CacheMisses)
+	dst = store.AppendU64(dst, m.CacheEvicted)
+	dst = store.AppendU64(dst, uint64(m.SpillFiles))
+	dst = store.AppendU64(dst, uint64(m.SpillBytesWritten))
+	dst = store.AppendU64(dst, uint64(m.SpillBytesRead))
+	dst = store.AppendU64(dst, uint64(m.RefillBatches))
+	dst = store.AppendU64(dst, uint64(m.PeakSpillBytes))
+	dst = store.AppendU64(dst, m.StealRounds)
+	dst = store.AppendU64(dst, m.TasksStolen)
+	dst = store.AppendU64(dst, m.TasksStolenRemote)
+	dst = store.AppendU64(dst, m.OffCycleSteals)
+	dst = store.AppendU64(dst, m.PeakHeapAlloc)
+	dst = store.AppendU32(dst, uint32(len(m.WorkerBusy)))
+	for _, b := range m.WorkerBusy {
+		dst = store.AppendU64(dst, uint64(b))
+	}
+	return dst
+}
+
+// maxWireWorkers bounds the WorkerBusy count accepted off the wire
+// before the slice is allocated.
+const maxWireWorkers = 1 << 20
+
+// decodeMetrics decodes one appendMetrics payload.
+func decodeMetrics(data []byte) (*Metrics, error) {
+	c := store.NewCursor(data)
+	m := &Metrics{}
+	m.Wall = time.Duration(c.U64())
+	m.TasksSpawned = c.U64()
+	m.SubtasksAdded = c.U64()
+	m.TasksFinished = c.U64()
+	m.ComputeCalls = c.U64()
+	m.BigTasks = c.U64()
+	m.SmallTasks = c.U64()
+	m.LocalReads = c.U64()
+	m.RemoteFetches = c.U64()
+	m.BatchedFetches = c.U64()
+	m.WireBytesSent = c.U64()
+	m.WireBytesReceived = c.U64()
+	m.CacheHits = c.U64()
+	m.CacheMisses = c.U64()
+	m.CacheEvicted = c.U64()
+	m.SpillFiles = int64(c.U64())
+	m.SpillBytesWritten = int64(c.U64())
+	m.SpillBytesRead = int64(c.U64())
+	m.RefillBatches = int64(c.U64())
+	m.PeakSpillBytes = int64(c.U64())
+	m.StealRounds = c.U64()
+	m.TasksStolen = c.U64()
+	m.TasksStolenRemote = c.U64()
+	m.OffCycleSteals = c.U64()
+	m.PeakHeapAlloc = c.U64()
+	nb := int(c.U32())
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)
+	}
+	if nb > maxWireWorkers || nb*8 > c.Remaining() {
+		return nil, fmt.Errorf("gthinker: metrics payload claims %d workers in %d bytes", nb, c.Remaining())
+	}
+	m.WorkerBusy = make([]time.Duration, nb)
+	for i := range m.WorkerBusy {
+		m.WorkerBusy[i] = time.Duration(c.U64())
+	}
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("gthinker: %d trailing bytes in metrics payload", c.Remaining())
+	}
+	return m, nil
 }

@@ -1,0 +1,560 @@
+package gthinker
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/store"
+)
+
+// MachineRuntime is the unit of execution of the cluster: ONE machine's
+// vertex partition, task queues, spill lists, remote-vertex cache, and
+// mining workers. It owns no cross-machine state — everything it knows
+// about the rest of the cluster flows through its Transport (data
+// plane: adjacency fetches, stolen task batches) and through the
+// control-plane methods the coordinator calls (Status, StealTo, Stop).
+// A cluster is a composition of runtimes: N of them in one process
+// behind a loopback or in-process-TCP control plane (Engine), or one
+// per OS process hosted by a WorkerHost (cmd/qcworker).
+type MachineRuntime struct {
+	id  int
+	g   *graph.Graph
+	app App
+	cfg Config
+
+	transport    Transport
+	ownTransport bool // stats are this runtime's alone (not shared)
+
+	verts       []graph.V // local vertex partition (sorted)
+	spawnCursor atomic.Int64
+
+	qglobal lockedDeque
+	lbig    *spillList
+	bglobal ready
+
+	cache   *vertexCache
+	workers []*worker
+	disk    diskAccount
+
+	spillDir   string
+	ownSpill   bool
+	spillCodec TaskCodec // nil = gob spill format
+
+	// live counts tasks alive on THIS machine (queues, buffers, disk,
+	// in flight). sentOut/recvIn count tasks that crossed machine
+	// boundaries: a stolen task is counted by the receiver (recvIn,
+	// live) before the donor uncounts it (sentOut, live), so the
+	// cluster-wide sum of live never under-counts — the invariant the
+	// coordinator's termination detection rests on.
+	live     atomic.Int64
+	sentOut  atomic.Uint64
+	recvIn   atomic.Uint64
+	doneFlag atomic.Bool
+
+	errOnce sync.Once
+	errMu   sync.Mutex
+	err     error
+
+	bigTasks          atomic.Uint64
+	smallTasks        atomic.Uint64
+	stolenIn          atomic.Uint64
+	spawnedTasks      atomic.Uint64
+	subtasksAdded     atomic.Uint64
+	tasksStolenRemote atomic.Uint64
+
+	started  atomic.Bool
+	stopped  atomic.Bool
+	workerWG sync.WaitGroup
+}
+
+// procHeap is the process-wide heap sampler (the RAM columns of
+// Tables 2 and 5). One sampler serves every runtime in the process:
+// HeapAlloc is a process-wide number, and ReadMemStats briefly stops
+// the world, so N runtimes sampling independently would multiply that
+// pause for identical readings. Refcounted: the first Start of a quiet
+// process resets the peak and launches the goroutine, the last Stop
+// ends it.
+var procHeap heapSampler
+
+type heapSampler struct {
+	mu   sync.Mutex
+	refs int
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Int64
+}
+
+func (s *heapSampler) acquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs++
+	if s.refs > 1 {
+		return
+	}
+	s.peak.Store(0)
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				raiseTo(&s.peak, int64(ms.HeapAlloc))
+			}
+		}
+	}(s.stop, s.done)
+}
+
+func (s *heapSampler) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs--
+	if s.refs == 0 {
+		close(s.stop)
+		<-s.done
+	}
+}
+
+// sampleNow takes one immediate sample (short jobs can finish between
+// ticks) and returns the current peak.
+func (s *heapSampler) sampleNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	raiseTo(&s.peak, int64(ms.HeapAlloc))
+	return uint64(s.peak.Load())
+}
+
+// NewMachineRuntime builds the runtime for machine id of a cluster of
+// cfg.Machines machines. The graph must be immutable for the duration
+// (each process maps or loads its own copy; in-process compositions
+// share one). tr is the data plane; it may be installed later with
+// SetTransport (the worker-host join/start handshake learns peer
+// addresses after construction) but must be non-nil before Start.
+func NewMachineRuntime(g *graph.Graph, app App, cfg Config, id int, tr Transport) (*MachineRuntime, error) {
+	return newMachineRuntimeVerts(g, app, cfg, id, tr, nil)
+}
+
+// newMachineRuntimeVerts is NewMachineRuntime with an optional
+// precomputed partition (nil derives it): the in-process engine
+// partitions all machines in one pass instead of M hash sweeps.
+func newMachineRuntimeVerts(g *graph.Graph, app App, cfg Config, id int, tr Transport, verts []graph.V) (*MachineRuntime, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.Machines {
+		return nil, fmt.Errorf("gthinker: machine id %d out of range [0,%d)", id, cfg.Machines)
+	}
+	rt := &MachineRuntime{id: id, g: g, app: app, cfg: cfg, transport: tr}
+
+	codec, err := resolveSpillCodec(app, cfg.SpillFormat)
+	if err != nil {
+		return nil, err
+	}
+	rt.spillCodec = codec
+
+	if cfg.SpillDir == "" {
+		dir, err := os.MkdirTemp("", "gthinker-spill-")
+		if err != nil {
+			return nil, err
+		}
+		rt.spillDir = dir
+		rt.ownSpill = true
+	} else {
+		rt.spillDir = filepath.Join(cfg.SpillDir, "machine-"+strconv.Itoa(id))
+	}
+	if err := os.MkdirAll(rt.spillDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	if verts == nil {
+		verts = OwnedVertices(g.NumVertices(), id, cfg.Machines)
+	}
+	rt.verts = verts
+	rt.cache = newVertexCache(cfg.CacheCap)
+	rt.lbig = newSpillList(rt.spillDir, "big", &rt.disk, codec)
+	base := id * cfg.WorkersPerMachine
+	for j := 0; j < cfg.WorkersPerMachine; j++ {
+		w := &worker{id: base + j, rt: rt,
+			lsmall: newSpillList(rt.spillDir, "small-"+strconv.Itoa(j), &rt.disk, codec)}
+		w.ctx = Ctx{WorkerID: base + j, MachineID: id, aborted: rt.doneFlag.Load}
+		rt.workers = append(rt.workers, w)
+	}
+	return rt, nil
+}
+
+// resolveSpillCodec picks the spill encoding once: columnar (GQS1 raw
+// arrays) when the app can encode its own payloads, reflective gob
+// otherwise.
+func resolveSpillCodec(app App, f SpillFormat) (TaskCodec, error) {
+	switch f {
+	case SpillColumnar:
+		c, ok := app.(TaskCodec)
+		if !ok {
+			return nil, fmt.Errorf("gthinker: SpillColumnar requires the App to implement TaskCodec (%T does not)", app)
+		}
+		return c, nil
+	case SpillAuto:
+		c, _ := app.(TaskCodec)
+		return c, nil
+	}
+	return nil, nil
+}
+
+// OwnedVertices returns the sorted vertex partition of machine id in a
+// cluster of `machines` machines under the hash-partitioning scheme
+// (store.OwnerSchemeSplitmix): every process computes the same answer
+// from the manifest alone, with no partition table to ship.
+func OwnedVertices(n, id, machines int) []graph.V {
+	count := 0
+	for v := 0; v < n; v++ {
+		if owner(graph.V(v), machines) == id {
+			count++
+		}
+	}
+	verts := make([]graph.V, 0, count)
+	for v := 0; v < n; v++ {
+		if owner(graph.V(v), machines) == id {
+			verts = append(verts, graph.V(v))
+		}
+	}
+	return verts
+}
+
+// partitionVertices computes every machine's partition in ONE pass
+// over the vertices (counting first sizes each partition exactly, so
+// the slices are single contiguous allocations). The in-process
+// engine uses it instead of M OwnedVertices calls, which would hash
+// every vertex 2M times; a worker process genuinely needs only its
+// own partition and pays OwnedVertices once.
+func partitionVertices(n, machines int) [][]graph.V {
+	counts := make([]int, machines)
+	for v := 0; v < n; v++ {
+		counts[owner(graph.V(v), machines)]++
+	}
+	parts := make([][]graph.V, machines)
+	for i := range parts {
+		parts[i] = make([]graph.V, 0, counts[i])
+	}
+	for v := 0; v < n; v++ {
+		o := owner(graph.V(v), machines)
+		parts[o] = append(parts[o], graph.V(v))
+	}
+	return parts
+}
+
+// ID returns the runtime's machine id.
+func (rt *MachineRuntime) ID() int { return rt.id }
+
+// SetTransport installs the data plane. Must be called before Start
+// (the worker-host handshake builds the transport only after the
+// coordinator distributes peer addresses).
+func (rt *MachineRuntime) SetTransport(tr Transport, owned bool) {
+	rt.transport = tr
+	rt.ownTransport = owned
+}
+
+// Start launches the machine's workers and its heap sampler. It
+// returns immediately; the runtime mines until Stop.
+func (rt *MachineRuntime) Start() error {
+	if rt.transport == nil {
+		return fmt.Errorf("gthinker: machine %d started without a transport", rt.id)
+	}
+	if !rt.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("gthinker: machine %d started twice", rt.id)
+	}
+	procHeap.acquire()
+	for _, w := range rt.workers {
+		rt.workerWG.Add(1)
+		go func(w *worker) {
+			defer rt.workerWG.Done()
+			w.run()
+		}(w)
+	}
+	return nil
+}
+
+// Stop halts the runtime and joins its workers. Idempotent; safe to
+// call from any goroutine (the control plane's shutdown handler, the
+// engine's final sweep). After Stop returns, non-atomic worker state
+// (busy times, call counters) is safe to read from the caller's
+// goroutine.
+func (rt *MachineRuntime) Stop() {
+	rt.doneFlag.Store(true)
+	if !rt.started.Load() || !rt.stopped.CompareAndSwap(false, true) {
+		// Never started, or another caller is joining the workers; wait
+		// for that caller's outcome so every Stop returns post-join.
+		if rt.started.Load() {
+			rt.workerWG.Wait()
+		}
+		return
+	}
+	rt.workerWG.Wait()
+	procHeap.release()
+}
+
+// fail records the first error and stops the machine's workers. The
+// coordinator observes the failure in the next Status poll and tears
+// the rest of the cluster down.
+func (rt *MachineRuntime) fail(err error) {
+	rt.errOnce.Do(func() {
+		rt.errMu.Lock()
+		rt.err = err
+		rt.errMu.Unlock()
+	})
+	rt.doneFlag.Store(true)
+}
+
+// Err returns the runtime's first failure, or nil.
+func (rt *MachineRuntime) Err() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.err
+}
+
+// MachineStatus is one machine's control-plane liveness report: the
+// inputs of the coordinator's termination detection and steal planning.
+type MachineStatus struct {
+	// AllSpawned reports that the machine's spawn cursor is exhausted.
+	AllSpawned bool
+	// Live is the number of tasks alive on this machine.
+	Live int64
+	// BigPending is the stealable big-task backlog (queued + spilled).
+	BigPending int64
+	// SentOut / RecvIn count tasks shipped to and delivered from other
+	// machines. The coordinator declares termination only after two
+	// consecutive scans agree on them (see coordinator.terminated).
+	SentOut uint64
+	RecvIn  uint64
+	// Failure carries the machine's first error, or "".
+	Failure string
+}
+
+// Status returns the runtime's current liveness report. AllSpawned is
+// read before Live: spawnBatch reserves liveness before it advances
+// the spawn cursor, so this order can never observe the final vertex
+// as spawned with its task not yet counted.
+func (rt *MachineRuntime) Status() MachineStatus {
+	st := MachineStatus{
+		AllSpawned: rt.allSpawned(),
+		Live:       rt.live.Load(),
+		BigPending: int64(rt.bigPending()),
+		SentOut:    rt.sentOut.Load(),
+		RecvIn:     rt.recvIn.Load(),
+	}
+	if err := rt.Err(); err != nil {
+		st.Failure = err.Error()
+	}
+	return st
+}
+
+func (rt *MachineRuntime) allSpawned() bool {
+	return int(rt.spawnCursor.Load()) >= len(rt.verts)
+}
+
+// bigPending approximates the machine's pending big-task backlog for
+// the stealing master (queued plus spilled).
+func (rt *MachineRuntime) bigPending() int {
+	return rt.qglobal.len() + rt.lbig.count()
+}
+
+// isBig classifies a task, honoring the DisableGlobalQueue ablation.
+func (rt *MachineRuntime) isBig(t *Task) bool {
+	return !rt.cfg.DisableGlobalQueue && rt.app.IsBig(t)
+}
+
+// addGlobal enqueues a big task, spilling a tail batch if the queue
+// overflows.
+func (rt *MachineRuntime) addGlobal(t *Task) {
+	rt.qglobal.pushBack(t)
+	rt.bigTasks.Add(1)
+	if rt.qglobal.len() > rt.cfg.QueueCap {
+		batch := rt.qglobal.popBackBatch(rt.cfg.BatchSize)
+		if err := rt.lbig.spill(batch); err != nil {
+			rt.fail(err)
+		}
+	}
+}
+
+// DeliverTasks lands a batch of stolen tasks on this machine's global
+// queue — the TaskServer's delivery callback and the in-memory steal
+// move share it. Liveness and the transfer counter are bumped BEFORE
+// the tasks become poppable, so no scan can observe a reachable task
+// that is not yet counted.
+func (rt *MachineRuntime) DeliverTasks(tasks []*Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	rt.live.Add(int64(len(tasks)))
+	rt.recvIn.Add(uint64(len(tasks)))
+	rt.stolenIn.Add(uint64(len(tasks)))
+	rt.qglobal.pushBackAll(tasks)
+}
+
+// stealLocal pops up to want big tasks from the global queue, refilling
+// from the spill list when the in-memory queue cannot cover the
+// request. bigPending counts queued AND spilled tasks, so without the
+// refill a machine whose backlog sits on disk is sized as a donor yet
+// donates nothing — receivers starve while it pays spill I/O. The
+// returned tasks remain counted in live until finishSteal.
+func (rt *MachineRuntime) stealLocal(want int) []*Task {
+	batch := rt.qglobal.popBackBatch(want)
+	for len(batch) < want {
+		refill, ok, err := rt.lbig.refill()
+		if err != nil {
+			rt.fail(err)
+			break
+		}
+		if !ok {
+			break
+		}
+		need := want - len(batch)
+		if need > len(refill) {
+			need = len(refill)
+		}
+		batch = append(batch, refill[:need]...)
+		rt.qglobal.pushBackAll(refill[need:])
+	}
+	return batch
+}
+
+// finishSteal uncounts n tasks that were delivered to another machine.
+// Call only after the receiver acknowledged delivery (its live/recvIn
+// already include them).
+func (rt *MachineRuntime) finishSteal(n int) {
+	rt.sentOut.Add(uint64(n))
+	rt.live.Add(-int64(n))
+}
+
+// taskChannel returns the transport's task channel when remote task
+// shipping is possible: the transport implements it, delivery is
+// configured, and the app has a codec to serialize payloads.
+func (rt *MachineRuntime) taskChannel() TaskChannel {
+	if rt.spillCodec == nil {
+		return nil
+	}
+	tc, ok := rt.transport.(TaskChannel)
+	if !ok || !tc.TaskChannelReady() {
+		return nil
+	}
+	return tc
+}
+
+// StealTo executes a coordinator steal directive on the donor side:
+// pop up to want big tasks and ship them to machine recv through the
+// transport's task channel as GQS1 bytes — the same serialization as
+// spill files. Batches whose encoding exceeds one wire frame ship as
+// smaller chunks. Returns the number of tasks actually moved; on a
+// transport error the unshipped remainder returns to the donor queue
+// and the error is reported (the coordinator fails the run — there is
+// no in-memory fallback across process boundaries).
+func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
+	if recv < 0 || recv >= rt.cfg.Machines || recv == rt.id {
+		return 0, fmt.Errorf("gthinker: steal directive to invalid machine %d", recv)
+	}
+	tc := rt.taskChannel()
+	if tc == nil {
+		return 0, fmt.Errorf("gthinker: machine %d has no task channel (app provides no TaskCodec or transport cannot ship tasks)", rt.id)
+	}
+	batch := rt.stealLocal(want)
+	moved := 0
+	for len(batch) > 0 {
+		k, err := rt.shipChunk(tc, recv, batch)
+		if err != nil {
+			rt.qglobal.pushBackAll(batch)
+			return moved, err
+		}
+		moved += k
+		rt.finishSteal(k)
+		rt.tasksStolenRemote.Add(uint64(k))
+		batch = batch[k:]
+	}
+	return moved, nil
+}
+
+// shipChunk sends the longest prefix of batch that encodes within one
+// wire frame and returns its length. A single task too large for a
+// frame is an error, not an infinite loop.
+func (rt *MachineRuntime) shipChunk(tc TaskChannel, recv int, batch []*Task) (int, error) {
+	enc := batchEncoders.Get().(*store.BatchEncoder)
+	defer batchEncoders.Put(enc)
+	k := len(batch)
+	for {
+		data, err := encodeTaskBatch(enc, batch[:k], rt.spillCodec)
+		if err != nil {
+			return 0, err
+		}
+		if len(data) <= maxFramePayload {
+			return k, tc.SendTasks(recv, data)
+		}
+		if k == 1 {
+			return 0, fmt.Errorf("gthinker: task encodes to %d bytes, above the %d-byte frame limit", len(data), maxFramePayload)
+		}
+		k = (k + 1) / 2
+	}
+}
+
+// LocalMetrics assembles this machine's metrics slice. Workers must be
+// stopped first (Stop): busy times and call counters are plain fields
+// owned by the worker goroutines while they run.
+func (rt *MachineRuntime) LocalMetrics() *Metrics {
+	met := &Metrics{}
+	met.BigTasks = rt.bigTasks.Load()
+	met.SmallTasks = rt.smallTasks.Load()
+	h, mi, ev := rt.cache.stats()
+	met.CacheHits = h
+	met.CacheMisses = mi
+	met.CacheEvicted = ev
+	for _, w := range rt.workers {
+		met.ComputeCalls += w.computeCalls
+		met.TasksFinished += w.tasksFinished
+		met.LocalReads += w.localReads
+		met.WorkerBusy = append(met.WorkerBusy, w.busy)
+	}
+	met.TasksSpawned = rt.spawnedTasks.Load()
+	met.SubtasksAdded = rt.subtasksAdded.Load()
+	met.TasksStolenRemote = rt.tasksStolenRemote.Load()
+	met.SpillFiles = rt.disk.files.Load()
+	met.SpillBytesWritten = rt.disk.written.Load()
+	met.SpillBytesRead = rt.disk.read.Load()
+	met.RefillBatches = rt.disk.refills.Load()
+	met.PeakSpillBytes = rt.disk.peak.Load()
+	if rt.ownTransport {
+		met.RemoteFetches = rt.transport.Fetches()
+		if ts, ok := rt.transport.(TransportStats); ok {
+			met.BatchedFetches = ts.BatchedFetches()
+			met.WireBytesSent, met.WireBytesReceived = ts.WireBytes()
+		}
+	}
+	met.PeakHeapAlloc = procHeap.sampleNow()
+	return met
+}
+
+// CleanupSpill removes whatever the run left in this machine's spill
+// directory. A clean run's spill files were already unlinked by their
+// refills; leftovers exist only after cancellation or failure.
+func (rt *MachineRuntime) CleanupSpill() {
+	rt.lbig.removeAll()
+	for _, w := range rt.workers {
+		w.lsmall.removeAll()
+	}
+	if rt.ownSpill {
+		os.RemoveAll(rt.spillDir)
+		return
+	}
+	// Best effort: fails harmlessly if a foreign file appeared.
+	os.Remove(rt.spillDir)
+}

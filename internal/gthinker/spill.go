@@ -12,9 +12,14 @@ import (
 	"gthinkerqc/internal/store"
 )
 
-// diskAccount tracks spill-disk usage across the engine (Table 2's
+// diskAccount tracks spill-disk usage of one machine (Table 2's
 // "Disk" column and the paper's 22 TB-overflow anecdote), on both the
-// write and the refill side.
+// write and the refill side. An optional parent account tracks the
+// footprint across machines SHARING a disk: the in-process engine
+// parents every runtime's account, so its PeakSpillBytes is the true
+// peak of the process-wide sum (summing per-machine peaks would
+// overstate a peak at t=1 on one machine and t=2 on another);
+// separate worker processes have separate disks and report alone.
 type diskAccount struct {
 	written atomic.Int64 // total bytes ever written
 	current atomic.Int64 // bytes currently on disk
@@ -22,21 +27,34 @@ type diskAccount struct {
 	files   atomic.Int64 // total files ever written
 	read    atomic.Int64 // total bytes read back by refills
 	refills atomic.Int64 // total batch refills
+
+	parent *diskAccount // shared-disk footprint tracker, or nil
 }
 
 func (a *diskAccount) add(n int64) {
 	a.written.Add(n)
-	cur := a.current.Add(n)
-	for {
-		p := a.peak.Load()
-		if cur <= p || a.peak.CompareAndSwap(p, cur) {
-			break
-		}
-	}
+	raiseTo(&a.peak, a.current.Add(n))
 	a.files.Add(1)
+	if a.parent != nil {
+		raiseTo(&a.parent.peak, a.parent.current.Add(n))
+	}
 }
 
-func (a *diskAccount) remove(n int64) { a.current.Add(-n) }
+func raiseTo(p *atomic.Int64, v int64) {
+	for {
+		cur := p.Load()
+		if v <= cur || p.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (a *diskAccount) remove(n int64) {
+	a.current.Add(-n)
+	if a.parent != nil {
+		a.parent.current.Add(-n)
+	}
+}
 
 // spillList is one task-file list (Lsmall of a worker or Lbig of a
 // machine): batches of tasks encoded to disk, refilled LIFO so the

@@ -1,37 +1,3 @@
-// Package gthinker is an in-process reimplementation of the reforged
-// G-thinker engine of the paper's Section 5: a task-based parallel
-// graph-mining runtime with
-//
-//   - a hash-partitioned vertex table (one partition per simulated
-//     machine) serving adjacency lists to tasks,
-//   - a remote-vertex cache per machine with reference counting and
-//     eviction,
-//   - per-worker local task queues (Qlocal) for small tasks and one
-//     machine-wide global queue (Qglobal) for big tasks — the paper's
-//     key reforge, which removes head-of-line blocking behind
-//     expensive tasks,
-//   - disk spilling of task batches when queues overflow (Lsmall and
-//     Lbig file lists), refilled in LIFO order to keep the volume of
-//     partially-processed tasks small,
-//   - prioritized scheduling: workers always prefer ready big tasks,
-//     then ready small tasks, then popping big tasks, then local ones,
-//     and stop a spawn batch as soon as it produces a big task,
-//   - a master that periodically rebalances pending big tasks across
-//     machines (task stealing), refilling donors from their spill
-//     lists so a backlog on disk still donates,
-//   - a batched RPC plane (tcp.go): a multi-op length-prefixed frame
-//     protocol serving adjacency batches (one round trip per owning
-//     machine per task, not per vertex), a task channel shipping
-//     stolen big-task batches as GQS1 bytes (the spill serialization
-//     reused as the wire format), and health probes.
-//
-// The cluster is simulated in one process: "machines" are groups of
-// worker goroutines and the network is a loopback Transport — or,
-// with Config.InProcessTCP, per-machine VertexServers/TaskServers and
-// a TCPTransport exchanging real socket traffic on 127.0.0.1. Every
-// engine mechanism the paper evaluates lives above the Transport
-// interface, so the exercised code paths match the distributed
-// original; see DESIGN.md §3 for the substitution argument.
 package gthinker
 
 import (

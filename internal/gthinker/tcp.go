@@ -41,6 +41,39 @@ import (
 //	opError     reply payload: UTF-8 message; the server closes the
 //	            connection afterwards (the stream may be out of sync)
 //
+// Control-plane ops (control.go; served by a machine's control server,
+// spoken by the coordinator's ClusterClient):
+//
+//	opJoin      payload: proto u32, machineID u32, machines u32,
+//	            n u32, m u64, specLen u32 + opaque app job spec.
+//	            The worker verifies it serves that machine of that
+//	            cluster over a graph with that fingerprint, builds its
+//	            runtime (and app, from the spec), and replies with its
+//	            vertex- and task-server addresses (u32-len strings).
+//	opStart     payload: machines u32, machines × { vertex, task }
+//	            addresses. The worker builds its peer transport
+//	            (TCPTransport) from the table. reply: empty.
+//	opRun       payload: empty. Starts the machine's mining workers.
+//	            reply: empty.
+//	opStatus    payload: empty. reply: flags u8 (bit0 = all spawned),
+//	            live u64, bigPending u64, sentOut u64, recvIn u64,
+//	            failure string — the liveness report feeding the
+//	            coordinator's termination detection and steal planner.
+//	opStealDo   payload: recv u32, want u32 — a steal directive: the
+//	            donor pops up to want big tasks and ships them to
+//	            machine recv itself (opTaskSteal, GQS1 bytes); the
+//	            coordinator never relays task data. reply: moved u32.
+//	opMetrics   payload: empty. reply: the machine's Metrics, flat
+//	            little-endian (metrics.go). Valid after opShutdown.
+//	opResults   payload: empty. reply: opaque app-level result bytes
+//	            (the miner's quasi-clique sets). Valid after
+//	            opShutdown.
+//	opShutdown  payload: empty. Stops and joins the machine's workers;
+//	            the process keeps serving (metrics/results flushes
+//	            follow). reply: empty.
+//	opExit      payload: empty. reply: empty; the worker host's
+//	            WaitExit returns and the process terminates.
+//
 // Batching is the point: the engine resolves a task's remote pulls
 // with one opAdjBatch per owning machine instead of one round trip
 // per vertex, and a stolen batch of C big tasks crosses the wire as
@@ -169,10 +202,17 @@ func serveFrames(conn net.Conn, maxReq int, dispatch func(op byte, payload []byt
 	}
 }
 
-// listener wraps the accept loop shared by both servers.
+// listener wraps the accept loop shared by all servers. It tracks its
+// live connections so close can interrupt handlers blocked reading
+// from peers that tear down later — machine A's vertex server must not
+// wait for machine B's transport to hang up first, or a cluster-wide
+// shutdown deadlocks on its own ordering.
 type listener struct {
 	ln net.Listener
 	wg sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 func (l *listener) serve(addr string, handle func(net.Conn)) error {
@@ -181,6 +221,7 @@ func (l *listener) serve(addr string, handle func(net.Conn)) error {
 		return err
 	}
 	l.ln = ln
+	l.conns = make(map[net.Conn]struct{})
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
@@ -189,10 +230,18 @@ func (l *listener) serve(addr string, handle func(net.Conn)) error {
 			if err != nil {
 				return // listener closed
 			}
+			l.mu.Lock()
+			l.conns[conn] = struct{}{}
+			l.mu.Unlock()
 			l.wg.Add(1)
 			go func() {
 				defer l.wg.Done()
-				defer conn.Close()
+				defer func() {
+					l.mu.Lock()
+					delete(l.conns, conn)
+					l.mu.Unlock()
+					conn.Close()
+				}()
 				handle(conn)
 			}()
 		}
@@ -204,6 +253,11 @@ func (l *listener) addr() string { return l.ln.Addr().String() }
 
 func (l *listener) close() error {
 	err := l.ln.Close()
+	l.mu.Lock()
+	for conn := range l.conns {
+		conn.Close()
+	}
+	l.mu.Unlock()
 	l.wg.Wait()
 	return err
 }
@@ -480,7 +534,7 @@ func (t *TCPTransport) SetTaskAddrs(addrs []string) {
 
 // FetchAdj performs a one-vertex batch round trip.
 func (t *TCPTransport) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
-	out, err := t.FetchAdjBatch(owner, []graph.V{v})
+	out, err := t.FetchAdjBatch(owner, []graph.V{v}, nil)
 	if err != nil {
 		return nil, fmt.Errorf("gthinker: fetch %d from %d: %w", v, owner, err)
 	}
@@ -488,11 +542,13 @@ func (t *TCPTransport) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
 }
 
 // FetchAdjBatch fetches the adjacency lists of ids from their owner,
-// normally in one round trip; when the server answers a prefix to keep
-// a reply inside the frame budget, the remainder is re-requested, so a
-// huge batch costs extra round trips instead of failing.
-func (t *TCPTransport) FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error) {
-	out := make([][]graph.V, 0, len(ids))
+// appended to dst, normally in one round trip; when the server answers
+// a prefix to keep a reply inside the frame budget, the remainder is
+// re-requested, so a huge batch costs extra round trips instead of
+// failing. The appended inner lists alias their receive buffers
+// (fresh per frame), never dst.
+func (t *TCPTransport) FetchAdjBatch(owner int, ids []graph.V, dst [][]graph.V) ([][]graph.V, error) {
+	out := dst
 	maxResp := adjResponseLimit(t.numVertices)
 	for rest := ids; len(rest) > 0; {
 		req := make([]byte, 0, 4+4*len(rest))
@@ -502,50 +558,50 @@ func (t *TCPTransport) FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, err
 		if err != nil {
 			return nil, err
 		}
-		part, err := decodeAdjBatchResponse(resp, len(rest), t.numVertices)
+		var answered int
+		out, answered, err = appendAdjBatchResponse(out, resp, len(rest), t.numVertices)
 		if err != nil {
 			return nil, fmt.Errorf("gthinker: machine %d: %w", owner, err)
 		}
-		out = append(out, part...)
-		rest = rest[len(part):]
+		rest = rest[answered:]
 		t.batches.Add(1)
 	}
 	t.fetches.Add(uint64(len(ids)))
 	return out, nil
 }
 
-// decodeAdjBatchResponse decodes one opAdjBatch reply: the answered
-// count (1 ≤ answered ≤ requested), then that many adjacency lists.
-// The lists alias payload (freshly allocated per frame by readFrame,
-// so they stay valid and immutable). Counts and degrees are validated
-// against requested/numVertices and against the bytes actually present
-// — a lying peer cannot trigger an oversized allocation or an endless
-// re-request loop.
-func decodeAdjBatchResponse(payload []byte, requested, numVertices int) ([][]graph.V, error) {
+// appendAdjBatchResponse decodes one opAdjBatch reply — the answered
+// count (1 ≤ answered ≤ requested), then that many adjacency lists —
+// appending the lists to dst. The lists alias payload (freshly
+// allocated per frame by readFrame, so they stay valid and immutable).
+// Counts and degrees are validated against requested/numVertices and
+// against the bytes actually present — a lying peer cannot trigger an
+// oversized allocation or an endless re-request loop.
+func appendAdjBatchResponse(dst [][]graph.V, payload []byte, requested, numVertices int) ([][]graph.V, int, error) {
 	c := store.NewCursor(payload)
 	answered := int(c.U32())
 	if c.Err() == nil && (answered < 1 || answered > requested) {
-		return nil, fmt.Errorf("gthinker: adj batch response answers %d of %d requests", answered, requested)
+		return dst, 0, fmt.Errorf("gthinker: adj batch response answers %d of %d requests", answered, requested)
 	}
 	if err := c.Err(); err != nil {
-		return nil, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
+		return dst, 0, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
 	}
-	out := make([][]graph.V, answered)
-	for i := range out {
+	base := len(dst)
+	for i := 0; i < answered; i++ {
 		deg := c.U32()
 		if numVertices > 0 && deg > uint32(numVertices) {
-			return nil, fmt.Errorf("gthinker: adjacency %d of %d: degree %d exceeds vertex count %d",
+			return dst[:base], 0, fmt.Errorf("gthinker: adjacency %d of %d: degree %d exceeds vertex count %d",
 				i, answered, deg, numVertices)
 		}
-		out[i] = c.U32s(int(deg))
+		dst = append(dst, c.U32s(int(deg)))
 	}
 	if err := c.Err(); err != nil {
-		return nil, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
+		return dst[:base], 0, fmt.Errorf("gthinker: truncated adj batch response: %w", err)
 	}
 	if c.Remaining() != 0 {
-		return nil, fmt.Errorf("gthinker: %d trailing bytes in adj batch response", c.Remaining())
+		return dst[:base], 0, fmt.Errorf("gthinker: %d trailing bytes in adj batch response", c.Remaining())
 	}
-	return out, nil
+	return dst, answered, nil
 }
 
 // SendTasks ships one GQS1 task batch to machine dest's TaskServer and

@@ -56,7 +56,7 @@ func BenchmarkTCPFetchBatched(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tr.FetchAdjBatch(0, ids); err != nil {
+		if _, err := tr.FetchAdjBatch(0, ids, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -64,7 +64,7 @@ func TestFetchAdjBatchParity(t *testing.T) {
 			ids[i] = graph.V(rng.Intn(g.NumVertices()))
 		}
 		before := tr.BatchedFetches()
-		adjs, err := tr.FetchAdjBatch(0, ids)
+		adjs, err := tr.FetchAdjBatch(0, ids, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +203,7 @@ func TestFetchAdjBatchPrefixAnswer(t *testing.T) {
 	for i := range ids {
 		ids[i] = graph.V(i)
 	}
-	adjs, ferr := tr.FetchAdjBatch(0, ids)
+	adjs, ferr := tr.FetchAdjBatch(0, ids, nil)
 	trips := tr.BatchedFetches()
 	// Tear down before restoring the budget so no handler goroutine
 	// reads the var concurrently with the write.
@@ -266,7 +266,7 @@ func TestHealthOp(t *testing.T) {
 	if n, err := tr.Health(0); err != nil || n != 0 {
 		t.Fatalf("health before traffic: %d, %v", n, err)
 	}
-	if _, err := tr.FetchAdjBatch(0, []graph.V{1, 2, 3}); err != nil {
+	if _, err := tr.FetchAdjBatch(0, []graph.V{1, 2, 3}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := tr.Health(0); err != nil || n != 3 {
@@ -413,7 +413,7 @@ func FuzzAdjBatchRequest(f *testing.F) {
 		if err == nil {
 			// A valid request must round-trip through the client decoder.
 			count := int(binary.LittleEndian.Uint32(data))
-			if _, derr := decodeAdjBatchResponse(resp, count, g.NumVertices()); derr != nil {
+			if _, _, derr := appendAdjBatchResponse(nil, resp, count, g.NumVertices()); derr != nil {
 				t.Fatalf("server accepted %q but client rejects response: %v", data, derr)
 			}
 		}
@@ -430,7 +430,7 @@ func FuzzAdjBatchResponse(f *testing.F) {
 		if count < 0 || count > 1<<10 {
 			return
 		}
-		decodeAdjBatchResponse(data, count, 1000) // must not panic
+		appendAdjBatchResponse(nil, data, count, 1000) // must not panic
 	})
 }
 

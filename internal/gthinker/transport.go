@@ -1,6 +1,7 @@
 package gthinker
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"gthinkerqc/internal/graph"
@@ -12,24 +13,28 @@ import (
 // implementation (tcp.go) performs real socket round trips —
 // everything above this interface is transport-agnostic.
 //
-// Contract: FetchAdjBatch(owner, ids) returns exactly one adjacency
-// list per requested id, in request order. Returned slices are read
-// by concurrent tasks and retained by the vertex cache, so they must
-// stay immutable and valid for the lifetime of the run (aliasing a
-// receive buffer is fine as long as that buffer is never reused).
-// Implementations must be safe for concurrent use by every worker of
-// every machine.
+// Contract: FetchAdjBatch(owner, ids, dst) returns exactly one
+// adjacency list per requested id, in request order, appended to dst
+// (which may be nil). The OUTER slice is caller-owned scratch — the
+// caller may reuse it for its next call once it has copied the inner
+// lists out. The INNER lists are read by concurrent tasks and retained
+// by the vertex cache, so they must stay immutable and valid for the
+// lifetime of the run (aliasing a receive buffer is fine as long as
+// that buffer is never reused). Implementations must be safe for
+// concurrent use by every worker of every machine, and must reject
+// ids that machine `owner` does not own — a mis-routed fetch is a
+// partitioning bug, not a request to satisfy from somewhere else.
 type Transport interface {
 	// FetchAdj returns the adjacency list of v owned by machine
 	// `owner`. Equivalent to a one-element FetchAdjBatch; kept for
 	// single-vertex callers and tests.
 	FetchAdj(owner int, v graph.V) ([]graph.V, error)
 	// FetchAdjBatch returns the adjacency lists of ids (all owned by
-	// machine `owner`) in one round trip. The engine's resolve path
-	// groups a task's cache-missed pulls by owner and issues one call
-	// per owner, so remote latency is paid O(owners) times per task
-	// instead of O(pulls).
-	FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error)
+	// machine `owner`) in one round trip, appended to dst. The
+	// engine's resolve path groups a task's cache-missed pulls by
+	// owner and issues one call per owner, so remote latency is paid
+	// O(owners) times per task instead of O(pulls).
+	FetchAdjBatch(owner int, ids []graph.V, dst [][]graph.V) ([][]graph.V, error)
 	// Fetches returns the number of adjacency lists fetched remotely
 	// (each id of a batch counts once).
 	Fetches() uint64
@@ -37,9 +42,9 @@ type Transport interface {
 
 // TaskChannel is an optional Transport extension: a transport that can
 // ship an encoded big-task batch (GQS1 bytes, see internal/store) to
-// the TaskServer of another machine. The stealing master uses it to
-// move stolen batches across the wire with the same serialization as
-// spill files — one codec for disk, wire, and in-memory refill.
+// the TaskServer of another machine. A steal directive executes on the
+// donor's machine through it, with the same serialization as spill
+// files — one codec for disk, wire, and in-memory refill.
 type TaskChannel interface {
 	// SendTasks delivers one GQS1 batch to machine dest and waits for
 	// its acknowledgement; on return the tasks are on dest's global
@@ -47,8 +52,7 @@ type TaskChannel interface {
 	SendTasks(dest int, batch []byte) error
 	// TaskChannelReady reports whether task delivery is configured
 	// (e.g. the TCP transport knows every machine's TaskServer
-	// address). The engine falls back to in-memory steal moves when
-	// false.
+	// address).
 	TaskChannelReady() bool
 }
 
@@ -64,29 +68,56 @@ type TransportStats interface {
 }
 
 // loopback is the in-process Transport standing in for the cluster
-// network (DESIGN.md §3).
+// network (DESIGN.md §3). It validates ownership exactly like a real
+// per-machine vertex server would: a fetch routed to the wrong owner
+// fails loudly instead of being silently satisfied from the shared
+// graph, so partitioning bugs surface in loopback tests too.
 type loopback struct {
-	g       *graph.Graph
-	fetches atomic.Uint64
-	batches atomic.Uint64
+	g        *graph.Graph
+	machines int
+	fetches  atomic.Uint64
+	batches  atomic.Uint64
 }
 
-func newLoopback(g *graph.Graph) *loopback { return &loopback{g: g} }
+func newLoopback(g *graph.Graph, machines int) *loopback {
+	return &loopback{g: g, machines: machines}
+}
 
-func (t *loopback) FetchAdj(owner int, v graph.V) ([]graph.V, error) {
+// checkOwned validates one routed fetch against the partition map.
+func (t *loopback) checkOwned(own int, v graph.V) error {
+	if own < 0 || own >= t.machines {
+		return fmt.Errorf("gthinker: loopback fetch from machine %d of %d", own, t.machines)
+	}
+	if int(v) >= t.g.NumVertices() {
+		return fmt.Errorf("gthinker: loopback fetch of vertex %d out of range [0,%d)", v, t.g.NumVertices())
+	}
+	if o := owner(v, t.machines); o != own {
+		return fmt.Errorf("gthinker: vertex %d routed to machine %d but owned by %d", v, own, o)
+	}
+	return nil
+}
+
+func (t *loopback) FetchAdj(own int, v graph.V) ([]graph.V, error) {
+	if err := t.checkOwned(own, v); err != nil {
+		return nil, err
+	}
 	t.fetches.Add(1)
 	t.batches.Add(1)
 	return t.g.Adj(v), nil
 }
 
-func (t *loopback) FetchAdjBatch(owner int, ids []graph.V) ([][]graph.V, error) {
-	out := make([][]graph.V, len(ids))
-	for i, id := range ids {
-		out[i] = t.g.Adj(id)
+func (t *loopback) FetchAdjBatch(own int, ids []graph.V, dst [][]graph.V) ([][]graph.V, error) {
+	for _, id := range ids {
+		if err := t.checkOwned(own, id); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		dst = append(dst, t.g.Adj(id))
 	}
 	t.fetches.Add(uint64(len(ids)))
 	t.batches.Add(1)
-	return out, nil
+	return dst, nil
 }
 
 func (t *loopback) Fetches() uint64        { return t.fetches.Load() }
@@ -95,7 +126,10 @@ func (t *loopback) BatchedFetches() uint64 { return t.batches.Load() }
 func (t *loopback) WireBytes() (uint64, uint64) { return 0, 0 }
 
 // owner maps a vertex to its machine with a splitmix hash, like
-// G-thinker's hash partitioning of the vertex table.
+// G-thinker's hash partitioning of the vertex table. This is scheme 0
+// (store.OwnerSchemeSplitmix) of the partition manifest: every process
+// of a deployment derives the same owner(v) from the machine count
+// alone.
 func owner(v graph.V, machines int) int {
 	if machines == 1 {
 		return 0

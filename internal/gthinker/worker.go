@@ -8,6 +8,51 @@ import (
 	"gthinkerqc/internal/graph"
 )
 
+// worker is one mining thread with its own small-task queue, spill
+// list, and ready buffer.
+type worker struct {
+	id int // dense across machines: machine*WorkersPerMachine + index
+	rt *MachineRuntime
+
+	qlocal deque
+	lsmall *spillList
+	blocal ready
+	ctx    Ctx
+
+	// adjScratch is the reusable destination for FetchAdjBatch's outer
+	// slice: the transport appends the fetched lists into it and the
+	// resolve path copies them out into the frontier map before the
+	// next call, so the outer allocation is paid once per worker.
+	adjScratch [][]graph.V
+
+	busy          time.Duration
+	computeCalls  uint64
+	tasksFinished uint64
+	localReads    uint64
+}
+
+// addLocal enqueues a small task on this worker, spilling on overflow.
+func (w *worker) addLocal(t *Task) {
+	w.qlocal.pushBack(t)
+	w.rt.smallTasks.Add(1)
+	if w.qlocal.len() > w.rt.cfg.QueueCap {
+		batch := w.qlocal.popBackBatch(w.rt.cfg.BatchSize)
+		if err := w.lsmall.spill(batch); err != nil {
+			w.rt.fail(err)
+		}
+	}
+}
+
+// route sends a task created during Compute to the right queue
+// (reforge: big tasks to the machine-wide global queue).
+func (w *worker) route(t *Task) {
+	if w.rt.isBig(t) {
+		w.rt.addGlobal(t)
+	} else {
+		w.addLocal(t)
+	}
+}
+
 // run is the mining-thread main loop, the reforged Algorithm 3:
 //
 //	push: compute a ready big task (Bglobal) first, else a ready
@@ -17,9 +62,8 @@ import (
 //	      Lsmall, then by spawning — stopping the spawn batch at the
 //	      first big task).
 func (w *worker) run() {
-	e := w.m.eng
 	idle := 0
-	for !e.doneFlag.Load() {
+	for !w.rt.doneFlag.Load() {
 		if w.step() {
 			idle = 0
 			continue
@@ -36,7 +80,7 @@ func (w *worker) run() {
 // step performs one scheduling action; false means no work was found.
 func (w *worker) step() bool {
 	// Push phase: big ready tasks are prioritized across the machine.
-	if t := w.m.bglobal.pop(); t != nil {
+	if t := w.rt.bglobal.pop(); t != nil {
 		w.compute(t)
 		return true
 	}
@@ -61,15 +105,15 @@ func (w *worker) step() bool {
 // low; a try-lock failure (another thread holds it) falls back to the
 // local path immediately instead of blocking.
 func (w *worker) popGlobal() *Task {
-	m := w.m
-	if m.qglobal.len() < m.eng.cfg.BatchSize {
-		if batch, ok, err := m.lbig.refill(); err != nil {
-			m.eng.fail(err)
+	rt := w.rt
+	if rt.qglobal.len() < rt.cfg.BatchSize {
+		if batch, ok, err := rt.lbig.refill(); err != nil {
+			rt.fail(err)
 		} else if ok {
-			m.qglobal.pushBackAll(batch)
+			rt.qglobal.pushBackAll(batch)
 		}
 	}
-	t, _ := m.qglobal.tryPopFront()
+	t, _ := rt.qglobal.tryPopFront()
 	return t
 }
 
@@ -77,9 +121,9 @@ func (w *worker) popGlobal() *Task {
 // first and then by spawning fresh tasks from the machine's vertex
 // partition.
 func (w *worker) popLocal() *Task {
-	if w.qlocal.len() < w.m.eng.cfg.BatchSize {
+	if w.qlocal.len() < w.rt.cfg.BatchSize {
 		if batch, ok, err := w.lsmall.refill(); err != nil {
-			w.m.eng.fail(err)
+			w.rt.fail(err)
 		} else if ok {
 			w.qlocal.pushBackAll(batch)
 		} else {
@@ -93,30 +137,30 @@ func (w *worker) popLocal() *Task {
 // the third reforge change it stops as soon as a spawned task is big,
 // so one refill cannot flood the global queue.
 //
-// Liveness is reserved BEFORE the spawn cursor advances: the
-// termination watcher fires on allSpawned() && live == 0, and the
-// cursor is what makes allSpawned true, so incrementing live only
-// after Spawn returned left a window where the watcher could observe
-// the final vertex as spawned with nothing alive and end the job
-// before its task ever reached a queue.
+// Liveness is reserved BEFORE the spawn cursor advances: termination
+// detection fires on allSpawned && live == 0, and the cursor is what
+// makes allSpawned true, so incrementing live only after Spawn
+// returned left a window where a status scan could observe the final
+// vertex as spawned with nothing alive and end the job before its
+// task ever reached a queue.
 func (w *worker) spawnBatch() {
-	e := w.m.eng
-	for i := 0; i < e.cfg.BatchSize; i++ {
-		e.live.Add(1)
-		idx := int(w.m.spawnCursor.Add(1)) - 1
-		if idx >= len(w.m.verts) {
-			e.live.Add(-1)
+	rt := w.rt
+	for i := 0; i < rt.cfg.BatchSize; i++ {
+		rt.live.Add(1)
+		idx := int(rt.spawnCursor.Add(1)) - 1
+		if idx >= len(rt.verts) {
+			rt.live.Add(-1)
 			return
 		}
-		v := w.m.verts[idx]
-		t := e.app.Spawn(v, e.g.Adj(v), &w.ctx)
+		v := rt.verts[idx]
+		t := rt.app.Spawn(v, rt.g.Adj(v), &w.ctx)
 		if t == nil {
-			e.live.Add(-1)
+			rt.live.Add(-1)
 			continue
 		}
-		e.spawnedTasks.Add(1)
-		if e.isBig(t) {
-			w.m.addGlobal(t)
+		rt.spawnedTasks.Add(1)
+		if rt.isBig(t) {
+			rt.addGlobal(t)
 			return // stop at first big task
 		}
 		w.addLocal(t)
@@ -132,21 +176,21 @@ func (w *worker) resolve(t *Task) {
 		w.compute(t)
 		return
 	}
-	e := w.m.eng
+	rt := w.rt
 	frontier := make(map[graph.V][]graph.V, len(t.Pulls))
 	var remote []graph.V
 	for _, id := range t.Pulls {
-		if owner(id, e.cfg.Machines) == w.m.id {
-			frontier[id] = e.g.Adj(id)
+		if owner(id, rt.cfg.Machines) == rt.id {
+			frontier[id] = rt.g.Adj(id)
 			w.localReads++
 		} else {
 			remote = append(remote, id)
 		}
 	}
 	if len(remote) > 0 {
-		missing := w.m.cache.acquire(remote, frontier)
+		missing := rt.cache.acquire(remote, frontier)
 		if len(missing) > 0 && !w.fetchMissing(missing, frontier) {
-			// Transport failure: the engine is stopping. Unpin what
+			// Transport failure: the machine is stopping. Unpin what
 			// acquire pinned (fetchMissing already unpinned its own
 			// inserts) and drop the task — nothing will run it, and
 			// nothing poisoned the cache.
@@ -156,8 +200,8 @@ func (w *worker) resolve(t *Task) {
 	}
 	t.frontier = frontier
 	t.pinned = remote
-	if e.isBig(t) {
-		w.m.bglobal.push(t)
+	if rt.isBig(t) {
+		rt.bglobal.push(t)
 	} else {
 		w.blocal.push(t)
 	}
@@ -170,10 +214,10 @@ func (w *worker) resolve(t *Task) {
 // On failure it records the error, unpins everything it inserted, and
 // returns false with the cache unpoisoned.
 func (w *worker) fetchMissing(missing []graph.V, frontier map[graph.V][]graph.V) bool {
-	e := w.m.eng
-	byOwner := make([][]graph.V, e.cfg.Machines)
+	rt := w.rt
+	byOwner := make([][]graph.V, rt.cfg.Machines)
 	for _, id := range missing {
-		o := owner(id, e.cfg.Machines)
+		o := owner(id, rt.cfg.Machines)
 		byOwner[o] = append(byOwner[o], id)
 	}
 	inserted := make([]graph.V, 0, len(missing))
@@ -181,17 +225,18 @@ func (w *worker) fetchMissing(missing []graph.V, frontier map[graph.V][]graph.V)
 		if len(ids) == 0 {
 			continue
 		}
-		adjs, err := e.transport.FetchAdjBatch(o, ids)
+		adjs, err := rt.transport.FetchAdjBatch(o, ids, w.adjScratch[:0])
 		if err == nil && len(adjs) != len(ids) {
 			err = fmt.Errorf("gthinker: transport returned %d adjacency lists for %d ids", len(adjs), len(ids))
 		}
 		if err != nil {
-			e.fail(err)
-			w.m.cache.release(inserted)
+			rt.fail(err)
+			rt.cache.release(inserted)
 			return false
 		}
+		w.adjScratch = adjs[:0] // keep the (possibly grown) backing array
 		for i, id := range ids {
-			w.m.cache.insert(id, adjs[i])
+			rt.cache.insert(id, adjs[i])
 			frontier[id] = adjs[i]
 			inserted = append(inserted, id)
 		}
@@ -212,34 +257,34 @@ func (w *worker) releaseExcept(ids, skip []graph.V) {
 			held = append(held, id)
 		}
 	}
-	w.m.cache.release(held)
+	w.rt.cache.release(held)
 }
 
 // compute runs Compute iterations until the task suspends on pulls or
 // finishes, routing any subtasks it creates.
 func (w *worker) compute(t *Task) {
-	e := w.m.eng
+	rt := w.rt
 	for {
 		w.ctx.reset()
 		start := time.Now()
-		more := e.app.Compute(t, t.frontier, &w.ctx)
+		more := rt.app.Compute(t, t.frontier, &w.ctx)
 		w.busy += time.Since(start)
 		w.computeCalls++
 
 		if t.pinned != nil {
-			w.m.cache.release(t.pinned)
+			rt.cache.release(t.pinned)
 			t.pinned = nil
 		}
 		t.frontier = nil
 
 		for _, nt := range w.ctx.newTasks {
-			e.subtasksAdded.Add(1)
-			e.live.Add(1)
+			rt.subtasksAdded.Add(1)
+			rt.live.Add(1)
 			w.route(nt)
 		}
 		if !more {
 			w.tasksFinished++
-			e.live.Add(-1)
+			rt.live.Add(-1)
 			return
 		}
 		if len(w.ctx.pulls) == 0 {

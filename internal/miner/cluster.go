@@ -1,0 +1,461 @@
+// Multi-process deployment glue: the app-level halves of the cluster
+// protocol. The gthinker control plane ships two opaque byte blobs —
+// the job spec a coordinator hands every worker at join, and the
+// result set a worker hands back after shutdown — and this file owns
+// both encodings for the quasi-clique miner, plus the worker-process
+// entry point (cmd/qcworker) and the coordinator-side MineProcs that
+// composes real OS processes into one mining run.
+package miner
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/quasiclique"
+	"gthinkerqc/internal/store"
+)
+
+// jobSpecMagic versions the miner job spec carried inside opJoin.
+var jobSpecMagic = [4]byte{'Q', 'J', 'S', '1'}
+
+// option bitmask positions for the quasiclique.Options booleans.
+const (
+	optDisableKCore = 1 << iota
+	optDisableLookahead
+	optDisableCoverVertex
+	optDisableCriticalVertex
+	optDisableUpperBound
+	optDisableLowerBound
+	optDisableDegreePruning
+	optQuickCompat
+	optSkipMaximalityFilter
+)
+
+// engine flag bitmask positions.
+const (
+	ecfgDisableStealing = 1 << iota
+	ecfgDisableGlobalQueue
+)
+
+// AppendJobSpec encodes the mining job (miner config + engine shape)
+// for the join handshake, so every worker process mines with exactly
+// the coordinator's parameters — there is one source of truth and it
+// is not N command lines.
+func AppendJobSpec(dst []byte, cfg Config, ecfg gthinker.Config) []byte {
+	cfg = cfg.withDefaults()
+	dst = append(dst, jobSpecMagic[:]...)
+	dst = store.AppendU64(dst, math.Float64bits(cfg.Params.Gamma))
+	dst = store.AppendU32(dst, uint32(cfg.Params.MinSize))
+	dst = store.AppendU32(dst, uint32(cfg.TauSplit))
+	dst = store.AppendU64(dst, uint64(cfg.TauTime))
+	dst = append(dst, byte(cfg.Strategy))
+	var opt uint32
+	for i, b := range []bool{
+		cfg.Options.DisableKCore, cfg.Options.DisableLookahead,
+		cfg.Options.DisableCoverVertex, cfg.Options.DisableCriticalVertex,
+		cfg.Options.DisableUpperBound, cfg.Options.DisableLowerBound,
+		cfg.Options.DisableDegreePruning, cfg.Options.QuickCompat,
+		cfg.Options.SkipMaximalityFilter,
+	} {
+		if b {
+			opt |= 1 << i
+		}
+	}
+	dst = store.AppendU32(dst, opt)
+	dst = store.AppendU64(dst, uint64(int64(cfg.Options.DenseThreshold)))
+	dst = store.AppendU64(dst, math.Float64bits(cfg.Options.DenseMinDensity))
+
+	dst = store.AppendU32(dst, uint32(ecfg.Machines))
+	dst = store.AppendU32(dst, uint32(ecfg.WorkersPerMachine))
+	dst = store.AppendU32(dst, uint32(ecfg.QueueCap))
+	dst = store.AppendU32(dst, uint32(ecfg.BatchSize))
+	dst = store.AppendU32(dst, uint32(ecfg.CacheCap))
+	dst = store.AppendU64(dst, uint64(ecfg.StealInterval))
+	dst = store.AppendU64(dst, uint64(ecfg.StatusInterval))
+	dst = store.AppendU64(dst, uint64(int64(ecfg.StealIdlePolls)))
+	var ef uint32
+	if ecfg.DisableStealing {
+		ef |= ecfgDisableStealing
+	}
+	if ecfg.DisableGlobalQueue {
+		ef |= ecfgDisableGlobalQueue
+	}
+	dst = store.AppendU32(dst, ef)
+	dst = append(dst, byte(ecfg.SpillFormat))
+	return dst
+}
+
+// DecodeJobSpec reverses AppendJobSpec. The engine config comes back
+// without a SpillDir (each worker process spills into its own
+// temporary directory) and without transport fields (the handshake
+// wires those).
+func DecodeJobSpec(data []byte) (Config, gthinker.Config, error) {
+	var cfg Config
+	var ecfg gthinker.Config
+	if len(data) < 4 || string(data[:4]) != string(jobSpecMagic[:]) {
+		return cfg, ecfg, fmt.Errorf("miner: bad job spec magic")
+	}
+	c := store.NewCursor(data[4:])
+	cfg.Params.Gamma = math.Float64frombits(c.U64())
+	cfg.Params.MinSize = int(c.U32())
+	cfg.TauSplit = int(c.U32())
+	cfg.TauTime = time.Duration(c.U64())
+	sb := c.Bytes(1)
+	if len(sb) == 1 {
+		cfg.Strategy = Strategy(sb[0])
+	}
+	opt := c.U32()
+	cfg.Options = quasiclique.Options{
+		DisableKCore:          opt&optDisableKCore != 0,
+		DisableLookahead:      opt&optDisableLookahead != 0,
+		DisableCoverVertex:    opt&optDisableCoverVertex != 0,
+		DisableCriticalVertex: opt&optDisableCriticalVertex != 0,
+		DisableUpperBound:     opt&optDisableUpperBound != 0,
+		DisableLowerBound:     opt&optDisableLowerBound != 0,
+		DisableDegreePruning:  opt&optDisableDegreePruning != 0,
+		QuickCompat:           opt&optQuickCompat != 0,
+		SkipMaximalityFilter:  opt&optSkipMaximalityFilter != 0,
+	}
+	cfg.Options.DenseThreshold = int(int64(c.U64()))
+	cfg.Options.DenseMinDensity = math.Float64frombits(c.U64())
+
+	ecfg.Machines = int(c.U32())
+	ecfg.WorkersPerMachine = int(c.U32())
+	ecfg.QueueCap = int(c.U32())
+	ecfg.BatchSize = int(c.U32())
+	ecfg.CacheCap = int(c.U32())
+	ecfg.StealInterval = time.Duration(c.U64())
+	ecfg.StatusInterval = time.Duration(c.U64())
+	ecfg.StealIdlePolls = int(int64(c.U64()))
+	ef := c.U32()
+	ecfg.DisableStealing = ef&ecfgDisableStealing != 0
+	ecfg.DisableGlobalQueue = ef&ecfgDisableGlobalQueue != 0
+	fb := c.Bytes(1)
+	if len(fb) == 1 {
+		ecfg.SpillFormat = gthinker.SpillFormat(fb[0])
+	}
+	if err := c.Err(); err != nil {
+		return cfg, ecfg, fmt.Errorf("miner: malformed job spec: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return cfg, ecfg, fmt.Errorf("miner: %d trailing bytes in job spec", c.Remaining())
+	}
+	return cfg, ecfg, nil
+}
+
+// resultsMagic versions the worker→coordinator result flush.
+var resultsMagic = [4]byte{'Q', 'R', 'S', '1'}
+
+// AppendResults encodes candidate quasi-clique sets for the opResults
+// flush.
+func AppendResults(dst []byte, sets [][]graph.V) []byte {
+	dst = append(dst, resultsMagic[:]...)
+	dst = store.AppendU32(dst, uint32(len(sets)))
+	for _, s := range sets {
+		dst = store.AppendU32(dst, uint32(len(s)))
+		dst = store.AppendU32s(dst, s)
+	}
+	return dst
+}
+
+// DecodeResults reverses AppendResults, bounds-checking every count
+// against the bytes present before allocating.
+func DecodeResults(data []byte) ([][]graph.V, error) {
+	if len(data) < 4 || string(data[:4]) != string(resultsMagic[:]) {
+		return nil, fmt.Errorf("miner: bad results magic")
+	}
+	c := store.NewCursor(data[4:])
+	n := int(c.U32())
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("miner: malformed results: %w", err)
+	}
+	if n > c.Remaining()/4 {
+		return nil, fmt.Errorf("miner: results claim %d sets in %d bytes", n, c.Remaining())
+	}
+	sets := make([][]graph.V, n)
+	for i := range sets {
+		sets[i] = c.U32s(int(c.U32()))
+	}
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("miner: malformed results: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("miner: %d trailing bytes in results", c.Remaining())
+	}
+	return sets, nil
+}
+
+// workerResults merges one worker process's per-worker collectors and
+// encodes the candidates (still pre-maximality-filter: the filter
+// needs the cluster-wide set, so it runs on the coordinator).
+func workerResults(a gthinker.App) ([]byte, error) {
+	ma, ok := a.(*app)
+	if !ok {
+		return nil, fmt.Errorf("miner: results requested from %T", a)
+	}
+	all := quasiclique.NewCollector()
+	for _, col := range ma.collectors {
+		all.Merge(col)
+	}
+	return AppendResults(nil, all.Sets()), nil
+}
+
+// HostWorker loads the graph file, validates it against the manifest,
+// and starts the worker host serving machine machineID. It is the
+// entire body of cmd/qcworker (and of the test harness's re-executed
+// process): callers print the ready line, wait for the coordinator's
+// exit op, and close.
+func HostWorker(graphPath, manifestPath string, machineID int) (*gthinker.WorkerHost, func(), error) {
+	man, err := store.ReadManifestFile(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if machineID < 0 || machineID >= len(man.Machines) {
+		return nil, nil, fmt.Errorf("miner: machine %d not in manifest of %d machines", machineID, len(man.Machines))
+	}
+	mg, err := store.MapGraph(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := mg.Graph()
+	if g.NumVertices() != man.NumVertices || uint64(g.NumEdges()) != man.NumEdges {
+		mg.Close()
+		return nil, nil, fmt.Errorf("miner: graph %s (|V|=%d |E|=%d) does not match manifest fingerprint (|V|=%d |E|=%d)",
+			graphPath, g.NumVertices(), g.NumEdges(), man.NumVertices, man.NumEdges)
+	}
+	spec := man.Machines[machineID]
+	host, err := gthinker.StartWorkerHost(gthinker.WorkerHostConfig{
+		Graph:       g,
+		MachineID:   machineID,
+		Machines:    len(man.Machines),
+		ControlAddr: spec.Control,
+		VertexAddr:  spec.Vertex,
+		TaskAddr:    spec.Task,
+		NewApp: func(specBytes []byte, machines int) (gthinker.App, gthinker.Config, error) {
+			cfg, ecfg, err := DecodeJobSpec(specBytes)
+			if err != nil {
+				return nil, gthinker.Config{}, err
+			}
+			if err := cfg.Params.Validate(); err != nil {
+				return nil, gthinker.Config{}, err
+			}
+			if ecfg.Machines != machines {
+				return nil, gthinker.Config{}, fmt.Errorf("miner: job spec names %d machines, join %d", ecfg.Machines, machines)
+			}
+			cfg = cfg.withDefaults()
+			return newApp(g, cfg, ecfg.TotalWorkers()), ecfg, nil
+		},
+		Results: workerResults,
+	})
+	if err != nil {
+		mg.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		host.Close()
+		mg.Close()
+	}
+	return host, cleanup, nil
+}
+
+// ResolveQCWorker finds the qcworker binary for a coordinator CLI: an
+// explicit path, the directory holding the calling binary, then
+// $PATH. Shared by qcmine and qcbench so their resolution rules cannot
+// diverge.
+func ResolveQCWorker(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", err
+		}
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "qcworker")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+	}
+	if path, err := exec.LookPath("qcworker"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("qcworker binary not found (build cmd/qcworker and pass -qcworker)")
+}
+
+// QCWorkerCommand returns the standard worker command factory for a
+// ProcsConfig: run the qcworker binary at bin against graphPath and
+// the generated manifest. qcmine's coordinator mode and qcbench
+// -procs share it so the invocation contract cannot diverge.
+func QCWorkerCommand(bin, graphPath string) func(machine int, manifestPath string) *exec.Cmd {
+	return func(machine int, manifestPath string) *exec.Cmd {
+		return exec.Command(bin,
+			"-graph", graphPath, "-manifest", manifestPath,
+			"-machine", fmt.Sprint(machine))
+	}
+}
+
+// ProcsConfig shapes a multi-process mining run.
+type ProcsConfig struct {
+	// GraphPath is the binary graph file (GQC2) every worker maps.
+	GraphPath string
+	// Command builds the worker process for one machine. It must run
+	// qcworker (or an equivalent host) against manifestPath and print
+	// the gthinker.WorkerReadyPrefix line on stdout.
+	Command func(machineID int, manifestPath string) *exec.Cmd
+	// ManifestDir receives the generated manifest file; empty uses the
+	// graph file's directory.
+	ManifestDir string
+	// ReadyTimeout bounds worker startup; ExitTimeout bounds teardown.
+	// Both default to 30 s.
+	ReadyTimeout time.Duration
+	ExitTimeout  time.Duration
+}
+
+// MineProcs mines the graph at pcfg.GraphPath on a cluster of REAL
+// worker OS processes, one per ecfg.Machines: it writes the partition
+// manifest, spawns and joins the workers, runs the coordinator loop
+// (termination detection, steal directives) over the control plane,
+// and merges the workers' result flushes. Results are bit-identical to
+// the in-process engine on the same graph — the processes execute the
+// same MachineRuntime the engine composes in-process.
+func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg ProcsConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if pcfg.Command == nil {
+		return nil, fmt.Errorf("miner: MineProcs needs a worker Command factory")
+	}
+	if ecfg.Machines < 1 {
+		return nil, fmt.Errorf("miner: MineProcs needs ecfg.Machines ≥ 1, got %d", ecfg.Machines)
+	}
+	if pcfg.ReadyTimeout == 0 {
+		pcfg.ReadyTimeout = 30 * time.Second
+	}
+	if pcfg.ExitTimeout == 0 {
+		pcfg.ExitTimeout = 30 * time.Second
+	}
+
+	// Fingerprint the graph for the manifest (the mapping is released
+	// immediately — the coordinator never mines).
+	mg, err := store.MapGraph(pcfg.GraphPath)
+	if err != nil {
+		return nil, err
+	}
+	numVerts := mg.Graph().NumVertices()
+	numEdges := uint64(mg.Graph().NumEdges())
+	mg.Close()
+
+	man := &store.Manifest{
+		Scheme:      store.OwnerSchemeSplitmix,
+		NumVertices: numVerts,
+		NumEdges:    numEdges,
+		Machines:    make([]store.MachineSpec, ecfg.Machines),
+	}
+	// The manifest is per-run state: a unique name (two concurrent
+	// coordinators must not read each other's deployment) in the temp
+	// dir — the graph's directory may be read-only shared storage —
+	// removed when the run ends. Only an explicit ManifestDir keeps
+	// the file for inspection.
+	dir := pcfg.ManifestDir
+	keepManifest := dir != ""
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	mf, err := os.CreateTemp(dir, "cluster-*.gqm")
+	if err != nil {
+		return nil, err
+	}
+	manifestPath := mf.Name()
+	mf.Close()
+	if !keepManifest {
+		defer os.Remove(manifestPath)
+	}
+	if err := store.WriteManifestFile(manifestPath, man); err != nil {
+		os.Remove(manifestPath)
+		return nil, err
+	}
+
+	procs, err := gthinker.SpawnWorkerProcs(ecfg.Machines, func(machine int) *exec.Cmd {
+		return pcfg.Command(machine, manifestPath)
+	}, pcfg.ReadyTimeout)
+	if err != nil {
+		return nil, err
+	}
+	clean := false
+	defer func() {
+		if !clean {
+			procs.Kill()
+		}
+	}()
+
+	cc := gthinker.DialCluster(procs.ControlAddrs)
+	defer cc.Close()
+	spec := AppendJobSpec(nil, cfg, ecfg)
+	vaddrs, taddrs, err := cc.JoinAll(ecfg.Machines, numVerts, numEdges, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.StartTransports(vaddrs, taddrs); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := cc.RunAll(); err != nil {
+		return nil, err
+	}
+
+	perMachine, stats, err := gthinker.RunCoordinator(ctx, cc, ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	all := quasiclique.NewCollector()
+	for m := 0; m < ecfg.Machines; m++ {
+		data, err := cc.Results(m)
+		if err != nil {
+			return nil, fmt.Errorf("miner: results from machine %d: %w", m, err)
+		}
+		sets, err := DecodeResults(data)
+		if err != nil {
+			return nil, fmt.Errorf("miner: results from machine %d: %w", m, err)
+		}
+		for _, s := range sets {
+			all.Add(s)
+		}
+	}
+	for m := 0; m < ecfg.Machines; m++ {
+		if err := cc.Exit(m); err != nil {
+			return nil, fmt.Errorf("miner: exit machine %d: %w", m, err)
+		}
+	}
+	if err := procs.Wait(pcfg.ExitTimeout); err != nil {
+		return nil, err
+	}
+	clean = true
+
+	met := gthinker.MergeMachineMetrics(perMachine)
+	met.Wall = time.Since(start)
+	met.StealRounds = stats.StealRounds
+	met.TasksStolen = stats.TasksStolen
+	met.OffCycleSteals = stats.OffCycleSteals
+
+	// Per-root recorder data stays in the worker processes; the
+	// cluster result carries an empty recorder so downstream reporting
+	// (experiments tables) need no special case.
+	res := &Result{Candidates: all.Len(), Engine: met, Recorder: metrics.NewRecorder()}
+	sets := all.Sets()
+	if !cfg.Options.SkipMaximalityFilter {
+		sets = quasiclique.FilterMaximal(sets)
+	} else {
+		quasiclique.SortSets(sets)
+	}
+	res.Cliques = sets
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package miner
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/quasiclique"
+)
+
+func TestJobSpecRoundTrip(t *testing.T) {
+	cfg := Config{
+		Params: quasiclique.Params{Gamma: 0.85, MinSize: 9},
+		Options: quasiclique.Options{
+			DisableLookahead: true, QuickCompat: true,
+			SkipMaximalityFilter: true,
+			DenseThreshold:       -1, DenseMinDensity: 0.125,
+		},
+		TauSplit: 77, TauTime: 3 * time.Millisecond, Strategy: SizeThreshold,
+	}
+	ecfg := gthinker.Config{
+		Machines: 4, WorkersPerMachine: 3, QueueCap: 64, BatchSize: 8,
+		CacheCap: 1 << 10, StealInterval: 5 * time.Millisecond,
+		StatusInterval: 2 * time.Millisecond, StealIdlePolls: -1,
+		DisableStealing: true, SpillFormat: gthinker.SpillColumnar,
+	}
+	gcfg, gecfg, err := DecodeJobSpec(AppendJobSpec(nil, cfg, ecfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gcfg, cfg) {
+		t.Fatalf("miner config round trip:\n got  %+v\n want %+v", gcfg, cfg)
+	}
+	if !reflect.DeepEqual(gecfg, ecfg) {
+		t.Fatalf("engine config round trip:\n got  %+v\n want %+v", gecfg, ecfg)
+	}
+
+	data := AppendJobSpec(nil, cfg, ecfg)
+	for _, bad := range [][]byte{{}, data[:3], data[:len(data)-1], append(append([]byte{}, data...), 7), []byte("XXXX")} {
+		if _, _, err := DecodeJobSpec(bad); err == nil {
+			t.Fatalf("corrupt job spec of %d bytes accepted", len(bad))
+		}
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	sets := [][]graph.V{{1, 2, 3}, {7, 9}, {}}
+	got, err := DecodeResults(AppendResults(nil, sets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("%d sets, want %d", len(got), len(sets))
+	}
+	for i := range sets {
+		if len(got[i]) != len(sets[i]) {
+			t.Fatalf("set %d corrupted: %v vs %v", i, got[i], sets[i])
+		}
+		for j := range sets[i] {
+			if got[i][j] != sets[i][j] {
+				t.Fatalf("set %d corrupted: %v vs %v", i, got[i], sets[i])
+			}
+		}
+	}
+	data := AppendResults(nil, sets)
+	for _, bad := range [][]byte{{}, data[:3], data[:len(data)-2], append(append([]byte{}, data...), 1), []byte("QRS9....")} {
+		if _, err := DecodeResults(bad); err == nil {
+			t.Fatalf("corrupt results of %d bytes accepted", len(bad))
+		}
+	}
+}

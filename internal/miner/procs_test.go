@@ -1,0 +1,215 @@
+package miner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/quasiclique"
+	"gthinkerqc/internal/store"
+)
+
+// TestHelperWorkerProcess is not a test: it is the body of the worker
+// OS processes the -procs tests spawn, re-executing this test binary
+// (so the e2e needs no separately built qcworker, and `go test -race`
+// runs the worker processes race-instrumented too). It is exactly
+// cmd/qcworker's main with flags read from the environment.
+func TestHelperWorkerProcess(t *testing.T) {
+	if os.Getenv("QCWORKER_HELPER") != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	machine, err := strconv.Atoi(os.Getenv("QCWORKER_MACHINE"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	host, cleanup, err := HostWorker(os.Getenv("QCWORKER_GRAPH"), os.Getenv("QCWORKER_MANIFEST"), machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	gthinker.PrintWorkerReady(os.Stdout, host)
+	host.WaitExit()
+	cleanup()
+	os.Exit(0)
+}
+
+// helperWorkerCommand re-executes this test binary as a qcworker.
+func helperWorkerCommand(graphPath string) func(machine int, manifestPath string) *exec.Cmd {
+	return func(machine int, manifestPath string) *exec.Cmd {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestHelperWorkerProcess$")
+		cmd.Env = append(os.Environ(),
+			"QCWORKER_HELPER=1",
+			"QCWORKER_GRAPH="+graphPath,
+			"QCWORKER_MANIFEST="+manifestPath,
+			"QCWORKER_MACHINE="+strconv.Itoa(machine))
+		return cmd
+	}
+}
+
+// writeProcsGraph builds the planted test graph and writes it as a
+// GQC2 file for the worker processes to map.
+func writeProcsGraph(t *testing.T, dir string) (*graph.Graph, string) {
+	t.Helper()
+	g, _, err := datagen.Planted(datagen.PlantedConfig{
+		N:          400,
+		Background: 0.01,
+		Communities: []datagen.Community{
+			{Size: 12, Density: 0.95, Count: 3},
+			{Size: 9, Density: 1.0, Count: 2},
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "procs.gqc")
+	if err := graph.WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return g, path
+}
+
+// TestMineProcsBitIdentical is the multi-process end-to-end: three
+// REAL worker OS processes, each mapping the graph file and serving
+// one partition, composed by MineProcs from a generated manifest. The
+// results must be bit-identical to the serial miner and to the
+// in-process TCP engine on the same graph, and the aggregated metrics
+// must show the work actually crossed process boundaries.
+func TestMineProcsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	g, graphPath := writeProcsGraph(t, dir)
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 7}
+	cfg := Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4}
+	ecfg := gthinker.Config{
+		Machines: 3, WorkersPerMachine: 2,
+		StealInterval: time.Millisecond,
+	}
+
+	serial, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("planted graph yields no results; parameters are wrong")
+	}
+	tcpCfg := ecfg
+	tcpCfg.SpillDir = t.TempDir()
+	tcpCfg.InProcessTCP = true
+	inproc, err := Mine(g, cfg, tcpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := MineProcs(context.Background(), cfg, ecfg, ProcsConfig{
+		GraphPath: graphPath,
+		Command:   helperWorkerCommand(graphPath),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, serial) {
+		t.Fatalf("multi-process results diverge from serial: %d vs %d cliques",
+			len(res.Cliques), len(serial))
+	}
+	if !quasiclique.SetsEqual(res.Cliques, inproc.Cliques) {
+		t.Fatalf("multi-process results diverge from in-process TCP: %d vs %d cliques",
+			len(res.Cliques), len(inproc.Cliques))
+	}
+	met := res.Engine
+	if met.TasksSpawned == 0 || met.TasksFinished != met.TasksSpawned+met.SubtasksAdded {
+		t.Fatalf("task accounting over the wire: %+v", met)
+	}
+	if met.RemoteFetches == 0 || met.BatchedFetches == 0 {
+		t.Fatalf("no cross-process adjacency fetches: %+v", met)
+	}
+	if met.WireBytesSent == 0 || met.WireBytesReceived == 0 {
+		t.Fatal("wire traffic not accounted")
+	}
+	if len(met.WorkerBusy) != ecfg.Machines*ecfg.WorkersPerMachine {
+		t.Fatalf("aggregated %d worker busy entries, want %d",
+			len(met.WorkerBusy), ecfg.Machines*ecfg.WorkersPerMachine)
+	}
+	if met.TasksStolen != 0 && met.TasksStolenRemote != met.TasksStolen {
+		t.Fatalf("multi-process run stole in memory: %d of %d remote",
+			met.TasksStolenRemote, met.TasksStolen)
+	}
+	t.Logf("procs run: %v", met)
+}
+
+// TestMineProcsWorkerKilled: a worker process dying mid-run must fail
+// the job with a protocol error, not hang the coordinator. The cluster
+// is composed manually so the kill lands deterministically between
+// mining start and the coordinator loop.
+func TestMineProcsWorkerKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	g, graphPath := writeProcsGraph(t, dir)
+	cfg := Config{Params: quasiclique.Params{Gamma: 0.8, MinSize: 7}, TauTime: time.Nanosecond, TauSplit: 4}
+	engineCfg := gthinker.Config{Machines: 2, WorkersPerMachine: 2, StealInterval: time.Millisecond}
+
+	man := &store.Manifest{
+		Scheme:      store.OwnerSchemeSplitmix,
+		NumVertices: g.NumVertices(),
+		NumEdges:    uint64(g.NumEdges()),
+		Machines:    make([]store.MachineSpec, engineCfg.Machines),
+	}
+	manifestPath := filepath.Join(dir, "cluster.gqm")
+	if err := store.WriteManifestFile(manifestPath, man); err != nil {
+		t.Fatal(err)
+	}
+	procs, err := gthinker.SpawnWorkerProcs(engineCfg.Machines, func(m int) *exec.Cmd {
+		return helperWorkerCommand(graphPath)(m, manifestPath)
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer procs.Kill()
+
+	cc := gthinker.DialCluster(procs.ControlAddrs)
+	defer cc.Close()
+	spec := AppendJobSpec(nil, cfg, engineCfg)
+	vaddrs, taddrs, err := cc.JoinAll(engineCfg.Machines, g.NumVertices(), uint64(g.NumEdges()), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.StartTransports(vaddrs, taddrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill machine 1 while the job runs.
+	if err := procs.Cmds()[1].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := gthinker.RunCoordinator(context.Background(), cc, engineCfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coordinator succeeded with a dead worker")
+		}
+		t.Logf("coordinator failed as expected: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator hung on a dead worker")
+	}
+}

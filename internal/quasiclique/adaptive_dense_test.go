@@ -1,0 +1,142 @@
+package quasiclique
+
+import (
+	"math/rand"
+
+	"gthinkerqc/internal/graph"
+	"testing"
+)
+
+// subWithDensity builds an n-vertex Sub whose directed-entry density
+// 2m/n² lands as close as possible to target: a ring backbone (so the
+// subgraph is connected) plus random chords.
+func subWithDensity(n int, target float64, seed int64) *Sub {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make(map[[2]uint32]bool)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a, b := uint32(i), uint32(j)
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]uint32{a, b}] = true
+	}
+	wantEntries := int(target * float64(n) * float64(n))
+	for len(edges)*2 < wantEntries {
+		a, b := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]uint32{a, b}] = true
+	}
+	adj := make([][]uint32, n)
+	for e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	s := &Sub{Label: make([]graph.V, n), Adj: adj}
+	for i := range s.Label {
+		s.Label[i] = graph.V(i)
+	}
+	for _, row := range adj {
+		sortU32(row)
+	}
+	return s
+}
+
+func sortU32(xs []uint32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestAdaptiveDenseGate pins the decision itself: subgraphs straddling
+// the density floor (same size, just above vs just below) flip the
+// kernel, the small-subgraph fast path stays dense, and the negative
+// knob restores size-only selection.
+func TestAdaptiveDenseGate(t *testing.T) {
+	n := 4 * DenseAlwaysN // well above the always-dense size
+	sparse := subWithDensity(n, DefaultDenseMinDensity/4, 1)
+	dense := subWithDensity(n, DefaultDenseMinDensity*4, 2)
+
+	m := NewPooledMiner(Params{Gamma: 0.8, MinSize: 4}, Options{})
+	m.Emit = func([]uint32) {}
+
+	m.Reset(sparse)
+	if sparse.Dense != nil {
+		t.Fatalf("n=%d below-floor subgraph built the dense matrix", n)
+	}
+	m.Reset(dense)
+	if dense.Dense == nil {
+		t.Fatalf("n=%d above-floor subgraph skipped the dense matrix", n)
+	}
+
+	// At or under DenseAlwaysN vertices the matrix is always built —
+	// even on a near-empty subgraph.
+	tiny := subWithDensity(DenseAlwaysN, 0, 3)
+	m.Reset(tiny)
+	if tiny.Dense == nil {
+		t.Fatal("small subgraph skipped the dense matrix")
+	}
+
+	// Negative DenseMinDensity disables the gate (pre-adaptive
+	// size-only behavior).
+	mOff := NewPooledMiner(Params{Gamma: 0.8, MinSize: 4}, Options{DenseMinDensity: -1})
+	mOff.Emit = func([]uint32) {}
+	sparse2 := subWithDensity(n, DefaultDenseMinDensity/4, 1)
+	mOff.Reset(sparse2)
+	if sparse2.Dense == nil {
+		t.Fatal("DenseMinDensity=-1 still density-gated")
+	}
+
+	// DenseThreshold still caps size regardless of density.
+	mCap := NewPooledMiner(Params{Gamma: 0.8, MinSize: 4}, Options{DenseThreshold: n - 1})
+	mCap.Emit = func([]uint32) {}
+	dense2 := subWithDensity(n, DefaultDenseMinDensity*4, 2)
+	mCap.Reset(dense2)
+	if dense2.Dense != nil {
+		t.Fatal("DenseThreshold cap ignored for a dense subgraph")
+	}
+}
+
+// TestAdaptiveDenseParityAcrossBoundary mines random graphs whose root
+// subgraphs straddle the density decision with the gate at an
+// aggressive floor, a disabled floor, and a fully sparse kernel: the
+// emitted result sets must be identical. This is the regression net
+// for the adaptive selection — whatever the gate chooses per task, the
+// results cannot move.
+func TestAdaptiveDenseParityAcrossBoundary(t *testing.T) {
+	par := Params{Gamma: 0.7, MinSize: 4}
+	for seed := int64(0); seed < 6; seed++ {
+		// Sparse background with planted dense pockets: tasks land on
+		// both sides of the floor within one run.
+		g := randomGraph(seed, 150, 0.06)
+		variants := []Options{
+			{},                     // default adaptive gate
+			{DenseMinDensity: 0.5}, // aggressive: most tasks sparse
+			{DenseMinDensity: -1},  // gate off: size-only (pre-PR5)
+			{DenseThreshold: -1},   // dense kernel off entirely
+			{DenseThreshold: 8, DenseMinDensity: 0.3}, // mixed mid-run
+		}
+		var want [][]graph.V
+		for i, opt := range variants {
+			got, _, err := MineGraph(g, par, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = got
+				continue
+			}
+			if !SetsEqual(got, want) {
+				t.Fatalf("seed %d variant %d (%+v): results differ (%d vs %d sets)",
+					seed, i, opt, len(got), len(want))
+			}
+		}
+	}
+}

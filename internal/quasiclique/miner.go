@@ -148,7 +148,7 @@ func (m *Miner) Reset(sub *Sub) {
 		m.frames = frames
 	}
 	sub.Dense = nil
-	if thr := m.Opt.denseThreshold(); n > 0 && n <= thr {
+	if n > 0 && m.useDense(sub) {
 		sub.BuildDense(&m.mat)
 		stride := m.mat.Stride()
 		if cap(m.sBits) < stride {
@@ -163,6 +163,30 @@ func (m *Miner) Reset(sub *Sub) {
 		m.t2Bits = m.t2Bits[:stride]
 	}
 	m.Nodes, m.EmitCount, m.OffloadCount = 0, 0, 0
+}
+
+// useDense decides the kernel for sub: size-capped by DenseThreshold
+// as before, and — adaptively — density-gated above DenseAlwaysN
+// vertices, so a nearly-empty big subgraph keeps its short adjacency
+// walks instead of paying stride-width bitset scans. Both kernels
+// compute identical values, so this choice never affects results.
+func (m *Miner) useDense(sub *Sub) bool {
+	n := sub.N()
+	if n > m.Opt.denseThreshold() {
+		return false
+	}
+	if n <= DenseAlwaysN {
+		return true
+	}
+	minDensity := m.Opt.denseMinDensity()
+	if minDensity <= 0 {
+		return true
+	}
+	entries := 0
+	for _, row := range sub.Adj {
+		entries += len(row)
+	}
+	return float64(entries) >= minDensity*float64(n)*float64(n)
 }
 
 // nextEpoch starts a new stamp generation.

@@ -34,8 +34,12 @@
 // under the default; raise the threshold if profiles show sparse-path
 // time on bigger tasks (memory grows quadratically), lower it or
 // disable (-1) on nearly-empty subgraphs where adjacency scans are
-// already short. Dense and sparse kernels compute identical values, so
-// the choice never affects results.
+// already short. The selection is also adaptive on MEASURED edge
+// density: above DenseAlwaysN (64) vertices the matrix is built only
+// when 2m/n² reaches Options.DenseMinDensity (default 0.02), so a
+// nearly-empty big subgraph keeps its short adjacency walks without
+// tuning. Dense and sparse kernels compute identical values, so the
+// choice never affects results.
 package quasiclique
 
 import (
@@ -131,6 +135,15 @@ type Options struct {
 	// disables the dense kernel. Like the pruning toggles, it never
 	// changes the result set — only speed.
 	DenseThreshold int
+	// DenseMinDensity gates the dense kernel on MEASURED task edge
+	// density: a subgraph of n > DenseAlwaysN vertices builds the
+	// bitset matrix only when 2m/n² (directed adjacency entries over
+	// n²) reaches this floor. Nearly-empty big subgraphs otherwise pay
+	// ⌈n/64⌉-word scans where their adjacency walks are shorter. 0
+	// means DefaultDenseMinDensity; a negative value disables the gate
+	// (size-only selection, the pre-adaptive behavior). Never changes
+	// the result set — only speed.
+	DenseMinDensity float64
 }
 
 // DefaultDenseThreshold is the task-subgraph size up to which the
@@ -147,5 +160,29 @@ func (o Options) denseThreshold() int {
 		return DefaultDenseThreshold
 	default:
 		return o.DenseThreshold
+	}
+}
+
+// DenseAlwaysN is the subgraph size up to which the dense matrix is
+// built regardless of measured density: a ≤64-vertex matrix is one
+// word per row, cheaper than measuring.
+const DenseAlwaysN = 64
+
+// DefaultDenseMinDensity is the edge-density floor (2m/n²) for the
+// dense kernel on subgraphs above DenseAlwaysN vertices when
+// Options.DenseMinDensity is left zero. At 2m/n² = 0.02 the average
+// adjacency row is n/50 entries — around the point where walking it
+// costs as much as scanning the n/64-word bitset row it would replace.
+const DefaultDenseMinDensity = 0.02
+
+// denseMinDensity resolves the Options field; 0 disables the gate.
+func (o Options) denseMinDensity() float64 {
+	switch {
+	case o.DenseMinDensity < 0:
+		return 0
+	case o.DenseMinDensity == 0:
+		return DefaultDenseMinDensity
+	default:
+		return o.DenseMinDensity
 	}
 }

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// The partition manifest (format "GQM1") is the deployment descriptor
+// of a multi-process cluster run: every process — the coordinator and
+// each qcworker — derives the same vertex ownership and peer address
+// set from it, so no process ever has to trust another's idea of
+// owner(v). Layout (all integers little-endian, like GQC2/GQS1):
+//
+//	magic    [4]byte  "GQM1"
+//	scheme   uint32   vertex-ownership scheme (OwnerSchemeSplitmix)
+//	machines uint32   cluster size
+//	n        uint32   graph vertex count   (fingerprint)
+//	m        uint64   graph edge count     (fingerprint)
+//	machines × { control, vertex, task: u32 len + bytes }
+//
+// The per-machine addresses are TCP listen addresses; an empty string
+// means "dynamic" — the worker binds :0 and reports the bound address
+// through its join handshake (the single-host qcbench/qcmine flow).
+// Pre-assigned addresses are for multi-host deployments where workers
+// must bind known endpoints.
+//
+// The n/m fingerprint ties a manifest to one graph file: a worker
+// whose mapped graph disagrees refuses to join, so a stale manifest
+// cannot silently mix partitions of two different graphs.
+
+// manifestMagic identifies (and versions) the partition manifest.
+var manifestMagic = [4]byte{'G', 'Q', 'M', '1'}
+
+// OwnerSchemeSplitmix is the only vertex-ownership scheme currently
+// defined: owner(v) = splitmix64(v) mod machines (the gthinker
+// engine's hash partitioning). New schemes get new numbers; a reader
+// must reject schemes it does not implement.
+const OwnerSchemeSplitmix uint32 = 0
+
+// maxManifestMachines bounds the machine count accepted from a
+// manifest before any dependent allocation.
+const maxManifestMachines = 1 << 16
+
+// maxManifestAddr bounds one address string.
+const maxManifestAddr = 1 << 12
+
+// MachineSpec is one machine's row in the manifest.
+type MachineSpec struct {
+	// Control is the machine's control-plane listen address (join,
+	// status, steal directives, metrics, shutdown).
+	Control string
+	// Vertex is the machine's VertexServer listen address.
+	Vertex string
+	// Task is the machine's TaskServer listen address.
+	Task string
+}
+
+// Manifest describes one cluster deployment.
+type Manifest struct {
+	// Scheme selects the vertex-ownership function.
+	Scheme uint32
+	// NumVertices / NumEdges fingerprint the graph being served.
+	NumVertices int
+	NumEdges    uint64
+	// Machines lists one spec per machine, indexed by machine id.
+	Machines []MachineSpec
+}
+
+// Validate checks the manifest's internal consistency.
+func (m *Manifest) Validate() error {
+	if m.Scheme != OwnerSchemeSplitmix {
+		return fmt.Errorf("store: unknown ownership scheme %d", m.Scheme)
+	}
+	if len(m.Machines) < 1 || len(m.Machines) > maxManifestMachines {
+		return fmt.Errorf("store: manifest has %d machines", len(m.Machines))
+	}
+	if m.NumVertices < 0 {
+		return fmt.Errorf("store: manifest vertex count %d", m.NumVertices)
+	}
+	for i, spec := range m.Machines {
+		for _, a := range [...]string{spec.Control, spec.Vertex, spec.Task} {
+			if len(a) > maxManifestAddr {
+				return fmt.Errorf("store: machine %d address of %d bytes", i, len(a))
+			}
+		}
+	}
+	return nil
+}
+
+// AppendManifest appends m's encoding to dst.
+func AppendManifest(dst []byte, m *Manifest) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	dst = append(dst, manifestMagic[:]...)
+	dst = AppendU32(dst, m.Scheme)
+	dst = AppendU32(dst, uint32(len(m.Machines)))
+	dst = AppendU32(dst, uint32(m.NumVertices))
+	dst = AppendU64(dst, m.NumEdges)
+	for _, spec := range m.Machines {
+		dst = AppendString(dst, spec.Control)
+		dst = AppendString(dst, spec.Vertex)
+		dst = AppendString(dst, spec.Task)
+	}
+	return dst, nil
+}
+
+// DecodeManifest parses and validates one GQM1 manifest. Counts are
+// bounds-checked against the bytes present before any allocation
+// depends on them.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("store: manifest too short (%d bytes)", len(data))
+	}
+	var magic [4]byte
+	copy(magic[:], data)
+	if magic != manifestMagic {
+		return nil, fmt.Errorf("store: bad manifest magic %q (want %q)", magic[:], manifestMagic[:])
+	}
+	c := NewCursor(data[4:])
+	m := &Manifest{Scheme: c.U32()}
+	machines := int(c.U32())
+	m.NumVertices = int(c.U32())
+	m.NumEdges = c.U64()
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("store: truncated manifest header: %w", err)
+	}
+	if machines < 1 || machines > maxManifestMachines {
+		return nil, fmt.Errorf("store: manifest claims %d machines", machines)
+	}
+	// Every machine row needs at least its three length prefixes.
+	if machines > c.Remaining()/12 {
+		return nil, fmt.Errorf("store: manifest claims %d machines in %d bytes", machines, c.Remaining())
+	}
+	m.Machines = make([]MachineSpec, machines)
+	for i := range m.Machines {
+		m.Machines[i].Control = c.String(maxManifestAddr)
+		m.Machines[i].Vertex = c.String(maxManifestAddr)
+		m.Machines[i].Task = c.String(maxManifestAddr)
+	}
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("store: truncated manifest: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes in manifest", c.Remaining())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteManifestFile writes m to path.
+func WriteManifestFile(path string, m *Manifest) error {
+	data, err := AppendManifest(nil, m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadManifestFile reads and validates the manifest at path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testManifest() *Manifest {
+	return &Manifest{
+		Scheme:      OwnerSchemeSplitmix,
+		NumVertices: 1234,
+		NumEdges:    98765,
+		Machines: []MachineSpec{
+			{Control: "127.0.0.1:9000", Vertex: "127.0.0.1:9001", Task: "127.0.0.1:9002"},
+			{Control: "127.0.0.1:9010", Vertex: "", Task: ""},
+			{},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := testManifest()
+	data, err := AppendManifest(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != m.Scheme || got.NumVertices != m.NumVertices || got.NumEdges != m.NumEdges {
+		t.Fatalf("header corrupted: %+v vs %+v", got, m)
+	}
+	if len(got.Machines) != len(m.Machines) {
+		t.Fatalf("machine count %d, want %d", len(got.Machines), len(m.Machines))
+	}
+	for i := range m.Machines {
+		if got.Machines[i] != m.Machines[i] {
+			t.Fatalf("machine %d corrupted: %+v vs %+v", i, got.Machines[i], m.Machines[i])
+		}
+	}
+}
+
+func TestManifestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.gqm")
+	m := testManifest()
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Machines) != 3 || got.Machines[0].Vertex != "127.0.0.1:9001" {
+		t.Fatalf("file round trip corrupted: %+v", got)
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	good, err := AppendManifest(nil, testManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:3],
+		"bad magic":   append([]byte("GQS1"), good[4:]...),
+		"truncated":   good[:len(good)-2],
+		"trailing":    append(append([]byte{}, good...), 0xFF),
+		"bad scheme":  append([]byte("GQM1\x07\x00\x00\x00"), good[8:]...),
+		"huge count":  append([]byte("GQM1\x00\x00\x00\x00\xff\xff\xff\x7f"), good[12:]...),
+		"zero count":  append([]byte("GQM1\x00\x00\x00\x00\x00\x00\x00\x00"), good[12:]...),
+		"header only": good[:20],
+	}
+	for name, data := range cases {
+		if _, err := DecodeManifest(data); err == nil {
+			t.Errorf("%s manifest accepted", name)
+		}
+	}
+}
+
+func TestManifestRejectsInvalid(t *testing.T) {
+	if _, err := AppendManifest(nil, &Manifest{Scheme: 9, Machines: []MachineSpec{{}}}); err == nil {
+		t.Fatal("unknown scheme encoded")
+	}
+	if _, err := AppendManifest(nil, &Manifest{Machines: nil}); err == nil {
+		t.Fatal("empty machine list encoded")
+	}
+	long := strings.Repeat("x", maxManifestAddr+1)
+	if _, err := AppendManifest(nil, &Manifest{Machines: []MachineSpec{{Control: long}}}); err == nil {
+		t.Fatal("oversized address encoded")
+	}
+}
+
+// FuzzDecodeManifest joins the frame fuzzers of the RPC plane: the
+// manifest decoder must reject arbitrary bytes without panicking or
+// allocating proportionally to corrupt counts, and accepted inputs
+// must re-encode to an equivalent manifest.
+func FuzzDecodeManifest(f *testing.F) {
+	good, err := AppendManifest(nil, testManifest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("GQM1"))
+	f.Add([]byte("GQM1\x00\x00\x00\x00\x01\x00\x00\x00\x05\x00\x00\x00\x09\x00\x00\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendManifest(nil, m)
+		if err != nil {
+			t.Fatalf("decoded manifest does not re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		if len(m2.Machines) != len(m.Machines) || m2.NumVertices != m.NumVertices {
+			t.Fatal("manifest round trip unstable")
+		}
+	})
+}

@@ -220,3 +220,28 @@ func (c *Cursor) U32s(n int) []uint32 {
 	}
 	return Uint32s(b)
 }
+
+// AppendString appends a u32 length prefix and the raw bytes of s.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// String consumes one length-prefixed string of at most max bytes (the
+// bound is checked before any dependent allocation, like every other
+// cursor read).
+func (c *Cursor) String(max int) string {
+	n := int(c.U32())
+	if c.err != nil {
+		return ""
+	}
+	if n > max {
+		c.err = fmt.Errorf("store: string of %d bytes at offset %d exceeds limit %d", n, c.off, max)
+		return ""
+	}
+	b := c.Bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
