@@ -52,6 +52,7 @@ func main() {
 		useTCP     = flag.Bool("tcp", false, "run the simulated cluster over real loopback sockets: per-machine vertex/task servers plus a batched TCP transport (remote pulls and stolen task batches cross the wire)")
 		procs      = flag.Int("procs", 0, "run every experiment cell on N REAL qcworker OS processes (one vertex partition each, composed from a generated partition manifest over the TCP control plane); overrides -machines/-tcp")
 		qcworker   = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
+		noSIMD     = flag.Bool("nosimd", false, "force the scalar bitset kernels (disable the vectorized AVX2 path) for A/B timing")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -61,6 +62,7 @@ func main() {
 	}
 	experiments.SetUseMmap(*useMmap)
 	experiments.SetUseTCP(*useTCP)
+	experiments.SetNoSIMD(*noSIMD)
 	if *procs > 0 {
 		bin, err := miner.ResolveQCWorker(*qcworker)
 		if err != nil {

@@ -37,6 +37,7 @@ func main() {
 		qcworker = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
 		sizeOnly = flag.Bool("size-threshold", false, "use size-threshold decomposition (Algorithm 8) instead of time-delayed (Algorithm 10)")
 		keepAll  = flag.Bool("keep-nonmaximal", false, "skip the maximality post-filter (mirrors the paper's released code)")
+		noSIMD   = flag.Bool("nosimd", false, "force the scalar bitset kernels (disable the vectorized AVX2 path) for A/B timing")
 		output   = flag.String("o", "", "result file (default stdout)")
 		quiet    = flag.Bool("q", false, "suppress the stats summary on stderr")
 	)
@@ -70,6 +71,7 @@ func main() {
 		Machines:          *machines, WorkersPerMachine: *threads,
 		KeepNonMaximal: *keepAll,
 	}
+	cfg.Ablations.NoSIMD = *noSIMD
 	var res *gthinkerqc.Result
 	switch {
 	case *serial:

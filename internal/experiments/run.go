@@ -45,6 +45,7 @@ var (
 	binCacheDir string
 	useMmap     = true
 	useTCP      bool
+	noSIMD      bool
 	procsCount  int
 	workerBin   string
 	procsDir    string
@@ -105,6 +106,21 @@ func procsWanted() (int, string) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	return procsCount, workerBin
+}
+
+// SetNoSIMD forces the scalar bitset kernels for every subsequent cell
+// (qcbench -nosimd): the flag is merged into each run's Options, so it
+// reaches in-process workers and spawned qcworker processes alike.
+func SetNoSIMD(on bool) {
+	cacheMu.Lock()
+	noSIMD = on
+	cacheMu.Unlock()
+}
+
+func noSIMDWanted() bool {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return noSIMD
 }
 
 // datasetFile ensures the named stand-in exists as a GQC2 file on disk
@@ -299,6 +315,7 @@ func Run(spec RunSpec) (Outcome, error) {
 	spec = spec.withDatasetDefaults(s)
 	opt := spec.Options
 	opt.SkipMaximalityFilter = opt.SkipMaximalityFilter || spec.KeepNonMaximal
+	opt.NoSIMD = opt.NoSIMD || noSIMDWanted()
 	strategy := miner.TimeDelayed
 	if spec.SizeThresholdOnly {
 		strategy = miner.SizeThreshold

@@ -17,6 +17,7 @@ func TestMetricsWireRoundTrip(t *testing.T) {
 		PeakSpillBytes: 19, StealRounds: 20, TasksStolen: 21,
 		TasksStolenRemote: 22, OffCycleSteals: 23, PeakHeapAlloc: 24,
 		WorkerBusy: []time.Duration{time.Second, 2 * time.Second},
+		Kernel:     "avx2",
 	}
 	got, err := decodeMetrics(appendMetrics(nil, m))
 	if err != nil {

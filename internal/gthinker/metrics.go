@@ -55,6 +55,11 @@ type Metrics struct {
 	WorkerBusy []time.Duration
 
 	PeakHeapAlloc uint64 // sampled runtime heap high-water mark
+
+	// Kernel names the bitset kernel variant the machine mined with
+	// ("avx2" or "scalar"); a cluster merge reports "mixed" when
+	// machines disagree, which is worth noticing in an A/B run.
+	Kernel string
 }
 
 // TotalBusy sums per-worker compute time (the "aggregate mining time"
@@ -126,21 +131,32 @@ func MergeMachineMetrics(per []*Metrics) *Metrics {
 		if m.PeakHeapAlloc > out.PeakHeapAlloc {
 			out.PeakHeapAlloc = m.PeakHeapAlloc
 		}
+		switch {
+		case m.Kernel == "":
+		case out.Kernel == "":
+			out.Kernel = m.Kernel
+		case out.Kernel != m.Kernel:
+			out.Kernel = "mixed"
+		}
 	}
 	return out
 }
 
 // String renders a compact summary.
 func (m *Metrics) String() string {
+	kernel := m.Kernel
+	if kernel == "" {
+		kernel = "unknown"
+	}
 	return fmt.Sprintf(
-		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB busy=%v imbalance=%.2f",
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB busy=%v imbalance=%.2f kernel=%s",
 		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
 		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.TasksStolenRemote, m.SpillBytesWritten, m.PeakSpillBytes,
 		m.SpillBytesRead, m.RefillBatches,
 		m.CacheHits, m.CacheHits+m.CacheMisses,
 		m.BatchedFetches, m.RemoteFetches, m.WireBytesSent, m.WireBytesReceived,
 		m.TotalBusy().Round(time.Millisecond),
-		m.BusyImbalance())
+		m.BusyImbalance(), kernel)
 }
 
 // appendMetrics encodes one machine's metrics for the control plane's
@@ -177,12 +193,18 @@ func appendMetrics(dst []byte, m *Metrics) []byte {
 	for _, b := range m.WorkerBusy {
 		dst = store.AppendU64(dst, uint64(b))
 	}
+	dst = store.AppendU32(dst, uint32(len(m.Kernel)))
+	dst = append(dst, m.Kernel...)
 	return dst
 }
 
 // maxWireWorkers bounds the WorkerBusy count accepted off the wire
 // before the slice is allocated.
 const maxWireWorkers = 1 << 20
+
+// maxWireKernelName bounds the kernel-variant string accepted off the
+// wire ("avx2"/"scalar"/"mixed" today; generous for future variants).
+const maxWireKernelName = 64
 
 // decodeMetrics decodes one appendMetrics payload.
 func decodeMetrics(data []byte) (*Metrics, error) {
@@ -224,6 +246,14 @@ func decodeMetrics(data []byte) (*Metrics, error) {
 	for i := range m.WorkerBusy {
 		m.WorkerBusy[i] = time.Duration(c.U64())
 	}
+	nk := int(c.U32())
+	if err := c.Err(); err != nil {
+		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)
+	}
+	if nk > maxWireKernelName || nk > c.Remaining() {
+		return nil, fmt.Errorf("gthinker: metrics payload claims %d-byte kernel name in %d bytes", nk, c.Remaining())
+	}
+	m.Kernel = string(c.Bytes(nk))
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)
 	}

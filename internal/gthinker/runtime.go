@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/store"
 )
@@ -540,6 +541,7 @@ func (rt *MachineRuntime) LocalMetrics() *Metrics {
 		}
 	}
 	met.PeakHeapAlloc = procHeap.sampleNow()
+	met.Kernel = bitset.KernelVariant()
 	return met
 }
 

@@ -3,6 +3,7 @@ package miner
 import (
 	"time"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/gthinker"
 	"gthinkerqc/internal/kcore"
@@ -49,6 +50,10 @@ type app struct {
 }
 
 func newApp(g *graph.Graph, cfg Config, workers int) *app {
+	// Kernel selection is process-global; apply the run's knob before
+	// any worker mines. Options travel in the job spec, so remote
+	// qcworker runtimes land here too.
+	bitset.SetSIMD(!cfg.Options.NoSIMD)
 	a := &app{g: g, cfg: cfg, k: cfg.Params.K(), rec: metrics.NewRecorder()}
 	a.collectors = make([]*quasiclique.Collector, workers)
 	a.scratches = make([]*wscratch, workers)
@@ -310,6 +315,7 @@ func (a *app) iteration3(p *Payload, ctx *gthinker.Ctx) bool {
 		return false
 	}
 	m := a.miners[ctx.WorkerID]
+	ws := a.scratches[ctx.WorkerID]
 	m.Reset(sub)
 	m.Abort = ctx.Aborted
 
@@ -317,7 +323,7 @@ func (a *app) iteration3(p *Payload, ctx *gthinker.Ctx) bool {
 	subtasks := 0
 	offload := func(S, ext []uint32) {
 		t0 := time.Now()
-		child, s2, e2 := quasiclique.MakeSubtask(sub, S, ext)
+		child, s2, e2 := quasiclique.MakeSubtaskScratch(sub, S, ext, &ws.qs)
 		nt := gthinker.NewTask(&Payload{
 			Iteration: 3, Root: p.Root, Sub: child, S: s2, Ext: e2,
 		})

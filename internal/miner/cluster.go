@@ -37,6 +37,8 @@ const (
 	optDisableDegreePruning
 	optQuickCompat
 	optSkipMaximalityFilter
+	optDisableTwoHopCache
+	optNoSIMD
 )
 
 // engine flag bitmask positions.
@@ -63,7 +65,8 @@ func AppendJobSpec(dst []byte, cfg Config, ecfg gthinker.Config) []byte {
 		cfg.Options.DisableCoverVertex, cfg.Options.DisableCriticalVertex,
 		cfg.Options.DisableUpperBound, cfg.Options.DisableLowerBound,
 		cfg.Options.DisableDegreePruning, cfg.Options.QuickCompat,
-		cfg.Options.SkipMaximalityFilter,
+		cfg.Options.SkipMaximalityFilter, cfg.Options.DisableTwoHopCache,
+		cfg.Options.NoSIMD,
 	} {
 		if b {
 			opt |= 1 << i
@@ -123,6 +126,8 @@ func DecodeJobSpec(data []byte) (Config, gthinker.Config, error) {
 		DisableDegreePruning:  opt&optDisableDegreePruning != 0,
 		QuickCompat:           opt&optQuickCompat != 0,
 		SkipMaximalityFilter:  opt&optSkipMaximalityFilter != 0,
+		DisableTwoHopCache:    opt&optDisableTwoHopCache != 0,
+		NoSIMD:                opt&optNoSIMD != 0,
 	}
 	cfg.Options.DenseThreshold = int(int64(c.U64()))
 	cfg.Options.DenseMinDensity = math.Float64frombits(c.U64())

@@ -17,6 +17,7 @@ func TestJobSpecRoundTrip(t *testing.T) {
 			DisableLookahead: true, QuickCompat: true,
 			SkipMaximalityFilter: true,
 			DenseThreshold:       -1, DenseMinDensity: 0.125,
+			DisableTwoHopCache: true, NoSIMD: true,
 		},
 		TauSplit: 77, TauTime: 3 * time.Millisecond, Strategy: SizeThreshold,
 	}

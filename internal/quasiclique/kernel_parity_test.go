@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 )
 
@@ -263,4 +264,112 @@ func setEqualV(a, b []graph.V) bool {
 		}
 	}
 	return true
+}
+
+// TestKernelVariantParityMatrix is the PR 6 guardrail: every kernel
+// configuration — dense with and without the two-hop row cache, dense
+// with the vector kernels forced off, and sparse — must produce the
+// same emission stream IN ORDER when driving RecursiveMine directly,
+// and identical final result sets through the full driver.
+func TestKernelVariantParityMatrix(t *testing.T) {
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"dense", forceDense},
+		{"dense-no-twohop", Options{DenseThreshold: math.MaxInt, DisableTwoHopCache: true}},
+		{"dense-nosimd", Options{DenseThreshold: math.MaxInt, NoSIMD: true}},
+		{"sparse", forceSparse},
+	}
+	defer bitset.SetSIMD(true) // restore process default for later tests
+	par := Params{Gamma: 0.6, MinSize: 3}
+	for seed := int64(0); seed < 15; seed++ {
+		g := randomGraph(seed*7+1, 14, 0.45)
+		all := make([]graph.V, g.NumVertices())
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		sub := SubFromGraph(g, all)
+		run := func(opt Options) [][]graph.V {
+			bitset.SetSIMD(!opt.NoSIMD) // RecursiveMine bypasses the driver's switch
+			m := NewMiner(sub, par, opt)
+			var got [][]graph.V
+			m.Emit = func(locals []uint32) { got = append(got, sub.Labels(locals)) }
+			ext := make([]uint32, 0, sub.N()-1)
+			for i := 1; i < sub.N(); i++ {
+				ext = append(ext, uint32(i))
+			}
+			m.RecursiveMine([]uint32{0}, ext)
+			return got
+		}
+		base := run(variants[0].opt)
+		for _, v := range variants[1:] {
+			got := run(v.opt)
+			if len(got) != len(base) {
+				t.Fatalf("seed=%d %s: emitted %d, dense emitted %d", seed, v.name, len(got), len(base))
+			}
+			for i := range got {
+				if !setEqualV(got[i], base[i]) {
+					t.Fatalf("seed=%d %s emission %d: %v vs %v", seed, v.name, i, got[i], base[i])
+				}
+			}
+		}
+		// Full-driver result sets across the same matrix.
+		want, _, err := MineGraph(g, par, variants[0].opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants[1:] {
+			got, _, err := MineGraph(g, par, v.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !SetsEqual(got, want) {
+				t.Fatalf("seed=%d %s: driver results disagree\n got  %v\n want %v", seed, v.name, got, want)
+			}
+		}
+	}
+}
+
+// TestTwoHopCacheAcrossReuse reuses one pooled miner across tasks so
+// the epoch-stamped two-hop RowCache must correctly invalidate: a row
+// built for one subgraph must never leak into the next.
+func TestTwoHopCacheAcrossReuse(t *testing.T) {
+	par := Params{Gamma: 0.6, MinSize: 3}
+	m := NewPooledMiner(par, forceDense)
+	var got [][]graph.V
+	var sub *Sub
+	m.Emit = func(locals []uint32) { got = append(got, sub.Labels(locals)) }
+	for seed := int64(0); seed < 25; seed++ {
+		g := randomGraph(seed*31+5, 8+int(seed%9), 0.5)
+		all := make([]graph.V, g.NumVertices())
+		for i := range all {
+			all[i] = graph.V(i)
+		}
+		sub = SubFromGraph(g, all)
+		m.Reset(sub)
+		got = got[:0]
+		ext := make([]uint32, 0, sub.N()-1)
+		for i := 1; i < sub.N(); i++ {
+			ext = append(ext, uint32(i))
+		}
+		m.RecursiveMine([]uint32{0}, ext)
+
+		fresh := NewMiner(sub, par, Options{DenseThreshold: math.MaxInt, DisableTwoHopCache: true})
+		var want [][]graph.V
+		fresh.Emit = func(locals []uint32) { want = append(want, sub.Labels(locals)) }
+		ext2 := make([]uint32, 0, sub.N()-1)
+		for i := 1; i < sub.N(); i++ {
+			ext2 = append(ext2, uint32(i))
+		}
+		fresh.RecursiveMine([]uint32{0}, ext2)
+		if len(got) != len(want) {
+			t.Fatalf("seed=%d: pooled miner emitted %d, fresh uncached %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if !setEqualV(got[i], want[i]) {
+				t.Fatalf("seed=%d emission %d: %v vs %v", seed, i, got[i], want[i])
+			}
+		}
+	}
 }

@@ -3,6 +3,7 @@ package quasiclique
 import (
 	"context"
 
+	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/kcore"
 	"gthinkerqc/internal/vset"
@@ -95,6 +96,7 @@ func MineGraphContext(ctx context.Context, g *graph.Graph, par Params, opt Optio
 	if err := par.Validate(); err != nil {
 		return nil, stats, err
 	}
+	bitset.SetSIMD(!opt.NoSIMD)
 	gk, kept := PrepareGraph(g, par, opt)
 	stats.KCoreKept = len(kept)
 	col := NewCollector()

@@ -85,6 +85,14 @@ type Miner struct {
 	tBits  []uint64
 	t2Bits []uint64
 
+	// thCache lazily caches per-vertex two-hop reachability rows for
+	// the dense kernel (attached to Sub.TwoHop by Reset): the two-hop
+	// set of v depends only on the task subgraph, so once built a row
+	// serves every filterTwoHopInto(v, …) at any tree depth instead of
+	// re-ORing Γ(v)'s rows each time. Epoch-stamped, so Reset
+	// invalidates without clearing.
+	thCache bitset.RowCache
+
 	// Recursion arena: frames[d] holds the reusable S′/ext′ buffers
 	// for children produced at depth d, sized by Reset so the slice
 	// never grows (and frame pointers never move) mid-recursion.
@@ -125,8 +133,13 @@ func NewPooledMiner(par Params, opt Options) *Miner {
 // adjacency matrix in the miner-owned storage; the previous Sub's
 // dense view (if it was this miner's) is detached.
 func (m *Miner) Reset(sub *Sub) {
-	if m.Sub != nil && m.Sub != sub && m.Sub.Dense == &m.mat {
-		m.Sub.Dense = nil
+	if m.Sub != nil && m.Sub != sub {
+		if m.Sub.Dense == &m.mat {
+			m.Sub.Dense = nil
+		}
+		if m.Sub.TwoHop == &m.thCache {
+			m.Sub.TwoHop = nil
+		}
 	}
 	m.Sub = sub
 	n := sub.N()
@@ -148,6 +161,7 @@ func (m *Miner) Reset(sub *Sub) {
 		m.frames = frames
 	}
 	sub.Dense = nil
+	sub.TwoHop = nil
 	if n > 0 && m.useDense(sub) {
 		sub.BuildDense(&m.mat)
 		stride := m.mat.Stride()
@@ -161,6 +175,10 @@ func (m *Miner) Reset(sub *Sub) {
 		m.eBits = m.eBits[:stride]
 		m.tBits = m.tBits[:stride]
 		m.t2Bits = m.t2Bits[:stride]
+		if !m.Opt.DisableTwoHopCache {
+			m.thCache.Reset(n)
+			sub.TwoHop = &m.thCache
+		}
 	}
 	m.Nodes, m.EmitCount, m.OffloadCount = 0, 0, 0
 }
@@ -292,17 +310,12 @@ func (m *Miner) emitUnion(S, rem []uint32) {
 // of v in the task subgraph (diameter pruning P1 applied to ext(S′),
 // Algorithm 2 line 12) and returns the extended slice.
 func (m *Miner) filterTwoHopInto(v uint32, cand, dst []uint32) []uint32 {
-	if d := m.Sub.Dense; d != nil {
-		row := d.Row(int(v))
-		tb := m.tBits
-		copy(tb, row)
-		for wi, x := range row {
-			base := wi * 64
-			for x != 0 {
-				bitset.OrWith(tb, d.Row(base+bits.TrailingZeros64(x)))
-				x &= x - 1
-			}
-		}
+	if m.Sub.Dense != nil {
+		// cand keeps its order (it carries applyCover's reordering), so
+		// membership is tested per element rather than extracted from
+		// the bitmap — extraction would resort it and change the
+		// enumeration order.
+		tb := m.twoHopRow(int(v))
 		for _, u := range cand {
 			if bitset.TestBit(tb, int(u)) {
 				dst = append(dst, u)
@@ -326,6 +339,39 @@ func (m *Miner) filterTwoHopInto(v uint32, cand, dst []uint32) []uint32 {
 		}
 	}
 	return dst
+}
+
+// twoHopRow returns the two-hop reachability row of v — the bits of
+// Γ(v) ∪ ⋃_{u∈Γ(v)} Γ(u) — building and caching it on first use when
+// the task has a TwoHop cache attached, or materializing it into the
+// transient tBits row otherwise. The row depends only on the task
+// subgraph, never on S/ext, so caching across the whole enumeration
+// tree is sound.
+func (m *Miner) twoHopRow(v int) []uint64 {
+	d := m.Sub.Dense
+	c := m.Sub.TwoHop
+	var r []uint64
+	if c != nil {
+		r = c.Row(v)
+		if c.Built(v) {
+			return r
+		}
+	} else {
+		r = m.tBits
+	}
+	row := d.Row(v)
+	copy(r, row)
+	for wi, x := range row {
+		base := wi * 64
+		for x != 0 {
+			bitset.OrWith(r, d.Row(base+bits.TrailingZeros64(x)))
+			x &= x - 1
+		}
+	}
+	if c != nil {
+		c.MarkBuilt(v)
+	}
+	return r
 }
 
 // boundsResult carries the outcome of one upper/lower bound
@@ -696,8 +742,7 @@ func (m *Miner) applyCover(S, ext []uint32) ([]uint32, int) {
 			}
 			// Γ_ext(u); skip early if it cannot beat the current best
 			// (the paper's note under Algorithm 2 line 2).
-			bitset.AndTo(m.tBits, row, m.eBits)
-			cnt := bitset.CountWords(m.tBits)
+			cnt := bitset.AndCountTo(m.tBits, row, m.eBits)
 			if cnt <= bestLen {
 				continue
 			}
@@ -711,8 +756,7 @@ func (m *Miner) applyCover(S, ext []uint32) ([]uint32, int) {
 					ok = false
 					break
 				}
-				bitset.AndWith(m.tBits, d.Row(int(v)))
-				cnt = bitset.CountWords(m.tBits)
+				cnt = bitset.AndCountTo(m.tBits, m.tBits, d.Row(int(v)))
 				if cnt <= bestLen {
 					ok = false
 					break

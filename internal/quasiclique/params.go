@@ -144,6 +144,18 @@ type Options struct {
 	// (size-only selection, the pre-adaptive behavior). Never changes
 	// the result set — only speed.
 	DenseMinDensity float64
+	// DisableTwoHopCache turns off the lazily built per-vertex two-hop
+	// bitmap rows of the dense kernel, recomputing each two-hop set by
+	// ORing adjacency rows on every filterTwoHop call (the pre-cache
+	// behavior). The cache costs one extra n×⌈n/64⌉-word arena per
+	// miner. Never changes the result set — only speed.
+	DisableTwoHopCache bool
+	// NoSIMD forces the scalar bitset kernels even on hosts with the
+	// vectorized implementations (bitset.SetSIMD(false)), for A/B
+	// timing without rebuilding. Note the switch is process-global, not
+	// per-run: the driver applies it at run start. Never changes the
+	// result set — the kernels are verified bit-identical.
+	NoSIMD bool
 }
 
 // DefaultDenseThreshold is the task-subgraph size up to which the

@@ -29,6 +29,14 @@ type Sub struct {
 	// subgraphs up to the dense threshold and detaches it when the
 	// miner moves on), and it is never serialized.
 	Dense *bitset.Matrix
+
+	// TwoHop, when non-nil, lazily caches per-vertex two-hop
+	// reachability rows (row v = vertices within two hops of v) over
+	// the same universe as Dense. Like Dense it is transient mining
+	// state owned by the bound Miner, attached only alongside Dense,
+	// and never serialized. Rows are built on first use by
+	// Miner.twoHopRow; consult Built before reading one.
+	TwoHop *bitset.RowCache
 }
 
 // N returns the number of local vertices.
@@ -72,6 +80,17 @@ type Scratch struct {
 	peel    kcore.PeelScratch // PeelKCoreScratch peel buffers
 	rootS   []uint32          // serial driver's root S = {v}
 	rootExt []uint32          // serial driver's root ext(S)
+
+	// MakeSubtaskInto output buffers: the child subgraph and its
+	// ⟨S′, ext′⟩ live here between calls, so the subtask spawn loop is
+	// allocation-free until the Offload boundary copies them out.
+	childKeep  []uint32   // sorted S ∪ ext (parent-local)
+	childLabel []graph.V  // child Label
+	childFlat  []uint32   // child packed adjacency
+	childAdj   [][]uint32 // child row headers
+	childS     []uint32   // S′ (child-local)
+	childExt   []uint32   // ext′ (child-local)
+	childSub   Sub        // child Sub header returned by MakeSubtaskInto
 }
 
 // begin starts a new global→local mapping generation over n vertices.
@@ -296,6 +315,7 @@ func (s *Sub) DecodeRaw(c *store.Cursor) error {
 	s.Label = label
 	s.Adj = adj
 	s.Dense = nil
+	s.TwoHop = nil
 	return nil
 }
 
