@@ -53,6 +53,9 @@ func main() {
 		procs      = flag.Int("procs", 0, "run every experiment cell on N REAL qcworker OS processes (one vertex partition each, composed from a generated partition manifest over the TCP control plane); overrides -machines/-tcp")
 		qcworker   = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
 		noSIMD     = flag.Bool("nosimd", false, "force the scalar bitset kernels (disable the vectorized AVX2 path) for A/B timing")
+		frameTO    = flag.Duration("frame-timeout", 0, "cluster frame-exchange deadline (0 = default 30s, negative disables)")
+		deadAfter  = flag.Int("dead-after", 0, "consecutive failed status polls before a worker is declared dead (0 = default 5)")
+		faultPlan  = flag.String("faultplan", "", "seeded fault-injection plan for chaos benchmarking, e.g. '7:dialfail=0.1,kill=1@3'")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -63,6 +66,9 @@ func main() {
 	experiments.SetUseMmap(*useMmap)
 	experiments.SetUseTCP(*useTCP)
 	experiments.SetNoSIMD(*noSIMD)
+	experiments.SetFaultPlan(*faultPlan)
+	experiments.SetFrameTimeout(*frameTO)
+	experiments.SetDeadAfter(*deadAfter)
 	if *procs > 0 {
 		bin, err := miner.ResolveQCWorker(*qcworker)
 		if err != nil {

@@ -25,21 +25,24 @@ import (
 
 func main() {
 	var (
-		input    = flag.String("input", "", "graph file (.txt edge list or .bin)")
-		gamma    = flag.Float64("gamma", 0.9, "degree ratio threshold γ ∈ [0.5, 1]")
-		minsize  = flag.Int("minsize", 10, "minimum quasi-clique size τsize")
-		tausplit = flag.Int("tausplit", 256, "big-task threshold τsplit (|ext(S)|)")
-		tautime  = flag.Duration("tautime", 100*time.Millisecond, "time-delayed decomposition budget τtime")
-		machines = flag.Int("machines", 1, "simulated machines")
-		threads  = flag.Int("threads", 2, "mining threads per machine")
-		serial   = flag.Bool("serial", false, "use the serial miner (Section 4) instead of G-thinker")
-		procs    = flag.Int("procs", 0, "coordinator mode: mine on N real qcworker OS processes (one vertex partition each) spawned from a generated partition manifest")
-		qcworker = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
-		sizeOnly = flag.Bool("size-threshold", false, "use size-threshold decomposition (Algorithm 8) instead of time-delayed (Algorithm 10)")
-		keepAll  = flag.Bool("keep-nonmaximal", false, "skip the maximality post-filter (mirrors the paper's released code)")
-		noSIMD   = flag.Bool("nosimd", false, "force the scalar bitset kernels (disable the vectorized AVX2 path) for A/B timing")
-		output   = flag.String("o", "", "result file (default stdout)")
-		quiet    = flag.Bool("q", false, "suppress the stats summary on stderr")
+		input     = flag.String("input", "", "graph file (.txt edge list or .bin)")
+		gamma     = flag.Float64("gamma", 0.9, "degree ratio threshold γ ∈ [0.5, 1]")
+		minsize   = flag.Int("minsize", 10, "minimum quasi-clique size τsize")
+		tausplit  = flag.Int("tausplit", 256, "big-task threshold τsplit (|ext(S)|)")
+		tautime   = flag.Duration("tautime", 100*time.Millisecond, "time-delayed decomposition budget τtime")
+		machines  = flag.Int("machines", 1, "simulated machines")
+		threads   = flag.Int("threads", 2, "mining threads per machine")
+		serial    = flag.Bool("serial", false, "use the serial miner (Section 4) instead of G-thinker")
+		procs     = flag.Int("procs", 0, "coordinator mode: mine on N real qcworker OS processes (one vertex partition each) spawned from a generated partition manifest")
+		qcworker  = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
+		sizeOnly  = flag.Bool("size-threshold", false, "use size-threshold decomposition (Algorithm 8) instead of time-delayed (Algorithm 10)")
+		keepAll   = flag.Bool("keep-nonmaximal", false, "skip the maximality post-filter (mirrors the paper's released code)")
+		noSIMD    = flag.Bool("nosimd", false, "force the scalar bitset kernels (disable the vectorized AVX2 path) for A/B timing")
+		frameTO   = flag.Duration("frame-timeout", 0, "cluster frame-exchange deadline (0 = default 30s, negative disables)")
+		deadAfter = flag.Int("dead-after", 0, "consecutive failed status polls before a worker is declared dead (0 = default 5)")
+		faultPlan = flag.String("faultplan", "", "seeded fault-injection plan for chaos testing, e.g. '7:dialfail=0.1,kill=1@3'")
+		output    = flag.String("o", "", "result file (default stdout)")
+		quiet     = flag.Bool("q", false, "suppress the stats summary on stderr")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -70,6 +73,9 @@ func main() {
 		SizeThresholdOnly: *sizeOnly,
 		Machines:          *machines, WorkersPerMachine: *threads,
 		KeepNonMaximal: *keepAll,
+		FrameTimeout:   *frameTO,
+		DeadAfterPolls: *deadAfter,
+		FaultPlan:      *faultPlan,
 	}
 	cfg.Ablations.NoSIMD = *noSIMD
 	var res *gthinkerqc.Result

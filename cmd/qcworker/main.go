@@ -38,6 +38,7 @@ func main() {
 		graphPath    = flag.String("graph", "", "binary graph file (GQC2, written by qcgen/qcmine)")
 		manifestPath = flag.String("manifest", "", "partition manifest file (GQM1)")
 		machine      = flag.Int("machine", -1, "machine id this process serves")
+		faultPlan    = flag.String("faultplan", os.Getenv("QCWORKER_FAULTPLAN"), "seeded fault-injection plan overriding the job spec's (chaos testing; e.g. '7:kill=1@3')")
 	)
 	flag.Parse()
 	if *graphPath == "" || *manifestPath == "" || *machine < 0 {
@@ -45,7 +46,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	host, cleanup, err := miner.HostWorker(*graphPath, *manifestPath, *machine)
+	host, cleanup, err := miner.HostWorker(*graphPath, *manifestPath, *machine, *faultPlan)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcworker:", err)
 		os.Exit(1)

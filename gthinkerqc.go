@@ -89,6 +89,17 @@ type Config struct {
 	// temp dir removed after the run.
 	SpillDir string
 
+	// FrameTimeout bounds each TCP frame exchange on the cluster's
+	// data and control planes (default 30 s; negative disables).
+	FrameTimeout time.Duration
+	// DeadAfterPolls is how many consecutive failed status polls the
+	// coordinator tolerates before declaring a worker dead and
+	// recovering its partition on a survivor (default 5).
+	DeadAfterPolls int
+	// FaultPlan is a seeded fault-injection spec (chaos testing), e.g.
+	// "7:dialfail=0.1,kill=1@3". Empty injects nothing.
+	FaultPlan string
+
 	// KeepNonMaximal skips the maximality post-filter, mirroring the
 	// paper's released code.
 	KeepNonMaximal bool
@@ -174,6 +185,9 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		QueueCap:          cfg.QueueCap,
 		BatchSize:         cfg.BatchSize,
 		SpillDir:          cfg.SpillDir,
+		FrameTimeout:      cfg.FrameTimeout,
+		DeadAfterPolls:    cfg.DeadAfterPolls,
+		FaultSpec:         cfg.FaultPlan,
 	})
 	if res == nil {
 		return nil, err
@@ -230,6 +244,9 @@ func MineCluster(ctx context.Context, cfg Config, opts ClusterOptions) (*Result,
 		WorkersPerMachine: cfg.WorkersPerMachine,
 		QueueCap:          cfg.QueueCap,
 		BatchSize:         cfg.BatchSize,
+		FrameTimeout:      cfg.FrameTimeout,
+		DeadAfterPolls:    cfg.DeadAfterPolls,
+		FaultSpec:         cfg.FaultPlan,
 	}, miner.ProcsConfig{
 		GraphPath:   opts.GraphPath,
 		Command:     opts.WorkerCommand,

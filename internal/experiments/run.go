@@ -46,6 +46,9 @@ var (
 	useMmap     = true
 	useTCP      bool
 	noSIMD      bool
+	faultPlan   string
+	frameTO     time.Duration
+	deadAfter   int
 	procsCount  int
 	workerBin   string
 	procsDir    string
@@ -121,6 +124,40 @@ func noSIMDWanted() bool {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	return noSIMD
+}
+
+// SetFaultPlan injects a seeded fault plan into every subsequent cell
+// (qcbench -faultplan): the spec reaches in-process TCP compositions
+// and spawned qcworker processes alike through the engine config, so a
+// chaos benchmark measures mining under injected faults end to end.
+func SetFaultPlan(spec string) {
+	cacheMu.Lock()
+	faultPlan = spec
+	cacheMu.Unlock()
+}
+
+// SetFrameTimeout overrides the cluster frame-exchange deadline for
+// every subsequent cell (qcbench -frame-timeout); zero keeps the
+// engine default.
+func SetFrameTimeout(d time.Duration) {
+	cacheMu.Lock()
+	frameTO = d
+	cacheMu.Unlock()
+}
+
+// SetDeadAfter overrides how many consecutive failed status polls the
+// coordinator tolerates before declaring a worker dead (qcbench
+// -dead-after); zero keeps the engine default.
+func SetDeadAfter(n int) {
+	cacheMu.Lock()
+	deadAfter = n
+	cacheMu.Unlock()
+}
+
+func faultConfig() (string, time.Duration, int) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return faultPlan, frameTO, deadAfter
 }
 
 // datasetFile ensures the named stand-in exists as a GQC2 file on disk
@@ -332,6 +369,7 @@ func Run(spec RunSpec) (Outcome, error) {
 	}
 	start := time.Now()
 	var res *miner.Result
+	plan, fto, dap := faultConfig()
 	if procs, bin := procsWanted(); procs > 0 {
 		path, perr := datasetFile(spec.Dataset)
 		if perr != nil {
@@ -341,6 +379,9 @@ func Run(spec RunSpec) (Outcome, error) {
 			Machines:           procs,
 			WorkersPerMachine:  spec.Cluster.Workers,
 			DisableGlobalQueue: spec.DisableGlobalQueue,
+			FaultSpec:          plan,
+			FrameTimeout:       fto,
+			DeadAfterPolls:     dap,
 		}, miner.ProcsConfig{
 			GraphPath: path,
 			Command:   miner.QCWorkerCommand(bin, path),
@@ -351,6 +392,9 @@ func Run(spec RunSpec) (Outcome, error) {
 			WorkersPerMachine:  spec.Cluster.Workers,
 			DisableGlobalQueue: spec.DisableGlobalQueue,
 			InProcessTCP:       tcpWanted(),
+			FaultSpec:          plan,
+			FrameTimeout:       fto,
+			DeadAfterPolls:     dap,
 		})
 	}
 	if err != nil {

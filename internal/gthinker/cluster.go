@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gthinkerqc/internal/graph"
@@ -47,6 +48,19 @@ type WorkerHostConfig struct {
 	// read app state directly).
 	Results func(app App) ([]byte, error)
 
+	// FaultSpec, when non-empty, overrides the job config's fault plan
+	// for THIS host (cmd/qcworker threads a per-process -faultplan
+	// through it, so a chaos test can inject faults into one machine of
+	// a homogeneous cluster). Empty defers to the coordinator's
+	// Config.FaultSpec carried in the job spec.
+	FaultSpec string
+	// Kill is invoked when the fault plan's kill directive fires on
+	// this machine. Nil defaults to tearing the host down in-process
+	// (Close); a real worker process should exit hard instead
+	// (cmd/qcworker sets os.Exit) so the crash looks like a genuine
+	// worker loss to the coordinator.
+	Kill func()
+
 	// presetVerts hands the host a precomputed vertex partition (the
 	// in-process engine partitions all machines in one pass); nil
 	// derives it from the ownership hash at join.
@@ -71,9 +85,16 @@ type WorkerHost struct {
 	vserver *VertexServer
 	tserver *TaskServer
 	tr      *TCPTransport
+	fault   *FaultPlan
 	joined  bool
 	wired   bool
 	stopped bool
+	killed  bool
+
+	// miningPolls counts status polls that observed spawning underway;
+	// the fault plan's kill directive fires on the Nth such poll so a
+	// seeded kill always lands mid-run, never before mining starts.
+	miningPolls atomic.Uint64
 
 	exitOnce sync.Once
 	exitCh   chan struct{}
@@ -173,6 +194,16 @@ func (h *WorkerHost) handleJoin(r joinRequest) (vaddr, taddr string, err error) 
 	cfg.Machines = r.Machines
 	cfg = cfg.withDefaults()
 
+	spec := cfg.FaultSpec
+	if h.hc.FaultSpec != "" {
+		spec = h.hc.FaultSpec
+	}
+	fault, err := ParseFaultPlan(spec)
+	if err != nil {
+		return "", "", err
+	}
+	h.fault = fault
+
 	rt, err := newMachineRuntimeVerts(h.hc.Graph, app, cfg, h.hc.MachineID, nil, h.hc.presetVerts)
 	if err != nil {
 		return "", "", err
@@ -232,6 +263,7 @@ func (h *WorkerHost) handleStart(vaddrs, taddrs []string) error {
 	if complete {
 		tr.SetTaskAddrs(taddrs)
 	}
+	tr.Configure(h.cfg.DialTimeout, h.cfg.FrameTimeout, h.fault)
 	h.tr = tr
 	h.rt.SetTransport(tr, true)
 	h.wired = true
@@ -260,7 +292,46 @@ func (h *WorkerHost) handleStatus() (MachineStatus, error) {
 	if err != nil {
 		return MachineStatus{}, err
 	}
-	return rt.Status(), nil
+	h.mu.Lock()
+	killed := h.killed
+	h.mu.Unlock()
+	if killed {
+		return MachineStatus{}, fmt.Errorf("gthinker: fault injection: machine %d is dead", h.hc.MachineID)
+	}
+	st := rt.Status()
+	// Kill hook: count only polls that observed mining underway, so a
+	// seeded kill=M@N lands on the Nth mid-run poll and the crash
+	// exercises real recovery (respawn + redirect), not a startup race.
+	if h.fault != nil && st.Spawned > 0 {
+		n := h.miningPolls.Add(1)
+		if h.fault.ShouldKill(h.hc.MachineID, n) {
+			h.mu.Lock()
+			h.killed = true
+			kill := h.hc.Kill
+			h.mu.Unlock()
+			if kill != nil {
+				kill()
+			} else {
+				// In-process: tear the host down off this goroutine —
+				// Close blocks on the control server's handler waitgroup,
+				// which includes the connection running THIS handler.
+				go h.Close()
+			}
+			return MachineStatus{}, fmt.Errorf("gthinker: fault injection: machine %d killed on poll %d", h.hc.MachineID, n)
+		}
+	}
+	return st, nil
+}
+
+// handleRecover applies a coordinator recovery directive to the hosted
+// runtime: redirect fetches for the dead machine, re-deliver retained
+// batches, and (on the adopter) re-own the dead machine's partitions.
+func (h *WorkerHost) handleRecover(d RecoverDirective) error {
+	rt, err := h.runtime()
+	if err != nil {
+		return err
+	}
+	return rt.RecoverPeer(d)
 }
 
 func (h *WorkerHost) handleSteal(recv, want int) (int, error) {
@@ -438,11 +509,28 @@ func (p *WorkerProcs) Kill() {
 // timeout passes (stragglers are then killed and reaped before
 // returning).
 func (p *WorkerProcs) Wait(timeout time.Duration) error {
+	return p.WaitLive(timeout, nil)
+}
+
+// WaitLive reaps every child like Wait, but first kills the children
+// the dead mask marks (machines the coordinator declared lost — a
+// crashed worker already exited; a fault-injected one may be wedged)
+// and ignores their exit status. nil dead means all must exit clean.
+func (p *WorkerProcs) WaitLive(timeout time.Duration, dead []bool) error {
+	for i, cmd := range p.cmds {
+		if i < len(dead) && dead[i] && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
 	done := make(chan error, 1)
 	go func() {
 		var first error
 		for i := range p.cmds {
-			if err := p.reap(i); err != nil && first == nil {
+			err := p.reap(i)
+			if i < len(dead) && dead[i] {
+				continue
+			}
+			if err != nil && first == nil {
 				first = fmt.Errorf("gthinker: worker %d: %w", i, err)
 			}
 		}

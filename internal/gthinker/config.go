@@ -95,6 +95,28 @@ type Config struct {
 	// value (SpillAuto) picks the raw columnar format whenever the
 	// App provides a TaskCodec.
 	SpillFormat SpillFormat
+	// FrameTimeout bounds each framed request/response exchange on
+	// the control and data planes (one conn deadline per attempt), so
+	// a hung peer surfaces as a timeout instead of a stuck run.
+	// Default 30 s; negative disables the deadline.
+	FrameTimeout time.Duration
+	// DialTimeout bounds each TCP dial attempt (dials additionally
+	// retry a few times with jittered backoff). Default 5 s.
+	DialTimeout time.Duration
+	// DeadAfterPolls is the number of consecutive failed status polls
+	// after which the coordinator declares a machine dead and runs
+	// recovery (or, with DisableRecovery, aborts). Transient drops are
+	// already absorbed by the transport's retry-once on opStatus, so
+	// this threshold distinguishes slow from dead. Default 5.
+	DeadAfterPolls int
+	// DisableRecovery restores fail-fast semantics: a machine declared
+	// dead aborts the whole run with an error wrapping ErrMachineLost
+	// instead of being recovered onto the survivors.
+	DisableRecovery bool
+	// FaultSpec is a seeded fault-injection plan ("seed:directives",
+	// see ParseFaultPlan) applied to this process's transports and
+	// worker hosts. Empty means no injected faults. Test/chaos knob.
+	FaultSpec string
 }
 
 // withDefaults fills zero fields.
@@ -120,8 +142,22 @@ func (c Config) withDefaults() Config {
 	if c.StatusInterval == 0 {
 		c.StatusInterval = time.Millisecond
 	}
+	if c.FrameTimeout == 0 {
+		c.FrameTimeout = defaultFrameTimeout
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = defaultDialTimeout
+	}
+	if c.DeadAfterPolls == 0 {
+		c.DeadAfterPolls = defaultDeadAfterPolls
+	}
 	return c
 }
+
+// defaultDeadAfterPolls: with the 1 ms status poll and the control
+// plane's retry-once, five consecutive failed polls is decisively dead
+// rather than momentarily slow.
+const defaultDeadAfterPolls = 5
 
 // defaultStealIdlePolls is the hysteresis streak length when
 // Config.StealIdlePolls is left zero: with the 1 ms default status
@@ -168,6 +204,9 @@ func (c Config) validate() error {
 	}
 	if c.InProcessTCP && c.Transport != nil {
 		return fmt.Errorf("gthinker: InProcessTCP and Transport are mutually exclusive")
+	}
+	if _, err := ParseFaultPlan(c.FaultSpec); err != nil {
+		return err
 	}
 	return nil
 }

@@ -17,8 +17,9 @@ import (
 // does not also exercise. See the op table in tcp.go.
 
 // controlProtoVersion is the handshake version; a coordinator and
-// worker disagreeing on it refuse to pair.
-const controlProtoVersion = 1
+// worker disagreeing on it refuse to pair. Version 2 added the spawn
+// cursor to the status reply and the opRecover directive.
+const controlProtoVersion = 2
 
 // Control-plane ops (continuing the tcp.go data-plane numbering).
 const (
@@ -31,6 +32,7 @@ const (
 	opShutdown byte = 0x0A
 	opExit     byte = 0x0B
 	opRun      byte = 0x0C
+	opRecover  byte = 0x0D
 )
 
 // maxCtlAddr bounds one address string read off the wire.
@@ -90,6 +92,7 @@ func appendStatus(dst []byte, st MachineStatus) []byte {
 	dst = store.AppendU64(dst, uint64(st.BigPending))
 	dst = store.AppendU64(dst, st.SentOut)
 	dst = store.AppendU64(dst, st.RecvIn)
+	dst = store.AppendU64(dst, uint64(st.Spawned))
 	return store.AppendString(dst, st.Failure)
 }
 
@@ -107,6 +110,7 @@ func decodeStatus(data []byte) (MachineStatus, error) {
 	st.BigPending = int64(c.U64())
 	st.SentOut = c.U64()
 	st.RecvIn = c.U64()
+	st.Spawned = int64(c.U64())
 	st.Failure = c.String(maxFailureLen)
 	if err := c.Err(); err != nil {
 		return MachineStatus{}, fmt.Errorf("gthinker: malformed status reply: %w", err)
@@ -164,10 +168,52 @@ type controlHandler interface {
 	handleRun() error
 	handleStatus() (MachineStatus, error)
 	handleSteal(recv, want int) (int, error)
+	handleRecover(d RecoverDirective) error
 	handleMetrics() (*Metrics, error)
 	handleResults() ([]byte, error)
 	handleShutdown() error
 	handleExit() error
+}
+
+// maxAdoptList bounds the opRecover partition list read off the wire
+// (a machine can only ever adopt every other machine's partition once,
+// so any sane list is tiny; this is a decode-time allocation bound).
+const maxAdoptList = 1 << 16
+
+// appendRecover encodes a RecoverDirective (opRecover payload).
+func appendRecover(dst []byte, d RecoverDirective) []byte {
+	dst = store.AppendU32(dst, uint32(d.Dead))
+	dst = store.AppendU32(dst, uint32(d.Fallback))
+	dst = store.AppendU32(dst, uint32(d.Adopter))
+	dst = store.AppendU32(dst, uint32(len(d.Adopt)))
+	for _, id := range d.Adopt {
+		dst = store.AppendU32(dst, uint32(id))
+	}
+	return dst
+}
+
+func decodeRecover(data []byte) (RecoverDirective, error) {
+	c := store.NewCursor(data)
+	d := RecoverDirective{
+		Dead:     int(c.U32()),
+		Fallback: int(c.U32()),
+		Adopter:  int(c.U32()),
+	}
+	n := int(c.U32())
+	if c.Err() == nil && (n < 0 || n > maxAdoptList || n > c.Remaining()/4) {
+		return RecoverDirective{}, fmt.Errorf("gthinker: recover directive claims %d partitions in %d bytes", n, c.Remaining())
+	}
+	d.Adopt = make([]int, n)
+	for i := range d.Adopt {
+		d.Adopt[i] = int(c.U32())
+	}
+	if err := c.Err(); err != nil {
+		return RecoverDirective{}, fmt.Errorf("gthinker: malformed recover directive: %w", err)
+	}
+	if c.Remaining() != 0 {
+		return RecoverDirective{}, fmt.Errorf("gthinker: %d trailing bytes in recover directive", c.Remaining())
+	}
+	return d, nil
 }
 
 // controlServer answers control-plane ops for one machine.
@@ -225,6 +271,12 @@ func (s *controlServer) handle(conn net.Conn) {
 				return nil, err
 			}
 			return store.AppendU32(nil, uint32(moved)), nil
+		case opRecover:
+			d, err := decodeRecover(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, s.h.handleRecover(d)
 		case opMetrics:
 			met, err := s.h.handleMetrics()
 			if err != nil {
@@ -254,18 +306,38 @@ func (s *controlServer) handle(conn net.Conn) {
 // shutdown→metrics→results ordering guarantee relies on each machine's
 // requests sharing its pooled connection.
 type ClusterClient struct {
-	pool  connPool
-	sent  atomic.Uint64
-	recvd atomic.Uint64
+	pool         *connPool
+	sent         atomic.Uint64
+	recvd        atomic.Uint64
+	retriedDials atomic.Uint64
+	retriedOps   atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // DialCluster returns a client for the given per-machine control
-// addresses. Connections are established lazily.
+// addresses. Connections are established lazily, with timed dials and
+// a retry-once on the idempotent opStatus poll; Configure tightens or
+// relaxes the windows.
 func DialCluster(ctlAddrs []string) *ClusterClient {
-	return &ClusterClient{pool: newConnPool(ctlAddrs)}
+	c := &ClusterClient{pool: newConnPool(ctlAddrs)}
+	c.pool.opAttempts = ctlOpAttempts
+	c.pool.retriedDials = &c.retriedDials
+	c.pool.retriedOps = &c.retriedOps
+	return c
+}
+
+// Configure applies the hardening knobs from cfg (DialTimeout,
+// FrameTimeout, FaultSpec) to the control connections. Zero values
+// keep the defaults; a negative FrameTimeout disables the deadline.
+func (c *ClusterClient) Configure(cfg Config) error {
+	fault, err := ParseFaultPlan(cfg.FaultSpec)
+	if err != nil {
+		return err
+	}
+	c.pool.configure(cfg.DialTimeout, cfg.FrameTimeout, fault)
+	return nil
 }
 
 // Machines returns the cluster size.
@@ -356,6 +428,12 @@ func (c *ClusterClient) Steal(donor, recv, want int) (int, error) {
 	return moved, nil
 }
 
+// Recover delivers a dead-machine directive to surviving machine m.
+func (c *ClusterClient) Recover(m int, d RecoverDirective) error {
+	_, err := c.pool.roundTrip(m, opRecover, appendRecover(nil, d), maxFramePayload, &c.sent, &c.recvd)
+	return err
+}
+
 // Shutdown stops machine m's workers and joins them.
 func (c *ClusterClient) Shutdown(m int) error {
 	_, err := c.pool.roundTrip(m, opShutdown, nil, maxFramePayload, &c.sent, &c.recvd)
@@ -394,6 +472,12 @@ func (c *ClusterClient) Exit(m int) error {
 func (c *ClusterClient) WireBytes() (sent, received uint64) {
 	return c.sent.Load(), c.recvd.Load()
 }
+
+// RetriedDials returns control-plane dial attempts beyond the first.
+func (c *ClusterClient) RetriedDials() uint64 { return c.retriedDials.Load() }
+
+// RetriedOps returns control-plane idempotent-op retries.
+func (c *ClusterClient) RetriedOps() uint64 { return c.retriedOps.Load() }
 
 // Close drops the pooled control connections.
 func (c *ClusterClient) Close() error {

@@ -16,6 +16,7 @@ func TestMetricsWireRoundTrip(t *testing.T) {
 		SpillBytesWritten: 16, SpillBytesRead: 17, RefillBatches: 18,
 		PeakSpillBytes: 19, StealRounds: 20, TasksStolen: 21,
 		TasksStolenRemote: 22, OffCycleSteals: 23, PeakHeapAlloc: 24,
+		Recoveries: 25, RetriedDials: 26, RetriedOps: 27, DeadMachines: 28,
 		WorkerBusy: []time.Duration{time.Second, 2 * time.Second},
 		Kernel:     "avx2",
 	}
@@ -38,7 +39,7 @@ func TestMetricsWireRoundTrip(t *testing.T) {
 func TestStatusWireRoundTrip(t *testing.T) {
 	for _, st := range []MachineStatus{
 		{},
-		{AllSpawned: true, Live: 42, BigPending: 7, SentOut: 3, RecvIn: 9},
+		{AllSpawned: true, Live: 42, BigPending: 7, SentOut: 3, RecvIn: 9, Spawned: 4711},
 		{AllSpawned: true, Failure: "machine on fire"},
 	} {
 		got, err := decodeStatus(appendStatus(nil, st))
@@ -69,6 +70,24 @@ func TestJoinRequestRoundTrip(t *testing.T) {
 	bad[0] = 99
 	if _, err := decodeJoinRequest(bad); err == nil {
 		t.Fatal("wrong protocol version accepted")
+	}
+}
+
+func TestRecoverDirectiveRoundTrip(t *testing.T) {
+	d := RecoverDirective{Dead: 3, Fallback: 1, Adopter: 1, Adopt: []int{3, 5, 7}}
+	got, err := decodeRecover(appendRecover(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("recover directive round trip: %+v vs %+v", got, d)
+	}
+	// Truncated and oversized payloads are rejected, not crash.
+	data := appendRecover(nil, d)
+	for _, bad := range [][]byte{{}, data[:5], data[:len(data)-2], append(append([]byte{}, data...), 9)} {
+		if _, err := decodeRecover(bad); err == nil {
+			t.Fatalf("corrupt recover payload of %d bytes accepted", len(bad))
+		}
 	}
 }
 

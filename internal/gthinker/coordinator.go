@@ -2,6 +2,7 @@ package gthinker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -22,12 +23,53 @@ type ControlPlane interface {
 	// Steal directs machine donor to ship up to want big tasks to
 	// machine recv, returning the number actually moved.
 	Steal(donor, recv, want int) (int, error)
+	// Recover delivers a dead-machine directive to surviving machine
+	// m: install the fetch fallback, re-own task batches shipped to
+	// the dead machine, and (on the adopter) take over the dead
+	// machine's root-task partitions.
+	Recover(m int, d RecoverDirective) error
 	// Shutdown stops machine m's workers and joins them. Idempotent.
 	Shutdown(m int) error
 	// CollectMetrics returns machine m's local metrics. Only valid
 	// after Shutdown(m).
 	CollectMetrics(m int) (*Metrics, error)
 }
+
+// RecoverDirective tells a survivor how to absorb a dead machine. The
+// same directive goes to every survivor; only the designated adopter
+// additionally respawns the dead machine's root-task partitions
+// (Adopt lists hash-partition ids — original machine ids — which,
+// with the graph size and cluster size every runtime already knows,
+// deterministically regenerate the lost root ranges).
+type RecoverDirective struct {
+	Dead     int   // the machine declared dead
+	Fallback int   // survivor whose vertex server now serves Dead's rows
+	Adopter  int   // survivor that respawns Dead's root partitions
+	Adopt    []int // hash-partition ids Adopter takes over
+}
+
+// ErrMachineLost is the sentinel matched by errors.Is against the
+// typed error a run returns when a machine is declared dead and
+// recovery is disabled or impossible (no survivors, no recovery
+// support on the control plane).
+var ErrMachineLost = errors.New("gthinker: machine lost")
+
+// MachineLostError reports a machine declared dead after
+// Config.DeadAfterPolls consecutive failed status polls.
+type MachineLostError struct {
+	Machine int
+	Polls   int
+	Err     error // the last poll failure
+}
+
+func (e *MachineLostError) Error() string {
+	return fmt.Sprintf("gthinker: lost machine %d after %d failed status polls: %v",
+		e.Machine, e.Polls, e.Err)
+}
+
+func (e *MachineLostError) Unwrap() error { return e.Err }
+
+func (e *MachineLostError) Is(target error) bool { return target == ErrMachineLost }
 
 // localControl is the in-process ControlPlane: direct calls into the
 // runtimes, with steals as in-memory queue moves (the loopback
@@ -53,6 +95,10 @@ func (lc *localControl) Steal(donor, recv, want int) (int, error) {
 	lc.rts[recv].DeliverTasks(batch)
 	lc.rts[donor].finishSteal(len(batch))
 	return len(batch), nil
+}
+
+func (lc *localControl) Recover(m int, d RecoverDirective) error {
+	return lc.rts[m].RecoverPeer(d)
 }
 
 func (lc *localControl) Shutdown(m int) error {
@@ -85,6 +131,19 @@ type CoordinatorStats struct {
 	StealRounds    uint64
 	TasksStolen    uint64
 	OffCycleSteals uint64
+	// StealErrors counts steal directives that failed against a
+	// machine that had not (yet) been declared dead; with recovery
+	// enabled they are tolerated, not fatal.
+	StealErrors uint64
+	// Recoveries counts recovery events (one per machine declared
+	// dead and successfully absorbed by the survivors).
+	Recoveries uint64
+	// DeadMachines counts machines declared dead during the run.
+	DeadMachines uint64
+	// Dead marks, per machine, whether it was declared dead — callers
+	// collecting results or exits must skip those machines. Nil when
+	// nothing died.
+	Dead []bool
 }
 
 // RunCoordinator drives an already-composed cluster to completion:
@@ -98,11 +157,7 @@ func RunCoordinator(ctx context.Context, ctl ControlPlane, cfg Config) ([]*Metri
 	cfg = cfg.withDefaults()
 	c := newCoordinator(ctl, cfg)
 	err := c.run(ctx)
-	return c.perMachine, CoordinatorStats{
-		StealRounds:    c.stealRounds,
-		TasksStolen:    c.tasksStolen,
-		OffCycleSteals: c.offCycleSteals,
-	}, err
+	return c.perMachine, c.stats(), err
 }
 
 // ewmaAlpha smooths the coordinator's per-machine backlog estimate:
@@ -130,13 +185,63 @@ type coordinator struct {
 	stealRounds    uint64
 	tasksStolen    uint64
 	offCycleSteals uint64
+	stealErrors    uint64
+	recoveries     uint64
+
+	// Durable per-machine state for worker-loss recovery, maintained
+	// from status polls: liveness, consecutive poll-failure counts,
+	// the last successful status (spawn cursor included — logged with
+	// a loss so the operator can see how much work it represents), and
+	// the hash-partition segments each live machine currently owns
+	// (initially its own id; a dead machine's segments transfer
+	// wholesale to one adopter, transitively across multiple losses).
+	alive     []bool
+	failPolls []int
+	lastSt    []MachineStatus
+	segs      [][]int
 
 	perMachine []*Metrics // collected after shutdown; may hold nils on failure
 }
 
 func newCoordinator(ctl ControlPlane, cfg Config) *coordinator {
-	return &coordinator{ctl: ctl, cfg: cfg}
+	n := ctl.Machines()
+	c := &coordinator{
+		ctl:       ctl,
+		cfg:       cfg,
+		alive:     make([]bool, n),
+		failPolls: make([]int, n),
+		lastSt:    make([]MachineStatus, n),
+		segs:      make([][]int, n),
+	}
+	for m := 0; m < n; m++ {
+		c.alive[m] = true
+		c.segs[m] = []int{m}
+	}
+	return c
 }
+
+func (c *coordinator) stats() CoordinatorStats {
+	s := CoordinatorStats{
+		StealRounds:    c.stealRounds,
+		TasksStolen:    c.tasksStolen,
+		OffCycleSteals: c.offCycleSteals,
+		StealErrors:    c.stealErrors,
+		Recoveries:     c.recoveries,
+	}
+	for m, a := range c.alive {
+		if !a {
+			s.DeadMachines++
+			if s.Dead == nil {
+				s.Dead = make([]bool, len(c.alive))
+			}
+			s.Dead[m] = true
+		}
+	}
+	return s
+}
+
+// deadMask returns the per-machine dead flags (nil when nothing died).
+func (c *coordinator) deadMask() []bool { return c.stats().Dead }
 
 // run drives the cluster to completion: it polls, steals, detects
 // termination (or failure, or cancellation), shuts every machine down,
@@ -145,6 +250,9 @@ func newCoordinator(ctl ControlPlane, cfg Config) *coordinator {
 func (c *coordinator) run(ctx context.Context) error {
 	err := c.loop(ctx)
 	for m := 0; m < c.ctl.Machines(); m++ {
+		if !c.alive[m] {
+			continue // a dead machine cannot answer a shutdown
+		}
 		if serr := c.ctl.Shutdown(m); serr != nil && err == nil {
 			err = serr
 		}
@@ -154,6 +262,9 @@ func (c *coordinator) run(ctx context.Context) error {
 	// still worth aggregating.
 	c.perMachine = make([]*Metrics, c.ctl.Machines())
 	for m := range c.perMachine {
+		if !c.alive[m] {
+			continue
+		}
 		met, merr := c.ctl.CollectMetrics(m)
 		if merr != nil {
 			if err == nil {
@@ -187,18 +298,28 @@ func (c *coordinator) loop(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-statusTick.C:
-			sts, err := c.scan()
+			sts, complete, err := c.scan()
 			if err != nil {
 				return err
 			}
-			if terminated(prev, sts) {
+			if !complete {
+				// A machine missed a poll (or was just recovered):
+				// no termination or steal decision on a partial view.
+				prev = nil
+				continue
+			}
+			if c.terminated(prev, sts) {
 				return nil
 			}
 			if stealEnabled && hyst > 0 {
 				if recv := c.hysteresis(sts, ewma, idle, hyst); recv >= 0 {
 					moved, err := c.stealFor(recv, sts)
 					if err != nil {
-						return err
+						if serr := c.stealFailed(err); serr != nil {
+							return serr
+						}
+						prev = nil
+						continue
 					}
 					if moved > 0 {
 						c.offCycleSteals++
@@ -209,34 +330,111 @@ func (c *coordinator) loop(ctx context.Context) error {
 			}
 			prev = sts
 		case <-stealC:
-			sts, err := c.scan()
+			sts, complete, err := c.scan()
 			if err != nil {
 				return err
 			}
-			if _, err := c.stealRound(sts); err != nil {
-				return err
+			if complete {
+				if _, err := c.stealRound(sts); err != nil {
+					if serr := c.stealFailed(err); serr != nil {
+						return serr
+					}
+				}
 			}
 			prev = nil
 		}
 	}
 }
 
-// scan polls every machine once. A control-plane transport failure or
-// a machine-reported failure aborts the run: a cluster that cannot
-// account for all of its machines must fail, not hang.
-func (c *coordinator) scan() ([]MachineStatus, error) {
+// stealFailed classifies a failed steal directive: with recovery
+// enabled it is tolerated (the donor or receiver may be mid-death;
+// the poll loop will declare it and recover), with DisableRecovery it
+// keeps the historical fail-fast semantics.
+func (c *coordinator) stealFailed(err error) error {
+	if c.cfg.DisableRecovery {
+		return err
+	}
+	c.stealErrors++
+	return nil
+}
+
+// scan polls every live machine once. A failed poll increments that
+// machine's consecutive-failure count — transient drops are already
+// retried once inside the control transport, so DeadAfterPolls
+// consecutive failures declare the machine dead and trigger recovery
+// (or, with DisableRecovery, a typed abort). A machine-REPORTED
+// failure still aborts: the machine is reachable and says its app
+// failed, which re-mining would only repeat. The second return is
+// false when any live machine missed this scan (the view is partial).
+func (c *coordinator) scan() ([]MachineStatus, bool, error) {
 	sts := make([]MachineStatus, c.ctl.Machines())
+	complete := true
 	for m := range sts {
+		if !c.alive[m] {
+			continue
+		}
 		st, err := c.ctl.Status(m)
 		if err != nil {
-			return nil, fmt.Errorf("gthinker: lost machine %d: %w", m, err)
+			complete = false
+			c.failPolls[m]++
+			if c.failPolls[m] >= c.cfg.DeadAfterPolls {
+				if rerr := c.recoverMachine(m, err); rerr != nil {
+					return nil, false, rerr
+				}
+			}
+			continue
 		}
+		c.failPolls[m] = 0
 		if st.Failure != "" {
-			return nil, fmt.Errorf("gthinker: machine %d failed: %s", m, st.Failure)
+			return nil, false, fmt.Errorf("gthinker: machine %d failed: %s", m, st.Failure)
 		}
 		sts[m] = st
+		c.lastSt[m] = st
 	}
-	return sts, nil
+	return sts, complete, nil
+}
+
+// recoverMachine declares m dead and redistributes its work: one
+// survivor (the adopter) takes over m's hash-partition segments —
+// respawning every root task of those partitions, because results
+// only flush at shutdown, so everything m had mined was lost with it
+// and the fingerprint-deduplicating collector makes re-mining exact
+// rather than duplicating — and every survivor redirects its
+// adjacency fetches for m to the fallback's vertex server and
+// re-owns any task batches it had shipped to m (the retained GQS1
+// bytes cover subtrees stolen INTO m from still-live roots, which no
+// partition respawn would regenerate).
+func (c *coordinator) recoverMachine(m int, cause error) error {
+	lost := &MachineLostError{Machine: m, Polls: c.failPolls[m], Err: cause}
+	if c.cfg.DisableRecovery {
+		return lost
+	}
+	c.alive[m] = false
+	var survivors []int
+	for i, a := range c.alive {
+		if a {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(survivors) == 0 {
+		lost.Err = fmt.Errorf("no survivors to recover onto: %w", cause)
+		return lost
+	}
+	adopter := survivors[m%len(survivors)]
+	d := RecoverDirective{Dead: m, Fallback: adopter, Adopter: adopter, Adopt: c.segs[m]}
+	c.segs[adopter] = append(c.segs[adopter], c.segs[m]...)
+	c.segs[m] = nil
+	for _, s := range survivors {
+		if err := c.ctl.Recover(s, d); err != nil {
+			// A survivor that cannot absorb the directive would keep
+			// failing fetches against the dead machine; abort typed
+			// rather than let the cluster limp into an app failure.
+			lost.Err = fmt.Errorf("recovery directive to machine %d: %w", s, err)
+			return lost
+		}
+	}
+	c.recoveries++
+	return nil
 }
 
 // terminated reports whether two consecutive scans prove the job done.
@@ -245,12 +443,16 @@ func (c *coordinator) scan() ([]MachineStatus, error) {
 // while the task lives on. Any completed transfer bumps a monotone
 // sentOut/recvIn counter, so two scans that BOTH read all-spawned and
 // zero live, with identical transfer counters, bracket a window in
-// which no task existed anywhere.
-func terminated(prev, cur []MachineStatus) bool {
+// which no task existed anywhere. Dead machines are excluded: their
+// adopted work is accounted by the survivors spawning it.
+func (c *coordinator) terminated(prev, cur []MachineStatus) bool {
 	if prev == nil {
 		return false
 	}
 	for i := range cur {
+		if !c.alive[i] {
+			continue
+		}
 		if !cur[i].AllSpawned || cur[i].Live != 0 {
 			return false
 		}
@@ -274,6 +476,10 @@ func terminated(prev, cur []MachineStatus) bool {
 func (c *coordinator) hysteresis(sts []MachineStatus, ewma []float64, idle []int, hyst int) int {
 	donor := false
 	for i, st := range sts {
+		if !c.alive[i] {
+			ewma[i], idle[i] = 0, 0
+			continue
+		}
 		ewma[i] = ewmaAlpha*float64(st.BigPending) + (1-ewmaAlpha)*ewma[i]
 		if st.AllSpawned && st.Live == 0 {
 			idle[i]++
@@ -288,7 +494,7 @@ func (c *coordinator) hysteresis(sts []MachineStatus, ewma []float64, idle []int
 		return -1
 	}
 	for i := range sts {
-		if idle[i] >= hyst {
+		if c.alive[i] && idle[i] >= hyst {
 			for j := range idle {
 				idle[j] = 0
 			}
@@ -307,7 +513,7 @@ func (c *coordinator) hysteresis(sts []MachineStatus, ewma []float64, idle []int
 func (c *coordinator) stealFor(recv int, sts []MachineStatus) (int, error) {
 	donor, best := -1, int64(0)
 	for i, st := range sts {
-		if i != recv && st.BigPending > best {
+		if c.alive[i] && i != recv && st.BigPending > best {
 			donor, best = i, st.BigPending
 		}
 	}
@@ -335,9 +541,12 @@ func (c *coordinator) stealFor(recv int, sts []MachineStatus) (int, error) {
 // stealRoundNow scans and runs one steal round immediately — the unit
 // tests' entry point into the master's plan.
 func (c *coordinator) stealRoundNow() (int, error) {
-	sts, err := c.scan()
+	sts, complete, err := c.scan()
 	if err != nil {
 		return 0, err
+	}
+	if !complete {
+		return 0, nil
 	}
 	return c.stealRound(sts)
 }
@@ -345,23 +554,24 @@ func (c *coordinator) stealRoundNow() (int, error) {
 // stealRound implements the master's plan: compute the average big-task
 // backlog and direct batches (≤ C per machine per period) from loaded
 // machines to idle ones. counts come from the scan that triggered the
-// round.
+// round. Dead machines are neither donors nor receivers.
 func (c *coordinator) stealRound(sts []MachineStatus) (int, error) {
-	n := len(sts)
-	counts := make([]int, n)
+	counts := make([]int, len(sts))
 	total := 0
+	var order []int
 	for i, st := range sts {
+		if !c.alive[i] {
+			continue
+		}
 		counts[i] = int(st.BigPending)
 		total += counts[i]
+		order = append(order, i)
 	}
-	if total == 0 {
+	n := len(order)
+	if total == 0 || n < 2 {
 		return 0, nil
 	}
 	avg := total / n
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
 	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
 	movedTotal := 0
 	lo := n - 1

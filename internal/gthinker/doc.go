@@ -91,4 +91,46 @@
 // interface, so the in-process compositions exercise the same code
 // paths as the distributed deployment; see DESIGN.md §3 for the
 // substitution argument.
+//
+// # Failure model and recovery
+//
+// Worker-machine loss is survivable; coordinator loss is not (a dead
+// coordinator fails the job — restart it). The recovery invariant
+// rests on two facts: results only leave a worker at shutdown (the
+// opResults flush), so a machine that dies mid-run has contributed
+// NOTHING to the output yet and its entire partition can simply be
+// mined again; and the result Collector deduplicates by fingerprint,
+// so any overlap between the dead machine's lost partial work and the
+// re-mine changes nothing. Re-mining is therefore exact, not
+// approximate — every composition's recovery runs are asserted
+// bit-identical to the serial miner in CI.
+//
+// The lifecycle: the coordinator's status scan tolerates up to
+// Config.DeadAfterPolls consecutive poll failures per machine
+// (transient blips ride through; a single failed poll no longer
+// aborts the run). At the threshold the machine is declared dead and
+// one surviving machine is chosen as its adopter. Every survivor
+// receives a RecoverDirective over opRecover and applies it in
+// MachineRuntime.RecoverPeer: adjacency fetches addressed to the dead
+// machine are redirected to a fallback owner (every worker maps the
+// full GQC2 graph, so any machine can serve any partition), task
+// batches this survivor had shipped to the dead machine — retained as
+// encoded GQS1 copies at ship time — are decoded and re-owned
+// locally, and the adopter re-spawns the dead machine's hash
+// partitions after its own partition drains. Termination detection,
+// stealing, shutdown, and metrics aggregation all mask dead machines
+// thereafter. Config.DisableRecovery opts out: the run then fails
+// fast with a MachineLostError (errors.Is ErrMachineLost).
+//
+// Transport hardening backs this up: every dial is bounded
+// (Config.DialTimeout) and retried with jittered exponential backoff,
+// every frame exchange carries a deadline (Config.FrameTimeout), and
+// read-only ops (status, health, adjacency batches) retry on fresh
+// connections — non-idempotent ops (join, steal, shutdown) never
+// retry, so a fault there fails cleanly rather than double-applying.
+// The seeded fault-injection harness (FaultPlan, Config.FaultSpec,
+// -faultplan on every binary) replays dial failures, frame delays,
+// mid-frame resets, and worker kills deterministically; the chaos
+// matrix in internal/miner asserts every plan ends bit-identical or
+// cleanly errored, never hung.
 package gthinker

@@ -128,6 +128,10 @@ func (e *Engine) bootstrapTCP(rcfg Config) error {
 		ctlAddrs[i] = h.ControlAddr()
 	}
 	cc := DialCluster(ctlAddrs)
+	if err := cc.Configure(e.cfg); err != nil {
+		cc.Close()
+		return err
+	}
 	vaddrs, taddrs, err := cc.JoinAll(n, e.g.NumVertices(), uint64(e.g.NumEdges()), nil)
 	if err != nil {
 		cc.Close()
@@ -199,7 +203,14 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 		rt.Stop()
 	}
 	if runErr == nil {
-		for _, rt := range e.runtimes {
+		dead := e.coord.deadMask()
+		for i, rt := range e.runtimes {
+			// A machine the coordinator declared dead and recovered from
+			// is expected to hold a failure (its sockets were torn down
+			// mid-run); the survivors' result is the run's result.
+			if i < len(dead) && dead[i] {
+				continue
+			}
 			if err := rt.Err(); err != nil {
 				runErr = err
 				break
@@ -218,8 +229,15 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 // plane could not reach fall back to direct runtime reads — possible
 // here because every composition this engine builds is in-process.
 func (e *Engine) aggregateMetrics(wall time.Duration) *Metrics {
+	dead := e.coord.deadMask()
 	per := make([]*Metrics, len(e.runtimes))
 	for i := range per {
+		if i < len(dead) && dead[i] {
+			// A recovered-from machine's counters stay out of the merge:
+			// the adopter re-mined its partition, so including the corpse's
+			// partial work would double-count it.
+			continue
+		}
 		if e.coord.perMachine != nil && e.coord.perMachine[i] != nil {
 			per[i] = e.coord.perMachine[i]
 		} else {
@@ -231,6 +249,16 @@ func (e *Engine) aggregateMetrics(wall time.Duration) *Metrics {
 	met.StealRounds = e.coord.stealRounds
 	met.TasksStolen = e.coord.tasksStolen
 	met.OffCycleSteals = e.coord.offCycleSteals
+	met.Recoveries = e.coord.recoveries
+	for _, d := range dead {
+		if d {
+			met.DeadMachines++
+		}
+	}
+	if e.ctlClient != nil {
+		met.RetriedDials += e.ctlClient.RetriedDials()
+		met.RetriedOps += e.ctlClient.RetriedOps()
+	}
 	// The runtimes share this process's disk: the true peak footprint
 	// is the engine-level peak-of-sum, not the sum of per-machine
 	// peaks reached at different times.

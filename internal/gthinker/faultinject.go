@@ -1,0 +1,196 @@
+package gthinker
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault injection for the cluster runtime. A FaultPlan is a seeded,
+// deterministic source of injected failures that the transport layer
+// (dials and framed connections) and the WorkerHost (process kills)
+// consult at well-defined points. Plans are written as
+//
+//	<seed>:<directive>[,<directive>...]
+//
+// with the directives
+//
+//	dialfail=P      each dial attempt fails with probability P
+//	reset=P         each frame write cuts the connection mid-frame
+//	                with probability P (a prefix of the frame is
+//	                shipped, then the socket is closed — the peer sees
+//	                a truncated frame, exactly like a crashed sender)
+//	delay=D/P       each frame write is delayed by duration D with
+//	                probability P (P defaults to 1 when omitted)
+//	kill=M@N        machine M's WorkerHost dies on its Nth status poll
+//	                after mining has started (spawn cursor > 0) — a
+//	                deterministic mid-mine worker loss
+//
+// e.g. "7:dialfail=0.2,delay=200us/0.5" or "9:kill=1@4". The seed
+// drives one process-local PRNG per parsed plan, so a given plan
+// produces the same decision sequence for the same sequence of
+// injection points. All methods are safe on a nil receiver (no plan:
+// nothing is injected) and for concurrent use.
+type FaultPlan struct {
+	Seed        int64
+	DialFailP   float64
+	ResetP      float64
+	DelayP      float64
+	Delay       time.Duration
+	KillMachine int // -1: no kill directive
+	KillPoll    uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ParseFaultPlan parses a "<seed>:<directives>" plan. An empty string
+// is a valid absent plan (nil, nil).
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	if s == "" {
+		return nil, nil
+	}
+	seedStr, spec, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("gthinker: fault plan %q: want <seed>:<directives>", s)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("gthinker: fault plan %q: bad seed: %v", s, err)
+	}
+	p := &FaultPlan{Seed: seed, KillMachine: -1}
+	for _, d := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(d, "=")
+		if !ok {
+			return nil, fmt.Errorf("gthinker: fault plan directive %q: want key=value", d)
+		}
+		switch key {
+		case "dialfail":
+			if p.DialFailP, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("gthinker: fault plan dialfail: %v", err)
+			}
+		case "reset":
+			if p.ResetP, err = parseProb(val); err != nil {
+				return nil, fmt.Errorf("gthinker: fault plan reset: %v", err)
+			}
+		case "delay":
+			durStr, probStr, hasProb := strings.Cut(val, "/")
+			if p.Delay, err = time.ParseDuration(durStr); err != nil || p.Delay < 0 {
+				return nil, fmt.Errorf("gthinker: fault plan delay %q: bad duration", val)
+			}
+			p.DelayP = 1
+			if hasProb {
+				if p.DelayP, err = parseProb(probStr); err != nil {
+					return nil, fmt.Errorf("gthinker: fault plan delay: %v", err)
+				}
+			}
+		case "kill":
+			mStr, nStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("gthinker: fault plan kill %q: want machine@poll", val)
+			}
+			m, merr := strconv.Atoi(mStr)
+			n, nerr := strconv.ParseUint(nStr, 10, 64)
+			if merr != nil || nerr != nil || m < 0 || n == 0 {
+				return nil, fmt.Errorf("gthinker: fault plan kill %q: want machine@poll with machine ≥ 0, poll ≥ 1", val)
+			}
+			p.KillMachine, p.KillPoll = m, n
+		default:
+			return nil, fmt.Errorf("gthinker: fault plan: unknown directive %q", key)
+		}
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %q not in [0,1]", s)
+	}
+	return v, nil
+}
+
+// String re-encodes the plan in the ParseFaultPlan syntax.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.DialFailP > 0 {
+		parts = append(parts, fmt.Sprintf("dialfail=%g", p.DialFailP))
+	}
+	if p.ResetP > 0 {
+		parts = append(parts, fmt.Sprintf("reset=%g", p.ResetP))
+	}
+	if p.Delay > 0 && p.DelayP > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s/%g", p.Delay, p.DelayP))
+	}
+	if p.KillMachine >= 0 {
+		parts = append(parts, fmt.Sprintf("kill=%d@%d", p.KillMachine, p.KillPoll))
+	}
+	return fmt.Sprintf("%d:%s", p.Seed, strings.Join(parts, ","))
+}
+
+// hit draws one decision from the plan's PRNG.
+func (p *FaultPlan) hit(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	v := p.rng.Float64()
+	p.mu.Unlock()
+	return v < prob
+}
+
+// DialError returns an injected dial failure for addr, or nil to let
+// the dial proceed.
+func (p *FaultPlan) DialError(addr string) error {
+	if p == nil || !p.hit(p.DialFailP) {
+		return nil
+	}
+	return fmt.Errorf("gthinker: fault injection: dial %s refused", addr)
+}
+
+// WrapConn wraps a client connection with the plan's frame-level
+// faults (delays, mid-frame resets). Returns c unchanged when the
+// plan injects neither.
+func (p *FaultPlan) WrapConn(c net.Conn) net.Conn {
+	if p == nil || (p.ResetP <= 0 && (p.Delay <= 0 || p.DelayP <= 0)) {
+		return c
+	}
+	return &faultConn{Conn: c, p: p}
+}
+
+// ShouldKill reports whether machine's host must die on this mining
+// status poll (1-based count of polls observed since spawning began).
+func (p *FaultPlan) ShouldKill(machine int, poll uint64) bool {
+	return p != nil && p.KillMachine == machine && poll == p.KillPoll
+}
+
+// faultConn injects write-side faults: an injected reset ships a
+// prefix of the buffer and hard-closes the socket, so the peer
+// observes a genuinely truncated frame.
+type faultConn struct {
+	net.Conn
+	p *FaultPlan
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.p.Delay > 0 && c.p.hit(c.p.DelayP) {
+		time.Sleep(c.p.Delay)
+	}
+	if c.p.hit(c.p.ResetP) {
+		n := 0
+		if half := len(b) / 2; half > 0 {
+			n, _ = c.Conn.Write(b[:half])
+		}
+		c.Conn.Close()
+		return n, fmt.Errorf("gthinker: fault injection: connection reset mid-frame")
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,209 @@
+package gthinker
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("7:dialfail=0.2,reset=0.05,delay=200us/0.5,kill=1@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.DialFailP != 0.2 || p.ResetP != 0.05 ||
+		p.Delay != 200*time.Microsecond || p.DelayP != 0.5 ||
+		p.KillMachine != 1 || p.KillPoll != 3 {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	// String re-encodes into an equivalent, reparsable plan.
+	p2, err := ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatalf("canonical form %q does not reparse: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Fatalf("canonical form unstable: %q vs %q", p2.String(), p.String())
+	}
+
+	// Absent plan.
+	if p, err := ParseFaultPlan(""); p != nil || err != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	// Delay probability defaults to 1.
+	p, err = ParseFaultPlan("1:delay=1ms")
+	if err != nil || p.DelayP != 1 {
+		t.Fatalf("delay without probability: %+v %v", p, err)
+	}
+
+	for _, bad := range []string{
+		"no-colon", "x:dialfail=0.5", "1:dialfail=1.5", "1:dialfail=-1",
+		"1:bogus=1", "1:kill=1", "1:kill=-1@2", "1:kill=1@0",
+		"1:delay=notadur", "1:reset=", "1:dialfail",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("bad plan %q accepted", bad)
+		}
+	}
+}
+
+// TestFaultPlanDeterminism: the same spec yields the same injected
+// decision sequence — the property that makes a chaos run replayable
+// from its seed alone.
+func TestFaultPlanDeterminism(t *testing.T) {
+	seq := func() []bool {
+		p, err := ParseFaultPlan("42:dialfail=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.DialError("x") != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identically seeded plans", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.5 plan produced %d/%d hits", hits, len(a))
+	}
+}
+
+func TestFaultPlanNilReceiver(t *testing.T) {
+	var p *FaultPlan
+	if err := p.DialError("x"); err != nil {
+		t.Fatal("nil plan injected a dial failure")
+	}
+	if p.ShouldKill(0, 1) {
+		t.Fatal("nil plan killed a machine")
+	}
+	if p.String() != "" {
+		t.Fatal("nil plan has a non-empty spec")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if p.WrapConn(c1) != c1 {
+		t.Fatal("nil plan wrapped a connection")
+	}
+}
+
+func TestFaultPlanShouldKill(t *testing.T) {
+	p, err := ParseFaultPlan("1:kill=2@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for poll := uint64(1); poll <= 6; poll++ {
+		want := poll == 4
+		if p.ShouldKill(2, poll) != want {
+			t.Fatalf("ShouldKill(2, %d) != %v", poll, want)
+		}
+		if p.ShouldKill(1, poll) {
+			t.Fatalf("ShouldKill fired on the wrong machine at poll %d", poll)
+		}
+	}
+}
+
+// TestDialWithRetry covers the satellite fix for the untimed dials:
+// success against a live listener, bounded failure against a dead
+// address, and injected failures counted as retries.
+func TestDialWithRetry(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	c, err := dialWithRetry(l.Addr().String(), time.Second, 2)
+	if err != nil {
+		t.Fatalf("dial of live listener failed: %v", err)
+	}
+	c.Close()
+
+	// A dead port fails after the attempt budget, with the address and
+	// attempt count in the error.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if _, err := dialWithRetry(deadAddr, 100*time.Millisecond, 2); err == nil {
+		t.Fatal("dial of closed port succeeded")
+	} else if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("attempt count missing from error: %v", err)
+	}
+
+	// Injected dial failures exhaust the budget and count the retries.
+	p, err := ParseFaultPlan("3:dialfail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retried atomic.Uint64
+	if _, err := dialRetryInject(l.Addr().String(), time.Second, 3, p, &retried); err == nil {
+		t.Fatal("dialfail=1 plan let a dial through")
+	}
+	if got := retried.Load(); got != 2 {
+		t.Fatalf("3 attempts should count 2 retries, counted %d", got)
+	}
+}
+
+// TestFaultConnReset: an injected reset ships only a prefix and kills
+// the socket — the peer must see a truncated frame, not a clean EOF
+// after a full frame.
+func TestFaultConnReset(t *testing.T) {
+	p, err := ParseFaultPlan("5:reset=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	wrapped := p.WrapConn(c1)
+	done := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 64)
+		total := 0
+		for {
+			n, err := c2.Read(buf)
+			total += n
+			if err != nil {
+				done <- total
+				return
+			}
+		}
+	}()
+	payload := []byte("0123456789abcdef")
+	n, werr := wrapped.Write(payload)
+	if werr == nil {
+		t.Fatal("reset=1 write reported success")
+	}
+	if n >= len(payload) {
+		t.Fatalf("reset shipped the whole frame (%d bytes)", n)
+	}
+	select {
+	case got := <-done:
+		if got != n {
+			t.Fatalf("peer read %d bytes, writer shipped %d", got, n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never observed the reset")
+	}
+}

@@ -56,6 +56,16 @@ type Metrics struct {
 
 	PeakHeapAlloc uint64 // sampled runtime heap high-water mark
 
+	// Fault-tolerance counters. Recoveries and DeadMachines are
+	// coordinator-owned (machines report zero); RetriedDials and
+	// RetriedOps sum each machine's transport hardening retries — a
+	// non-zero value on a "healthy" run means the cluster was quietly
+	// riding through transient network trouble.
+	Recoveries   uint64 // worker-loss recoveries executed
+	RetriedDials uint64 // dial attempts beyond the first
+	RetriedOps   uint64 // idempotent op retries beyond the first
+	DeadMachines uint64 // machines declared dead by the coordinator
+
 	// Kernel names the bitset kernel variant the machine mined with
 	// ("avx2" or "scalar"); a cluster merge reports "mixed" when
 	// machines disagree, which is worth noticing in an A/B run.
@@ -127,6 +137,10 @@ func MergeMachineMetrics(per []*Metrics) *Metrics {
 		out.TasksStolen += m.TasksStolen
 		out.TasksStolenRemote += m.TasksStolenRemote
 		out.OffCycleSteals += m.OffCycleSteals
+		out.Recoveries += m.Recoveries
+		out.RetriedDials += m.RetriedDials
+		out.RetriedOps += m.RetriedOps
+		out.DeadMachines += m.DeadMachines
 		out.WorkerBusy = append(out.WorkerBusy, m.WorkerBusy...)
 		if m.PeakHeapAlloc > out.PeakHeapAlloc {
 			out.PeakHeapAlloc = m.PeakHeapAlloc
@@ -149,12 +163,13 @@ func (m *Metrics) String() string {
 		kernel = "unknown"
 	}
 	return fmt.Sprintf(
-		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB busy=%v imbalance=%.2f kernel=%s",
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB retry=%d/%d recover=%d/%d busy=%v imbalance=%.2f kernel=%s",
 		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
 		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.TasksStolenRemote, m.SpillBytesWritten, m.PeakSpillBytes,
 		m.SpillBytesRead, m.RefillBatches,
 		m.CacheHits, m.CacheHits+m.CacheMisses,
 		m.BatchedFetches, m.RemoteFetches, m.WireBytesSent, m.WireBytesReceived,
+		m.RetriedDials, m.RetriedOps, m.Recoveries, m.DeadMachines,
 		m.TotalBusy().Round(time.Millisecond),
 		m.BusyImbalance(), kernel)
 }
@@ -189,6 +204,10 @@ func appendMetrics(dst []byte, m *Metrics) []byte {
 	dst = store.AppendU64(dst, m.TasksStolenRemote)
 	dst = store.AppendU64(dst, m.OffCycleSteals)
 	dst = store.AppendU64(dst, m.PeakHeapAlloc)
+	dst = store.AppendU64(dst, m.Recoveries)
+	dst = store.AppendU64(dst, m.RetriedDials)
+	dst = store.AppendU64(dst, m.RetriedOps)
+	dst = store.AppendU64(dst, m.DeadMachines)
 	dst = store.AppendU32(dst, uint32(len(m.WorkerBusy)))
 	for _, b := range m.WorkerBusy {
 		dst = store.AppendU64(dst, uint64(b))
@@ -235,6 +254,10 @@ func decodeMetrics(data []byte) (*Metrics, error) {
 	m.TasksStolenRemote = c.U64()
 	m.OffCycleSteals = c.U64()
 	m.PeakHeapAlloc = c.U64()
+	m.Recoveries = c.U64()
+	m.RetriedDials = c.U64()
+	m.RetriedOps = c.U64()
+	m.DeadMachines = c.U64()
 	nb := int(c.U32())
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)

@@ -36,6 +36,30 @@ type MachineRuntime struct {
 	verts       []graph.V // local vertex partition (sorted)
 	spawnCursor atomic.Int64
 
+	// Adopted root partitions (worker-loss recovery): when the
+	// coordinator makes this runtime the adopter of a dead machine's
+	// hash partitions, their vertices are appended here and spawned
+	// after the runtime's own cursor is exhausted. adoptPending is
+	// incremented before the vertices become spawnable and decremented
+	// under the same lock that hands a vertex out (after the worker
+	// reserved liveness), so a status scan can never observe
+	// AllSpawned with an adopted root unaccounted.
+	adoptMu      sync.Mutex
+	adoptVerts   []graph.V
+	adoptCursor  int
+	adoptPending atomic.Int64
+	adoptSpawned atomic.Int64
+
+	// retained keeps a copy of every encoded task batch shipped to
+	// each peer while recovery is enabled. If that peer dies, the
+	// batches are decoded and re-enqueued locally: they cover subtrees
+	// stolen INTO the dead machine from still-live roots, which no
+	// partition respawn would regenerate. Bounded by the run's total
+	// stolen-task volume; the fingerprint-deduplicating collector
+	// makes re-mining the already-processed ones exact, not duplicate.
+	retainMu sync.Mutex
+	retained map[int][][]byte
+
 	qglobal lockedDeque
 	lbig    *spillList
 	bglobal ready
@@ -340,6 +364,10 @@ type MachineStatus struct {
 	// consecutive scans agree on them (see coordinator.terminated).
 	SentOut uint64
 	RecvIn  uint64
+	// Spawned is the number of root tasks spawned so far (own
+	// partition plus adopted ones) — the durable spawn cursor the
+	// coordinator tracks per machine for loss accounting.
+	Spawned int64
 	// Failure carries the machine's first error, or "".
 	Failure string
 }
@@ -355,6 +383,7 @@ func (rt *MachineRuntime) Status() MachineStatus {
 		BigPending: int64(rt.bigPending()),
 		SentOut:    rt.sentOut.Load(),
 		RecvIn:     rt.recvIn.Load(),
+		Spawned:    rt.spawnedCount(),
 	}
 	if err := rt.Err(); err != nil {
 		st.Failure = err.Error()
@@ -363,7 +392,101 @@ func (rt *MachineRuntime) Status() MachineStatus {
 }
 
 func (rt *MachineRuntime) allSpawned() bool {
-	return int(rt.spawnCursor.Load()) >= len(rt.verts)
+	return int(rt.spawnCursor.Load()) >= len(rt.verts) && rt.adoptPending.Load() == 0
+}
+
+// spawnedCount returns the number of root tasks spawned: the own
+// cursor (which idle workers overshoot; clamp it) plus adopted spawns.
+func (rt *MachineRuntime) spawnedCount() int64 {
+	cur := rt.spawnCursor.Load()
+	if cur > int64(len(rt.verts)) {
+		cur = int64(len(rt.verts))
+	}
+	return cur + rt.adoptSpawned.Load()
+}
+
+// adopt appends extra root vertices for this runtime to spawn —
+// recovery only: the dead machine's partitions. Pending is raised
+// before the vertices become visible so AllSpawned flips false first.
+func (rt *MachineRuntime) adopt(verts []graph.V) {
+	if len(verts) == 0 {
+		return
+	}
+	rt.adoptMu.Lock()
+	rt.adoptPending.Add(int64(len(verts)))
+	rt.adoptVerts = append(rt.adoptVerts, verts...)
+	rt.adoptMu.Unlock()
+}
+
+// nextAdopted hands out one adopted root vertex. The caller must have
+// reserved liveness (live.Add(1)) already: pending is decremented
+// here, under the lock, so the scan-visible order is live-up before
+// pending-down — AllSpawned can never flip true with the final
+// adopted task uncounted.
+func (rt *MachineRuntime) nextAdopted() (graph.V, bool) {
+	rt.adoptMu.Lock()
+	defer rt.adoptMu.Unlock()
+	if rt.adoptCursor >= len(rt.adoptVerts) {
+		return 0, false
+	}
+	v := rt.adoptVerts[rt.adoptCursor]
+	rt.adoptCursor++
+	rt.adoptSpawned.Add(1)
+	rt.adoptPending.Add(-1)
+	return v, true
+}
+
+// RecoverPeer absorbs a dead machine on this (surviving) runtime: the
+// control plane's opRecover handler and the in-process composition
+// both land here. Fetches addressed to the dead machine are
+// redirected to the fallback's vertex server, every retained task
+// batch this runtime had shipped to the dead machine is re-owned
+// (decoded and re-enqueued locally), and, on the designated adopter,
+// the dead machine's hash partitions are adopted for respawning.
+func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
+	if d.Dead == rt.id {
+		return fmt.Errorf("gthinker: machine %d directed to recover from its own death", rt.id)
+	}
+	if d.Dead < 0 || d.Dead >= rt.cfg.Machines || d.Fallback < 0 || d.Fallback >= rt.cfg.Machines {
+		return fmt.Errorf("gthinker: recover directive references machine %d/%d of %d", d.Dead, d.Fallback, rt.cfg.Machines)
+	}
+	if rd, ok := rt.transport.(Redirector); ok {
+		rd.Redirect(d.Dead, d.Fallback)
+	}
+	rt.retainMu.Lock()
+	batches := rt.retained[d.Dead]
+	delete(rt.retained, d.Dead)
+	rt.retainMu.Unlock()
+	for _, data := range batches {
+		tasks, err := decodeTaskBatch(data, rt.spillCodec)
+		if err != nil {
+			return fmt.Errorf("gthinker: machine %d re-owning batch shipped to dead machine %d: %w", rt.id, d.Dead, err)
+		}
+		rt.DeliverTasks(tasks)
+	}
+	if d.Adopter == rt.id {
+		var verts []graph.V
+		for _, id := range d.Adopt {
+			if id < 0 || id >= rt.cfg.Machines {
+				return fmt.Errorf("gthinker: recover directive adopts partition %d of %d", id, rt.cfg.Machines)
+			}
+			verts = append(verts, OwnedVertices(rt.g.NumVertices(), id, rt.cfg.Machines)...)
+		}
+		rt.adopt(verts)
+	}
+	return nil
+}
+
+// retain stores a copy of an encoded batch shipped to dest so it can
+// be re-owned if dest dies before the run completes.
+func (rt *MachineRuntime) retain(dest int, data []byte) {
+	cp := append([]byte(nil), data...)
+	rt.retainMu.Lock()
+	if rt.retained == nil {
+		rt.retained = make(map[int][][]byte)
+	}
+	rt.retained[dest] = append(rt.retained[dest], cp)
+	rt.retainMu.Unlock()
 }
 
 // bigPending approximates the machine's pending big-task backlog for
@@ -488,7 +611,9 @@ func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
 
 // shipChunk sends the longest prefix of batch that encodes within one
 // wire frame and returns its length. A single task too large for a
-// frame is an error, not an infinite loop.
+// frame is an error, not an infinite loop. With recovery enabled, a
+// copy of each delivered chunk is retained keyed by its destination,
+// so the tasks can be re-owned if that machine later dies.
 func (rt *MachineRuntime) shipChunk(tc TaskChannel, recv int, batch []*Task) (int, error) {
 	enc := batchEncoders.Get().(*store.BatchEncoder)
 	defer batchEncoders.Put(enc)
@@ -499,7 +624,13 @@ func (rt *MachineRuntime) shipChunk(tc TaskChannel, recv int, batch []*Task) (in
 			return 0, err
 		}
 		if len(data) <= maxFramePayload {
-			return k, tc.SendTasks(recv, data)
+			if err := tc.SendTasks(recv, data); err != nil {
+				return 0, err
+			}
+			if !rt.cfg.DisableRecovery {
+				rt.retain(recv, data)
+			}
+			return k, nil
 		}
 		if k == 1 {
 			return 0, fmt.Errorf("gthinker: task encodes to %d bytes, above the %d-byte frame limit", len(data), maxFramePayload)
@@ -538,6 +669,10 @@ func (rt *MachineRuntime) LocalMetrics() *Metrics {
 		if ts, ok := rt.transport.(TransportStats); ok {
 			met.BatchedFetches = ts.BatchedFetches()
 			met.WireBytesSent, met.WireBytesReceived = ts.WireBytes()
+		}
+		if rs, ok := rt.transport.(RetryStats); ok {
+			met.RetriedDials = rs.RetriedDials()
+			met.RetriedOps = rs.RetriedOps()
 		}
 	}
 	met.PeakHeapAlloc = procHeap.sampleNow()

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/store"
@@ -57,8 +59,10 @@ import (
 //	            reply: empty.
 //	opStatus    payload: empty. reply: flags u8 (bit0 = all spawned),
 //	            live u64, bigPending u64, sentOut u64, recvIn u64,
-//	            failure string — the liveness report feeding the
-//	            coordinator's termination detection and steal planner.
+//	            spawned u64, failure string — the liveness report
+//	            feeding the coordinator's termination detection, steal
+//	            planner, and per-machine durable-state tracking for
+//	            worker-loss recovery.
 //	opStealDo   payload: recv u32, want u32 — a steal directive: the
 //	            donor pops up to want big tasks and ships them to
 //	            machine recv itself (opTaskSteal, GQS1 bytes); the
@@ -73,6 +77,14 @@ import (
 //	            follow). reply: empty.
 //	opExit      payload: empty. reply: empty; the worker host's
 //	            WaitExit returns and the process terminates.
+//	opRecover   payload: dead u32, fallback u32, adopter u32,
+//	            nAdopt u32, nAdopt × u32 partition ids. Announces a
+//	            dead machine to one survivor: the survivor redirects
+//	            its adjacency fetches for the dead machine to
+//	            fallback's vertex server, re-enqueues any task batches
+//	            it had shipped to the dead machine, and — if it is the
+//	            designated adopter — takes over spawning the listed
+//	            hash partitions' root tasks. reply: empty.
 //
 // Batching is the point: the engine resolves a task's remote pulls
 // with one opAdjBatch per owning machine instead of one round trip
@@ -414,13 +426,100 @@ func (s *TaskServer) handle(conn net.Conn) {
 	})
 }
 
+// Dial and retry policy. Every dial in the package goes through
+// dialWithRetry: a bounded DialTimeout per attempt plus a few
+// exponential-backoff retries with jitter, so a peer mid-restart or a
+// dropped SYN does not immediately read as a dead machine. Vars (not
+// consts) so tests can tighten the windows.
+var (
+	defaultDialTimeout  = 5 * time.Second
+	defaultFrameTimeout = 30 * time.Second
+	defaultDialAttempts = 4
+	dialBackoffBase     = 10 * time.Millisecond
+	opBackoffBase       = 5 * time.Millisecond
+	retryBackoffCap     = 200 * time.Millisecond
+
+	// dataOpAttempts is the idempotent-retry budget of the data plane
+	// (opAdjBatch, opHealth). Its total backoff window must exceed the
+	// coordinator's worst-case failure-detection latency: a survivor
+	// fetching a dead machine's rows keeps retrying — re-resolving the
+	// fetch redirect each attempt — until the coordinator has declared
+	// the machine dead and installed the fallback owner.
+	dataOpAttempts = 12
+	// ctlOpAttempts is the control plane's retry-once budget for
+	// opStatus: one transient drop must not look like a missed poll.
+	ctlOpAttempts = 2
+)
+
+// retryBackoff returns the jittered exponential backoff before retry
+// attempt a (a ≥ 1). Jitter need not be deterministic — fault
+// *injection* determinism lives in FaultPlan, not here.
+func retryBackoff(base time.Duration, a int) time.Duration {
+	d := base << (a - 1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// dialWithRetry dials addr with a per-attempt timeout and up to
+// `attempts` tries separated by jittered exponential backoff. All
+// dials in the package — data plane, task channel, and DialCluster's
+// control connections — go through here.
+func dialWithRetry(addr string, timeout time.Duration, attempts int) (net.Conn, error) {
+	return dialRetryInject(addr, timeout, attempts, nil, nil)
+}
+
+func dialRetryInject(addr string, timeout time.Duration, attempts int, fault *FaultPlan, retried *atomic.Uint64) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = defaultDialTimeout
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if retried != nil {
+				retried.Add(1)
+			}
+			time.Sleep(retryBackoff(dialBackoffBase, a))
+		}
+		if err := fault.DialError(addr); err != nil {
+			lastErr = err
+			continue
+		}
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return fault.WrapConn(c), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("gthinker: dial %s (%d attempts): %w", addr, attempts, lastErr)
+}
+
 // connPool keeps one pooled connection per peer address, serialized by
 // a per-peer mutex — adequate for the fetch granularity of this engine
 // (the vertex cache absorbs reuse; the steal master is one goroutine).
+//
+// The pool is also where transport hardening lives: timed dials with
+// retry, a per-exchange I/O deadline (frameTimeout), idempotent-op
+// retries, and a per-peer fetch redirect installed by the recovery
+// protocol (redirect[i] = fallback+1 routes peer i's exchanges to the
+// fallback machine after i died; 0 means none).
 type connPool struct {
 	addrs []string
 	mu    []sync.Mutex
 	conns []*tcpConn
+
+	dialTimeout  time.Duration
+	frameTimeout time.Duration
+	dialAttempts int
+	opAttempts   int // per-op attempts for idempotent ops (≥ 1)
+	fault        *FaultPlan
+	redirect     []atomic.Int32
+	retriedDials *atomic.Uint64 // optional counters, shared with owner
+	retriedOps   *atomic.Uint64
 }
 
 type tcpConn struct {
@@ -429,54 +528,144 @@ type tcpConn struct {
 	w *bufio.Writer
 }
 
-func newConnPool(addrs []string) connPool {
-	return connPool{
-		addrs: addrs,
-		mu:    make([]sync.Mutex, len(addrs)),
-		conns: make([]*tcpConn, len(addrs)),
+func newConnPool(addrs []string) *connPool {
+	return &connPool{
+		addrs:        addrs,
+		mu:           make([]sync.Mutex, len(addrs)),
+		conns:        make([]*tcpConn, len(addrs)),
+		dialTimeout:  defaultDialTimeout,
+		frameTimeout: defaultFrameTimeout,
+		dialAttempts: defaultDialAttempts,
+		opAttempts:   1,
+		redirect:     make([]atomic.Int32, len(addrs)),
 	}
 }
 
-// roundTrip performs one framed request/response exchange with peer i,
-// bounding the response allocation by maxResp and accounting wire
-// bytes in sent/recvd. On any error the pooled connection is dropped
-// (the next call redials).
+// configure applies the hardening knobs; zero durations keep the pool
+// defaults, negative disable the corresponding deadline.
+func (p *connPool) configure(dialTimeout, frameTimeout time.Duration, fault *FaultPlan) {
+	if dialTimeout != 0 {
+		p.dialTimeout = dialTimeout
+	}
+	if frameTimeout != 0 {
+		p.frameTimeout = frameTimeout
+	}
+	if p.frameTimeout < 0 {
+		p.frameTimeout = 0
+	}
+	p.fault = fault
+}
+
+// setRedirect routes all future exchanges addressed to peer `dead` to
+// peer `to` instead. Installed by the recovery protocol once the
+// coordinator designates a fallback owner for a dead machine's rows.
+func (p *connPool) setRedirect(dead, to int) {
+	if dead >= 0 && dead < len(p.redirect) && to >= 0 && to < len(p.addrs) {
+		p.redirect[dead].Store(int32(to) + 1)
+	}
+}
+
+// target resolves i through the redirect table.
+func (p *connPool) target(i int) int {
+	if i >= 0 && i < len(p.redirect) {
+		if r := p.redirect[i].Load(); r > 0 {
+			return int(r) - 1
+		}
+	}
+	return i
+}
+
+// idempotentOp reports whether op may be retried on a fresh connection
+// after an I/O failure: read-only ops whose replay cannot duplicate
+// state. Task delivery (opTaskSteal) and every control mutation are
+// excluded — an ack lost after delivery must surface as an error, not
+// a silent double-enqueue.
+func idempotentOp(op byte) bool {
+	switch op {
+	case opAdjBatch, opHealth, opStatus:
+		return true
+	}
+	return false
+}
+
+// roundTrip performs one framed request/response exchange with peer i
+// (resolved through the redirect table per attempt), bounding the
+// response allocation by maxResp and accounting wire bytes in
+// sent/recvd. Each attempt runs under the pool's frame deadline; on
+// any error the pooled connection is dropped (the next call redials),
+// and idempotent ops are retried with backoff up to the pool's
+// attempt budget. Protocol errors (opError replies, oversized or
+// mismatched frames) are never retried — only I/O failures are.
 func (p *connPool) roundTrip(i int, op byte, payload []byte, maxResp int, sent, recvd *atomic.Uint64) ([]byte, error) {
 	if i < 0 || i >= len(p.addrs) {
 		return nil, fmt.Errorf("gthinker: no server for machine %d", i)
 	}
+	attempts := 1
+	if p.opAttempts > 1 && idempotentOp(op) {
+		attempts = p.opAttempts
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if p.retriedOps != nil {
+				p.retriedOps.Add(1)
+			}
+			time.Sleep(retryBackoff(opBackoffBase, a))
+		}
+		resp, err, retryable := p.exchange(p.target(i), op, payload, maxResp, sent, recvd)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// exchange is one request/response attempt against peer i. The third
+// return reports whether the failure is an I/O error a retry could
+// plausibly clear (vs. a protocol violation).
+func (p *connPool) exchange(i int, op byte, payload []byte, maxResp int, sent, recvd *atomic.Uint64) ([]byte, error, bool) {
 	p.mu[i].Lock()
 	defer p.mu[i].Unlock()
 	cc := p.conns[i]
 	if cc == nil {
-		c, err := net.Dial("tcp", p.addrs[i])
+		c, err := dialRetryInject(p.addrs[i], p.dialTimeout, p.dialAttempts, p.fault, p.retriedDials)
 		if err != nil {
-			return nil, fmt.Errorf("gthinker: dial %s: %w", p.addrs[i], err)
+			return nil, err, true
 		}
 		cc = &tcpConn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
 		p.conns[i] = cc
 	}
+	if p.frameTimeout > 0 {
+		cc.c.SetDeadline(time.Now().Add(p.frameTimeout))
+	}
 	if err := writeFrame(cc.w, op, payload); err != nil {
 		p.drop(i)
-		return nil, err
+		return nil, err, true
 	}
 	sent.Add(uint64(frameHeaderLen + len(payload)))
 	respOp, resp, err := readFrame(cc.r, maxResp)
 	if err != nil {
 		p.drop(i)
-		return nil, fmt.Errorf("gthinker: machine %d: %w", i, err)
+		if errors.Is(err, errFrameTooLarge) {
+			return nil, fmt.Errorf("gthinker: machine %d: %w", i, err), false
+		}
+		return nil, fmt.Errorf("gthinker: machine %d: %w", i, err), true
 	}
 	recvd.Add(uint64(frameHeaderLen + len(resp)))
 	if respOp == opError {
 		// The server closes its end after an opError; drop ours too.
 		p.drop(i)
-		return nil, fmt.Errorf("gthinker: machine %d: server error: %s", i, resp)
+		return nil, fmt.Errorf("gthinker: machine %d: server error: %s", i, resp), false
 	}
 	if respOp != op {
 		p.drop(i)
-		return nil, fmt.Errorf("gthinker: machine %d: response op 0x%02x for request 0x%02x", i, respOp, op)
+		return nil, fmt.Errorf("gthinker: machine %d: response op 0x%02x for request 0x%02x", i, respOp, op), false
 	}
-	return resp, nil
+	return resp, nil, false
 }
 
 func (p *connPool) drop(i int) {
@@ -505,15 +694,21 @@ func (p *connPool) close() error {
 // TaskChannel and TransportStats): adjacency batches go to per-machine
 // VertexServers, stolen task batches to per-machine TaskServers.
 type TCPTransport struct {
-	verts       connPool
-	tasks       connPool
+	verts       *connPool
+	tasks       *connPool
 	numVertices int
 
-	fetches atomic.Uint64
-	batches atomic.Uint64
-	shipped atomic.Uint64
-	sent    atomic.Uint64
-	recvd   atomic.Uint64
+	fetches      atomic.Uint64
+	batches      atomic.Uint64
+	shipped      atomic.Uint64
+	sent         atomic.Uint64
+	recvd        atomic.Uint64
+	retriedDials atomic.Uint64
+	retriedOps   atomic.Uint64
+
+	dialTimeout  time.Duration
+	frameTimeout time.Duration
+	fault        *FaultPlan
 }
 
 // NewTCPTransport returns a transport over one VertexServer address
@@ -522,7 +717,37 @@ type TCPTransport struct {
 // allocation; pass the real count (0 disables only the semantic check,
 // the frame-size cap always applies).
 func NewTCPTransport(addrs []string, numVertices int) *TCPTransport {
-	return &TCPTransport{verts: newConnPool(addrs), numVertices: numVertices}
+	t := &TCPTransport{verts: newConnPool(addrs), numVertices: numVertices}
+	t.wirePool(t.verts, dataOpAttempts)
+	return t
+}
+
+// Configure applies the hardening knobs to both planes: per-attempt
+// dial timeout, per-exchange frame deadline (zero keeps the 30 s
+// default, negative disables), and an optional fault-injection plan.
+// Call before the engine runs.
+func (t *TCPTransport) Configure(dialTimeout, frameTimeout time.Duration, fault *FaultPlan) {
+	t.dialTimeout, t.frameTimeout, t.fault = dialTimeout, frameTimeout, fault
+	t.verts.configure(dialTimeout, frameTimeout, fault)
+	if t.tasks != nil {
+		t.tasks.configure(dialTimeout, frameTimeout, fault)
+	}
+}
+
+// Redirect reroutes adjacency fetches addressed to machine `dead` to
+// machine `fallback`'s vertex server — the data-plane half of worker
+// loss recovery. Sound because every machine serves the full mmap'd
+// graph: the vertex server answers any valid id regardless of the
+// hash partition. Task delivery is deliberately not redirected; the
+// steal planner stops targeting dead machines instead.
+func (t *TCPTransport) Redirect(dead, fallback int) {
+	t.verts.setRedirect(dead, fallback)
+}
+
+func (t *TCPTransport) wirePool(p *connPool, opAttempts int) {
+	p.opAttempts = opAttempts
+	p.retriedDials = &t.retriedDials
+	p.retriedOps = &t.retriedOps
 }
 
 // SetTaskAddrs configures the task channel with one TaskServer address
@@ -530,6 +755,10 @@ func NewTCPTransport(addrs []string, numVertices int) *TCPTransport {
 // runs; the transport is not ready to ship tasks without it.
 func (t *TCPTransport) SetTaskAddrs(addrs []string) {
 	t.tasks = newConnPool(addrs)
+	// Task delivery is not idempotent (a lost ack after delivery must
+	// not replay the batch), so the task pool never retries ops.
+	t.wirePool(t.tasks, 1)
+	t.tasks.configure(t.dialTimeout, t.frameTimeout, t.fault)
 }
 
 // FetchAdj performs a one-vertex batch round trip.
@@ -607,7 +836,7 @@ func appendAdjBatchResponse(dst [][]graph.V, payload []byte, requested, numVerti
 // SendTasks ships one GQS1 task batch to machine dest's TaskServer and
 // waits for the acknowledgement (sent after delivery).
 func (t *TCPTransport) SendTasks(dest int, batch []byte) error {
-	if len(t.tasks.addrs) == 0 {
+	if t.tasks == nil || len(t.tasks.addrs) == 0 {
 		return fmt.Errorf("gthinker: task channel not configured (SetTaskAddrs)")
 	}
 	if _, err := t.tasks.roundTrip(dest, opTaskSteal, batch, maxFramePayload, &t.sent, &t.recvd); err != nil {
@@ -619,7 +848,9 @@ func (t *TCPTransport) SendTasks(dest int, batch []byte) error {
 
 // TaskChannelReady reports whether SetTaskAddrs configured the task
 // channel.
-func (t *TCPTransport) TaskChannelReady() bool { return len(t.tasks.addrs) > 0 }
+func (t *TCPTransport) TaskChannelReady() bool {
+	return t.tasks != nil && len(t.tasks.addrs) > 0
+}
 
 // Health performs one opHealth round trip to machine's VertexServer
 // and returns its served counter.
@@ -651,11 +882,21 @@ func (t *TCPTransport) WireBytes() (sent, received uint64) {
 	return t.sent.Load(), t.recvd.Load()
 }
 
+// RetriedDials returns the number of dial attempts beyond the first
+// of each dialWithRetry call.
+func (t *TCPTransport) RetriedDials() uint64 { return t.retriedDials.Load() }
+
+// RetriedOps returns the number of idempotent-op retries (attempts
+// beyond the first of each round trip).
+func (t *TCPTransport) RetriedOps() uint64 { return t.retriedOps.Load() }
+
 // Close tears down pooled connections.
 func (t *TCPTransport) Close() error {
 	err := t.verts.close()
-	if terr := t.tasks.close(); err == nil {
-		err = terr
+	if t.tasks != nil {
+		if terr := t.tasks.close(); err == nil {
+			err = terr
+		}
 	}
 	if err != nil && !errors.Is(err, io.EOF) {
 		return err

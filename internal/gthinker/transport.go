@@ -56,6 +56,25 @@ type TaskChannel interface {
 	TaskChannelReady() bool
 }
 
+// Redirector is an optional Transport extension used by worker-loss
+// recovery: Redirect(dead, fallback) reroutes adjacency fetches
+// addressed to a dead machine to a coordinator-designated fallback
+// owner. This is the one sanctioned exception to the "reject
+// mis-routed ids" contract above — it is only sound for transports
+// whose peers each serve the full graph (the TCP vertex servers do:
+// every machine mmaps the whole GQC2 file).
+type Redirector interface {
+	Redirect(dead, fallback int)
+}
+
+// RetryStats is an optional Transport extension surfacing the
+// hardening counters (dial retries, idempotent-op retries) into
+// Metrics.
+type RetryStats interface {
+	RetriedDials() uint64
+	RetriedOps() uint64
+}
+
 // TransportStats is an optional Transport extension surfacing
 // wire-level counters into Metrics.
 type TransportStats interface {

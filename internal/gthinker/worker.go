@@ -147,12 +147,17 @@ func (w *worker) spawnBatch() {
 	rt := w.rt
 	for i := 0; i < rt.cfg.BatchSize; i++ {
 		rt.live.Add(1)
-		idx := int(rt.spawnCursor.Add(1)) - 1
-		if idx >= len(rt.verts) {
+		var v graph.V
+		if idx := int(rt.spawnCursor.Add(1)) - 1; idx < len(rt.verts) {
+			v = rt.verts[idx]
+		} else if av, ok := rt.nextAdopted(); ok {
+			// Adopted vertices (a dead machine's partition, re-owned by
+			// recovery) spawn after the home partition is exhausted.
+			v = av
+		} else {
 			rt.live.Add(-1)
 			return
 		}
-		v := rt.verts[idx]
 		t := rt.app.Spawn(v, rt.g.Adj(v), &w.ctx)
 		if t == nil {
 			rt.live.Add(-1)

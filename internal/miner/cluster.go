@@ -45,6 +45,7 @@ const (
 const (
 	ecfgDisableStealing = 1 << iota
 	ecfgDisableGlobalQueue
+	ecfgDisableRecovery
 )
 
 // AppendJobSpec encodes the mining job (miner config + engine shape)
@@ -91,8 +92,16 @@ func AppendJobSpec(dst []byte, cfg Config, ecfg gthinker.Config) []byte {
 	if ecfg.DisableGlobalQueue {
 		ef |= ecfgDisableGlobalQueue
 	}
+	if ecfg.DisableRecovery {
+		ef |= ecfgDisableRecovery
+	}
 	dst = store.AppendU32(dst, ef)
 	dst = append(dst, byte(ecfg.SpillFormat))
+	dst = store.AppendU64(dst, uint64(ecfg.FrameTimeout))
+	dst = store.AppendU64(dst, uint64(ecfg.DialTimeout))
+	dst = store.AppendU64(dst, uint64(int64(ecfg.DeadAfterPolls)))
+	dst = store.AppendU32(dst, uint32(len(ecfg.FaultSpec)))
+	dst = append(dst, ecfg.FaultSpec...)
 	return dst
 }
 
@@ -143,10 +152,22 @@ func DecodeJobSpec(data []byte) (Config, gthinker.Config, error) {
 	ef := c.U32()
 	ecfg.DisableStealing = ef&ecfgDisableStealing != 0
 	ecfg.DisableGlobalQueue = ef&ecfgDisableGlobalQueue != 0
+	ecfg.DisableRecovery = ef&ecfgDisableRecovery != 0
 	fb := c.Bytes(1)
 	if len(fb) == 1 {
 		ecfg.SpillFormat = gthinker.SpillFormat(fb[0])
 	}
+	ecfg.FrameTimeout = time.Duration(c.U64())
+	ecfg.DialTimeout = time.Duration(c.U64())
+	ecfg.DeadAfterPolls = int(int64(c.U64()))
+	nf := int(c.U32())
+	if err := c.Err(); err != nil {
+		return cfg, ecfg, fmt.Errorf("miner: malformed job spec: %w", err)
+	}
+	if nf > c.Remaining() {
+		return cfg, ecfg, fmt.Errorf("miner: job spec claims %d-byte fault plan in %d bytes", nf, c.Remaining())
+	}
+	ecfg.FaultSpec = string(c.Bytes(nf))
 	if err := c.Err(); err != nil {
 		return cfg, ecfg, fmt.Errorf("miner: malformed job spec: %w", err)
 	}
@@ -217,8 +238,11 @@ func workerResults(a gthinker.App) ([]byte, error) {
 // and starts the worker host serving machine machineID. It is the
 // entire body of cmd/qcworker (and of the test harness's re-executed
 // process): callers print the ready line, wait for the coordinator's
-// exit op, and close.
-func HostWorker(graphPath, manifestPath string, machineID int) (*gthinker.WorkerHost, func(), error) {
+// exit op, and close. faultSpec, when non-empty, overrides the job
+// spec's fault plan for this process (chaos tests inject faults into
+// one machine of a cluster); a fault-plan kill exits the process hard
+// with status 137, indistinguishable from an external SIGKILL.
+func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string) (*gthinker.WorkerHost, func(), error) {
 	man, err := store.ReadManifestFile(manifestPath)
 	if err != nil {
 		return nil, nil, err
@@ -244,6 +268,8 @@ func HostWorker(graphPath, manifestPath string, machineID int) (*gthinker.Worker
 		ControlAddr: spec.Control,
 		VertexAddr:  spec.Vertex,
 		TaskAddr:    spec.Task,
+		FaultSpec:   faultSpec,
+		Kill:        func() { os.Exit(137) },
 		NewApp: func(specBytes []byte, machines int) (gthinker.App, gthinker.Config, error) {
 			cfg, ecfg, err := DecodeJobSpec(specBytes)
 			if err != nil {
@@ -403,6 +429,9 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 
 	cc := gthinker.DialCluster(procs.ControlAddrs)
 	defer cc.Close()
+	if err := cc.Configure(ecfg); err != nil {
+		return nil, err
+	}
 	spec := AppendJobSpec(nil, cfg, ecfg)
 	vaddrs, taddrs, err := cc.JoinAll(ecfg.Machines, numVerts, numEdges, spec)
 	if err != nil {
@@ -421,8 +450,16 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 		return nil, err
 	}
 
+	// Machines the coordinator declared dead and recovered from have no
+	// results to flush (their partitions were re-mined by a survivor)
+	// and no process worth reaping cleanly.
+	isDead := func(m int) bool { return m < len(stats.Dead) && stats.Dead[m] }
+
 	all := quasiclique.NewCollector()
 	for m := 0; m < ecfg.Machines; m++ {
+		if isDead(m) {
+			continue
+		}
 		data, err := cc.Results(m)
 		if err != nil {
 			return nil, fmt.Errorf("miner: results from machine %d: %w", m, err)
@@ -436,11 +473,14 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 		}
 	}
 	for m := 0; m < ecfg.Machines; m++ {
+		if isDead(m) {
+			continue
+		}
 		if err := cc.Exit(m); err != nil {
 			return nil, fmt.Errorf("miner: exit machine %d: %w", m, err)
 		}
 	}
-	if err := procs.Wait(pcfg.ExitTimeout); err != nil {
+	if err := procs.WaitLive(pcfg.ExitTimeout, stats.Dead); err != nil {
 		return nil, err
 	}
 	clean = true
@@ -450,6 +490,10 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 	met.StealRounds = stats.StealRounds
 	met.TasksStolen = stats.TasksStolen
 	met.OffCycleSteals = stats.OffCycleSteals
+	met.Recoveries = stats.Recoveries
+	met.DeadMachines = stats.DeadMachines
+	met.RetriedDials += cc.RetriedDials()
+	met.RetriedOps += cc.RetriedOps()
 
 	// Per-root recorder data stays in the worker processes; the
 	// cluster result carries an empty recorder so downstream reporting

@@ -2,6 +2,7 @@ package miner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -31,7 +32,7 @@ func TestHelperWorkerProcess(t *testing.T) {
 		fmt.Fprintln(os.Stderr, "helper:", err)
 		os.Exit(1)
 	}
-	host, cleanup, err := HostWorker(os.Getenv("QCWORKER_GRAPH"), os.Getenv("QCWORKER_MANIFEST"), machine)
+	host, cleanup, err := HostWorker(os.Getenv("QCWORKER_GRAPH"), os.Getenv("QCWORKER_MANIFEST"), machine, os.Getenv("QCWORKER_FAULTPLAN"))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "helper:", err)
 		os.Exit(1)
@@ -148,18 +149,88 @@ func TestMineProcsBitIdentical(t *testing.T) {
 	t.Logf("procs run: %v", met)
 }
 
-// TestMineProcsWorkerKilled: a worker process dying mid-run must fail
-// the job with a protocol error, not hang the coordinator. The cluster
-// is composed manually so the kill lands deterministically between
-// mining start and the coordinator loop.
-func TestMineProcsWorkerKilled(t *testing.T) {
+// TestMineProcsWorkerKilledRecovers is the worker-loss end-to-end: a
+// 4-process cluster whose job spec carries a fault plan that kills one
+// worker process (hard exit 137) mid-run. The coordinator must detect
+// the loss, hand the dead machine's partition to a survivor, and finish
+// with results bit-identical to the serial miner. Before recovery
+// landed, the first failed status poll aborted the whole run — this
+// test is the regression gate for that behavior.
+func TestMineProcsWorkerKilledRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	g, graphPath := writeProcsGraph(t, dir)
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 7}
+	cfg := Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4}
+	ecfg := gthinker.Config{
+		Machines: 4, WorkersPerMachine: 2,
+		StealInterval:  time.Millisecond,
+		StatusInterval: 5 * time.Millisecond,
+		DeadAfterPolls: 3,
+		DialTimeout:    time.Second,
+		FrameTimeout:   5 * time.Second,
+		// Kill machine 1 on its 5th status poll that observed mining.
+		FaultSpec: "9:kill=1@5",
+	}
+
+	serial, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("planted graph yields no results; parameters are wrong")
+	}
+
+	done := make(chan struct{})
+	var res *Result
+	go func() {
+		defer close(done)
+		res, err = MineProcs(context.Background(), cfg, ecfg, ProcsConfig{
+			GraphPath: graphPath,
+			Command:   helperWorkerCommand(graphPath),
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("coordinator hung on a dead worker")
+	}
+	if err != nil {
+		t.Fatalf("run did not survive the worker kill: %v", err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, serial) {
+		t.Fatalf("post-recovery results diverge from serial: %d vs %d cliques",
+			len(res.Cliques), len(serial))
+	}
+	met := res.Engine
+	if met.DeadMachines != 1 || met.Recoveries != 1 {
+		t.Fatalf("want exactly one recovered loss, got dead=%d recoveries=%d",
+			met.DeadMachines, met.Recoveries)
+	}
+	t.Logf("recovered run: %v", met)
+}
+
+// TestMineProcsWorkerKilledNoRecovery pins the opt-out: with
+// DisableRecovery a killed worker must fail the job with the typed
+// machine-lost error — promptly, never a hang.
+func TestMineProcsWorkerKilledNoRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns OS processes")
 	}
 	dir := t.TempDir()
 	g, graphPath := writeProcsGraph(t, dir)
 	cfg := Config{Params: quasiclique.Params{Gamma: 0.8, MinSize: 7}, TauTime: time.Nanosecond, TauSplit: 4}
-	engineCfg := gthinker.Config{Machines: 2, WorkersPerMachine: 2, StealInterval: time.Millisecond}
+	engineCfg := gthinker.Config{
+		Machines: 2, WorkersPerMachine: 2,
+		StealInterval:   time.Millisecond,
+		StatusInterval:  5 * time.Millisecond,
+		DeadAfterPolls:  3,
+		DialTimeout:     time.Second,
+		FrameTimeout:    5 * time.Second,
+		DisableRecovery: true,
+	}
 
 	man := &store.Manifest{
 		Scheme:      store.OwnerSchemeSplitmix,
@@ -181,6 +252,9 @@ func TestMineProcsWorkerKilled(t *testing.T) {
 
 	cc := gthinker.DialCluster(procs.ControlAddrs)
 	defer cc.Close()
+	if err := cc.Configure(engineCfg); err != nil {
+		t.Fatal(err)
+	}
 	spec := AppendJobSpec(nil, cfg, engineCfg)
 	vaddrs, taddrs, err := cc.JoinAll(engineCfg.Machines, g.NumVertices(), uint64(g.NumEdges()), spec)
 	if err != nil {
@@ -206,7 +280,10 @@ func TestMineProcsWorkerKilled(t *testing.T) {
 	select {
 	case err := <-done:
 		if err == nil {
-			t.Fatal("coordinator succeeded with a dead worker")
+			t.Fatal("coordinator succeeded with a dead worker and recovery disabled")
+		}
+		if !errors.Is(err, gthinker.ErrMachineLost) {
+			t.Fatalf("want ErrMachineLost, got: %v", err)
 		}
 		t.Logf("coordinator failed as expected: %v", err)
 	case <-time.After(60 * time.Second):
