@@ -56,6 +56,9 @@ func main() {
 		frameTO    = flag.Duration("frame-timeout", 0, "cluster frame-exchange deadline (0 = default 30s, negative disables)")
 		deadAfter  = flag.Int("dead-after", 0, "consecutive failed status polls before a worker is declared dead (0 = default 5)")
 		faultPlan  = flag.String("faultplan", "", "seeded fault-injection plan for chaos benchmarking, e.g. '7:dialfail=0.1,kill=1@3'")
+		tracePath  = flag.String("trace", "", "record execution timelines across every cell and write the merged Chrome trace-event JSON to this file at exit (load in Perfetto)")
+		debugAddr  = flag.String("debug-addr", "", "serve live /metrics, /healthz, expvar, and pprof on this address while experiments run (e.g. :6060, or :0 for a dynamic port)")
+		rootStats  = flag.Int("rootstats", 0, "print each cell's N heaviest root tasks (by attributed mining time) to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -69,6 +72,22 @@ func main() {
 	experiments.SetFaultPlan(*faultPlan)
 	experiments.SetFrameTimeout(*frameTO)
 	experiments.SetDeadAfter(*deadAfter)
+	experiments.SetRootStats(*rootStats)
+	flushTrace := func() {
+		if err := experiments.FlushTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: trace: %v\n", err)
+		}
+	}
+	if *tracePath != "" {
+		experiments.SetTrace(*tracePath)
+		defer flushTrace()
+	}
+	if *debugAddr != "" {
+		if err := experiments.SetDebugAddr(*debugAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *procs > 0 {
 		bin, err := miner.ResolveQCWorker(*qcworker)
 		if err != nil {
@@ -112,8 +131,10 @@ func main() {
 		}()
 	}
 	// die reports a failure and exits WITHOUT losing the deferred
-	// -procs temp-dir cleanup (os.Exit skips defers).
+	// -procs temp-dir cleanup or the partial trace (os.Exit skips
+	// defers).
 	die := func(format string, args ...any) {
+		flushTrace()
 		experiments.CleanupProcs()
 		fmt.Fprintf(os.Stderr, format, args...)
 		os.Exit(1)

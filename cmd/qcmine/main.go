@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gthinkerqc"
+	"gthinkerqc/internal/experiments"
 	"gthinkerqc/internal/miner"
 )
 
@@ -41,6 +42,10 @@ func main() {
 		frameTO   = flag.Duration("frame-timeout", 0, "cluster frame-exchange deadline (0 = default 30s, negative disables)")
 		deadAfter = flag.Int("dead-after", 0, "consecutive failed status polls before a worker is declared dead (0 = default 5)")
 		faultPlan = flag.String("faultplan", "", "seeded fault-injection plan for chaos testing, e.g. '7:dialfail=0.1,kill=1@3'")
+		tracePath = flag.String("trace", "", "record an execution timeline and write it as Chrome trace-event JSON to this file (load in Perfetto); cluster runs merge every worker's spans")
+		debugAddr = flag.String("debug-addr", "", "serve live /metrics, /healthz, expvar, and pprof on this address during the run (e.g. :6060, or :0 for a dynamic port)")
+		progress  = flag.Duration("progress", 0, "log a one-line cluster progress summary to stderr at this interval (0 = off)")
+		rootStats = flag.Int("rootstats", 0, "print the N heaviest root tasks (by attributed mining time) to stderr after the run")
 		output    = flag.String("o", "", "result file (default stdout)")
 		quiet     = flag.Bool("q", false, "suppress the stats summary on stderr")
 	)
@@ -76,6 +81,9 @@ func main() {
 		FrameTimeout:   *frameTO,
 		DeadAfterPolls: *deadAfter,
 		FaultPlan:      *faultPlan,
+		TracePath:      *tracePath,
+		DebugAddr:      *debugAddr,
+		Progress:       *progress,
 	}
 	cfg.Ablations.NoSIMD = *noSIMD
 	var res *gthinkerqc.Result
@@ -117,6 +125,13 @@ func main() {
 			len(res.Cliques), res.Candidates, res.Wall.Round(time.Millisecond))
 		if res.Engine != nil {
 			fmt.Fprintf(os.Stderr, "qcmine: engine: %v\n", res.Engine)
+		}
+	}
+	if *rootStats > 0 {
+		if res.Tasks == nil {
+			fmt.Fprintln(os.Stderr, "qcmine: -rootstats: no per-root statistics on this path (serial or multi-process run)")
+		} else {
+			experiments.PrintRootStats(os.Stderr, "qcmine", res.Tasks, *rootStats)
 		}
 	}
 }

@@ -18,6 +18,13 @@
 // worker binds the addresses named in its manifest row, or dynamic
 // 127.0.0.1 ports when the row is empty (the single-host flow).
 //
+// Observability: -debug-addr serves this process's live /metrics,
+// /healthz, expvar, and pprof over HTTP while it mines; -trace FILE
+// forces span tracing on for this worker and writes ITS local timeline
+// as Chrome trace-event JSON at exit (the coordinator separately
+// collects every worker's spans into the cluster-wide timeline when
+// the job itself was started with tracing).
+//
 // Everything this process executes — scheduling, spilling, stealing,
 // termination — is the same MachineRuntime the in-process engine
 // composes; the only difference is that here the cluster's other
@@ -31,6 +38,7 @@ import (
 
 	"gthinkerqc/internal/gthinker"
 	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/obs"
 )
 
 func main() {
@@ -39,6 +47,8 @@ func main() {
 		manifestPath = flag.String("manifest", "", "partition manifest file (GQM1)")
 		machine      = flag.Int("machine", -1, "machine id this process serves")
 		faultPlan    = flag.String("faultplan", os.Getenv("QCWORKER_FAULTPLAN"), "seeded fault-injection plan overriding the job spec's (chaos testing; e.g. '7:kill=1@3')")
+		tracePath    = flag.String("trace", "", "force tracing on and write this worker's local Chrome trace-event JSON here at exit")
+		debugAddr    = flag.String("debug-addr", "", "serve /metrics, /healthz, expvar, and pprof on this address (e.g. :6061)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *manifestPath == "" || *machine < 0 {
@@ -46,12 +56,38 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	host, cleanup, err := miner.HostWorker(*graphPath, *manifestPath, *machine, *faultPlan)
+	host, cleanup, err := miner.HostWorker(*graphPath, *manifestPath, *machine, *faultPlan, *tracePath != "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qcworker:", err)
 		os.Exit(1)
 	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qcworker:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		m := *machine
+		ds.AddSource(func() []obs.Sample {
+			// The runtime exists only after the coordinator's join; an
+			// early scrape sees no series, not an error.
+			rt := host.Runtime()
+			if rt == nil {
+				return nil
+			}
+			return gthinker.MetricsSamples(rt.LiveMetrics(), m)
+		})
+		fmt.Fprintf(os.Stderr, "qcworker: debug server listening on http://%s\n", ds.Addr())
+	}
 	gthinker.PrintWorkerReady(os.Stdout, host)
 	host.WaitExit()
+	if *tracePath != "" {
+		if rt := host.Runtime(); rt != nil {
+			if err := obs.WriteChromeTraceFile(*tracePath, rt.TraceSnapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, "qcworker: write trace:", err)
+			}
+		}
+	}
 	cleanup()
 }

@@ -40,6 +40,7 @@ import (
 	"os/exec"
 
 	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/quasiclique"
 )
 
@@ -99,6 +100,21 @@ type Config struct {
 	// FaultPlan is a seeded fault-injection spec (chaos testing), e.g.
 	// "7:dialfail=0.1,kill=1@3". Empty injects nothing.
 	FaultPlan string
+
+	// TracePath, when non-empty, turns on the engine's low-overhead
+	// span tracer and writes the run's merged cluster timeline — every
+	// worker's compute/spawn/spill/fetch/steal spans plus the
+	// coordinator's scheduling events — to this file as Chrome
+	// trace-event JSON (load it in Perfetto or chrome://tracing).
+	TracePath string
+	// DebugAddr, when non-empty, serves live debug HTTP endpoints for
+	// the duration of the run: Prometheus-text /metrics fed from the
+	// coordinator's per-machine status view, /healthz, expvar, and
+	// net/http/pprof. Use ":0" for a dynamic port (logged to stderr).
+	DebugAddr string
+	// Progress, when positive, logs a one-line cluster progress summary
+	// to stderr at this interval during the run.
+	Progress time.Duration
 
 	// KeepNonMaximal skips the maximality post-filter, mirroring the
 	// paper's released code.
@@ -188,9 +204,15 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		FrameTimeout:      cfg.FrameTimeout,
 		DeadAfterPolls:    cfg.DeadAfterPolls,
 		FaultSpec:         cfg.FaultPlan,
+		Trace:             cfg.TracePath != "",
+		DebugAddr:         cfg.DebugAddr,
+		Progress:          cfg.Progress,
 	})
 	if res == nil {
 		return nil, err
+	}
+	if werr := writeTrace(cfg.TracePath, res.Trace); werr != nil && err == nil {
+		err = werr
 	}
 	return &Result{
 		Cliques:    res.Cliques,
@@ -199,6 +221,14 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 		Engine:     res.Engine,
 		Tasks:      res.Recorder,
 	}, err
+}
+
+// writeTrace exports a merged timeline as Chrome trace-event JSON.
+func writeTrace(path string, tr *obs.Trace) error {
+	if path == "" || tr == nil {
+		return nil
+	}
+	return obs.WriteChromeTraceFile(path, tr)
 }
 
 // ClusterOptions shapes a multi-process mining run (MineCluster).
@@ -247,12 +277,18 @@ func MineCluster(ctx context.Context, cfg Config, opts ClusterOptions) (*Result,
 		FrameTimeout:      cfg.FrameTimeout,
 		DeadAfterPolls:    cfg.DeadAfterPolls,
 		FaultSpec:         cfg.FaultPlan,
+		Trace:             cfg.TracePath != "",
+		DebugAddr:         cfg.DebugAddr,
+		Progress:          cfg.Progress,
 	}, miner.ProcsConfig{
 		GraphPath:   opts.GraphPath,
 		Command:     opts.WorkerCommand,
 		ManifestDir: opts.ManifestDir,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := writeTrace(cfg.TracePath, res.Trace); err != nil {
 		return nil, err
 	}
 	return &Result{

@@ -1,0 +1,153 @@
+package experiments
+
+// This file holds the observability hooks for benchmark runs: qcbench
+// threads its -trace, -debug-addr, and -rootstats flags through the
+// setters here, and every subsequent experiment cell picks them up —
+// traces accumulate across cells into one timeline file, the debug
+// server serves the CURRENT cell's live view, and per-root cost tables
+// print after each cell.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/obs"
+)
+
+var (
+	obsMu     sync.Mutex
+	tracePath string
+	traceAcc  []*obs.Trace
+	debugSrv  *obs.DebugServer
+	liveView  *gthinker.LiveView
+	rootStats int
+)
+
+// SetTrace turns span tracing on for every subsequent cell and names
+// the file FlushTrace writes the accumulated Chrome trace-event JSON
+// to (qcbench -trace). Empty disables.
+func SetTrace(path string) {
+	obsMu.Lock()
+	tracePath = path
+	obsMu.Unlock()
+}
+
+// FlushTrace writes every traced cell's spans, merged into one
+// timeline, to the file named by SetTrace. A no-op when tracing is off
+// or nothing ran. qcbench defers it so the file appears even when an
+// experiment fails midway.
+func FlushTrace() error {
+	obsMu.Lock()
+	path := tracePath
+	acc := traceAcc
+	obsMu.Unlock()
+	if path == "" || len(acc) == 0 {
+		return nil
+	}
+	return obs.WriteChromeTraceFile(path, obs.Merge(acc...))
+}
+
+// SetDebugAddr starts a process-wide debug HTTP server (qcbench
+// -debug-addr): /metrics serves the live per-machine view of whichever
+// cell is currently mining, plus /healthz, expvar, and pprof. The
+// bound address is logged to stderr (use ":0" for a dynamic port).
+func SetDebugAddr(addr string) error {
+	ds, err := obs.StartDebugServer(addr)
+	if err != nil {
+		return err
+	}
+	ds.AddSource(func() []obs.Sample {
+		obsMu.Lock()
+		lv := liveView
+		obsMu.Unlock()
+		if lv == nil {
+			return nil
+		}
+		return lv.Samples()
+	})
+	obsMu.Lock()
+	debugSrv = ds
+	obsMu.Unlock()
+	fmt.Fprintf(os.Stderr, "qcbench: debug server listening on http://%s\n", ds.Addr())
+	return nil
+}
+
+// CloseDebug stops the SetDebugAddr server (tests; qcbench just exits).
+func CloseDebug() {
+	obsMu.Lock()
+	ds := debugSrv
+	debugSrv = nil
+	obsMu.Unlock()
+	if ds != nil {
+		ds.Close()
+	}
+}
+
+// SetRootStats makes every subsequent cell print its n heaviest root
+// tasks (by attributed mining time) to stderr (qcbench -rootstats).
+// Zero disables.
+func SetRootStats(n int) {
+	obsMu.Lock()
+	rootStats = n
+	obsMu.Unlock()
+}
+
+// applyObs wires the observability hooks into one cell's engine
+// config: tracing when a trace file was requested, and a fresh
+// per-cell LiveView behind the debug server's /metrics.
+func applyObs(ecfg *gthinker.Config) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	if tracePath != "" {
+		ecfg.Trace = true
+	}
+	if debugSrv != nil {
+		machines := ecfg.Machines
+		if machines < 1 {
+			machines = 1
+		}
+		lv := gthinker.NewLiveView(machines)
+		liveView = lv
+		ecfg.StatusSink = lv.Observe
+	}
+}
+
+// finishObs accumulates one finished cell's trace and prints its
+// per-root cost table when asked.
+func finishObs(label string, res *miner.Result) {
+	obsMu.Lock()
+	if tracePath != "" && res.Trace != nil {
+		traceAcc = append(traceAcc, res.Trace)
+	}
+	n := rootStats
+	obsMu.Unlock()
+	if n > 0 && res.Recorder != nil {
+		PrintRootStats(os.Stderr, label, res.Recorder, n)
+	}
+}
+
+// PrintRootStats renders the k heaviest root tasks — the per-root
+// mining/materialization split behind the paper's Figures 1–3 — as an
+// aligned table.
+func PrintRootStats(w io.Writer, label string, rec *metrics.Recorder, k int) {
+	top := rec.TopK(k)
+	if len(top) == 0 {
+		fmt.Fprintf(w, "%s: no root-task statistics recorded\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%s: top %d roots by mining time (total mining %v, materialize %v)\n",
+		label, len(top), rec.TotalMining().Round(time.Microsecond),
+		rec.TotalMaterialize().Round(time.Microsecond))
+	fmt.Fprintf(w, "  %10s %8s %12s %12s %9s\n", "root", "subsize", "mining", "materialize", "subtasks")
+	for _, s := range top {
+		fmt.Fprintf(w, "  %10d %8d %12v %12v %9d\n",
+			s.Root, s.SubSize, s.Mining.Round(time.Microsecond),
+			s.Materialize.Round(time.Microsecond), s.Subtasks)
+	}
+}

@@ -375,19 +375,21 @@ func Run(spec RunSpec) (Outcome, error) {
 		if perr != nil {
 			return Outcome{}, perr
 		}
-		res, err = miner.MineProcs(context.Background(), mcfg, gthinker.Config{
+		ecfg := gthinker.Config{
 			Machines:           procs,
 			WorkersPerMachine:  spec.Cluster.Workers,
 			DisableGlobalQueue: spec.DisableGlobalQueue,
 			FaultSpec:          plan,
 			FrameTimeout:       fto,
 			DeadAfterPolls:     dap,
-		}, miner.ProcsConfig{
+		}
+		applyObs(&ecfg)
+		res, err = miner.MineProcs(context.Background(), mcfg, ecfg, miner.ProcsConfig{
 			GraphPath: path,
 			Command:   miner.QCWorkerCommand(bin, path),
 		})
 	} else {
-		res, err = miner.Mine(g, mcfg, gthinker.Config{
+		ecfg := gthinker.Config{
 			Machines:           spec.Cluster.Machines,
 			WorkersPerMachine:  spec.Cluster.Workers,
 			DisableGlobalQueue: spec.DisableGlobalQueue,
@@ -395,11 +397,14 @@ func Run(spec RunSpec) (Outcome, error) {
 			FaultSpec:          plan,
 			FrameTimeout:       fto,
 			DeadAfterPolls:     dap,
-		})
+		}
+		applyObs(&ecfg)
+		res, err = miner.Mine(g, mcfg, ecfg)
 	}
 	if err != nil {
 		return Outcome{}, err
 	}
+	finishObs(spec.Dataset, res)
 	return Outcome{
 		Wall:        time.Since(start),
 		Results:     len(res.Cliques),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/obs"
 )
 
 // WorkerHostConfig configures one hosted machine runtime.
@@ -54,6 +55,11 @@ type WorkerHostConfig struct {
 	// a homogeneous cluster). Empty defers to the coordinator's
 	// Config.FaultSpec carried in the job spec.
 	FaultSpec string
+	// Trace forces span tracing on for this host even when the job spec
+	// does not request it (cmd/qcworker threads -trace through it, so a
+	// single worker can be traced locally without the coordinator
+	// collecting cluster-wide). False defers to the job config.
+	Trace bool
 	// Kill is invoked when the fault plan's kill directive fires on
 	// this machine. Nil defaults to tearing the host down in-process
 	// (Close); a real worker process should exit hard instead
@@ -192,6 +198,9 @@ func (h *WorkerHost) handleJoin(r joinRequest) (vaddr, taddr string, err error) 
 		}
 	}
 	cfg.Machines = r.Machines
+	if h.hc.Trace {
+		cfg.Trace = true
+	}
 	cfg = cfg.withDefaults()
 
 	spec := cfg.FaultSpec
@@ -370,6 +379,18 @@ func (h *WorkerHost) handleMetrics() (*Metrics, error) {
 		return nil, err
 	}
 	return rt.LocalMetrics(), nil
+}
+
+// handleTrace snapshots the hosted runtime's span rings for the
+// coordinator's cluster-wide timeline merge. Like metrics it is only
+// meaningful once the workers have quiesced, so it shares the
+// shutdown guard.
+func (h *WorkerHost) handleTrace() (*obs.Trace, error) {
+	rt, _, err := h.afterShutdown()
+	if err != nil {
+		return nil, err
+	}
+	return rt.TraceSnapshot(), nil
 }
 
 func (h *WorkerHost) handleResults() ([]byte, error) {

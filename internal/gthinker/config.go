@@ -2,6 +2,7 @@ package gthinker
 
 import (
 	"fmt"
+	"io"
 	"time"
 )
 
@@ -117,6 +118,33 @@ type Config struct {
 	// see ParseFaultPlan) applied to this process's transports and
 	// worker hosts. Empty means no injected faults. Test/chaos knob.
 	FaultSpec string
+	// Trace enables the event tracer: every machine records
+	// spawn/compute/spill/refill/fetch/steal/recovery spans into
+	// per-worker ring buffers (internal/obs), and the coordinator can
+	// merge them into one cluster-wide timeline. Off by default; the
+	// disabled fast path is a nil-pointer check per event. Carried in
+	// the cluster job spec so worker processes trace too.
+	Trace bool
+	// DebugAddr, when non-empty, starts a debug HTTP server on the
+	// coordinator for the duration of the run: /metrics (Prometheus
+	// text of the live per-machine view), /healthz, expvar, and
+	// net/http/pprof. ":0" picks a free port; the bound address is
+	// logged to stderr. Coordinator-side only — not part of the job
+	// spec (worker processes mount their own via cmd/qcworker).
+	DebugAddr string
+	// Progress, when positive, logs a one-line cluster progress
+	// summary (live tasks, spawn cursors, steals, recoveries) to
+	// ProgressWriter at this period. Coordinator-side only.
+	Progress time.Duration
+	// ProgressWriter receives Progress lines; nil means os.Stderr.
+	ProgressWriter io.Writer
+	// StatusSink, when non-nil, observes every successful status poll
+	// the coordinator makes (machine id, its report). It is invoked
+	// from the coordinator's poll loop, so it must be fast and must
+	// not call back into the control plane. Coordinator-side only —
+	// callers use it to feed an external live view (qcbench's debug
+	// server does).
+	StatusSink func(machine int, st MachineStatus)
 }
 
 // withDefaults fills zero fields.

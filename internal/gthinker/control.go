@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/store"
 )
 
@@ -18,8 +19,10 @@ import (
 
 // controlProtoVersion is the handshake version; a coordinator and
 // worker disagreeing on it refuse to pair. Version 2 added the spawn
-// cursor to the status reply and the opRecover directive.
-const controlProtoVersion = 2
+// cursor to the status reply and the opRecover directive; version 3
+// added the live counter samples to the status reply, the trace
+// counters to the metrics payload, and the opTrace collection op.
+const controlProtoVersion = 3
 
 // Control-plane ops (continuing the tcp.go data-plane numbering).
 const (
@@ -33,6 +36,7 @@ const (
 	opExit     byte = 0x0B
 	opRun      byte = 0x0C
 	opRecover  byte = 0x0D
+	opTrace    byte = 0x0E
 )
 
 // maxCtlAddr bounds one address string read off the wire.
@@ -93,6 +97,12 @@ func appendStatus(dst []byte, st MachineStatus) []byte {
 	dst = store.AppendU64(dst, st.SentOut)
 	dst = store.AppendU64(dst, st.RecvIn)
 	dst = store.AppendU64(dst, uint64(st.Spawned))
+	dst = store.AppendU64(dst, st.ComputeCalls)
+	dst = store.AppendU64(dst, st.TasksFinished)
+	dst = store.AppendU64(dst, st.SubtasksAdded)
+	dst = store.AppendU64(dst, st.SpillBytes)
+	dst = store.AppendU64(dst, st.CacheHits)
+	dst = store.AppendU64(dst, st.CacheMisses)
 	return store.AppendString(dst, st.Failure)
 }
 
@@ -111,6 +121,12 @@ func decodeStatus(data []byte) (MachineStatus, error) {
 	st.SentOut = c.U64()
 	st.RecvIn = c.U64()
 	st.Spawned = int64(c.U64())
+	st.ComputeCalls = c.U64()
+	st.TasksFinished = c.U64()
+	st.SubtasksAdded = c.U64()
+	st.SpillBytes = c.U64()
+	st.CacheHits = c.U64()
+	st.CacheMisses = c.U64()
 	st.Failure = c.String(maxFailureLen)
 	if err := c.Err(); err != nil {
 		return MachineStatus{}, fmt.Errorf("gthinker: malformed status reply: %w", err)
@@ -170,6 +186,7 @@ type controlHandler interface {
 	handleSteal(recv, want int) (int, error)
 	handleRecover(d RecoverDirective) error
 	handleMetrics() (*Metrics, error)
+	handleTrace() (*obs.Trace, error)
 	handleResults() ([]byte, error)
 	handleShutdown() error
 	handleExit() error
@@ -283,6 +300,12 @@ func (s *controlServer) handle(conn net.Conn) {
 				return nil, err
 			}
 			return appendMetrics(nil, met), nil
+		case opTrace:
+			tr, err := s.h.handleTrace()
+			if err != nil {
+				return nil, err
+			}
+			return obs.AppendTrace(nil, tr), nil
 		case opResults:
 			return s.h.handleResults()
 		case opRun:
@@ -449,6 +472,19 @@ func (c *ClusterClient) CollectMetrics(m int) (*Metrics, error) {
 		return nil, err
 	}
 	return decodeMetrics(resp)
+}
+
+// CollectTrace fetches machine m's retained trace spans (empty when
+// tracing is disabled there). Only valid after Shutdown(m). The
+// reply is accepted up to the absolute frame ceiling, like Results: a
+// full set of per-worker rings legitimately exceeds the request
+// budget.
+func (c *ClusterClient) CollectTrace(m int) (*obs.Trace, error) {
+	resp, err := c.pool.roundTrip(m, opTrace, nil, maxWireFrame, &c.sent, &c.recvd)
+	if err != nil {
+		return nil, err
+	}
+	return obs.DecodeTrace(resp)
 }
 
 // Results fetches machine m's app-level result bytes (opaque to the

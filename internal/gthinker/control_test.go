@@ -17,6 +17,9 @@ func TestMetricsWireRoundTrip(t *testing.T) {
 		PeakSpillBytes: 19, StealRounds: 20, TasksStolen: 21,
 		TasksStolenRemote: 22, OffCycleSteals: 23, PeakHeapAlloc: 24,
 		Recoveries: 25, RetriedDials: 26, RetriedOps: 27, DeadMachines: 28,
+		// Tracing counters rode in with protocol v3; a codec missing them
+		// would silently zero the trace accounting on the wire.
+		TraceSpans: 29, TraceDropped: 30,
 		WorkerBusy: []time.Duration{time.Second, 2 * time.Second},
 		Kernel:     "avx2",
 	}
@@ -40,6 +43,13 @@ func TestStatusWireRoundTrip(t *testing.T) {
 	for _, st := range []MachineStatus{
 		{},
 		{AllSpawned: true, Live: 42, BigPending: 7, SentOut: 3, RecvIn: 9, Spawned: 4711},
+		// The protocol-v3 live counter samples piggybacked on the poll:
+		// losing any of them would freeze the coordinator's live view.
+		{
+			AllSpawned: true, Live: 1, BigPending: 2, SentOut: 3, RecvIn: 4,
+			Spawned: 5, ComputeCalls: 6, TasksFinished: 7, SubtasksAdded: 8,
+			SpillBytes: 9, CacheHits: 10, CacheMisses: 11,
+		},
 		{AllSpawned: true, Failure: "machine on fire"},
 	} {
 		got, err := decodeStatus(appendStatus(nil, st))

@@ -4,8 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 	"time"
+
+	"gthinkerqc/internal/obs"
 )
 
 // ControlPlane is the coordinator's view of the cluster: one entry per
@@ -144,6 +148,11 @@ type CoordinatorStats struct {
 	// collecting results or exits must skip those machines. Nil when
 	// nothing died.
 	Dead []bool
+	// Trace holds the coordinator's own span timeline (recovery events,
+	// steal rounds) when Config.Trace is set; nil otherwise. Callers
+	// merge it with the per-machine snapshots for the cluster-wide
+	// timeline.
+	Trace *obs.Trace
 }
 
 // RunCoordinator drives an already-composed cluster to completion:
@@ -200,6 +209,12 @@ type coordinator struct {
 	lastSt    []MachineStatus
 	segs      [][]int
 
+	// lv is the continuously-updated observability view fed from every
+	// status poll; tracer (non-nil only with Config.Trace) records the
+	// coordinator's own scheduling spans on pid -1 / track 0.
+	lv     *LiveView
+	tracer *obs.Tracer
+
 	perMachine []*Metrics // collected after shutdown; may hold nils on failure
 }
 
@@ -216,6 +231,10 @@ func newCoordinator(ctl ControlPlane, cfg Config) *coordinator {
 	for m := 0; m < n; m++ {
 		c.alive[m] = true
 		c.segs[m] = []int{m}
+	}
+	c.lv = NewLiveView(n)
+	if cfg.Trace {
+		c.tracer = obs.NewTracer(-1, []int32{-1}, 0)
 	}
 	return c
 }
@@ -237,6 +256,9 @@ func (c *coordinator) stats() CoordinatorStats {
 			s.Dead[m] = true
 		}
 	}
+	if c.tracer != nil {
+		s.Trace = c.tracer.Snapshot()
+	}
 	return s
 }
 
@@ -246,9 +268,16 @@ func (c *coordinator) deadMask() []bool { return c.stats().Dead }
 // run drives the cluster to completion: it polls, steals, detects
 // termination (or failure, or cancellation), shuts every machine down,
 // and collects per-machine metrics. The returned error is nil only for
-// a clean termination.
+// a clean termination. The observability side-cars — debug HTTP server
+// and -progress ticker — live exactly as long as the loop, so both the
+// Engine and the engine-free RunCoordinator entry points get them.
 func (c *coordinator) run(ctx context.Context) error {
-	err := c.loop(ctx)
+	stopObs, err := c.startObs()
+	if err != nil {
+		return err
+	}
+	err = c.loop(ctx)
+	stopObs()
 	for m := 0; m < c.ctl.Machines(); m++ {
 		if !c.alive[m] {
 			continue // a dead machine cannot answer a shutdown
@@ -275,6 +304,56 @@ func (c *coordinator) run(ctx context.Context) error {
 		c.perMachine[m] = met
 	}
 	return err
+}
+
+// startObs brings up the coordinator's observability side-cars per the
+// config: the debug HTTP server on DebugAddr (live /metrics from the
+// status-poll view, /healthz, expvar, pprof) and the periodic
+// -progress line. The returned stop function tears both down; it is
+// safe to call when nothing was started.
+func (c *coordinator) startObs() (func(), error) {
+	w := c.cfg.ProgressWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	var ds *obs.DebugServer
+	if c.cfg.DebugAddr != "" {
+		var err error
+		ds, err = obs.StartDebugServer(c.cfg.DebugAddr)
+		if err != nil {
+			return nil, err
+		}
+		ds.AddSource(c.lv.Samples)
+		fmt.Fprintf(w, "gthinker: debug server listening on http://%s\n", ds.Addr())
+	}
+	var stopProgress chan struct{}
+	var progressDone chan struct{}
+	if c.cfg.Progress > 0 {
+		stopProgress = make(chan struct{})
+		progressDone = make(chan struct{})
+		go func(w io.Writer) {
+			defer close(progressDone)
+			tick := time.NewTicker(c.cfg.Progress)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopProgress:
+					return
+				case <-tick.C:
+					fmt.Fprintf(w, "gthinker: %s\n", c.lv.String())
+				}
+			}
+		}(w)
+	}
+	return func() {
+		if stopProgress != nil {
+			close(stopProgress)
+			<-progressDone
+		}
+		if ds != nil {
+			ds.Close()
+		}
+	}, nil
 }
 
 func (c *coordinator) loop(ctx context.Context) error {
@@ -390,7 +469,12 @@ func (c *coordinator) scan() ([]MachineStatus, bool, error) {
 		}
 		sts[m] = st
 		c.lastSt[m] = st
+		c.lv.Observe(m, st)
+		if c.cfg.StatusSink != nil {
+			c.cfg.StatusSink(m, st)
+		}
 	}
+	c.lv.ObserveSched(c.stealRounds, c.tasksStolen, c.offCycleSteals, c.stealErrors, c.recoveries)
 	return sts, complete, nil
 }
 
@@ -409,7 +493,12 @@ func (c *coordinator) recoverMachine(m int, cause error) error {
 	if c.cfg.DisableRecovery {
 		return lost
 	}
+	var rstart time.Time
+	if c.tracer != nil {
+		rstart = time.Now()
+	}
 	c.alive[m] = false
+	c.lv.ObserveDead(m)
 	var survivors []int
 	for i, a := range c.alive {
 		if a {
@@ -434,6 +523,9 @@ func (c *coordinator) recoverMachine(m int, cause error) error {
 		}
 	}
 	c.recoveries++
+	if c.tracer != nil {
+		c.tracer.Record(0, obs.KindRecover, rstart, time.Since(rstart), uint64(m), 0)
+	}
 	return nil
 }
 
@@ -527,6 +619,10 @@ func (c *coordinator) stealFor(recv int, sts []MachineStatus) (int, error) {
 	if want < 1 {
 		want = 1
 	}
+	var sstart time.Time
+	if c.tracer != nil {
+		sstart = time.Now()
+	}
 	moved, err := c.ctl.Steal(donor, recv, want)
 	if err != nil {
 		return 0, err
@@ -534,6 +630,9 @@ func (c *coordinator) stealFor(recv int, sts []MachineStatus) (int, error) {
 	if moved > 0 {
 		c.tasksStolen += uint64(moved)
 		c.stealRounds++
+		if c.tracer != nil {
+			c.tracer.Record(0, obs.KindSteal, sstart, time.Since(sstart), uint64(moved), 1)
+		}
 	}
 	return moved, nil
 }
@@ -570,6 +669,10 @@ func (c *coordinator) stealRound(sts []MachineStatus) (int, error) {
 	n := len(order)
 	if total == 0 || n < 2 {
 		return 0, nil
+	}
+	var sstart time.Time
+	if c.tracer != nil {
+		sstart = time.Now()
 	}
 	avg := total / n
 	sort.Slice(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
@@ -610,6 +713,9 @@ func (c *coordinator) stealRound(sts []MachineStatus) (int, error) {
 	}
 	if movedTotal > 0 {
 		c.stealRounds++
+		if c.tracer != nil {
+			c.tracer.Record(0, obs.KindSteal, sstart, time.Since(sstart), uint64(movedTotal), 0)
+		}
 	}
 	return movedTotal, nil
 }

@@ -133,4 +133,56 @@
 // mid-frame resets, and worker kills deterministically; the chaos
 // matrix in internal/miner asserts every plan ends bit-identical or
 // cleanly errored, never hung.
+//
+// # Observability
+//
+// Three instruments share one design rule: zero cost when off, and no
+// new synchronization on the mining hot path when on.
+//
+// Span tracing (Config.Trace; -trace on qcmine, qcbench, qcworker)
+// records fixed-size span records into per-worker ring buffers
+// (internal/obs.Tracer): an atomic cursor claims slots, timestamps are
+// absolute epoch nanoseconds so spans from different processes merge
+// onto one timeline with no clock negotiation, and a disabled tracer
+// is a nil pointer — Record is a single branch. The span taxonomy
+// mirrors the engine's moving parts:
+//
+//   - spawn — one batch of root tasks spawned from the partition
+//   - compute — one app Compute call (arg: subtasks created)
+//   - spill / refill — task batches crossing the disk boundary
+//   - fetch — one batched remote adjacency round trip (args: owning
+//     machine, vertex count)
+//   - steal-send / steal-recv — a stolen GQS1 batch leaving a donor /
+//     landing at a receiver
+//   - steal-round — one coordinator rebalance decision (arg2=1 for an
+//     off-cycle steal)
+//   - recover / recover-peer — the coordinator declaring a machine
+//     dead and driving recovery / one survivor adopting its work
+//
+// Pid is the machine id (-1 = coordinator), Tid the worker (negative
+// = a machine's control track). At shutdown each composition merges
+// every participant's snapshot into one Trace: the Engine reads its
+// in-process runtimes directly, while multi-process coordinators pull
+// each worker's spans over the control plane (opTrace, OTR1 wire
+// format) before releasing it — so `qcmine -procs 4 -trace out.json`
+// writes ONE cluster-wide timeline, loadable in Perfetto or
+// chrome://tracing (obs.WriteChromeTraceFile). Metrics.TraceSpans /
+// TraceDropped account for ring overflow.
+//
+// The debug server (Config.DebugAddr; -debug-addr on qcmine, qcbench,
+// qcworker; ":0" picks a port and logs it) serves /metrics (Prometheus
+// text), /healthz, /debug/vars (expvar), and /debug/pprof/* while the
+// run is live. The coordinator's /metrics exports the cluster view —
+// per-machine liveness, queue depths, backlog EWMAs, and the live
+// counter samples below — and a qcworker's exports its own runtime's
+// counters plus the kernel variant.
+//
+// Live metrics piggyback on the status poll: each MachineStatus
+// carries monotonic counter samples (compute calls, finished tasks,
+// subtasks, spill bytes, cache hits/misses) read from the runtime's
+// existing atomics, so the coordinator's LiveView is continuously
+// current at StatusInterval resolution with zero extra RPCs. The same
+// view feeds Config.Progress one-line summaries and Config.StatusSink
+// (how qcbench's process-wide debug server tracks whichever cell is
+// currently mining).
 package gthinker

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/obs"
 )
 
 // Engine runs an App over a graph on an in-process cluster: it
@@ -42,6 +43,11 @@ type Engine struct {
 	// InProcessTCP composition, torn down after Run.
 	hosts     []*WorkerHost
 	ctlClient *ClusterClient
+
+	// trace is the merged cluster timeline collected after Run when
+	// Config.Trace is set (every machine's rings plus the coordinator's
+	// scheduling spans); nil otherwise.
+	trace *obs.Trace
 }
 
 // NewEngine prepares a run. The graph must be immutable for the
@@ -218,10 +224,28 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 		}
 	}
 	met := e.aggregateMetrics(time.Since(start))
+	if e.cfg.Trace {
+		// Merge the cluster-wide timeline while the runtimes are still
+		// reachable: every machine's rings (direct reads — all
+		// compositions this engine builds share the process) plus the
+		// coordinator's own scheduling spans.
+		traces := make([]*obs.Trace, 0, len(e.runtimes)+1)
+		for _, rt := range e.runtimes {
+			traces = append(traces, rt.TraceSnapshot())
+		}
+		if e.coord.tracer != nil {
+			traces = append(traces, e.coord.tracer.Snapshot())
+		}
+		e.trace = obs.Merge(traces...)
+	}
 	e.cleanupSpill()
 	e.closeOwnedNetwork()
 	return met, runErr
 }
+
+// Trace returns the merged cluster timeline recorded by the run, or
+// nil when Config.Trace was off. Valid after Run returns.
+func (e *Engine) Trace() *obs.Trace { return e.trace }
 
 // aggregateMetrics merges the per-machine metrics the coordinator
 // collected (over the control plane — the wire, under InProcessTCP)

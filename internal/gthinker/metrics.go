@@ -66,6 +66,13 @@ type Metrics struct {
 	RetriedOps   uint64 // idempotent op retries beyond the first
 	DeadMachines uint64 // machines declared dead by the coordinator
 
+	// Tracing counters (zero when tracing is off): spans recorded into
+	// the obs ring buffers, and spans the rings overwrote before a
+	// snapshot — a non-zero TraceDropped means the exported timeline
+	// has holes and the ring capacity should grow.
+	TraceSpans   uint64
+	TraceDropped uint64
+
 	// Kernel names the bitset kernel variant the machine mined with
 	// ("avx2" or "scalar"); a cluster merge reports "mixed" when
 	// machines disagree, which is worth noticing in an A/B run.
@@ -141,6 +148,8 @@ func MergeMachineMetrics(per []*Metrics) *Metrics {
 		out.RetriedDials += m.RetriedDials
 		out.RetriedOps += m.RetriedOps
 		out.DeadMachines += m.DeadMachines
+		out.TraceSpans += m.TraceSpans
+		out.TraceDropped += m.TraceDropped
 		out.WorkerBusy = append(out.WorkerBusy, m.WorkerBusy...)
 		if m.PeakHeapAlloc > out.PeakHeapAlloc {
 			out.PeakHeapAlloc = m.PeakHeapAlloc
@@ -156,14 +165,19 @@ func MergeMachineMetrics(per []*Metrics) *Metrics {
 	return out
 }
 
-// String renders a compact summary.
+// String renders a compact summary. The trace clause appears only
+// when tracing recorded anything, so untraced runs read as before.
 func (m *Metrics) String() string {
 	kernel := m.Kernel
 	if kernel == "" {
 		kernel = "unknown"
 	}
+	trace := ""
+	if m.TraceSpans > 0 || m.TraceDropped > 0 {
+		trace = fmt.Sprintf(" trace=%d(-%d)", m.TraceSpans, m.TraceDropped)
+	}
 	return fmt.Sprintf(
-		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB retry=%d/%d recover=%d/%d busy=%v imbalance=%.2f kernel=%s",
+		"wall=%v tasks=%d(+%d sub) big=%d small=%d compute=%d steals=%d(%d wire) spill=%dB(peak %dB) refill=%dB/%d cache=%d/%d rpc=%d/%d wire=%dB/%dB retry=%d/%d recover=%d/%d busy=%v imbalance=%.2f%s kernel=%s",
 		m.Wall.Round(time.Millisecond), m.TasksSpawned, m.SubtasksAdded, m.BigTasks,
 		m.SmallTasks, m.ComputeCalls, m.TasksStolen, m.TasksStolenRemote, m.SpillBytesWritten, m.PeakSpillBytes,
 		m.SpillBytesRead, m.RefillBatches,
@@ -171,7 +185,7 @@ func (m *Metrics) String() string {
 		m.BatchedFetches, m.RemoteFetches, m.WireBytesSent, m.WireBytesReceived,
 		m.RetriedDials, m.RetriedOps, m.Recoveries, m.DeadMachines,
 		m.TotalBusy().Round(time.Millisecond),
-		m.BusyImbalance(), kernel)
+		m.BusyImbalance(), trace, kernel)
 }
 
 // appendMetrics encodes one machine's metrics for the control plane's
@@ -208,6 +222,8 @@ func appendMetrics(dst []byte, m *Metrics) []byte {
 	dst = store.AppendU64(dst, m.RetriedDials)
 	dst = store.AppendU64(dst, m.RetriedOps)
 	dst = store.AppendU64(dst, m.DeadMachines)
+	dst = store.AppendU64(dst, m.TraceSpans)
+	dst = store.AppendU64(dst, m.TraceDropped)
 	dst = store.AppendU32(dst, uint32(len(m.WorkerBusy)))
 	for _, b := range m.WorkerBusy {
 		dst = store.AppendU64(dst, uint64(b))
@@ -258,6 +274,8 @@ func decodeMetrics(data []byte) (*Metrics, error) {
 	m.RetriedDials = c.U64()
 	m.RetriedOps = c.U64()
 	m.DeadMachines = c.U64()
+	m.TraceSpans = c.U64()
+	m.TraceDropped = c.U64()
 	nb := int(c.U32())
 	if err := c.Err(); err != nil {
 		return nil, fmt.Errorf("gthinker: malformed metrics payload: %w", err)

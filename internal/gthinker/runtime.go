@@ -12,6 +12,7 @@ import (
 
 	"gthinkerqc/internal/bitset"
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/store"
 )
 
@@ -93,6 +94,22 @@ type MachineRuntime struct {
 	spawnedTasks      atomic.Uint64
 	subtasksAdded     atomic.Uint64
 	tasksStolenRemote atomic.Uint64
+
+	// Formerly plain per-worker fields, migrated to runtime atomics so
+	// the 1 ms status poll can sample them live (the incremental
+	// counter snapshots the coordinator's debug view is built from).
+	// Per-worker busy time stays a plain worker field: it is only read
+	// after Stop.
+	computeCalls  atomic.Uint64
+	tasksFinished atomic.Uint64
+	localReads    atomic.Uint64
+
+	// tracer records scheduling spans when Config.Trace is set; nil
+	// otherwise (the off fast path is one branch per event). Tracks:
+	// one per worker, plus a control track (index WorkersPerMachine)
+	// for events recorded off the mining threads — steal shipping,
+	// stolen-batch delivery, recovery.
+	tracer *obs.Tracer
 
 	started  atomic.Bool
 	stopped  atomic.Bool
@@ -212,13 +229,35 @@ func newMachineRuntimeVerts(g *graph.Graph, app App, cfg Config, id int, tr Tran
 	rt.cache = newVertexCache(cfg.CacheCap)
 	rt.lbig = newSpillList(rt.spillDir, "big", &rt.disk, codec)
 	base := id * cfg.WorkersPerMachine
+	if cfg.Trace {
+		// One track per worker (tid = dense worker id) plus the control
+		// track (tid = -(machine+1), distinct from the coordinator's
+		// pid -1 tracks because the pid differs).
+		tids := make([]int32, cfg.WorkersPerMachine+1)
+		for j := 0; j < cfg.WorkersPerMachine; j++ {
+			tids[j] = int32(base + j)
+		}
+		tids[cfg.WorkersPerMachine] = int32(-(id + 1))
+		rt.tracer = obs.NewTracer(int32(id), tids, 0)
+	}
 	for j := 0; j < cfg.WorkersPerMachine; j++ {
-		w := &worker{id: base + j, rt: rt,
+		w := &worker{id: base + j, rt: rt, tracer: rt.tracer, track: j,
 			lsmall: newSpillList(rt.spillDir, "small-"+strconv.Itoa(j), &rt.disk, codec)}
 		w.ctx = Ctx{WorkerID: base + j, MachineID: id, aborted: rt.doneFlag.Load}
 		rt.workers = append(rt.workers, w)
 	}
 	return rt, nil
+}
+
+// ctlTrack is the tracer track for events recorded off the mining
+// threads (control-plane handlers, task-server deliveries).
+func (rt *MachineRuntime) ctlTrack() int { return rt.cfg.WorkersPerMachine }
+
+// TraceSnapshot copies the retained trace spans out of this machine's
+// rings (empty when tracing is disabled). Safe while mining runs; the
+// control plane's trace-collection op calls it after shutdown.
+func (rt *MachineRuntime) TraceSnapshot() *obs.Trace {
+	return rt.tracer.Snapshot()
 }
 
 // resolveSpillCodec picks the spill encoding once: columnar (GQS1 raw
@@ -368,6 +407,17 @@ type MachineStatus struct {
 	// partition plus adopted ones) — the durable spawn cursor the
 	// coordinator tracks per machine for loss accounting.
 	Spawned int64
+	// Live counter samples, piggybacked on the status poll so the
+	// coordinator holds a continuously-updated per-machine view (its
+	// debug server and -progress line) instead of learning everything
+	// at the shutdown metrics flush. Monotone except CacheHits/Misses
+	// rounding; all cheap atomic reads on the machine.
+	ComputeCalls  uint64
+	TasksFinished uint64
+	SubtasksAdded uint64
+	SpillBytes    uint64 // spill bytes written so far
+	CacheHits     uint64
+	CacheMisses   uint64
 	// Failure carries the machine's first error, or "".
 	Failure string
 }
@@ -378,13 +428,18 @@ type MachineStatus struct {
 // as spawned with its task not yet counted.
 func (rt *MachineRuntime) Status() MachineStatus {
 	st := MachineStatus{
-		AllSpawned: rt.allSpawned(),
-		Live:       rt.live.Load(),
-		BigPending: int64(rt.bigPending()),
-		SentOut:    rt.sentOut.Load(),
-		RecvIn:     rt.recvIn.Load(),
-		Spawned:    rt.spawnedCount(),
+		AllSpawned:    rt.allSpawned(),
+		Live:          rt.live.Load(),
+		BigPending:    int64(rt.bigPending()),
+		SentOut:       rt.sentOut.Load(),
+		RecvIn:        rt.recvIn.Load(),
+		Spawned:       rt.spawnedCount(),
+		ComputeCalls:  rt.computeCalls.Load(),
+		TasksFinished: rt.tasksFinished.Load(),
+		SubtasksAdded: rt.subtasksAdded.Load(),
+		SpillBytes:    uint64(rt.disk.written.Load()),
 	}
+	st.CacheHits, st.CacheMisses, _ = rt.cache.stats()
 	if err := rt.Err(); err != nil {
 		st.Failure = err.Error()
 	}
@@ -450,6 +505,10 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 	if d.Dead < 0 || d.Dead >= rt.cfg.Machines || d.Fallback < 0 || d.Fallback >= rt.cfg.Machines {
 		return fmt.Errorf("gthinker: recover directive references machine %d/%d of %d", d.Dead, d.Fallback, rt.cfg.Machines)
 	}
+	var start time.Time
+	if rt.tracer != nil {
+		start = time.Now()
+	}
 	if rd, ok := rt.transport.(Redirector); ok {
 		rd.Redirect(d.Dead, d.Fallback)
 	}
@@ -457,13 +516,20 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 	batches := rt.retained[d.Dead]
 	delete(rt.retained, d.Dead)
 	rt.retainMu.Unlock()
+	reowned := 0
 	for _, data := range batches {
 		tasks, err := decodeTaskBatch(data, rt.spillCodec)
 		if err != nil {
 			return fmt.Errorf("gthinker: machine %d re-owning batch shipped to dead machine %d: %w", rt.id, d.Dead, err)
 		}
+		reowned += len(tasks)
 		rt.DeliverTasks(tasks)
 	}
+	defer func() {
+		if rt.tracer != nil {
+			rt.tracer.Record(rt.ctlTrack(), obs.KindRecoverPeer, start, time.Since(start), uint64(d.Dead), uint64(reowned))
+		}
+	}()
 	if d.Adopter == rt.id {
 		var verts []graph.V
 		for _, id := range d.Adopt {
@@ -522,10 +588,17 @@ func (rt *MachineRuntime) DeliverTasks(tasks []*Task) {
 	if len(tasks) == 0 {
 		return
 	}
+	var start time.Time
+	if rt.tracer != nil {
+		start = time.Now()
+	}
 	rt.live.Add(int64(len(tasks)))
 	rt.recvIn.Add(uint64(len(tasks)))
 	rt.stolenIn.Add(uint64(len(tasks)))
 	rt.qglobal.pushBackAll(tasks)
+	if rt.tracer != nil {
+		rt.tracer.Record(rt.ctlTrack(), obs.KindStealRecv, start, time.Since(start), uint64(len(tasks)), 0)
+	}
 }
 
 // stealLocal pops up to want big tasks from the global queue, refilling
@@ -593,6 +666,10 @@ func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
 	if tc == nil {
 		return 0, fmt.Errorf("gthinker: machine %d has no task channel (app provides no TaskCodec or transport cannot ship tasks)", rt.id)
 	}
+	var start time.Time
+	if rt.tracer != nil {
+		start = time.Now()
+	}
 	batch := rt.stealLocal(want)
 	moved := 0
 	for len(batch) > 0 {
@@ -605,6 +682,9 @@ func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
 		rt.finishSteal(k)
 		rt.tasksStolenRemote.Add(uint64(k))
 		batch = batch[k:]
+	}
+	if rt.tracer != nil && moved > 0 {
+		rt.tracer.Record(rt.ctlTrack(), obs.KindStealSend, start, time.Since(start), uint64(recv), uint64(moved))
 	}
 	return moved, nil
 }
@@ -643,6 +723,24 @@ func (rt *MachineRuntime) shipChunk(tc TaskChannel, recv int, batch []*Task) (in
 // stopped first (Stop): busy times and call counters are plain fields
 // owned by the worker goroutines while they run.
 func (rt *MachineRuntime) LocalMetrics() *Metrics {
+	met := rt.liveCounters()
+	for _, w := range rt.workers {
+		met.WorkerBusy = append(met.WorkerBusy, w.busy)
+	}
+	met.PeakHeapAlloc = procHeap.sampleNow()
+	return met
+}
+
+// LiveMetrics assembles the counter subset of this machine's metrics
+// that is safe to read WHILE mining runs: everything in LocalMetrics
+// except per-worker busy times (plain fields owned by the worker
+// goroutines) and the stop-the-world heap sample. The worker host's
+// debug server serves it per scrape.
+func (rt *MachineRuntime) LiveMetrics() *Metrics {
+	return rt.liveCounters()
+}
+
+func (rt *MachineRuntime) liveCounters() *Metrics {
 	met := &Metrics{}
 	met.BigTasks = rt.bigTasks.Load()
 	met.SmallTasks = rt.smallTasks.Load()
@@ -650,12 +748,9 @@ func (rt *MachineRuntime) LocalMetrics() *Metrics {
 	met.CacheHits = h
 	met.CacheMisses = mi
 	met.CacheEvicted = ev
-	for _, w := range rt.workers {
-		met.ComputeCalls += w.computeCalls
-		met.TasksFinished += w.tasksFinished
-		met.LocalReads += w.localReads
-		met.WorkerBusy = append(met.WorkerBusy, w.busy)
-	}
+	met.ComputeCalls = rt.computeCalls.Load()
+	met.TasksFinished = rt.tasksFinished.Load()
+	met.LocalReads = rt.localReads.Load()
 	met.TasksSpawned = rt.spawnedTasks.Load()
 	met.SubtasksAdded = rt.subtasksAdded.Load()
 	met.TasksStolenRemote = rt.tasksStolenRemote.Load()
@@ -675,7 +770,7 @@ func (rt *MachineRuntime) LocalMetrics() *Metrics {
 			met.RetriedOps = rs.RetriedOps()
 		}
 	}
-	met.PeakHeapAlloc = procHeap.sampleNow()
+	met.TraceSpans, met.TraceDropped = rt.tracer.Counts()
 	met.Kernel = bitset.KernelVariant()
 	return met
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/obs"
 )
 
 // worker is one mining thread with its own small-task queue, spill
@@ -25,10 +26,15 @@ type worker struct {
 	// next call, so the outer allocation is paid once per worker.
 	adjScratch [][]graph.V
 
-	busy          time.Duration
-	computeCalls  uint64
-	tasksFinished uint64
-	localReads    uint64
+	// tracer/track alias rt.tracer and this worker's ring; nil tracer
+	// (tracing off) short-circuits every Record to one branch.
+	tracer *obs.Tracer
+	track  int
+
+	// busy is the accumulated Compute time. It stays a plain field —
+	// only read after Stop — where the call counters moved to runtime
+	// atomics so status polls can sample them live.
+	busy time.Duration
 }
 
 // addLocal enqueues a small task on this worker, spilling on overflow.
@@ -37,8 +43,15 @@ func (w *worker) addLocal(t *Task) {
 	w.rt.smallTasks.Add(1)
 	if w.qlocal.len() > w.rt.cfg.QueueCap {
 		batch := w.qlocal.popBackBatch(w.rt.cfg.BatchSize)
+		var start time.Time
+		if w.tracer != nil {
+			start = time.Now()
+		}
 		if err := w.lsmall.spill(batch); err != nil {
 			w.rt.fail(err)
+		}
+		if w.tracer != nil {
+			w.tracer.Record(w.track, obs.KindSpill, start, time.Since(start), uint64(len(batch)), 0)
 		}
 	}
 }
@@ -107,10 +120,15 @@ func (w *worker) step() bool {
 func (w *worker) popGlobal() *Task {
 	rt := w.rt
 	if rt.qglobal.len() < rt.cfg.BatchSize {
+		var start time.Time
+		if w.tracer != nil {
+			start = time.Now()
+		}
 		if batch, ok, err := rt.lbig.refill(); err != nil {
 			rt.fail(err)
 		} else if ok {
 			rt.qglobal.pushBackAll(batch)
+			w.tracer.Record(w.track, obs.KindRefill, start, time.Since(start), uint64(len(batch)), 0)
 		}
 	}
 	t, _ := rt.qglobal.tryPopFront()
@@ -122,10 +140,15 @@ func (w *worker) popGlobal() *Task {
 // partition.
 func (w *worker) popLocal() *Task {
 	if w.qlocal.len() < w.rt.cfg.BatchSize {
+		var start time.Time
+		if w.tracer != nil {
+			start = time.Now()
+		}
 		if batch, ok, err := w.lsmall.refill(); err != nil {
 			w.rt.fail(err)
 		} else if ok {
 			w.qlocal.pushBackAll(batch)
+			w.tracer.Record(w.track, obs.KindRefill, start, time.Since(start), uint64(len(batch)), 0)
 		} else {
 			w.spawnBatch()
 		}
@@ -145,6 +168,16 @@ func (w *worker) popLocal() *Task {
 // task ever reached a queue.
 func (w *worker) spawnBatch() {
 	rt := w.rt
+	var start time.Time
+	if w.tracer != nil {
+		start = time.Now()
+	}
+	spawned := 0
+	defer func() {
+		if w.tracer != nil && spawned > 0 {
+			w.tracer.Record(w.track, obs.KindSpawn, start, time.Since(start), uint64(spawned), 0)
+		}
+	}()
 	for i := 0; i < rt.cfg.BatchSize; i++ {
 		rt.live.Add(1)
 		var v graph.V
@@ -164,6 +197,7 @@ func (w *worker) spawnBatch() {
 			continue
 		}
 		rt.spawnedTasks.Add(1)
+		spawned++
 		if rt.isBig(t) {
 			rt.addGlobal(t)
 			return // stop at first big task
@@ -184,13 +218,17 @@ func (w *worker) resolve(t *Task) {
 	rt := w.rt
 	frontier := make(map[graph.V][]graph.V, len(t.Pulls))
 	var remote []graph.V
+	local := 0
 	for _, id := range t.Pulls {
 		if owner(id, rt.cfg.Machines) == rt.id {
 			frontier[id] = rt.g.Adj(id)
-			w.localReads++
+			local++
 		} else {
 			remote = append(remote, id)
 		}
+	}
+	if local > 0 {
+		rt.localReads.Add(uint64(local))
 	}
 	if len(remote) > 0 {
 		missing := rt.cache.acquire(remote, frontier)
@@ -230,7 +268,14 @@ func (w *worker) fetchMissing(missing []graph.V, frontier map[graph.V][]graph.V)
 		if len(ids) == 0 {
 			continue
 		}
+		var fstart time.Time
+		if w.tracer != nil {
+			fstart = time.Now()
+		}
 		adjs, err := rt.transport.FetchAdjBatch(o, ids, w.adjScratch[:0])
+		if w.tracer != nil {
+			w.tracer.Record(w.track, obs.KindFetch, fstart, time.Since(fstart), uint64(o), uint64(len(ids)))
+		}
 		if err == nil && len(adjs) != len(ids) {
 			err = fmt.Errorf("gthinker: transport returned %d adjacency lists for %d ids", len(adjs), len(ids))
 		}
@@ -273,8 +318,10 @@ func (w *worker) compute(t *Task) {
 		w.ctx.reset()
 		start := time.Now()
 		more := rt.app.Compute(t, t.frontier, &w.ctx)
-		w.busy += time.Since(start)
-		w.computeCalls++
+		dur := time.Since(start)
+		w.busy += dur
+		rt.computeCalls.Add(1)
+		w.tracer.Record(w.track, obs.KindCompute, start, dur, uint64(len(w.ctx.newTasks)), 0)
 
 		if t.pinned != nil {
 			rt.cache.release(t.pinned)
@@ -288,7 +335,7 @@ func (w *worker) compute(t *Task) {
 			w.route(nt)
 		}
 		if !more {
-			w.tasksFinished++
+			rt.tasksFinished.Add(1)
 			rt.live.Add(-1)
 			return
 		}

@@ -19,6 +19,7 @@ import (
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/gthinker"
 	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/quasiclique"
 	"gthinkerqc/internal/store"
 )
@@ -46,6 +47,7 @@ const (
 	ecfgDisableStealing = 1 << iota
 	ecfgDisableGlobalQueue
 	ecfgDisableRecovery
+	ecfgTrace
 )
 
 // AppendJobSpec encodes the mining job (miner config + engine shape)
@@ -94,6 +96,9 @@ func AppendJobSpec(dst []byte, cfg Config, ecfg gthinker.Config) []byte {
 	}
 	if ecfg.DisableRecovery {
 		ef |= ecfgDisableRecovery
+	}
+	if ecfg.Trace {
+		ef |= ecfgTrace
 	}
 	dst = store.AppendU32(dst, ef)
 	dst = append(dst, byte(ecfg.SpillFormat))
@@ -153,6 +158,7 @@ func DecodeJobSpec(data []byte) (Config, gthinker.Config, error) {
 	ecfg.DisableStealing = ef&ecfgDisableStealing != 0
 	ecfg.DisableGlobalQueue = ef&ecfgDisableGlobalQueue != 0
 	ecfg.DisableRecovery = ef&ecfgDisableRecovery != 0
+	ecfg.Trace = ef&ecfgTrace != 0
 	fb := c.Bytes(1)
 	if len(fb) == 1 {
 		ecfg.SpillFormat = gthinker.SpillFormat(fb[0])
@@ -241,8 +247,10 @@ func workerResults(a gthinker.App) ([]byte, error) {
 // exit op, and close. faultSpec, when non-empty, overrides the job
 // spec's fault plan for this process (chaos tests inject faults into
 // one machine of a cluster); a fault-plan kill exits the process hard
-// with status 137, indistinguishable from an external SIGKILL.
-func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string) (*gthinker.WorkerHost, func(), error) {
+// with status 137, indistinguishable from an external SIGKILL. trace
+// forces span tracing on for this process even when the job spec does
+// not request it (cmd/qcworker threads -trace through it).
+func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string, trace bool) (*gthinker.WorkerHost, func(), error) {
 	man, err := store.ReadManifestFile(manifestPath)
 	if err != nil {
 		return nil, nil, err
@@ -269,6 +277,7 @@ func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string)
 		VertexAddr:  spec.Vertex,
 		TaskAddr:    spec.Task,
 		FaultSpec:   faultSpec,
+		Trace:       trace,
 		Kill:        func() { os.Exit(137) },
 		NewApp: func(specBytes []byte, machines int) (gthinker.App, gthinker.Config, error) {
 			cfg, ecfg, err := DecodeJobSpec(specBytes)
@@ -455,6 +464,26 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 	// and no process worth reaping cleanly.
 	isDead := func(m int) bool { return m < len(stats.Dead) && stats.Dead[m] }
 
+	// With tracing on, pull every surviving worker's span rings over the
+	// control plane (valid now — the coordinator shut them down) and
+	// merge them with the coordinator's own scheduling spans into one
+	// cluster-wide timeline.
+	var trace *obs.Trace
+	if ecfg.Trace {
+		traces := []*obs.Trace{stats.Trace}
+		for m := 0; m < ecfg.Machines; m++ {
+			if isDead(m) {
+				continue
+			}
+			tr, terr := cc.CollectTrace(m)
+			if terr != nil {
+				return nil, fmt.Errorf("miner: trace from machine %d: %w", m, terr)
+			}
+			traces = append(traces, tr)
+		}
+		trace = obs.Merge(traces...)
+	}
+
 	all := quasiclique.NewCollector()
 	for m := 0; m < ecfg.Machines; m++ {
 		if isDead(m) {
@@ -498,7 +527,7 @@ func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg Procs
 	// Per-root recorder data stays in the worker processes; the
 	// cluster result carries an empty recorder so downstream reporting
 	// (experiments tables) need no special case.
-	res := &Result{Candidates: all.Len(), Engine: met, Recorder: metrics.NewRecorder()}
+	res := &Result{Candidates: all.Len(), Engine: met, Recorder: metrics.NewRecorder(), Trace: trace}
 	sets := all.Sets()
 	if !cfg.Options.SkipMaximalityFilter {
 		sets = quasiclique.FilterMaximal(sets)

@@ -9,6 +9,7 @@ import (
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/gthinker"
 	"gthinkerqc/internal/metrics"
+	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/quasiclique"
 )
 
@@ -72,6 +73,10 @@ type Result struct {
 	// Recorder exposes per-root mining/materialization accounting
 	// (Figures 1–3, Table 6).
 	Recorder *metrics.Recorder
+	// Trace is the merged cluster span timeline when the engine config
+	// asked for tracing (gthinker.Config.Trace); nil otherwise. Export
+	// it with obs.WriteChromeTraceFile for Perfetto.
+	Trace *obs.Trace
 }
 
 // Mine runs the parallel quasi-clique miner over g on a simulated
@@ -104,7 +109,7 @@ func MineContext(ctx context.Context, g *graph.Graph, cfg Config, ecfg gthinker.
 	for _, c := range app.collectors {
 		all.Merge(c)
 	}
-	res := &Result{Candidates: all.Len(), Engine: met, Recorder: app.rec}
+	res := &Result{Candidates: all.Len(), Engine: met, Recorder: app.rec, Trace: eng.Trace()}
 	sets := all.Sets()
 	if !cfg.Options.SkipMaximalityFilter {
 		sets = quasiclique.FilterMaximal(sets)

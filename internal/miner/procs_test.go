@@ -32,7 +32,7 @@ func TestHelperWorkerProcess(t *testing.T) {
 		fmt.Fprintln(os.Stderr, "helper:", err)
 		os.Exit(1)
 	}
-	host, cleanup, err := HostWorker(os.Getenv("QCWORKER_GRAPH"), os.Getenv("QCWORKER_MANIFEST"), machine, os.Getenv("QCWORKER_FAULTPLAN"))
+	host, cleanup, err := HostWorker(os.Getenv("QCWORKER_GRAPH"), os.Getenv("QCWORKER_MANIFEST"), machine, os.Getenv("QCWORKER_FAULTPLAN"), os.Getenv("QCWORKER_TRACE") == "1")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "helper:", err)
 		os.Exit(1)

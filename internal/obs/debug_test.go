@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugServer(t *testing.T) {
+	s, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AddSource(func() []Sample {
+		return []Sample{
+			{Name: "gthinker_tasks_finished_total", Labels: []Label{{"machine", "0"}}, Value: 42},
+			{Name: "gthinker_tasks_finished_total", Labels: []Label{{"machine", "1"}}, Value: 7},
+			{Name: "gthinker_queue_depth", Value: 3.5},
+		}
+	})
+	base := "http://" + s.Addr()
+
+	if code, body := getBody(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := getBody(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE gthinker_tasks_finished_total counter",
+		"# TYPE gthinker_queue_depth gauge",
+		`gthinker_tasks_finished_total{machine="0"} 42`,
+		`gthinker_tasks_finished_total{machine="1"} 7`,
+		"gthinker_queue_depth 3.5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// One TYPE line per family, not per sample.
+	if strings.Count(body, "# TYPE gthinker_tasks_finished_total") != 1 {
+		t.Fatalf("duplicate TYPE lines:\n%s", body)
+	}
+
+	if code, _ := getBody(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := getBody(t, base+"/debug/vars"); code != 200 || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := getBody(t, base+"/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+	if code, _ := getBody(t, base+"/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escapeLabel = %q", got)
+	}
+}
