@@ -8,22 +8,42 @@
 // friend circle is dense but rarely a perfect clique — members miss
 // some pairwise ties — γ-quasi-cliques at γ = 0.85 recover circles
 // that exact clique mining fragments.
+//
+// Three ways to run it:
+//
+//	go run ./examples/communities                    # mine in-process
+//	go run ./examples/communities -emit social.bin   # write the graph
+//	go run ./examples/communities -qcserved http://localhost:7700
+//
+// The last form is a query workload against a running qcserved: it
+// submits the circle-detection queries over the HTTP API (including a
+// deliberate repeat to exercise the result cache), streams the NDJSON
+// results back, and scores circle recovery. Start the server first:
+//
+//	qcserved -graph social.bin -threads 4
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"sort"
+	"time"
 
 	"gthinkerqc"
 )
 
-func main() {
+func buildNetwork() (*gthinkerqc.Graph, [][]gthinkerqc.V) {
 	const n = 30000
 	// Social background: preferential attachment, 3 ties per newcomer.
 	base := gthinkerqc.GenerateBA(n, 3, 7)
 
-	// Hidden friend circles of 14–18 members at ~90% density.
+	// Hidden friend circles of 14–18 members at ~90% density. Seeds are
+	// fixed, so -emit and -qcserved runs see the same network.
 	overlayG, circles, err := gthinkerqc.GeneratePlanted(n, 0, []gthinkerqc.CommunitySpec{
 		{Size: 18, Density: 0.9, Count: 3},
 		{Size: 14, Density: 0.92, Count: 4},
@@ -43,21 +63,43 @@ func main() {
 			}
 		}
 	}
-	g := b.Build()
+	return b.Build(), circles
+}
+
+func main() {
+	emit := flag.String("emit", "", "write the social network as a binary graph file and exit (serve it with qcserved -graph)")
+	served := flag.String("qcserved", "", "submit the detection queries to a running qcserved at this base URL instead of mining in-process")
+	flag.Parse()
+
+	g, circles := buildNetwork()
 	fmt.Printf("social network: %d members, %d ties, %d hidden circles\n",
 		g.NumVertices(), g.NumEdges(), len(circles))
 
-	res, err := gthinkerqc.MineParallel(g, gthinkerqc.Config{
-		Gamma:   0.85,
-		MinSize: 12,
-		// The paper's time-delayed decomposition keeps all cores busy
-		// even though a few circles dominate the mining time.
-		Machines: 2, WorkersPerMachine: 2,
-	})
-	if err != nil {
-		log.Fatal(err)
+	if *emit != "" {
+		if err := gthinkerqc.SaveBinaryFile(*emit, g); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s — serve it with: qcserved -graph %s\n", *emit, *emit)
+		return
 	}
-	fmt.Printf("found %d maximal 0.85-quasi-cliques in %v\n", len(res.Cliques), res.Wall)
+
+	var cliques [][]gthinkerqc.V
+	if *served != "" {
+		cliques = queryService(*served)
+	} else {
+		res, err := gthinkerqc.MineParallel(g, gthinkerqc.Config{
+			Gamma:   0.85,
+			MinSize: 12,
+			// The paper's time-delayed decomposition keeps all cores busy
+			// even though a few circles dominate the mining time.
+			Machines: 2, WorkersPerMachine: 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("found %d maximal 0.85-quasi-cliques in %v\n", len(res.Cliques), res.Wall)
+		cliques = res.Cliques
+	}
 
 	// Score recovery: a circle counts as recovered when some mined
 	// quasi-clique covers ≥ 80% of its members.
@@ -68,7 +110,7 @@ func main() {
 			set[v] = true
 		}
 		best := 0
-		for _, qc := range res.Cliques {
+		for _, qc := range cliques {
 			hit := 0
 			for _, v := range qc {
 				if set[v] {
@@ -86,11 +128,98 @@ func main() {
 	fmt.Printf("recovered %d/%d hidden circles\n", recovered, len(circles))
 
 	// Show the densest communities.
-	sort.Slice(res.Cliques, func(i, j int) bool { return len(res.Cliques[i]) > len(res.Cliques[j]) })
-	for i, qc := range res.Cliques {
+	sort.Slice(cliques, func(i, j int) bool { return len(cliques[i]) > len(cliques[j]) })
+	for i, qc := range cliques {
 		if i == 3 {
 			break
 		}
 		fmt.Printf("  community #%d: %d members, e.g. %v...\n", i+1, len(qc), qc[:4])
 	}
+}
+
+// jobStatus mirrors the service's status JSON.
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	WallMS int64  `json:"wall_ms"`
+	Error  string `json:"error"`
+}
+
+// queryService runs the detection workload over qcserved's HTTP API:
+// the main circle query, a looser sweep at γ = 0.9, and then the main
+// query AGAIN — the repeat must come back from the result cache
+// instantly. Returns the main query's quasi-cliques.
+func queryService(base string) [][]gthinkerqc.V {
+	submit := func(gamma float64, minSize int) jobStatus {
+		body, _ := json.Marshal(map[string]any{"gamma": gamma, "min_size": minSize})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		if st.ID == "" {
+			log.Fatalf("qcserved rejected the query (HTTP %d)", resp.StatusCode)
+		}
+		return st
+	}
+	wait := func(id string) jobStatus {
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var st jobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch st.State {
+			case "done":
+				return st
+			case "failed", "canceled":
+				log.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	results := func(id string) [][]gthinkerqc.V {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/results")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sets [][]gthinkerqc.V
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		for sc.Scan() {
+			var qc []gthinkerqc.V
+			if err := json.Unmarshal(sc.Bytes(), &qc); err != nil {
+				log.Fatal(err)
+			}
+			sets = append(sets, qc)
+		}
+		return sets
+	}
+
+	// Both queries are admitted up front; the service queues them and
+	// the cluster mines one at a time.
+	main := submit(0.85, 12)
+	sweep := submit(0.9, 14)
+	st := wait(main.ID)
+	fmt.Printf("circle query (γ=0.85, τ=12): job %s done in %dms\n", main.ID, st.WallMS)
+	sw := wait(sweep.ID)
+	fmt.Printf("sweep query (γ=0.90, τ=14): job %s done in %dms\n", sweep.ID, sw.WallMS)
+
+	again := submit(0.85, 12)
+	if !again.Cached {
+		log.Fatalf("repeated query %s was not served from the cache", again.ID)
+	}
+	fmt.Printf("repeated circle query: job %s answered from cache\n", again.ID)
+	return results(main.ID)
 }

@@ -82,6 +82,19 @@ func (c *vertexCache) release(ids []graph.V) {
 	}
 }
 
+// unpinAll clears every pin while keeping the cached rows. ResetJob
+// calls it between jobs, when no task can legitimately hold a
+// reference: a cancelled job abandons pinned tasks in its ready
+// buffers, and without this the leaked pins would make those entries
+// unevictable forever.
+func (c *vertexCache) unpinAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		e.refs = 0
+	}
+}
+
 func (c *vertexCache) stats() (hits, misses, evicted uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -279,12 +279,51 @@ func (h *WorkerHost) handleStart(vaddrs, taddrs []string) error {
 	return nil
 }
 
-func (h *WorkerHost) handleRun() error {
-	rt, err := h.runtime()
-	if err != nil {
-		return err
+// handleRun starts mining job `job`. The first run after the join can
+// reuse the join-time application as-is; any later run — and any run
+// that delivers a fresh spec — resets the runtime onto a new jobState
+// (same graph, same partition, warm cache) with an application rebuilt
+// from this job's parameters. This is what makes one joined worker
+// serve many queries without re-handshaking.
+func (h *WorkerHost) handleRun(job uint64, spec []byte) error {
+	h.mu.Lock()
+	if !h.wired {
+		h.mu.Unlock()
+		return fmt.Errorf("gthinker: machine %d has no transport yet", h.hc.MachineID)
+	}
+	rt, app := h.rt, h.app
+	if len(spec) > 0 && h.hc.NewApp != nil {
+		newApp, _, err := h.hc.NewApp(spec, h.cfg.Machines)
+		if err != nil {
+			h.mu.Unlock()
+			return err
+		}
+		app = newApp
+		h.app = newApp
+	}
+	h.stopped = false
+	h.miningPolls.Store(0)
+	h.mu.Unlock()
+	jb := rt.jb()
+	if jb.started.Load() || job != jb.id || len(spec) > 0 {
+		if err := rt.ResetJob(app, job); err != nil {
+			return err
+		}
 	}
 	return rt.Start()
+}
+
+// resetForJob realigns the host's bookkeeping when an in-process
+// composition (Engine.ResetJob) resets the hosted runtime directly
+// instead of over the wire via opRun: the app the collection handlers
+// will read results from, the shutdown latch, and the fault-injection
+// poll counter all track the new job.
+func (h *WorkerHost) resetForJob(app App) {
+	h.mu.Lock()
+	h.app = app
+	h.stopped = false
+	h.miningPolls.Store(0)
+	h.mu.Unlock()
 }
 
 func (h *WorkerHost) runtime() (*MachineRuntime, error) {
@@ -296,8 +335,22 @@ func (h *WorkerHost) runtime() (*MachineRuntime, error) {
 	return h.rt, nil
 }
 
-func (h *WorkerHost) handleStatus() (MachineStatus, error) {
+// jobRuntime is runtime() plus the version-4 job check: a frame
+// stamped with a job this host is not on is answered with an error,
+// never with another job's state.
+func (h *WorkerHost) jobRuntime(job uint64) (*MachineRuntime, error) {
 	rt, err := h.runtime()
+	if err != nil {
+		return nil, err
+	}
+	if cur := rt.JobID(); job != cur {
+		return nil, fmt.Errorf("gthinker: machine %d is on job %d, not job %d", h.hc.MachineID, cur, job)
+	}
+	return rt, nil
+}
+
+func (h *WorkerHost) handleStatus(job uint64) (MachineStatus, error) {
+	rt, err := h.jobRuntime(job)
 	if err != nil {
 		return MachineStatus{}, err
 	}
@@ -343,16 +396,16 @@ func (h *WorkerHost) handleRecover(d RecoverDirective) error {
 	return rt.RecoverPeer(d)
 }
 
-func (h *WorkerHost) handleSteal(recv, want int) (int, error) {
-	rt, err := h.runtime()
+func (h *WorkerHost) handleSteal(job uint64, recv, want int) (int, error) {
+	rt, err := h.jobRuntime(job)
 	if err != nil {
 		return 0, err
 	}
 	return rt.StealTo(recv, want)
 }
 
-func (h *WorkerHost) handleShutdown() error {
-	rt, err := h.runtime()
+func (h *WorkerHost) handleShutdown(job uint64) error {
+	rt, err := h.jobRuntime(job)
 	if err != nil {
 		return err
 	}
@@ -363,18 +416,25 @@ func (h *WorkerHost) handleShutdown() error {
 	return nil
 }
 
-// afterShutdown guards the reads that need the workers joined.
-func (h *WorkerHost) afterShutdown() (*MachineRuntime, App, error) {
+// afterShutdown guards the reads that need the workers joined, and —
+// version 4 — pins them to the job the coordinator thinks it is
+// collecting.
+func (h *WorkerHost) afterShutdown(job uint64) (*MachineRuntime, App, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if !h.stopped {
 		return nil, nil, fmt.Errorf("gthinker: machine %d still running (shutdown first)", h.hc.MachineID)
 	}
+	if h.rt != nil {
+		if cur := h.rt.JobID(); job != cur {
+			return nil, nil, fmt.Errorf("gthinker: machine %d is on job %d, not job %d", h.hc.MachineID, cur, job)
+		}
+	}
 	return h.rt, h.app, nil
 }
 
-func (h *WorkerHost) handleMetrics() (*Metrics, error) {
-	rt, _, err := h.afterShutdown()
+func (h *WorkerHost) handleMetrics(job uint64) (*Metrics, error) {
+	rt, _, err := h.afterShutdown(job)
 	if err != nil {
 		return nil, err
 	}
@@ -385,16 +445,16 @@ func (h *WorkerHost) handleMetrics() (*Metrics, error) {
 // coordinator's cluster-wide timeline merge. Like metrics it is only
 // meaningful once the workers have quiesced, so it shares the
 // shutdown guard.
-func (h *WorkerHost) handleTrace() (*obs.Trace, error) {
-	rt, _, err := h.afterShutdown()
+func (h *WorkerHost) handleTrace(job uint64) (*obs.Trace, error) {
+	rt, _, err := h.afterShutdown(job)
 	if err != nil {
 		return nil, err
 	}
 	return rt.TraceSnapshot(), nil
 }
 
-func (h *WorkerHost) handleResults() ([]byte, error) {
-	_, app, err := h.afterShutdown()
+func (h *WorkerHost) handleResults(job uint64) ([]byte, error) {
+	_, app, err := h.afterShutdown(job)
 	if err != nil {
 		return nil, err
 	}

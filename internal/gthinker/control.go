@@ -22,7 +22,13 @@ import (
 // cursor to the status reply and the opRecover directive; version 3
 // added the live counter samples to the status reply, the trace
 // counters to the metrics payload, and the opTrace collection op.
-const controlProtoVersion = 3
+// Version 4 made the cluster multi-job: a JobID prefixes the opRun,
+// opStatus, opStealDo, opShutdown, opMetrics, opResults, and opTrace
+// payloads (a stale worker and a coordinator disagreeing about which
+// job is running fail loudly instead of mixing two jobs' state), and
+// opRun carries a per-job spec so one joined cluster can run many
+// jobs with different parameters without re-handshaking.
+const controlProtoVersion = 4
 
 // Control-plane ops (continuing the tcp.go data-plane numbering).
 const (
@@ -177,19 +183,30 @@ func decodeAddrTable(data []byte) (vaddrs, taddrs []string, err error) {
 }
 
 // controlHandler is what a ControlServer dispatches into — implemented
-// by WorkerHost.
+// by WorkerHost. Ops that act on a specific job carry its id so the
+// handler can reject frames from a coordinator it disagrees with.
 type controlHandler interface {
 	handleJoin(r joinRequest) (vaddr, taddr string, err error)
 	handleStart(vaddrs, taddrs []string) error
-	handleRun() error
-	handleStatus() (MachineStatus, error)
-	handleSteal(recv, want int) (int, error)
+	handleRun(job uint64, spec []byte) error
+	handleStatus(job uint64) (MachineStatus, error)
+	handleSteal(job uint64, recv, want int) (int, error)
 	handleRecover(d RecoverDirective) error
-	handleMetrics() (*Metrics, error)
-	handleTrace() (*obs.Trace, error)
-	handleResults() ([]byte, error)
-	handleShutdown() error
+	handleMetrics(job uint64) (*Metrics, error)
+	handleTrace(job uint64) (*obs.Trace, error)
+	handleResults(job uint64) ([]byte, error)
+	handleShutdown(job uint64) error
 	handleExit() error
+}
+
+// splitJobID strips the u64 job-id prefix that version 4 adds to the
+// job-scoped control ops.
+func splitJobID(payload []byte) (uint64, []byte, error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("gthinker: control frame lacks a job id (%d bytes)", len(payload))
+	}
+	c := store.NewCursor(payload[:8])
+	return c.U64(), payload[8:], nil
 }
 
 // maxAdoptList bounds the opRecover partition list read off the wire
@@ -271,19 +288,27 @@ func (s *controlServer) handle(conn net.Conn) {
 			}
 			return nil, s.h.handleStart(vaddrs, taddrs)
 		case opStatus:
-			st, err := s.h.handleStatus()
+			job, rest, err := splitJobID(payload)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("gthinker: malformed status request")
+			}
+			st, err := s.h.handleStatus(job)
 			if err != nil {
 				return nil, err
 			}
 			return appendStatus(nil, st), nil
 		case opStealDo:
-			c := store.NewCursor(payload)
+			job, rest, err := splitJobID(payload)
+			if err != nil {
+				return nil, err
+			}
+			c := store.NewCursor(rest)
 			recv := int(c.U32())
 			want := int(c.U32())
 			if err := c.Err(); err != nil || c.Remaining() != 0 {
 				return nil, fmt.Errorf("gthinker: malformed steal directive")
 			}
-			moved, err := s.h.handleSteal(recv, want)
+			moved, err := s.h.handleSteal(job, recv, want)
 			if err != nil {
 				return nil, err
 			}
@@ -295,23 +320,48 @@ func (s *controlServer) handle(conn net.Conn) {
 			}
 			return nil, s.h.handleRecover(d)
 		case opMetrics:
-			met, err := s.h.handleMetrics()
+			job, rest, err := splitJobID(payload)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("gthinker: malformed metrics request")
+			}
+			met, err := s.h.handleMetrics(job)
 			if err != nil {
 				return nil, err
 			}
 			return appendMetrics(nil, met), nil
 		case opTrace:
-			tr, err := s.h.handleTrace()
+			job, rest, err := splitJobID(payload)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("gthinker: malformed trace request")
+			}
+			tr, err := s.h.handleTrace(job)
 			if err != nil {
 				return nil, err
 			}
 			return obs.AppendTrace(nil, tr), nil
 		case opResults:
-			return s.h.handleResults()
+			job, rest, err := splitJobID(payload)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("gthinker: malformed results request")
+			}
+			return s.h.handleResults(job)
 		case opRun:
-			return nil, s.h.handleRun()
+			job, rest, err := splitJobID(payload)
+			if err != nil {
+				return nil, err
+			}
+			c := store.NewCursor(rest)
+			spec := c.Bytes(int(c.U32()))
+			if err := c.Err(); err != nil || c.Remaining() != 0 {
+				return nil, fmt.Errorf("gthinker: malformed run request")
+			}
+			return nil, s.h.handleRun(job, spec)
 		case opShutdown:
-			return nil, s.h.handleShutdown()
+			job, rest, err := splitJobID(payload)
+			if err != nil || len(rest) != 0 {
+				return nil, fmt.Errorf("gthinker: malformed shutdown request")
+			}
+			return nil, s.h.handleShutdown(job)
 		case opExit:
 			return nil, s.h.handleExit()
 		default:
@@ -334,6 +384,12 @@ type ClusterClient struct {
 	recvd        atomic.Uint64
 	retriedDials atomic.Uint64
 	retriedOps   atomic.Uint64
+
+	// job is the id the client stamps on every job-scoped frame
+	// (status polls, steal directives, shutdown, metrics/trace/results
+	// collection). RunJob advances it; 0 until the first RunJob, which
+	// matches a freshly joined worker's runtime.
+	job atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -416,19 +472,48 @@ func (c *ClusterClient) StartTransports(vaddrs, taddrs []string) error {
 	return nil
 }
 
-// RunAll starts mining on every machine.
-func (c *ClusterClient) RunAll() error {
+// jobHeader starts a job-scoped request payload with the current job
+// id.
+func (c *ClusterClient) jobHeader() []byte {
+	return store.AppendU64(nil, c.job.Load())
+}
+
+// JobID returns the job id the client currently stamps on job-scoped
+// frames.
+func (c *ClusterClient) JobID() uint64 { return c.job.Load() }
+
+// SetJob changes the stamped job id without issuing opRun — for
+// compositions (the in-process engine) that reset and start runtimes
+// directly but still poll status through this client.
+func (c *ClusterClient) SetJob(job uint64) { c.job.Store(job) }
+
+// RunJob starts mining job `job` on every machine. A non-empty spec
+// is delivered per machine so the worker rebuilds its application
+// with this job's parameters (γ, min-size, options) before starting;
+// an empty spec reuses whatever application the join installed. All
+// subsequent job-scoped frames are stamped with this id.
+func (c *ClusterClient) RunJob(job uint64, spec []byte) error {
+	c.job.Store(job)
+	payload := store.AppendU64(nil, job)
+	payload = store.AppendU32(payload, uint32(len(spec)))
+	payload = append(payload, spec...)
 	for m := 0; m < c.Machines(); m++ {
-		if _, err := c.pool.roundTrip(m, opRun, nil, maxFramePayload, &c.sent, &c.recvd); err != nil {
+		if _, err := c.pool.roundTrip(m, opRun, payload, maxFramePayload, &c.sent, &c.recvd); err != nil {
 			return fmt.Errorf("gthinker: run machine %d: %w", m, err)
 		}
 	}
 	return nil
 }
 
+// RunAll starts mining on every machine, reusing the join-time app
+// and the current job id (the single-job compositions).
+func (c *ClusterClient) RunAll() error {
+	return c.RunJob(c.job.Load(), nil)
+}
+
 // Status polls machine m's liveness report.
 func (c *ClusterClient) Status(m int) (MachineStatus, error) {
-	resp, err := c.pool.roundTrip(m, opStatus, nil, maxFramePayload, &c.sent, &c.recvd)
+	resp, err := c.pool.roundTrip(m, opStatus, c.jobHeader(), maxFramePayload, &c.sent, &c.recvd)
 	if err != nil {
 		return MachineStatus{}, err
 	}
@@ -437,7 +522,8 @@ func (c *ClusterClient) Status(m int) (MachineStatus, error) {
 
 // Steal directs machine donor to ship up to want big tasks to recv.
 func (c *ClusterClient) Steal(donor, recv, want int) (int, error) {
-	req := store.AppendU32(nil, uint32(recv))
+	req := c.jobHeader()
+	req = store.AppendU32(req, uint32(recv))
 	req = store.AppendU32(req, uint32(want))
 	resp, err := c.pool.roundTrip(donor, opStealDo, req, maxFramePayload, &c.sent, &c.recvd)
 	if err != nil {
@@ -459,7 +545,7 @@ func (c *ClusterClient) Recover(m int, d RecoverDirective) error {
 
 // Shutdown stops machine m's workers and joins them.
 func (c *ClusterClient) Shutdown(m int) error {
-	_, err := c.pool.roundTrip(m, opShutdown, nil, maxFramePayload, &c.sent, &c.recvd)
+	_, err := c.pool.roundTrip(m, opShutdown, c.jobHeader(), maxFramePayload, &c.sent, &c.recvd)
 	return err
 }
 
@@ -467,7 +553,7 @@ func (c *ClusterClient) Shutdown(m int) error {
 // after Shutdown(m) (same pooled connection, so the worker's join of
 // its mining threads is ordered before this read).
 func (c *ClusterClient) CollectMetrics(m int) (*Metrics, error) {
-	resp, err := c.pool.roundTrip(m, opMetrics, nil, maxFramePayload, &c.sent, &c.recvd)
+	resp, err := c.pool.roundTrip(m, opMetrics, c.jobHeader(), maxFramePayload, &c.sent, &c.recvd)
 	if err != nil {
 		return nil, err
 	}
@@ -480,7 +566,7 @@ func (c *ClusterClient) CollectMetrics(m int) (*Metrics, error) {
 // full set of per-worker rings legitimately exceeds the request
 // budget.
 func (c *ClusterClient) CollectTrace(m int) (*obs.Trace, error) {
-	resp, err := c.pool.roundTrip(m, opTrace, nil, maxWireFrame, &c.sent, &c.recvd)
+	resp, err := c.pool.roundTrip(m, opTrace, c.jobHeader(), maxWireFrame, &c.sent, &c.recvd)
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +580,7 @@ func (c *ClusterClient) CollectTrace(m int) (*obs.Trace, error) {
 // one frame, and a big mining run legitimately exceeds the 64 MiB
 // request budget (writeFrame allows the same ceiling on the sender).
 func (c *ClusterClient) Results(m int) ([]byte, error) {
-	return c.pool.roundTrip(m, opResults, nil, maxWireFrame, &c.sent, &c.recvd)
+	return c.pool.roundTrip(m, opResults, c.jobHeader(), maxWireFrame, &c.sent, &c.recvd)
 }
 
 // Exit tells machine m's host process to terminate after replying.

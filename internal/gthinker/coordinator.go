@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"gthinkerqc/internal/obs"
@@ -437,24 +438,45 @@ func (c *coordinator) stealFailed(err error) error {
 	return nil
 }
 
-// scan polls every live machine once. A failed poll increments that
-// machine's consecutive-failure count — transient drops are already
-// retried once inside the control transport, so DeadAfterPolls
-// consecutive failures declare the machine dead and trigger recovery
-// (or, with DisableRecovery, a typed abort). A machine-REPORTED
-// failure still aborts: the machine is reachable and says its app
-// failed, which re-mining would only repeat. The second return is
-// false when any live machine missed this scan (the view is partial).
+// scan polls every live machine once — concurrently, so the scan
+// takes one round-trip rather than the sum of them (with a slow or
+// dying machine holding its frame-timeout window, a sequential scan
+// of N machines would stall termination detection N times as long).
+// Each poll is bounded by the control transport's frame deadline, so
+// the fan-in wait is bounded too. Poll results are then folded in
+// serially, machine order, preserving the original bookkeeping: a
+// failed poll increments that machine's consecutive-failure count —
+// transient drops are already retried once inside the control
+// transport, so DeadAfterPolls consecutive failures declare the
+// machine dead and trigger recovery (or, with DisableRecovery, a
+// typed abort). A machine-REPORTED failure still aborts: the machine
+// is reachable and says its app failed, which re-mining would only
+// repeat. The second return is false when any live machine missed
+// this scan (the view is partial).
 func (c *coordinator) scan() ([]MachineStatus, bool, error) {
-	sts := make([]MachineStatus, c.ctl.Machines())
-	complete := true
-	for m := range sts {
+	n := c.ctl.Machines()
+	sts := make([]MachineStatus, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for m := 0; m < n; m++ {
 		if !c.alive[m] {
 			continue
 		}
-		st, err := c.ctl.Status(m)
-		if err != nil {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			sts[m], errs[m] = c.ctl.Status(m)
+		}(m)
+	}
+	wg.Wait()
+	complete := true
+	for m := 0; m < n; m++ {
+		if !c.alive[m] {
+			continue
+		}
+		if err := errs[m]; err != nil {
 			complete = false
+			sts[m] = MachineStatus{}
 			c.failPolls[m]++
 			if c.failPolls[m] >= c.cfg.DeadAfterPolls {
 				if rerr := c.recoverMachine(m, err); rerr != nil {
@@ -464,10 +486,10 @@ func (c *coordinator) scan() ([]MachineStatus, bool, error) {
 			continue
 		}
 		c.failPolls[m] = 0
+		st := sts[m]
 		if st.Failure != "" {
 			return nil, false, fmt.Errorf("gthinker: machine %d failed: %s", m, st.Failure)
 		}
-		sts[m] = st
 		c.lastSt[m] = st
 		c.lv.Observe(m, st)
 		if c.cfg.StatusSink != nil {

@@ -16,7 +16,12 @@ import (
 // runtime sits behind its own control/vertex/task servers and the
 // coordinator speaks the same framed TCP protocol a real multi-process
 // deployment uses (cmd/qcworker hosts exactly one of these runtimes
-// per OS process). Create one with NewEngine, call Run once.
+// per OS process).
+//
+// Single-job use: NewEngine, then Run (or RunContext) once — it tears
+// the engine down when it returns. Multi-job use: NewEngine, then any
+// number of RunJobContext calls separated by ResetJob (same graph,
+// same sockets, warm vertex cache; a fresh App per job), then Close.
 type Engine struct {
 	g   *graph.Graph
 	app App
@@ -40,9 +45,14 @@ type Engine struct {
 	spillRoot string
 	ownSpill  bool
 
-	// InProcessTCP composition, torn down after Run.
+	// InProcessTCP composition, torn down by Close.
 	hosts     []*WorkerHost
 	ctlClient *ClusterClient
+
+	// jobSeq numbers the jobs this engine has been reset onto;
+	// runtimes start on job 0, ResetJob moves them to 1, 2, ….
+	jobSeq uint64
+	closed bool
 
 	// trace is the merged cluster timeline collected after Run when
 	// Config.Trace is set (every machine's rings plus the coordinator's
@@ -190,7 +200,44 @@ func (e *Engine) Run() (*Metrics, error) {
 // RunContext is Run with cancellation: when ctx is done the engine
 // stops promptly (in-flight Compute calls observe Ctx.Aborted) and the
 // context error is returned alongside the metrics gathered so far.
+// It closes the engine when the run returns; a multi-job caller uses
+// RunJobContext + Close instead.
 func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
+	met, err := e.RunJobContext(ctx)
+	e.Close()
+	return met, err
+}
+
+// ResetJob moves every runtime onto a fresh job running app: queues,
+// spill lists, liveness counters, and per-job metrics start empty
+// while the graph, the partitioning, the sockets, and the remote-
+// vertex cache stay warm. It fails if the previous job is still
+// running. The engine is then ready for another RunJobContext.
+func (e *Engine) ResetJob(app App) error {
+	e.jobSeq++
+	for _, rt := range e.runtimes {
+		if err := rt.ResetJob(app, e.jobSeq); err != nil {
+			return err
+		}
+	}
+	for _, h := range e.hosts {
+		h.resetForJob(app)
+	}
+	if e.ctlClient != nil {
+		// The control plane keeps polling over the wire; its frames must
+		// carry the job the hosts were just reset onto.
+		e.ctlClient.SetJob(e.jobSeq)
+	}
+	e.app = app
+	e.coord = newCoordinator(e.ctl, e.cfg)
+	e.disk.resetJobCounters()
+	return nil
+}
+
+// RunJobContext executes the engine's current job to completion and
+// returns its metrics, leaving the composition (sockets, caches,
+// spill root) alive for the next ResetJob. Call Close when done.
+func (e *Engine) RunJobContext(ctx context.Context) (*Metrics, error) {
 	start := time.Now()
 	var runErr error
 	for _, rt := range e.runtimes {
@@ -238,9 +285,19 @@ func (e *Engine) RunContext(ctx context.Context) (*Metrics, error) {
 		}
 		e.trace = obs.Merge(traces...)
 	}
+	return met, runErr
+}
+
+// Close tears the engine down: spilled task files are swept, the
+// engine-owned spill root is removed, and the InProcessTCP sockets
+// (when that composition is active) are closed. Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
 	e.cleanupSpill()
 	e.closeOwnedNetwork()
-	return met, runErr
 }
 
 // Trace returns the merged cluster timeline recorded by the run, or

@@ -52,12 +52,12 @@ func TestStealRoundDirect(t *testing.T) {
 	}
 	// Load machine 0 with 10 big tasks; machine 1 has none.
 	for i := 0; i < 10; i++ {
-		e.runtimes[0].qglobal.pushBack(NewTask(i))
+		e.runtimes[0].jb().qglobal.pushBack(NewTask(i))
 	}
 	if _, err := e.coord.stealRoundNow(); err != nil {
 		t.Fatal(err)
 	}
-	m0, m1 := e.runtimes[0].qglobal.len(), e.runtimes[1].qglobal.len()
+	m0, m1 := e.runtimes[0].jb().qglobal.len(), e.runtimes[1].jb().qglobal.len()
 	if m1 == 0 {
 		t.Fatalf("no tasks stolen: %d / %d", m0, m1)
 	}

@@ -40,22 +40,22 @@ func TestStealRefillsFromSpilledBacklog(t *testing.T) {
 		}
 		return ts
 	}
-	if err := e.runtimes[0].lbig.spill(mkTasks(4)); err != nil {
+	if err := e.runtimes[0].jb().lbig.spill(mkTasks(4)); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.runtimes[0].lbig.spill(mkTasks(4)); err != nil {
+	if err := e.runtimes[0].jb().lbig.spill(mkTasks(4)); err != nil {
 		t.Fatal(err)
 	}
-	if e.runtimes[0].qglobal.len() != 0 || e.runtimes[0].bigPending() != 8 {
+	if e.runtimes[0].jb().qglobal.len() != 0 || e.runtimes[0].bigPending() != 8 {
 		t.Fatalf("setup wrong: queue=%d pending=%d",
-			e.runtimes[0].qglobal.len(), e.runtimes[0].bigPending())
+			e.runtimes[0].jb().qglobal.len(), e.runtimes[0].bigPending())
 	}
 
 	if _, err := e.coord.stealRoundNow(); err != nil {
 		t.Fatal(err)
 	}
 
-	if got := e.runtimes[1].qglobal.len(); got == 0 {
+	if got := e.runtimes[1].jb().qglobal.len(); got == 0 {
 		t.Fatal("spilled backlog donated nothing")
 	}
 	if e.coord.tasksStolen == 0 {
@@ -63,8 +63,8 @@ func TestStealRefillsFromSpilledBacklog(t *testing.T) {
 	}
 	// Nothing was lost: queued tasks plus tasks still on disk cover
 	// the original eight.
-	remaining := e.runtimes[0].qglobal.len() + e.runtimes[0].lbig.count() +
-		e.runtimes[1].qglobal.len()
+	remaining := e.runtimes[0].jb().qglobal.len() + e.runtimes[0].jb().lbig.count() +
+		e.runtimes[1].jb().qglobal.len()
 	if remaining != 8 {
 		t.Fatalf("tasks lost in spill-backed steal: %d of 8 remain", remaining)
 	}
@@ -86,17 +86,17 @@ func TestStealFromPartialRefill(t *testing.T) {
 	for i := range ts {
 		ts[i] = NewTask([]graph.V{graph.V(i)})
 	}
-	if err := e.runtimes[0].lbig.spill(ts); err != nil {
+	if err := e.runtimes[0].jb().lbig.spill(ts); err != nil {
 		t.Fatal(err)
 	}
 	batch := e.runtimes[0].stealLocal(2)
 	if len(batch) != 2 {
 		t.Fatalf("stealLocal returned %d tasks, want 2", len(batch))
 	}
-	if got := e.runtimes[0].qglobal.len(); got != 4 {
+	if got := e.runtimes[0].jb().qglobal.len(); got != 4 {
 		t.Fatalf("refill excess lost: %d queued, want 4", got)
 	}
-	if e.runtimes[0].lbig.count() != 0 {
+	if e.runtimes[0].jb().lbig.count() != 0 {
 		t.Fatal("spill file not consumed")
 	}
 	e.cleanupSpill()
@@ -129,17 +129,17 @@ func TestStealRoundShipsRemote(t *testing.T) {
 		tk := NewTask([]graph.V{graph.V(i), graph.V(i * 2)})
 		tk.Pulls = []graph.V{graph.V(i + 50)}
 		orig[tk.ID] = tk
-		e.runtimes[0].qglobal.pushBack(tk)
+		e.runtimes[0].jb().qglobal.pushBack(tk)
 	}
 
 	if _, err := e.coord.stealRoundNow(); err != nil {
 		t.Fatal(err)
 	}
 
-	if e.runtimes[0].tasksStolenRemote.Load() == 0 {
+	if e.runtimes[0].jb().tasksStolenRemote.Load() == 0 {
 		t.Fatal("steal moved tasks in memory despite a configured task channel")
 	}
-	got := e.runtimes[1].qglobal.popBackBatch(100)
+	got := e.runtimes[1].jb().qglobal.popBackBatch(100)
 	if len(got) == 0 {
 		t.Fatal("receiver got nothing")
 	}
@@ -159,13 +159,13 @@ func TestStealRoundShipsRemote(t *testing.T) {
 			t.Fatalf("task %d payload corrupted: %v vs %v", tk.ID, p, q)
 		}
 	}
-	if int(e.runtimes[0].tasksStolenRemote.Load()) != len(got) {
+	if int(e.runtimes[0].jb().tasksStolenRemote.Load()) != len(got) {
 		t.Fatalf("remote-steal counter %d != received %d",
-			e.runtimes[0].tasksStolenRemote.Load(), len(got))
+			e.runtimes[0].jb().tasksStolenRemote.Load(), len(got))
 	}
-	if e.runtimes[1].recvIn.Load() != uint64(len(got)) || e.runtimes[0].sentOut.Load() != uint64(len(got)) {
+	if e.runtimes[1].jb().recvIn.Load() != uint64(len(got)) || e.runtimes[0].jb().sentOut.Load() != uint64(len(got)) {
 		t.Fatalf("transfer counters wrong: sentOut=%d recvIn=%d moved=%d",
-			e.runtimes[0].sentOut.Load(), e.runtimes[1].recvIn.Load(), len(got))
+			e.runtimes[0].jb().sentOut.Load(), e.runtimes[1].jb().recvIn.Load(), len(got))
 	}
 }
 
@@ -191,9 +191,9 @@ func TestStealHysteresisOffCycle(t *testing.T) {
 		// spawns nothing and sits idle. Tasks are preloaded (and
 		// accounted live) before Run, like a donor mid-job.
 		for i := 0; i < 64; i++ {
-			e.runtimes[0].qglobal.pushBack(NewTask(nil))
-			e.runtimes[0].live.Add(1)
-			e.runtimes[0].bigTasks.Add(1)
+			e.runtimes[0].jb().qglobal.pushBack(NewTask(nil))
+			e.runtimes[0].jb().live.Add(1)
+			e.runtimes[0].jb().bigTasks.Add(1)
 		}
 		met, err := e.Run()
 		if err != nil {

@@ -1,0 +1,194 @@
+package gthinker
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/obs"
+)
+
+// jobState is the per-job half of a MachineRuntime: everything a
+// mining job mutates — spawn/adopt cursors, task queues, spill lists,
+// liveness accounting, counters, the tracer — separated from the
+// per-process half (mmap'd graph, vertex partition, warm remote-vertex
+// cache, workers with their scratch buffers, transport) so one runtime
+// can serve many jobs against the same graph. A fresh jobState is
+// installed by MachineRuntime.ResetJob between jobs; zero values are
+// ready to use, so "reset" is allocation of a new struct, not
+// field-by-field clearing.
+type jobState struct {
+	// id tags this job cluster-wide: the control plane threads it
+	// through every frame so a stale worker and a coordinator can
+	// detect that they disagree about which job is running.
+	id uint64
+
+	// spawnCursor walks the runtime's own vertex partition.
+	spawnCursor atomic.Int64
+
+	// Adopted root partitions (worker-loss recovery): when the
+	// coordinator makes this runtime the adopter of a dead machine's
+	// hash partitions, their vertices are appended here and spawned
+	// after the runtime's own cursor is exhausted. adoptPending is
+	// incremented before the vertices become spawnable and decremented
+	// under the same lock that hands a vertex out (after the worker
+	// reserved liveness), so a status scan can never observe
+	// AllSpawned with an adopted root unaccounted.
+	adoptMu      sync.Mutex
+	adoptVerts   []graph.V
+	adoptCursor  int
+	adoptPending atomic.Int64
+	adoptSpawned atomic.Int64
+
+	// retained keeps a copy of every encoded task batch shipped to
+	// each peer while recovery is enabled. If that peer dies, the
+	// batches are decoded and re-enqueued locally: they cover subtrees
+	// stolen INTO the dead machine from still-live roots, which no
+	// partition respawn would regenerate. Bounded by the job's total
+	// stolen-task volume; the fingerprint-deduplicating collector
+	// makes re-mining the already-processed ones exact, not duplicate.
+	retainMu sync.Mutex
+	retained map[int][][]byte
+
+	qglobal lockedDeque
+	lbig    *spillList
+	bglobal ready
+
+	// live counts tasks alive on THIS machine (queues, buffers, disk,
+	// in flight). sentOut/recvIn count tasks that crossed machine
+	// boundaries: a stolen task is counted by the receiver (recvIn,
+	// live) before the donor uncounts it (sentOut, live), so the
+	// cluster-wide sum of live never under-counts — the invariant the
+	// coordinator's termination detection rests on.
+	live     atomic.Int64
+	sentOut  atomic.Uint64
+	recvIn   atomic.Uint64
+	doneFlag atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+
+	bigTasks          atomic.Uint64
+	smallTasks        atomic.Uint64
+	stolenIn          atomic.Uint64
+	spawnedTasks      atomic.Uint64
+	subtasksAdded     atomic.Uint64
+	tasksStolenRemote atomic.Uint64
+
+	// Formerly plain per-worker fields, migrated to job atomics so
+	// the 1 ms status poll can sample them live (the incremental
+	// counter snapshots the coordinator's debug view is built from).
+	// Per-worker busy time stays a plain worker field: it is only read
+	// after Stop.
+	computeCalls  atomic.Uint64
+	tasksFinished atomic.Uint64
+	localReads    atomic.Uint64
+
+	// tracer records scheduling spans when Config.Trace is set; nil
+	// otherwise (the off fast path is one branch per event). Tracks:
+	// one per worker, plus a control track (index WorkersPerMachine)
+	// for events recorded off the mining threads — steal shipping,
+	// stolen-batch delivery, recovery.
+	tracer *obs.Tracer
+
+	started  atomic.Bool
+	stopped  atomic.Bool
+	workerWG sync.WaitGroup
+}
+
+// fail records the job's first error and stops the machine's workers.
+// The coordinator observes the failure in the next Status poll and
+// tears the rest of the cluster down.
+func (jb *jobState) fail(err error) {
+	jb.errMu.Lock()
+	if jb.err == nil {
+		jb.err = err
+	}
+	jb.errMu.Unlock()
+	jb.doneFlag.Store(true)
+}
+
+func (jb *jobState) loadErr() error {
+	jb.errMu.Lock()
+	defer jb.errMu.Unlock()
+	return jb.err
+}
+
+// jb returns the runtime's current job state. It is an atomic pointer
+// load: status polls and debug scrapes racing a ResetJob see either
+// the old job or the new one, never a mix.
+func (rt *MachineRuntime) jb() *jobState { return rt.job.Load() }
+
+// JobID returns the id of the job currently installed on this runtime
+// (0 until the first ResetJob).
+func (rt *MachineRuntime) JobID() uint64 { return rt.jb().id }
+
+// aborted is the workers' cancellation probe for whatever job is
+// current — bound once per worker Ctx at construction, valid across
+// job resets.
+func (rt *MachineRuntime) aborted() bool { return rt.jb().doneFlag.Load() }
+
+// newJobState builds the runtime-level state of one job: fresh
+// cursors, queues, spill list, counters, and (when tracing is on) a
+// fresh tracer.
+func (rt *MachineRuntime) newJobState(id uint64) *jobState {
+	jb := &jobState{id: id}
+	jb.lbig = newSpillList(rt.spillDir, "big", &rt.disk, rt.spillCodec)
+	if rt.cfg.Trace {
+		// One track per worker (tid = dense worker id) plus the control
+		// track (tid = -(machine+1), distinct from the coordinator's
+		// pid -1 tracks because the pid differs).
+		base := rt.id * rt.cfg.WorkersPerMachine
+		tids := make([]int32, rt.cfg.WorkersPerMachine+1)
+		for j := 0; j < rt.cfg.WorkersPerMachine; j++ {
+			tids[j] = int32(base + j)
+		}
+		tids[rt.cfg.WorkersPerMachine] = int32(-(rt.id + 1))
+		jb.tracer = obs.NewTracer(int32(rt.id), tids, 0)
+	}
+	return jb
+}
+
+// ResetJob prepares the runtime to run a new job against the same
+// graph: the previous job's queues, cursors, counters, and spill
+// leftovers are dropped, app becomes the new job's application, and
+// the warm state — the mmap'd graph, the vertex partition, the
+// remote-vertex cache, the workers' scratch buffers and miner pools —
+// carries over untouched. The previous job must not be running
+// (started implies stopped).
+func (rt *MachineRuntime) ResetJob(app App, job uint64) error {
+	old := rt.jb()
+	if old.started.Load() && !old.stopped.Load() {
+		return fmt.Errorf("gthinker: machine %d reset to job %d while job %d is still running", rt.id, job, old.id)
+	}
+	codec, err := resolveSpillCodec(app, rt.cfg.SpillFormat)
+	if err != nil {
+		return err
+	}
+	// A cancelled or failed job can leave spill files behind; unlink
+	// them so they cannot bleed into the new job's lists, and rebuild
+	// the directory (CleanupSpill may have removed it).
+	old.lbig.removeAll()
+	for _, w := range rt.workers {
+		w.lsmall.removeAll()
+	}
+	if err := os.MkdirAll(rt.spillDir, 0o755); err != nil {
+		return err
+	}
+	// A cancelled job abandons resolved tasks in its ready buffers
+	// with their remote vertices still pinned; nothing will ever
+	// release them. Clear all pins (no task can legitimately hold one
+	// between jobs) so the cache stays evictable — its rows stay warm.
+	rt.cache.unpinAll()
+	rt.app = app
+	rt.spillCodec = codec
+	rt.disk.resetJobCounters()
+	jb := rt.newJobState(job)
+	rt.job.Store(jb)
+	for _, w := range rt.workers {
+		w.resetJob(jb, codec)
+	}
+	return nil
+}

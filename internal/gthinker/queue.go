@@ -126,3 +126,11 @@ func (r *ready) len() int {
 	defer r.mu.Unlock()
 	return r.d.len()
 }
+
+// reset drops any abandoned tasks (a cancelled job leaves resolved
+// tasks behind in its ready buffers) so the next job starts empty.
+func (r *ready) reset() {
+	r.mu.Lock()
+	r.d = deque{}
+	r.mu.Unlock()
+}

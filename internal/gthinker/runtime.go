@@ -34,36 +34,7 @@ type MachineRuntime struct {
 	transport    Transport
 	ownTransport bool // stats are this runtime's alone (not shared)
 
-	verts       []graph.V // local vertex partition (sorted)
-	spawnCursor atomic.Int64
-
-	// Adopted root partitions (worker-loss recovery): when the
-	// coordinator makes this runtime the adopter of a dead machine's
-	// hash partitions, their vertices are appended here and spawned
-	// after the runtime's own cursor is exhausted. adoptPending is
-	// incremented before the vertices become spawnable and decremented
-	// under the same lock that hands a vertex out (after the worker
-	// reserved liveness), so a status scan can never observe
-	// AllSpawned with an adopted root unaccounted.
-	adoptMu      sync.Mutex
-	adoptVerts   []graph.V
-	adoptCursor  int
-	adoptPending atomic.Int64
-	adoptSpawned atomic.Int64
-
-	// retained keeps a copy of every encoded task batch shipped to
-	// each peer while recovery is enabled. If that peer dies, the
-	// batches are decoded and re-enqueued locally: they cover subtrees
-	// stolen INTO the dead machine from still-live roots, which no
-	// partition respawn would regenerate. Bounded by the run's total
-	// stolen-task volume; the fingerprint-deduplicating collector
-	// makes re-mining the already-processed ones exact, not duplicate.
-	retainMu sync.Mutex
-	retained map[int][][]byte
-
-	qglobal lockedDeque
-	lbig    *spillList
-	bglobal ready
+	verts []graph.V // local vertex partition (sorted)
 
 	cache   *vertexCache
 	workers []*worker
@@ -73,47 +44,15 @@ type MachineRuntime struct {
 	ownSpill   bool
 	spillCodec TaskCodec // nil = gob spill format
 
-	// live counts tasks alive on THIS machine (queues, buffers, disk,
-	// in flight). sentOut/recvIn count tasks that crossed machine
-	// boundaries: a stolen task is counted by the receiver (recvIn,
-	// live) before the donor uncounts it (sentOut, live), so the
-	// cluster-wide sum of live never under-counts — the invariant the
-	// coordinator's termination detection rests on.
-	live     atomic.Int64
-	sentOut  atomic.Uint64
-	recvIn   atomic.Uint64
-	doneFlag atomic.Bool
-
-	errOnce sync.Once
-	errMu   sync.Mutex
-	err     error
-
-	bigTasks          atomic.Uint64
-	smallTasks        atomic.Uint64
-	stolenIn          atomic.Uint64
-	spawnedTasks      atomic.Uint64
-	subtasksAdded     atomic.Uint64
-	tasksStolenRemote atomic.Uint64
-
-	// Formerly plain per-worker fields, migrated to runtime atomics so
-	// the 1 ms status poll can sample them live (the incremental
-	// counter snapshots the coordinator's debug view is built from).
-	// Per-worker busy time stays a plain worker field: it is only read
-	// after Stop.
-	computeCalls  atomic.Uint64
-	tasksFinished atomic.Uint64
-	localReads    atomic.Uint64
-
-	// tracer records scheduling spans when Config.Trace is set; nil
-	// otherwise (the off fast path is one branch per event). Tracks:
-	// one per worker, plus a control track (index WorkersPerMachine)
-	// for events recorded off the mining threads — steal shipping,
-	// stolen-batch delivery, recovery.
-	tracer *obs.Tracer
-
-	started  atomic.Bool
-	stopped  atomic.Bool
-	workerWG sync.WaitGroup
+	// job holds the state of the job currently (or most recently)
+	// installed on this runtime: the cursors, queues, spill lists,
+	// liveness accounting, counters, and tracer that must reset
+	// between jobs (see jobState). Everything above amortizes across
+	// jobs — the graph, the partition, the warm remote-vertex cache,
+	// the workers with their scratch buffers, and the transport.
+	// Swapped atomically by ResetJob so a concurrent status poll or
+	// debug scrape sees one consistent job, never a mix of two.
+	job atomic.Pointer[jobState]
 }
 
 // procHeap is the process-wide heap sampler (the RAM columns of
@@ -227,23 +166,13 @@ func newMachineRuntimeVerts(g *graph.Graph, app App, cfg Config, id int, tr Tran
 	}
 	rt.verts = verts
 	rt.cache = newVertexCache(cfg.CacheCap)
-	rt.lbig = newSpillList(rt.spillDir, "big", &rt.disk, codec)
+	jb := rt.newJobState(0)
+	rt.job.Store(jb)
 	base := id * cfg.WorkersPerMachine
-	if cfg.Trace {
-		// One track per worker (tid = dense worker id) plus the control
-		// track (tid = -(machine+1), distinct from the coordinator's
-		// pid -1 tracks because the pid differs).
-		tids := make([]int32, cfg.WorkersPerMachine+1)
-		for j := 0; j < cfg.WorkersPerMachine; j++ {
-			tids[j] = int32(base + j)
-		}
-		tids[cfg.WorkersPerMachine] = int32(-(id + 1))
-		rt.tracer = obs.NewTracer(int32(id), tids, 0)
-	}
 	for j := 0; j < cfg.WorkersPerMachine; j++ {
-		w := &worker{id: base + j, rt: rt, tracer: rt.tracer, track: j,
+		w := &worker{id: base + j, rt: rt, tracer: jb.tracer, track: j,
 			lsmall: newSpillList(rt.spillDir, "small-"+strconv.Itoa(j), &rt.disk, codec)}
-		w.ctx = Ctx{WorkerID: base + j, MachineID: id, aborted: rt.doneFlag.Load}
+		w.ctx = Ctx{WorkerID: base + j, MachineID: id, aborted: rt.aborted}
 		rt.workers = append(rt.workers, w)
 	}
 	return rt, nil
@@ -257,7 +186,7 @@ func (rt *MachineRuntime) ctlTrack() int { return rt.cfg.WorkersPerMachine }
 // rings (empty when tracing is disabled). Safe while mining runs; the
 // control plane's trace-collection op calls it after shutdown.
 func (rt *MachineRuntime) TraceSnapshot() *obs.Trace {
-	return rt.tracer.Snapshot()
+	return rt.jb().tracer.Snapshot()
 }
 
 // resolveSpillCodec picks the spill encoding once: columnar (GQS1 raw
@@ -331,63 +260,54 @@ func (rt *MachineRuntime) SetTransport(tr Transport, owned bool) {
 	rt.ownTransport = owned
 }
 
-// Start launches the machine's workers and its heap sampler. It
+// Start launches the current job's workers and the heap sampler. It
 // returns immediately; the runtime mines until Stop.
 func (rt *MachineRuntime) Start() error {
 	if rt.transport == nil {
 		return fmt.Errorf("gthinker: machine %d started without a transport", rt.id)
 	}
-	if !rt.started.CompareAndSwap(false, true) {
-		return fmt.Errorf("gthinker: machine %d started twice", rt.id)
+	jb := rt.jb()
+	if !jb.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("gthinker: machine %d job %d started twice", rt.id, jb.id)
 	}
 	procHeap.acquire()
 	for _, w := range rt.workers {
-		rt.workerWG.Add(1)
+		jb.workerWG.Add(1)
 		go func(w *worker) {
-			defer rt.workerWG.Done()
+			defer jb.workerWG.Done()
 			w.run()
 		}(w)
 	}
 	return nil
 }
 
-// Stop halts the runtime and joins its workers. Idempotent; safe to
-// call from any goroutine (the control plane's shutdown handler, the
-// engine's final sweep). After Stop returns, non-atomic worker state
-// (busy times, call counters) is safe to read from the caller's
-// goroutine.
+// Stop halts the current job and joins its workers. Idempotent; safe
+// to call from any goroutine (the control plane's shutdown handler,
+// the engine's final sweep). After Stop returns, non-atomic worker
+// state (busy times, call counters) is safe to read from the caller's
+// goroutine, and the runtime is eligible for ResetJob.
 func (rt *MachineRuntime) Stop() {
-	rt.doneFlag.Store(true)
-	if !rt.started.Load() || !rt.stopped.CompareAndSwap(false, true) {
+	jb := rt.jb()
+	jb.doneFlag.Store(true)
+	if !jb.started.Load() || !jb.stopped.CompareAndSwap(false, true) {
 		// Never started, or another caller is joining the workers; wait
 		// for that caller's outcome so every Stop returns post-join.
-		if rt.started.Load() {
-			rt.workerWG.Wait()
+		if jb.started.Load() {
+			jb.workerWG.Wait()
 		}
 		return
 	}
-	rt.workerWG.Wait()
+	jb.workerWG.Wait()
 	procHeap.release()
 }
 
-// fail records the first error and stops the machine's workers. The
-// coordinator observes the failure in the next Status poll and tears
-// the rest of the cluster down.
-func (rt *MachineRuntime) fail(err error) {
-	rt.errOnce.Do(func() {
-		rt.errMu.Lock()
-		rt.err = err
-		rt.errMu.Unlock()
-	})
-	rt.doneFlag.Store(true)
-}
+// fail records the job's first error and stops the machine's workers.
+// The coordinator observes the failure in the next Status poll and
+// tears the rest of the cluster down.
+func (rt *MachineRuntime) fail(err error) { rt.jb().fail(err) }
 
-// Err returns the runtime's first failure, or nil.
-func (rt *MachineRuntime) Err() error {
-	rt.errMu.Lock()
-	defer rt.errMu.Unlock()
-	return rt.err
-}
+// Err returns the current job's first failure, or nil.
+func (rt *MachineRuntime) Err() error { return rt.jb().loadErr() }
 
 // MachineStatus is one machine's control-plane liveness report: the
 // inputs of the coordinator's termination detection and steal planning.
@@ -427,37 +347,38 @@ type MachineStatus struct {
 // the spawn cursor, so this order can never observe the final vertex
 // as spawned with its task not yet counted.
 func (rt *MachineRuntime) Status() MachineStatus {
+	jb := rt.jb()
 	st := MachineStatus{
-		AllSpawned:    rt.allSpawned(),
-		Live:          rt.live.Load(),
+		AllSpawned:    rt.allSpawned(jb),
+		Live:          jb.live.Load(),
 		BigPending:    int64(rt.bigPending()),
-		SentOut:       rt.sentOut.Load(),
-		RecvIn:        rt.recvIn.Load(),
-		Spawned:       rt.spawnedCount(),
-		ComputeCalls:  rt.computeCalls.Load(),
-		TasksFinished: rt.tasksFinished.Load(),
-		SubtasksAdded: rt.subtasksAdded.Load(),
+		SentOut:       jb.sentOut.Load(),
+		RecvIn:        jb.recvIn.Load(),
+		Spawned:       rt.spawnedCount(jb),
+		ComputeCalls:  jb.computeCalls.Load(),
+		TasksFinished: jb.tasksFinished.Load(),
+		SubtasksAdded: jb.subtasksAdded.Load(),
 		SpillBytes:    uint64(rt.disk.written.Load()),
 	}
 	st.CacheHits, st.CacheMisses, _ = rt.cache.stats()
-	if err := rt.Err(); err != nil {
+	if err := jb.loadErr(); err != nil {
 		st.Failure = err.Error()
 	}
 	return st
 }
 
-func (rt *MachineRuntime) allSpawned() bool {
-	return int(rt.spawnCursor.Load()) >= len(rt.verts) && rt.adoptPending.Load() == 0
+func (rt *MachineRuntime) allSpawned(jb *jobState) bool {
+	return int(jb.spawnCursor.Load()) >= len(rt.verts) && jb.adoptPending.Load() == 0
 }
 
 // spawnedCount returns the number of root tasks spawned: the own
 // cursor (which idle workers overshoot; clamp it) plus adopted spawns.
-func (rt *MachineRuntime) spawnedCount() int64 {
-	cur := rt.spawnCursor.Load()
+func (rt *MachineRuntime) spawnedCount(jb *jobState) int64 {
+	cur := jb.spawnCursor.Load()
 	if cur > int64(len(rt.verts)) {
 		cur = int64(len(rt.verts))
 	}
-	return cur + rt.adoptSpawned.Load()
+	return cur + jb.adoptSpawned.Load()
 }
 
 // adopt appends extra root vertices for this runtime to spawn —
@@ -467,10 +388,11 @@ func (rt *MachineRuntime) adopt(verts []graph.V) {
 	if len(verts) == 0 {
 		return
 	}
-	rt.adoptMu.Lock()
-	rt.adoptPending.Add(int64(len(verts)))
-	rt.adoptVerts = append(rt.adoptVerts, verts...)
-	rt.adoptMu.Unlock()
+	jb := rt.jb()
+	jb.adoptMu.Lock()
+	jb.adoptPending.Add(int64(len(verts)))
+	jb.adoptVerts = append(jb.adoptVerts, verts...)
+	jb.adoptMu.Unlock()
 }
 
 // nextAdopted hands out one adopted root vertex. The caller must have
@@ -479,15 +401,16 @@ func (rt *MachineRuntime) adopt(verts []graph.V) {
 // pending-down — AllSpawned can never flip true with the final
 // adopted task uncounted.
 func (rt *MachineRuntime) nextAdopted() (graph.V, bool) {
-	rt.adoptMu.Lock()
-	defer rt.adoptMu.Unlock()
-	if rt.adoptCursor >= len(rt.adoptVerts) {
+	jb := rt.jb()
+	jb.adoptMu.Lock()
+	defer jb.adoptMu.Unlock()
+	if jb.adoptCursor >= len(jb.adoptVerts) {
 		return 0, false
 	}
-	v := rt.adoptVerts[rt.adoptCursor]
-	rt.adoptCursor++
-	rt.adoptSpawned.Add(1)
-	rt.adoptPending.Add(-1)
+	v := jb.adoptVerts[jb.adoptCursor]
+	jb.adoptCursor++
+	jb.adoptSpawned.Add(1)
+	jb.adoptPending.Add(-1)
 	return v, true
 }
 
@@ -505,17 +428,18 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 	if d.Dead < 0 || d.Dead >= rt.cfg.Machines || d.Fallback < 0 || d.Fallback >= rt.cfg.Machines {
 		return fmt.Errorf("gthinker: recover directive references machine %d/%d of %d", d.Dead, d.Fallback, rt.cfg.Machines)
 	}
+	jb := rt.jb()
 	var start time.Time
-	if rt.tracer != nil {
+	if jb.tracer != nil {
 		start = time.Now()
 	}
 	if rd, ok := rt.transport.(Redirector); ok {
 		rd.Redirect(d.Dead, d.Fallback)
 	}
-	rt.retainMu.Lock()
-	batches := rt.retained[d.Dead]
-	delete(rt.retained, d.Dead)
-	rt.retainMu.Unlock()
+	jb.retainMu.Lock()
+	batches := jb.retained[d.Dead]
+	delete(jb.retained, d.Dead)
+	jb.retainMu.Unlock()
 	reowned := 0
 	for _, data := range batches {
 		tasks, err := decodeTaskBatch(data, rt.spillCodec)
@@ -526,8 +450,8 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 		rt.DeliverTasks(tasks)
 	}
 	defer func() {
-		if rt.tracer != nil {
-			rt.tracer.Record(rt.ctlTrack(), obs.KindRecoverPeer, start, time.Since(start), uint64(d.Dead), uint64(reowned))
+		if jb.tracer != nil {
+			jb.tracer.Record(rt.ctlTrack(), obs.KindRecoverPeer, start, time.Since(start), uint64(d.Dead), uint64(reowned))
 		}
 	}()
 	if d.Adopter == rt.id {
@@ -547,18 +471,20 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 // be re-owned if dest dies before the run completes.
 func (rt *MachineRuntime) retain(dest int, data []byte) {
 	cp := append([]byte(nil), data...)
-	rt.retainMu.Lock()
-	if rt.retained == nil {
-		rt.retained = make(map[int][][]byte)
+	jb := rt.jb()
+	jb.retainMu.Lock()
+	if jb.retained == nil {
+		jb.retained = make(map[int][][]byte)
 	}
-	rt.retained[dest] = append(rt.retained[dest], cp)
-	rt.retainMu.Unlock()
+	jb.retained[dest] = append(jb.retained[dest], cp)
+	jb.retainMu.Unlock()
 }
 
 // bigPending approximates the machine's pending big-task backlog for
 // the stealing master (queued plus spilled).
 func (rt *MachineRuntime) bigPending() int {
-	return rt.qglobal.len() + rt.lbig.count()
+	jb := rt.jb()
+	return jb.qglobal.len() + jb.lbig.count()
 }
 
 // isBig classifies a task, honoring the DisableGlobalQueue ablation.
@@ -569,12 +495,13 @@ func (rt *MachineRuntime) isBig(t *Task) bool {
 // addGlobal enqueues a big task, spilling a tail batch if the queue
 // overflows.
 func (rt *MachineRuntime) addGlobal(t *Task) {
-	rt.qglobal.pushBack(t)
-	rt.bigTasks.Add(1)
-	if rt.qglobal.len() > rt.cfg.QueueCap {
-		batch := rt.qglobal.popBackBatch(rt.cfg.BatchSize)
-		if err := rt.lbig.spill(batch); err != nil {
-			rt.fail(err)
+	jb := rt.jb()
+	jb.qglobal.pushBack(t)
+	jb.bigTasks.Add(1)
+	if jb.qglobal.len() > rt.cfg.QueueCap {
+		batch := jb.qglobal.popBackBatch(rt.cfg.BatchSize)
+		if err := jb.lbig.spill(batch); err != nil {
+			jb.fail(err)
 		}
 	}
 }
@@ -588,16 +515,17 @@ func (rt *MachineRuntime) DeliverTasks(tasks []*Task) {
 	if len(tasks) == 0 {
 		return
 	}
+	jb := rt.jb()
 	var start time.Time
-	if rt.tracer != nil {
+	if jb.tracer != nil {
 		start = time.Now()
 	}
-	rt.live.Add(int64(len(tasks)))
-	rt.recvIn.Add(uint64(len(tasks)))
-	rt.stolenIn.Add(uint64(len(tasks)))
-	rt.qglobal.pushBackAll(tasks)
-	if rt.tracer != nil {
-		rt.tracer.Record(rt.ctlTrack(), obs.KindStealRecv, start, time.Since(start), uint64(len(tasks)), 0)
+	jb.live.Add(int64(len(tasks)))
+	jb.recvIn.Add(uint64(len(tasks)))
+	jb.stolenIn.Add(uint64(len(tasks)))
+	jb.qglobal.pushBackAll(tasks)
+	if jb.tracer != nil {
+		jb.tracer.Record(rt.ctlTrack(), obs.KindStealRecv, start, time.Since(start), uint64(len(tasks)), 0)
 	}
 }
 
@@ -608,11 +536,12 @@ func (rt *MachineRuntime) DeliverTasks(tasks []*Task) {
 // donates nothing — receivers starve while it pays spill I/O. The
 // returned tasks remain counted in live until finishSteal.
 func (rt *MachineRuntime) stealLocal(want int) []*Task {
-	batch := rt.qglobal.popBackBatch(want)
+	jb := rt.jb()
+	batch := jb.qglobal.popBackBatch(want)
 	for len(batch) < want {
-		refill, ok, err := rt.lbig.refill()
+		refill, ok, err := jb.lbig.refill()
 		if err != nil {
-			rt.fail(err)
+			jb.fail(err)
 			break
 		}
 		if !ok {
@@ -623,7 +552,7 @@ func (rt *MachineRuntime) stealLocal(want int) []*Task {
 			need = len(refill)
 		}
 		batch = append(batch, refill[:need]...)
-		rt.qglobal.pushBackAll(refill[need:])
+		jb.qglobal.pushBackAll(refill[need:])
 	}
 	return batch
 }
@@ -632,8 +561,9 @@ func (rt *MachineRuntime) stealLocal(want int) []*Task {
 // Call only after the receiver acknowledged delivery (its live/recvIn
 // already include them).
 func (rt *MachineRuntime) finishSteal(n int) {
-	rt.sentOut.Add(uint64(n))
-	rt.live.Add(-int64(n))
+	jb := rt.jb()
+	jb.sentOut.Add(uint64(n))
+	jb.live.Add(-int64(n))
 }
 
 // taskChannel returns the transport's task channel when remote task
@@ -666,8 +596,9 @@ func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
 	if tc == nil {
 		return 0, fmt.Errorf("gthinker: machine %d has no task channel (app provides no TaskCodec or transport cannot ship tasks)", rt.id)
 	}
+	jb := rt.jb()
 	var start time.Time
-	if rt.tracer != nil {
+	if jb.tracer != nil {
 		start = time.Now()
 	}
 	batch := rt.stealLocal(want)
@@ -675,16 +606,16 @@ func (rt *MachineRuntime) StealTo(recv, want int) (int, error) {
 	for len(batch) > 0 {
 		k, err := rt.shipChunk(tc, recv, batch)
 		if err != nil {
-			rt.qglobal.pushBackAll(batch)
+			jb.qglobal.pushBackAll(batch)
 			return moved, err
 		}
 		moved += k
 		rt.finishSteal(k)
-		rt.tasksStolenRemote.Add(uint64(k))
+		jb.tasksStolenRemote.Add(uint64(k))
 		batch = batch[k:]
 	}
-	if rt.tracer != nil && moved > 0 {
-		rt.tracer.Record(rt.ctlTrack(), obs.KindStealSend, start, time.Since(start), uint64(recv), uint64(moved))
+	if jb.tracer != nil && moved > 0 {
+		jb.tracer.Record(rt.ctlTrack(), obs.KindStealSend, start, time.Since(start), uint64(recv), uint64(moved))
 	}
 	return moved, nil
 }
@@ -741,19 +672,20 @@ func (rt *MachineRuntime) LiveMetrics() *Metrics {
 }
 
 func (rt *MachineRuntime) liveCounters() *Metrics {
+	jb := rt.jb()
 	met := &Metrics{}
-	met.BigTasks = rt.bigTasks.Load()
-	met.SmallTasks = rt.smallTasks.Load()
+	met.BigTasks = jb.bigTasks.Load()
+	met.SmallTasks = jb.smallTasks.Load()
 	h, mi, ev := rt.cache.stats()
 	met.CacheHits = h
 	met.CacheMisses = mi
 	met.CacheEvicted = ev
-	met.ComputeCalls = rt.computeCalls.Load()
-	met.TasksFinished = rt.tasksFinished.Load()
-	met.LocalReads = rt.localReads.Load()
-	met.TasksSpawned = rt.spawnedTasks.Load()
-	met.SubtasksAdded = rt.subtasksAdded.Load()
-	met.TasksStolenRemote = rt.tasksStolenRemote.Load()
+	met.ComputeCalls = jb.computeCalls.Load()
+	met.TasksFinished = jb.tasksFinished.Load()
+	met.LocalReads = jb.localReads.Load()
+	met.TasksSpawned = jb.spawnedTasks.Load()
+	met.SubtasksAdded = jb.subtasksAdded.Load()
+	met.TasksStolenRemote = jb.tasksStolenRemote.Load()
 	met.SpillFiles = rt.disk.files.Load()
 	met.SpillBytesWritten = rt.disk.written.Load()
 	met.SpillBytesRead = rt.disk.read.Load()
@@ -770,7 +702,7 @@ func (rt *MachineRuntime) liveCounters() *Metrics {
 			met.RetriedOps = rs.RetriedOps()
 		}
 	}
-	met.TraceSpans, met.TraceDropped = rt.tracer.Counts()
+	met.TraceSpans, met.TraceDropped = jb.tracer.Counts()
 	met.Kernel = bitset.KernelVariant()
 	return met
 }
@@ -779,7 +711,7 @@ func (rt *MachineRuntime) liveCounters() *Metrics {
 // directory. A clean run's spill files were already unlinked by their
 // refills; leftovers exist only after cancellation or failure.
 func (rt *MachineRuntime) CleanupSpill() {
-	rt.lbig.removeAll()
+	rt.jb().lbig.removeAll()
 	for _, w := range rt.workers {
 		w.lsmall.removeAll()
 	}

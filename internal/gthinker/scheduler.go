@@ -1,0 +1,283 @@
+package gthinker
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// JobPhase is the lifecycle state of a scheduled job.
+type JobPhase int32
+
+const (
+	// JobQueued: admitted, waiting for the cluster.
+	JobQueued JobPhase = iota
+	// JobRunning: dispatched, the job body is executing.
+	JobRunning
+	// JobDone: the body returned (Err holds its error, nil on success).
+	JobDone
+	// JobCanceled: canceled — either dequeued before dispatch or
+	// interrupted mid-run (Err is then context.Canceled or whatever
+	// the body returned on abort).
+	JobCanceled
+)
+
+func (p JobPhase) String() string {
+	switch p {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("phase(%d)", int32(p))
+}
+
+// ErrSchedulerClosed is returned by Submit after Close.
+var ErrSchedulerClosed = errors.New("gthinker: scheduler closed")
+
+// QueuedJob is one admitted job: a handle the submitter keeps to wait
+// on, inspect, or cancel it.
+type QueuedJob struct {
+	ID       uint64
+	Priority int
+
+	seq    uint64 // admission order, the FIFO tiebreak
+	idx    int    // heap index, -1 once dequeued
+	run    func(ctx context.Context) error
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	s     *Scheduler
+	phase JobPhase // guarded by s.mu
+	err   error    // guarded by s.mu until done is closed
+}
+
+// Done is closed when the job reaches a terminal phase (done or
+// canceled).
+func (j *QueuedJob) Done() <-chan struct{} { return j.done }
+
+// Err returns the job body's error (or context.Canceled for a job
+// canceled before dispatch). Valid after Done is closed; nil before.
+func (j *QueuedJob) Err() error {
+	select {
+	case <-j.done:
+	default:
+		return nil
+	}
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.err
+}
+
+// Phase returns the job's current lifecycle state.
+func (j *QueuedJob) Phase() JobPhase {
+	j.s.mu.Lock()
+	defer j.s.mu.Unlock()
+	return j.phase
+}
+
+// Cancel stops the job: dequeued immediately if still waiting,
+// interrupted via its context if running (the dispatcher then waits
+// for the body to unwind before starting the next job — the cluster
+// is never shared). Idempotent; a no-op on terminal jobs.
+func (j *QueuedJob) Cancel() {
+	j.s.mu.Lock()
+	switch j.phase {
+	case JobQueued:
+		heap.Remove(&j.s.queue, j.idx)
+		j.phase = JobCanceled
+		j.err = context.Canceled
+		j.s.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		return
+	case JobRunning:
+		j.phase = JobCanceled
+	}
+	j.s.mu.Unlock()
+	j.cancel() // interrupt the body; dispatcher closes done
+}
+
+// Wait blocks until the job terminates or ctx is done, returning the
+// job's error (which the caller distinguishes from ctx.Err()).
+func (j *QueuedJob) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Scheduler turns one cluster into a job queue: submissions are
+// admitted concurrently, queued FIFO within a priority band (higher
+// Priority first, admission order breaking ties), and dispatched
+// strictly one at a time — the G-thinker composition underneath runs
+// exactly one job's tasks across its machines, so overlap lives at
+// admission, not execution. The job body owns the cluster for its
+// whole run; the scheduler guarantees the next body does not start
+// until the previous one has returned.
+type Scheduler struct {
+	mu     sync.Mutex
+	queue  jobHeap
+	seq    uint64
+	nextID uint64
+	closed bool
+
+	wake chan struct{} // buffered(1): nudges the dispatcher
+	idle chan struct{} // closed when the dispatcher exits
+}
+
+// NewScheduler starts the dispatcher goroutine; Close stops it.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{
+		wake: make(chan struct{}, 1),
+		idle: make(chan struct{}),
+	}
+	go s.dispatch()
+	return s
+}
+
+// Submit admits a job at the given priority. run is called from the
+// dispatcher goroutine with a context that cancellation fires; it
+// must return promptly once that context is done.
+func (s *Scheduler) Submit(priority int, run func(ctx context.Context) error) (*QueuedJob, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrSchedulerClosed
+	}
+	s.nextID++
+	s.seq++
+	j := &QueuedJob{
+		ID:       s.nextID,
+		Priority: priority,
+		seq:      s.seq,
+		run:      run,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		s:        s,
+		phase:    JobQueued,
+	}
+	heap.Push(&s.queue, j)
+	s.mu.Unlock()
+	s.nudge()
+	return j, nil
+}
+
+// QueueLen returns the number of jobs waiting (not counting a running
+// one).
+func (s *Scheduler) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close stops the dispatcher after the in-flight job (if any)
+// finishes, and cancels every still-queued job. Blocks until the
+// dispatcher has exited.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.idle
+		return
+	}
+	s.closed = true
+	drained := make([]*QueuedJob, len(s.queue))
+	copy(drained, s.queue)
+	s.mu.Unlock()
+	for _, j := range drained {
+		j.Cancel()
+	}
+	s.nudge()
+	<-s.idle
+}
+
+func (s *Scheduler) nudge() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the scheduler's single consumer: pop the best job, run
+// its body to completion, repeat. Sequential by construction.
+func (s *Scheduler) dispatch() {
+	defer close(s.idle)
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			<-s.wake
+			continue
+		}
+		j := heap.Pop(&s.queue).(*QueuedJob)
+		j.phase = JobRunning
+		s.mu.Unlock()
+
+		err := j.run(j.ctx)
+		j.cancel()
+
+		s.mu.Lock()
+		j.err = err
+		if j.phase != JobCanceled {
+			j.phase = JobDone
+		} else if err == nil {
+			// Canceled mid-run but the body still finished cleanly:
+			// record the cancellation so waiters see it.
+			j.err = context.Canceled
+		}
+		s.mu.Unlock()
+		close(j.done)
+	}
+}
+
+// jobHeap orders queued jobs by priority (desc), then admission order
+// (asc) — FIFO within a band. Implements container/heap.
+type jobHeap []*QueuedJob
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].Priority != h[b].Priority {
+		return h[a].Priority > h[b].Priority
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h jobHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].idx = a
+	h[b].idx = b
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*QueuedJob)
+	j.idx = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.idx = -1
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,142 @@
+package gthinker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSchedulerSequentialFIFO checks the dispatch contract: one job
+// at a time, FIFO within a priority band, higher priorities first.
+func TestSchedulerSequentialFIFO(t *testing.T) {
+	s := NewScheduler()
+	defer s.Close()
+
+	var mu sync.Mutex
+	var order []int
+	var running int
+	gate := make(chan struct{})
+
+	submit := func(tag, prio int) *QueuedJob {
+		j, err := s.Submit(prio, func(ctx context.Context) error {
+			<-gate
+			mu.Lock()
+			running++
+			if running > 1 {
+				mu.Unlock()
+				t.Error("two job bodies overlapped")
+				return nil
+			}
+			order = append(order, tag)
+			running--
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		return j
+	}
+
+	// Admitted while the dispatcher is blocked on gate, so the heap
+	// orders them all at once: two normal jobs, then a high-priority
+	// one that must overtake the second.
+	first := submit(1, 0)
+	second := submit(2, 0)
+	third := submit(3, 5)
+	close(gate)
+
+	for _, j := range []*QueuedJob{first, second, third} {
+		if err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", j.ID, err)
+		}
+		if got := j.Phase(); got != JobDone {
+			t.Fatalf("job %d phase = %v, want done", j.ID, got)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Job 1 may already be running when 3 is admitted, so only the
+	// relative order of 2 and 3 is pinned.
+	pos := map[int]int{}
+	for i, tag := range order {
+		pos[tag] = i
+	}
+	if len(order) != 3 || pos[3] > pos[2] {
+		t.Fatalf("execution order %v: high-priority job 3 must run before job 2", order)
+	}
+}
+
+// TestSchedulerCancel covers both cancellation paths: a queued job is
+// dequeued without ever running, and a running job has its context
+// fired and terminates as canceled — without wedging the dispatcher
+// for subsequent jobs.
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	defer s.Close()
+
+	started := make(chan struct{})
+	blocker, err := s.Submit(0, func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+
+	ran := false
+	queued, err := s.Submit(0, func(ctx context.Context) error {
+		ran = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	queued.Cancel()
+	if err := queued.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued job err = %v, want context.Canceled", err)
+	}
+	if queued.Phase() != JobCanceled {
+		t.Fatalf("queued job phase = %v, want canceled", queued.Phase())
+	}
+
+	blocker.Cancel()
+	if err := blocker.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled running job err = %v, want context.Canceled", err)
+	}
+
+	// The dispatcher must still serve new work after both cancels.
+	after, err := s.Submit(0, func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := after.Wait(ctx); err != nil {
+		t.Fatalf("job after cancellations: %v", err)
+	}
+	if ran {
+		t.Fatal("canceled queued job body ran anyway")
+	}
+}
+
+// TestSchedulerClose checks Submit-after-Close fails typed and queued
+// jobs are canceled on Close.
+func TestSchedulerClose(t *testing.T) {
+	s := NewScheduler()
+	j, err := s.Submit(0, func(ctx context.Context) error { return nil })
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	s.Close()
+	if _, err := s.Submit(0, func(ctx context.Context) error { return nil }); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("submit after close err = %v, want ErrSchedulerClosed", err)
+	}
+}

@@ -49,6 +49,19 @@ func raiseTo(p *atomic.Int64, v int64) {
 	}
 }
 
+// resetJobCounters zeroes the per-job spill counters between jobs.
+// The parent pointer (process-wide footprint) is preserved; current
+// is already zero after ResetJob's removeAll sweep, but is cleared
+// defensively so an accounting slip cannot compound across jobs.
+func (a *diskAccount) resetJobCounters() {
+	a.written.Store(0)
+	a.current.Store(0)
+	a.peak.Store(0)
+	a.files.Store(0)
+	a.read.Store(0)
+	a.refills.Store(0)
+}
+
 func (a *diskAccount) remove(n int64) {
 	a.current.Add(-n)
 	if a.parent != nil {

@@ -32,15 +32,27 @@ type worker struct {
 	track  int
 
 	// busy is the accumulated Compute time. It stays a plain field —
-	// only read after Stop — where the call counters moved to runtime
+	// only read after Stop — where the call counters moved to job
 	// atomics so status polls can sample them live.
 	busy time.Duration
+}
+
+// resetJob clears the worker's per-job half — queues, spill list,
+// busy time, tracer alias — keeping the warm per-process half
+// (adjScratch, and whatever the app pools per worker). Only called
+// between jobs, when the worker goroutine has exited.
+func (w *worker) resetJob(jb *jobState, codec TaskCodec) {
+	w.qlocal = deque{}
+	w.blocal.reset()
+	w.lsmall = newSpillList(w.lsmall.dir, w.lsmall.name, w.lsmall.acct, codec)
+	w.busy = 0
+	w.tracer = jb.tracer
 }
 
 // addLocal enqueues a small task on this worker, spilling on overflow.
 func (w *worker) addLocal(t *Task) {
 	w.qlocal.pushBack(t)
-	w.rt.smallTasks.Add(1)
+	w.rt.jb().smallTasks.Add(1)
 	if w.qlocal.len() > w.rt.cfg.QueueCap {
 		batch := w.qlocal.popBackBatch(w.rt.cfg.BatchSize)
 		var start time.Time
@@ -76,7 +88,7 @@ func (w *worker) route(t *Task) {
 //	      first big task).
 func (w *worker) run() {
 	idle := 0
-	for !w.rt.doneFlag.Load() {
+	for !w.rt.jb().doneFlag.Load() {
 		if w.step() {
 			idle = 0
 			continue
@@ -93,7 +105,7 @@ func (w *worker) run() {
 // step performs one scheduling action; false means no work was found.
 func (w *worker) step() bool {
 	// Push phase: big ready tasks are prioritized across the machine.
-	if t := w.rt.bglobal.pop(); t != nil {
+	if t := w.rt.jb().bglobal.pop(); t != nil {
 		w.compute(t)
 		return true
 	}
@@ -118,20 +130,20 @@ func (w *worker) step() bool {
 // low; a try-lock failure (another thread holds it) falls back to the
 // local path immediately instead of blocking.
 func (w *worker) popGlobal() *Task {
-	rt := w.rt
-	if rt.qglobal.len() < rt.cfg.BatchSize {
+	jb := w.rt.jb()
+	if jb.qglobal.len() < w.rt.cfg.BatchSize {
 		var start time.Time
 		if w.tracer != nil {
 			start = time.Now()
 		}
-		if batch, ok, err := rt.lbig.refill(); err != nil {
-			rt.fail(err)
+		if batch, ok, err := jb.lbig.refill(); err != nil {
+			jb.fail(err)
 		} else if ok {
-			rt.qglobal.pushBackAll(batch)
+			jb.qglobal.pushBackAll(batch)
 			w.tracer.Record(w.track, obs.KindRefill, start, time.Since(start), uint64(len(batch)), 0)
 		}
 	}
-	t, _ := rt.qglobal.tryPopFront()
+	t, _ := jb.qglobal.tryPopFront()
 	return t
 }
 
@@ -168,6 +180,7 @@ func (w *worker) popLocal() *Task {
 // task ever reached a queue.
 func (w *worker) spawnBatch() {
 	rt := w.rt
+	jb := rt.jb()
 	var start time.Time
 	if w.tracer != nil {
 		start = time.Now()
@@ -179,24 +192,24 @@ func (w *worker) spawnBatch() {
 		}
 	}()
 	for i := 0; i < rt.cfg.BatchSize; i++ {
-		rt.live.Add(1)
+		jb.live.Add(1)
 		var v graph.V
-		if idx := int(rt.spawnCursor.Add(1)) - 1; idx < len(rt.verts) {
+		if idx := int(jb.spawnCursor.Add(1)) - 1; idx < len(rt.verts) {
 			v = rt.verts[idx]
 		} else if av, ok := rt.nextAdopted(); ok {
 			// Adopted vertices (a dead machine's partition, re-owned by
 			// recovery) spawn after the home partition is exhausted.
 			v = av
 		} else {
-			rt.live.Add(-1)
+			jb.live.Add(-1)
 			return
 		}
 		t := rt.app.Spawn(v, rt.g.Adj(v), &w.ctx)
 		if t == nil {
-			rt.live.Add(-1)
+			jb.live.Add(-1)
 			continue
 		}
-		rt.spawnedTasks.Add(1)
+		jb.spawnedTasks.Add(1)
 		spawned++
 		if rt.isBig(t) {
 			rt.addGlobal(t)
@@ -228,7 +241,7 @@ func (w *worker) resolve(t *Task) {
 		}
 	}
 	if local > 0 {
-		rt.localReads.Add(uint64(local))
+		rt.jb().localReads.Add(uint64(local))
 	}
 	if len(remote) > 0 {
 		missing := rt.cache.acquire(remote, frontier)
@@ -244,7 +257,7 @@ func (w *worker) resolve(t *Task) {
 	t.frontier = frontier
 	t.pinned = remote
 	if rt.isBig(t) {
-		rt.bglobal.push(t)
+		rt.jb().bglobal.push(t)
 	} else {
 		w.blocal.push(t)
 	}
@@ -314,13 +327,14 @@ func (w *worker) releaseExcept(ids, skip []graph.V) {
 // finishes, routing any subtasks it creates.
 func (w *worker) compute(t *Task) {
 	rt := w.rt
+	jb := rt.jb()
 	for {
 		w.ctx.reset()
 		start := time.Now()
 		more := rt.app.Compute(t, t.frontier, &w.ctx)
 		dur := time.Since(start)
 		w.busy += dur
-		rt.computeCalls.Add(1)
+		jb.computeCalls.Add(1)
 		w.tracer.Record(w.track, obs.KindCompute, start, dur, uint64(len(w.ctx.newTasks)), 0)
 
 		if t.pinned != nil {
@@ -330,13 +344,13 @@ func (w *worker) compute(t *Task) {
 		t.frontier = nil
 
 		for _, nt := range w.ctx.newTasks {
-			rt.subtasksAdded.Add(1)
-			rt.live.Add(1)
+			jb.subtasksAdded.Add(1)
+			jb.live.Add(1)
 			w.route(nt)
 		}
 		if !more {
-			rt.tasksFinished.Add(1)
-			rt.live.Add(-1)
+			jb.tasksFinished.Add(1)
+			jb.live.Add(-1)
 			return
 		}
 		if len(w.ctx.pulls) == 0 {

@@ -18,8 +18,6 @@ import (
 
 	"gthinkerqc/internal/graph"
 	"gthinkerqc/internal/gthinker"
-	"gthinkerqc/internal/metrics"
-	"gthinkerqc/internal/obs"
 	"gthinkerqc/internal/quasiclique"
 	"gthinkerqc/internal/store"
 )
@@ -78,6 +76,7 @@ func AppendJobSpec(dst []byte, cfg Config, ecfg gthinker.Config) []byte {
 	dst = store.AppendU32(dst, opt)
 	dst = store.AppendU64(dst, uint64(int64(cfg.Options.DenseThreshold)))
 	dst = store.AppendU64(dst, math.Float64bits(cfg.Options.DenseMinDensity))
+	dst = store.AppendU64(dst, uint64(cfg.TimeBudget))
 
 	dst = store.AppendU32(dst, uint32(ecfg.Machines))
 	dst = store.AppendU32(dst, uint32(ecfg.WorkersPerMachine))
@@ -145,6 +144,7 @@ func DecodeJobSpec(data []byte) (Config, gthinker.Config, error) {
 	}
 	cfg.Options.DenseThreshold = int(int64(c.U64()))
 	cfg.Options.DenseMinDensity = math.Float64frombits(c.U64())
+	cfg.TimeBudget = time.Duration(c.U64())
 
 	ecfg.Machines = int(c.U32())
 	ecfg.WorkersPerMachine = int(c.U32())
@@ -366,174 +366,17 @@ type ProcsConfig struct {
 // the in-process engine on the same graph — the processes execute the
 // same MachineRuntime the engine composes in-process.
 func MineProcs(ctx context.Context, cfg Config, ecfg gthinker.Config, pcfg ProcsConfig) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if pcfg.Command == nil {
-		return nil, fmt.Errorf("miner: MineProcs needs a worker Command factory")
-	}
-	if ecfg.Machines < 1 {
-		return nil, fmt.Errorf("miner: MineProcs needs ecfg.Machines ≥ 1, got %d", ecfg.Machines)
-	}
-	if pcfg.ReadyTimeout == 0 {
-		pcfg.ReadyTimeout = 30 * time.Second
-	}
-	if pcfg.ExitTimeout == 0 {
-		pcfg.ExitTimeout = 30 * time.Second
-	}
-
-	// Fingerprint the graph for the manifest (the mapping is released
-	// immediately — the coordinator never mines).
-	mg, err := store.MapGraph(pcfg.GraphPath)
+	pool, err := StartProcsPool(ecfg, pcfg)
 	if err != nil {
 		return nil, err
 	}
-	numVerts := mg.Graph().NumVertices()
-	numEdges := uint64(mg.Graph().NumEdges())
-	mg.Close()
-
-	man := &store.Manifest{
-		Scheme:      store.OwnerSchemeSplitmix,
-		NumVertices: numVerts,
-		NumEdges:    numEdges,
-		Machines:    make([]store.MachineSpec, ecfg.Machines),
+	res, runErr := pool.RunJob(ctx, cfg)
+	cerr := pool.Close()
+	if runErr != nil {
+		return res, runErr
 	}
-	// The manifest is per-run state: a unique name (two concurrent
-	// coordinators must not read each other's deployment) in the temp
-	// dir — the graph's directory may be read-only shared storage —
-	// removed when the run ends. Only an explicit ManifestDir keeps
-	// the file for inspection.
-	dir := pcfg.ManifestDir
-	keepManifest := dir != ""
-	if dir == "" {
-		dir = os.TempDir()
+	if cerr != nil {
+		return nil, cerr
 	}
-	mf, err := os.CreateTemp(dir, "cluster-*.gqm")
-	if err != nil {
-		return nil, err
-	}
-	manifestPath := mf.Name()
-	mf.Close()
-	if !keepManifest {
-		defer os.Remove(manifestPath)
-	}
-	if err := store.WriteManifestFile(manifestPath, man); err != nil {
-		os.Remove(manifestPath)
-		return nil, err
-	}
-
-	procs, err := gthinker.SpawnWorkerProcs(ecfg.Machines, func(machine int) *exec.Cmd {
-		return pcfg.Command(machine, manifestPath)
-	}, pcfg.ReadyTimeout)
-	if err != nil {
-		return nil, err
-	}
-	clean := false
-	defer func() {
-		if !clean {
-			procs.Kill()
-		}
-	}()
-
-	cc := gthinker.DialCluster(procs.ControlAddrs)
-	defer cc.Close()
-	if err := cc.Configure(ecfg); err != nil {
-		return nil, err
-	}
-	spec := AppendJobSpec(nil, cfg, ecfg)
-	vaddrs, taddrs, err := cc.JoinAll(ecfg.Machines, numVerts, numEdges, spec)
-	if err != nil {
-		return nil, err
-	}
-	if err := cc.StartTransports(vaddrs, taddrs); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	if err := cc.RunAll(); err != nil {
-		return nil, err
-	}
-
-	perMachine, stats, err := gthinker.RunCoordinator(ctx, cc, ecfg)
-	if err != nil {
-		return nil, err
-	}
-
-	// Machines the coordinator declared dead and recovered from have no
-	// results to flush (their partitions were re-mined by a survivor)
-	// and no process worth reaping cleanly.
-	isDead := func(m int) bool { return m < len(stats.Dead) && stats.Dead[m] }
-
-	// With tracing on, pull every surviving worker's span rings over the
-	// control plane (valid now — the coordinator shut them down) and
-	// merge them with the coordinator's own scheduling spans into one
-	// cluster-wide timeline.
-	var trace *obs.Trace
-	if ecfg.Trace {
-		traces := []*obs.Trace{stats.Trace}
-		for m := 0; m < ecfg.Machines; m++ {
-			if isDead(m) {
-				continue
-			}
-			tr, terr := cc.CollectTrace(m)
-			if terr != nil {
-				return nil, fmt.Errorf("miner: trace from machine %d: %w", m, terr)
-			}
-			traces = append(traces, tr)
-		}
-		trace = obs.Merge(traces...)
-	}
-
-	all := quasiclique.NewCollector()
-	for m := 0; m < ecfg.Machines; m++ {
-		if isDead(m) {
-			continue
-		}
-		data, err := cc.Results(m)
-		if err != nil {
-			return nil, fmt.Errorf("miner: results from machine %d: %w", m, err)
-		}
-		sets, err := DecodeResults(data)
-		if err != nil {
-			return nil, fmt.Errorf("miner: results from machine %d: %w", m, err)
-		}
-		for _, s := range sets {
-			all.Add(s)
-		}
-	}
-	for m := 0; m < ecfg.Machines; m++ {
-		if isDead(m) {
-			continue
-		}
-		if err := cc.Exit(m); err != nil {
-			return nil, fmt.Errorf("miner: exit machine %d: %w", m, err)
-		}
-	}
-	if err := procs.WaitLive(pcfg.ExitTimeout, stats.Dead); err != nil {
-		return nil, err
-	}
-	clean = true
-
-	met := gthinker.MergeMachineMetrics(perMachine)
-	met.Wall = time.Since(start)
-	met.StealRounds = stats.StealRounds
-	met.TasksStolen = stats.TasksStolen
-	met.OffCycleSteals = stats.OffCycleSteals
-	met.Recoveries = stats.Recoveries
-	met.DeadMachines = stats.DeadMachines
-	met.RetriedDials += cc.RetriedDials()
-	met.RetriedOps += cc.RetriedOps()
-
-	// Per-root recorder data stays in the worker processes; the
-	// cluster result carries an empty recorder so downstream reporting
-	// (experiments tables) need no special case.
-	res := &Result{Candidates: all.Len(), Engine: met, Recorder: metrics.NewRecorder(), Trace: trace}
-	sets := all.Sets()
-	if !cfg.Options.SkipMaximalityFilter {
-		sets = quasiclique.FilterMaximal(sets)
-	} else {
-		quasiclique.SortSets(sets)
-	}
-	res.Cliques = sets
 	return res, nil
 }

@@ -20,6 +20,7 @@ func TestJobSpecRoundTrip(t *testing.T) {
 			DisableTwoHopCache: true, NoSIMD: true,
 		},
 		TauSplit: 77, TauTime: 3 * time.Millisecond, Strategy: SizeThreshold,
+		TimeBudget: 90 * time.Second,
 	}
 	ecfg := gthinker.Config{
 		Machines: 4, WorkersPerMachine: 3, QueueCap: 64, BatchSize: 8,

@@ -2,8 +2,6 @@ package miner
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"time"
 
 	"gthinkerqc/internal/graph"
@@ -47,6 +45,12 @@ type Config struct {
 	TauTime time.Duration
 	// Strategy defaults to TimeDelayed.
 	Strategy Strategy
+	// TimeBudget bounds the whole job's wall time; 0 means unlimited.
+	// It travels in the job spec like every other per-query parameter,
+	// and the session/pool entry points enforce it with a context
+	// deadline, so a budgeted job returns its partial results with
+	// context.DeadlineExceeded.
+	TimeBudget time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,35 +91,9 @@ func Mine(g *graph.Graph, cfg Config, ecfg gthinker.Config) (*Result, error) {
 
 // MineContext is Mine with cancellation. On cancellation it returns
 // the (partial, still-valid) results found so far together with the
-// context error.
+// context error. It is a one-job session: open, mine, close.
 func MineContext(ctx context.Context, g *graph.Graph, cfg Config, ecfg gthinker.Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Params.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.TauSplit < 1 {
-		return nil, fmt.Errorf("miner: TauSplit must be positive, got %d", cfg.TauSplit)
-	}
-	app := newApp(g, cfg, ecfg.TotalWorkers())
-	eng, err := gthinker.NewEngine(g, app, ecfg)
-	if err != nil {
-		return nil, err
-	}
-	met, runErr := eng.RunContext(ctx)
-	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
-		return nil, runErr
-	}
-	all := quasiclique.NewCollector()
-	for _, c := range app.collectors {
-		all.Merge(c)
-	}
-	res := &Result{Candidates: all.Len(), Engine: met, Recorder: app.rec, Trace: eng.Trace()}
-	sets := all.Sets()
-	if !cfg.Options.SkipMaximalityFilter {
-		sets = quasiclique.FilterMaximal(sets)
-	} else {
-		quasiclique.SortSets(sets)
-	}
-	res.Cliques = sets
-	return res, runErr
+	s := NewSession(g, ecfg)
+	defer s.Close()
+	return s.Mine(ctx, cfg)
 }

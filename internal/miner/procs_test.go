@@ -149,6 +149,81 @@ func TestMineProcsBitIdentical(t *testing.T) {
 	t.Logf("procs run: %v", met)
 }
 
+// TestProcsPoolMultiJob is the one-graph-many-jobs gate for REAL
+// worker OS processes: one pool — spawned, joined, and wired exactly
+// once — runs three jobs with different query parameters, each
+// delivered per-run over opRun, plus a canceled job in the middle.
+// Every completed job must be bit-identical to a fresh serial mine
+// with its parameters, proving the per-job spec actually reaches the
+// workers (job 2's γ/min-size differ from the bootstrap spec's and
+// from job 1's) and that reset-between-jobs leaks nothing.
+func TestProcsPoolMultiJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	g, graphPath := writeProcsGraph(t, dir)
+	ecfg := gthinker.Config{
+		Machines: 2, WorkersPerMachine: 2,
+		StealInterval: time.Millisecond,
+	}
+	pool, err := StartProcsPool(ecfg, ProcsConfig{
+		GraphPath: graphPath,
+		Command:   helperWorkerCommand(graphPath),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	jobs := []quasiclique.Params{
+		{Gamma: 0.8, MinSize: 7},
+		{Gamma: 0.9, MinSize: 5},
+	}
+	for i, par := range jobs {
+		want, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pool.RunJob(context.Background(), Config{
+			Params: par, TauTime: time.Nanosecond, TauSplit: 4,
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !quasiclique.SetsEqual(res.Cliques, want) {
+			t.Fatalf("job %d (γ=%v τ=%d) diverges from serial: %d vs %d cliques",
+				i, par.Gamma, par.MinSize, len(res.Cliques), len(want))
+		}
+	}
+
+	// A canceled job must not poison the pool for the job after it.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.RunJob(canceled, Config{
+		Params: jobs[0], TauTime: time.Nanosecond, TauSplit: 4,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job err = %v, want context.Canceled", err)
+	}
+	want, _, err := quasiclique.MineGraph(g, jobs[0], quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.RunJob(context.Background(), Config{
+		Params: jobs[0], TauTime: time.Nanosecond, TauSplit: 4,
+	})
+	if err != nil {
+		t.Fatalf("job after cancel: %v", err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, want) {
+		t.Fatalf("post-cancel job diverges from serial: %d vs %d cliques",
+			len(res.Cliques), len(want))
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("pool close: %v", err)
+	}
+}
+
 // TestMineProcsWorkerKilledRecovers is the worker-loss end-to-end: a
 // 4-process cluster whose job spec carries a fault plan that kills one
 // worker process (hard exit 137) mid-run. The coordinator must detect

@@ -1,0 +1,128 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gthinkerqc/internal/datagen"
+	"gthinkerqc/internal/graph"
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/quasiclique"
+)
+
+func sessionTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := datagen.Planted(datagen.PlantedConfig{
+		N:          400,
+		Background: 0.01,
+		Communities: []datagen.Community{
+			{Size: 12, Density: 0.95, Count: 3},
+			{Size: 9, Density: 1.0, Count: 2},
+		},
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func serialReference(t *testing.T, g *graph.Graph, par quasiclique.Params) [][]graph.V {
+	t.Helper()
+	sets, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) == 0 {
+		t.Fatalf("no serial results for γ=%v τ=%d; test parameters are wrong", par.Gamma, par.MinSize)
+	}
+	return sets
+}
+
+// TestSessionMultiJobBitIdentical is the one-graph-many-jobs gate for
+// the in-process compositions: one Session runs three jobs with
+// DIFFERENT query parameters back to back — the engine is reset, not
+// rebuilt, between them — and each job's results must be bit-identical
+// to a fresh serial mine with that job's parameters. The third job
+// repeats the first's parameters, so any state leaking across the two
+// intervening jobs (queues, spill lists, liveness counters, collector
+// contents) would show up as a diff.
+func TestSessionMultiJobBitIdentical(t *testing.T) {
+	jobs := []quasiclique.Params{
+		{Gamma: 0.8, MinSize: 7},
+		{Gamma: 0.9, MinSize: 5},
+		{Gamma: 0.8, MinSize: 7},
+	}
+	for _, tcp := range []bool{false, true} {
+		name := "loopback"
+		if tcp {
+			name = "inprocess-tcp"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := sessionTestGraph(t)
+			ecfg := gthinker.Config{
+				Machines: 2, WorkersPerMachine: 2,
+				StealInterval: time.Millisecond,
+				SpillDir:      t.TempDir(),
+				InProcessTCP:  tcp,
+			}
+			s := NewSession(g, ecfg)
+			defer s.Close()
+			for i, par := range jobs {
+				want := serialReference(t, g, par)
+				res, err := s.Mine(context.Background(), Config{
+					Params: par, TauTime: time.Nanosecond, TauSplit: 4,
+				})
+				if err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+				if !quasiclique.SetsEqual(res.Cliques, want) {
+					t.Fatalf("job %d (γ=%v τ=%d) diverges from serial: %d vs %d cliques",
+						i, par.Gamma, par.MinSize, len(res.Cliques), len(want))
+				}
+				if res.Engine.TasksSpawned == 0 {
+					t.Fatalf("job %d spawned no tasks", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSessionCancelThenReuse checks that an aborted job — whether by
+// caller cancellation or an expired per-job TimeBudget — poisons
+// nothing: the same session then runs a clean job whose results match
+// serial exactly.
+func TestSessionCancelThenReuse(t *testing.T) {
+	g := sessionTestGraph(t)
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 7}
+	want := serialReference(t, g, par)
+	s := NewSession(g, gthinker.Config{
+		Machines: 2, WorkersPerMachine: 2,
+		StealInterval: time.Millisecond,
+		SpillDir:      t.TempDir(),
+	})
+	defer s.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Mine(canceled, Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job err = %v, want context.Canceled", err)
+	}
+
+	if _, err := s.Mine(context.Background(), Config{
+		Params: par, TauTime: time.Nanosecond, TauSplit: 4,
+		TimeBudget: time.Nanosecond,
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("budgeted job err = %v, want context.DeadlineExceeded", err)
+	}
+
+	res, err := s.Mine(context.Background(), Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4})
+	if err != nil {
+		t.Fatalf("job after aborts: %v", err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, want) {
+		t.Fatalf("post-abort job diverges from serial: %d vs %d cliques", len(res.Cliques), len(want))
+	}
+}

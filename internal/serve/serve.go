@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gthinkerqc/internal/gthinker"
+	"gthinkerqc/internal/miner"
+	"gthinkerqc/internal/quasiclique"
+)
+
+// Backend mines one job at a time against a fixed graph. Both
+// session flavors satisfy it via the adapters below.
+type Backend interface {
+	Mine(ctx context.Context, cfg miner.Config) (*miner.Result, error)
+	Close() error
+}
+
+type sessionBackend struct{ s *miner.Session }
+
+func (b sessionBackend) Mine(ctx context.Context, cfg miner.Config) (*miner.Result, error) {
+	return b.s.Mine(ctx, cfg)
+}
+func (b sessionBackend) Close() error { b.s.Close(); return nil }
+
+// SessionBackend serves jobs from an in-process mining session.
+func SessionBackend(s *miner.Session) Backend { return sessionBackend{s} }
+
+type poolBackend struct{ p *miner.ProcsPool }
+
+func (b poolBackend) Mine(ctx context.Context, cfg miner.Config) (*miner.Result, error) {
+	return b.p.RunJob(ctx, cfg)
+}
+func (b poolBackend) Close() error { return b.p.Close() }
+
+// PoolBackend serves jobs from a pool of worker OS processes.
+func PoolBackend(p *miner.ProcsPool) Backend { return poolBackend{p} }
+
+// JobRequest is the POST /v1/jobs body: the per-query parameters.
+// Everything beyond gamma/min_size is optional.
+type JobRequest struct {
+	Gamma   float64 `json:"gamma"`
+	MinSize int     `json:"min_size"`
+	// TauSplitOpt / TauTimeMS tune decomposition (defaults 256 / 100).
+	TauSplit  int   `json:"tau_split,omitempty"`
+	TauTimeMS int64 `json:"tau_time_ms,omitempty"`
+	// TimeBudgetMS bounds the job's wall time; an expired budget
+	// completes the job with the partial results found so far.
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// Priority orders the queue (higher first, FIFO within a band).
+	Priority          int     `json:"priority,omitempty"`
+	NoSIMD            bool    `json:"no_simd,omitempty"`
+	SizeThresholdOnly bool    `json:"size_threshold_only,omitempty"`
+	KeepNonMaximal    bool    `json:"keep_non_maximal,omitempty"`
+	DenseThreshold    int     `json:"dense_threshold,omitempty"`
+	DenseMinDensity   float64 `json:"dense_min_density,omitempty"`
+}
+
+// config maps the request onto a miner job config.
+func (r JobRequest) config(defaultBudget time.Duration) miner.Config {
+	cfg := miner.Config{
+		Params:     quasiclique.Params{Gamma: r.Gamma, MinSize: r.MinSize},
+		TauSplit:   r.TauSplit,
+		TauTime:    time.Duration(r.TauTimeMS) * time.Millisecond,
+		TimeBudget: time.Duration(r.TimeBudgetMS) * time.Millisecond,
+	}
+	if r.SizeThresholdOnly {
+		cfg.Strategy = miner.SizeThreshold
+	}
+	cfg.Options.NoSIMD = r.NoSIMD
+	cfg.Options.SkipMaximalityFilter = r.KeepNonMaximal
+	cfg.Options.DenseThreshold = r.DenseThreshold
+	cfg.Options.DenseMinDensity = r.DenseMinDensity
+	if cfg.TimeBudget == 0 {
+		cfg.TimeBudget = defaultBudget
+	}
+	return cfg
+}
+
+// Config shapes the service.
+type Config struct {
+	// Backend runs the jobs. Required; closed by Server.Close.
+	Backend Backend
+	// Fingerprint identifies the served graph in the result cache key
+	// (e.g. "path:|V|:|E|"). Cached entries never cross fingerprints.
+	Fingerprint string
+	// Quota caps jobs in flight (queued + running); submissions over
+	// it are answered 429. Default 64.
+	Quota int
+	// CacheSize is the LRU result cache capacity in entries (0 =
+	// default 128, negative disables caching).
+	CacheSize int
+	// DefaultBudget applies to jobs submitted without a time budget;
+	// 0 means such jobs are unbounded.
+	DefaultBudget time.Duration
+}
+
+// JobState is the service-level lifecycle of a submitted job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// job is one submission and (eventually) its outcome.
+type job struct {
+	id      string
+	req     JobRequest
+	created time.Time
+
+	mu       sync.Mutex
+	terminal JobState // "" until the job finishes
+	cached   bool
+	partial  bool // aborted early; results are a valid subset
+	result   *miner.Result
+	errMsg   string
+	wall     time.Duration
+	qj       *gthinker.QueuedJob // nil for cache hits
+}
+
+// Server is the HTTP service over one Backend.
+type Server struct {
+	cfg   Config
+	sched *gthinker.Scheduler
+	cache *lruCache
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for listing
+	seq    uint64
+	active int // queued + running, the quota denominator
+	closed bool
+
+	submitted uint64
+	completed uint64
+	failed    uint64
+	canceled  uint64
+	cacheHits uint64
+}
+
+// NewServer wires the service. Call Close to stop the scheduler and
+// the backend.
+func NewServer(cfg Config) *Server {
+	if cfg.Quota == 0 {
+		cfg.Quota = 64
+	}
+	var cache *lruCache
+	if cfg.CacheSize >= 0 {
+		n := cfg.CacheSize
+		if n == 0 {
+			n = 128
+		}
+		cache = newLRUCache(n)
+	}
+	return &Server{
+		cfg:   cfg,
+		sched: gthinker.NewScheduler(),
+		cache: cache,
+		jobs:  make(map[string]*job),
+	}
+}
+
+// Close cancels every live job, stops the scheduler, and closes the
+// backend.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	live := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		live = append(live, j)
+	}
+	s.mu.Unlock()
+	for _, j := range live {
+		j.mu.Lock()
+		qj := j.qj
+		done := j.terminal != ""
+		j.mu.Unlock()
+		if qj != nil && !done {
+			qj.Cancel()
+		}
+	}
+	s.sched.Close()
+	return s.cfg.Backend.Close()
+}
+
+// cacheKey is the LRU key: the graph fingerprint plus the canonical
+// job spec — the QJS1 encoding of the query with the wall budget
+// zeroed (a budget changes when the job stops, not what a COMPLETED
+// job finds) and defaults applied, so equivalent submissions collide
+// regardless of how sparsely they were written.
+func (s *Server) cacheKey(cfg miner.Config) [32]byte {
+	cfg.TimeBudget = 0
+	spec := miner.AppendJobSpec([]byte(s.cfg.Fingerprint), cfg, gthinker.Config{})
+	return sha256.Sum256(spec)
+}
+
+// Submit admits a job (or answers it from the cache). It is the
+// programmatic core of POST /v1/jobs.
+func (s *Server) Submit(req JobRequest) (*job, error) {
+	cfg := req.config(s.cfg.DefaultBudget)
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	key := s.cacheKey(cfg)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &apiError{http.StatusServiceUnavailable, "server is shutting down"}
+	}
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := &job{id: id, req: req, created: time.Now()}
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			j.terminal = StateDone
+			j.cached = true
+			j.result = res
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+			s.submitted++
+			s.cacheHits++
+			s.completed++
+			s.mu.Unlock()
+			return j, nil
+		}
+	}
+	if s.active >= s.cfg.Quota {
+		s.seq-- // the rejected submission never existed
+		s.mu.Unlock()
+		return nil, &apiError{http.StatusTooManyRequests,
+			fmt.Sprintf("job quota (%d in flight) exceeded; retry later", s.cfg.Quota)}
+	}
+	s.active++
+	s.submitted++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	qj, err := s.sched.Submit(req.Priority, func(ctx context.Context) error {
+		start := time.Now()
+		res, err := s.cfg.Backend.Mine(ctx, cfg)
+		j.mu.Lock()
+		j.result = res
+		j.wall = time.Since(start)
+		j.mu.Unlock()
+		return err
+	})
+	if err != nil {
+		s.mu.Lock()
+		s.active--
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, &apiError{http.StatusServiceUnavailable, err.Error()}
+	}
+	j.mu.Lock()
+	j.qj = qj
+	j.mu.Unlock()
+	go s.watch(j, key)
+	return j, nil
+}
+
+// watch finalizes a job once its scheduler handle terminates: state,
+// counters, quota, and (for clean completions) the result cache.
+func (s *Server) watch(j *job, key [32]byte) {
+	<-j.qj.Done()
+	err := j.qj.Err()
+
+	j.mu.Lock()
+	res := j.result
+	switch {
+	case err == nil:
+		j.terminal = StateDone
+	case errors.Is(err, context.DeadlineExceeded):
+		// The job's own budget expired: it completed with the partial
+		// results found inside the budget — that is the contract, not
+		// a failure.
+		j.terminal = StateDone
+		j.partial = true
+		j.errMsg = err.Error()
+	case errors.Is(err, context.Canceled):
+		j.terminal = StateCanceled
+		j.partial = res != nil
+		j.errMsg = err.Error()
+	default:
+		j.terminal = StateFailed
+		j.errMsg = err.Error()
+	}
+	state := j.terminal
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	s.active--
+	switch state {
+	case StateDone:
+		s.completed++
+	case StateCanceled:
+		s.canceled++
+	default:
+		s.failed++
+	}
+	s.mu.Unlock()
+	if err == nil && res != nil && s.cache != nil {
+		s.cache.put(key, res)
+	}
+}
+
+// get returns a job by id.
+func (s *Server) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// jobStatus is the wire form of a job's state.
+type jobStatus struct {
+	ID      string  `json:"id"`
+	State   string  `json:"state"`
+	Gamma   float64 `json:"gamma"`
+	MinSize int     `json:"min_size"`
+	Cached  bool    `json:"cached,omitempty"`
+	Partial bool    `json:"partial,omitempty"`
+	Cliques int     `json:"cliques,omitempty"`
+	// Candidates counts distinct pre-filter candidates.
+	Candidates int    `json:"candidates,omitempty"`
+	WallMS     int64  `json:"wall_ms,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID: j.id, Gamma: j.req.Gamma, MinSize: j.req.MinSize,
+		Cached: j.cached, Partial: j.partial, Error: j.errMsg,
+		WallMS: j.wall.Milliseconds(),
+	}
+	switch {
+	case j.terminal != "":
+		st.State = string(j.terminal)
+	case j.qj != nil && j.qj.Phase() == gthinker.JobRunning:
+		st.State = string(StateRunning)
+	default:
+		st.State = string(StateQueued)
+	}
+	if j.terminal != "" && j.result != nil {
+		st.Cliques = len(j.result.Cliques)
+		st.Candidates = j.result.Candidates
+	}
+	return st
+}
+
+// cancel aborts the job (no-op when already terminal).
+func (j *job) cancel() {
+	j.mu.Lock()
+	qj := j.qj
+	done := j.terminal != ""
+	j.mu.Unlock()
+	if qj != nil && !done {
+		qj.Cancel()
+	}
+}
+
+// apiError carries an HTTP status with a message.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// Handler returns the HTTP mux for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeJSON(w, ae.code, map[string]string{"error": ae.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &apiError{http.StatusBadRequest, "malformed job request: " + err.Error()})
+			return
+		}
+		j, err := s.Submit(req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		st := j.status()
+		code := http.StatusAccepted
+		if st.State == string(StateDone) {
+			code = http.StatusOK // cache hit: the answer already exists
+		}
+		writeJSON(w, code, st)
+	case http.MethodGet:
+		s.mu.Lock()
+		ids := append([]string(nil), s.order...)
+		s.mu.Unlock()
+		list := make([]jobStatus, 0, len(ids))
+		for _, id := range ids {
+			if j, ok := s.get(id); ok {
+				list = append(list, j.status())
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+	default:
+		writeErr(w, &apiError{http.StatusMethodNotAllowed, "use POST or GET"})
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j, ok := s.get(id)
+	if !ok {
+		writeErr(w, &apiError{http.StatusNotFound, "no such job: " + id})
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.status())
+	case sub == "" && r.Method == http.MethodDelete:
+		j.cancel()
+		writeJSON(w, http.StatusOK, j.status())
+	case sub == "results" && r.Method == http.MethodGet:
+		s.streamResults(w, j)
+	default:
+		writeErr(w, &apiError{http.StatusNotFound, "unknown job endpoint"})
+	}
+}
+
+// streamResults writes the job's quasi-cliques as NDJSON: one JSON
+// array of vertex IDs per line.
+func (s *Server) streamResults(w http.ResponseWriter, j *job) {
+	j.mu.Lock()
+	terminal := j.terminal
+	res := j.result
+	j.mu.Unlock()
+	if terminal == "" {
+		writeErr(w, &apiError{http.StatusConflict, "job has not finished; poll its status"})
+		return
+	}
+	if res == nil {
+		writeErr(w, &apiError{http.StatusConflict, "job finished without results: " + string(terminal)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, qc := range res.Cliques {
+		if err := enc.Encode(qc); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	submitted, completed, failed, canceled := s.submitted, s.completed, s.failed, s.canceled
+	hits, active := s.cacheHits, s.active
+	s.mu.Unlock()
+	entries := 0
+	if s.cache != nil {
+		entries = s.cache.len()
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "qcserved_jobs_submitted_total %d\n", submitted)
+	fmt.Fprintf(w, "qcserved_jobs_completed_total %d\n", completed)
+	fmt.Fprintf(w, "qcserved_jobs_failed_total %d\n", failed)
+	fmt.Fprintf(w, "qcserved_jobs_canceled_total %d\n", canceled)
+	fmt.Fprintf(w, "qcserved_jobs_active %d\n", active)
+	fmt.Fprintf(w, "qcserved_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "qcserved_cache_entries %d\n", entries)
+}
