@@ -108,7 +108,7 @@ func TestPublicAPIGenerators(t *testing.T) {
 	}
 	b := NewGraphBuilder(0)
 	b.AddEdge(0, 5)
-	if b.Build().NumVertices() != 6 {
+	if b.MustBuild().NumVertices() != 6 {
 		t.Fatal("builder")
 	}
 }

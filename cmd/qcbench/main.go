@@ -49,6 +49,7 @@ func main() {
 		csvDir     = flag.String("csvdir", "", "also write raw series as CSV files into this directory")
 		binCache   = flag.String("bincache", "", "cache stand-in graphs in this directory as binary CSR files (mmap'd zero-copy on later runs)")
 		useMmap    = flag.Bool("mmap", true, "with -bincache: mmap cached graphs and alias the CSR arrays into the mapping instead of reading them into the heap")
+		convBudget = flag.String("convertbudget", "", "with -bincache: write cache files through the external-memory converter under this sort budget (bytes; k/m/g suffixes) instead of an in-memory serialize")
 		useTCP     = flag.Bool("tcp", false, "run the simulated cluster over real loopback sockets: per-machine vertex/task servers plus a batched TCP transport (remote pulls and stolen task batches cross the wire)")
 		procs      = flag.Int("procs", 0, "run every experiment cell on N REAL qcworker OS processes (one vertex partition each, composed from a generated partition manifest over the TCP control plane); overrides -machines/-tcp")
 		qcworker   = flag.String("qcworker", "", "path to the qcworker binary for -procs (default: next to this binary, then $PATH)")
@@ -67,6 +68,14 @@ func main() {
 		experiments.SetBinaryCacheDir(*binCache)
 	}
 	experiments.SetUseMmap(*useMmap)
+	if *convBudget != "" {
+		b, err := parseBytes(*convBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qcbench: -convertbudget: %v\n", err)
+			os.Exit(2)
+		}
+		experiments.SetConvertBudget(b)
+	}
 	experiments.SetUseTCP(*useTCP)
 	experiments.SetNoSIMD(*noSIMD)
 	experiments.SetFaultPlan(*faultPlan)
@@ -327,4 +336,23 @@ func parseInts(s string) []int {
 		out = append(out, n)
 	}
 	return out
+}
+
+// parseBytes parses "512", "64k", "256m", "2g" (case-insensitive).
+func parseBytes(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
 }

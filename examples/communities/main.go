@@ -63,7 +63,7 @@ func buildNetwork() (*gthinkerqc.Graph, [][]gthinkerqc.V) {
 			}
 		}
 	}
-	return b.Build(), circles
+	return b.MustBuild(), circles
 }
 
 func main() {

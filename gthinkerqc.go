@@ -82,6 +82,14 @@ type Config struct {
 	// Defaults: 1 machine, 1 worker.
 	Machines          int
 	WorkersPerMachine int
+	// RangePartition assigns each machine one contiguous vertex range
+	// (near-equal adjacency-entry shares) instead of the default
+	// splitmix hash partition. Because the CSR layout packs rows in
+	// vertex order, a range partition keeps each cluster worker's owned
+	// rows in one contiguous byte span of the mapped graph file, so a
+	// worker touches ~1/Machines of the file instead of all of it.
+	// Mining results are identical under either scheme.
+	RangePartition bool
 	// QueueCap and BatchSize bound in-memory task queues and the
 	// spill/steal batch (defaults 1024 / 32).
 	QueueCap  int
@@ -189,6 +197,10 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 	if cfg.SizeThresholdOnly {
 		strategy = miner.SizeThreshold
 	}
+	var bounds []uint32
+	if cfg.RangePartition {
+		bounds = g.RangeBounds(max(cfg.Machines, 1))
+	}
 	res, err := miner.MineContext(ctx, g, miner.Config{
 		Params:   cfg.params(),
 		Options:  cfg.options(),
@@ -198,6 +210,7 @@ func MineParallelContext(ctx context.Context, g *Graph, cfg Config) (*Result, er
 	}, gthinker.Config{
 		Machines:          cfg.Machines,
 		WorkersPerMachine: cfg.WorkersPerMachine,
+		PartitionBounds:   bounds,
 		QueueCap:          cfg.QueueCap,
 		BatchSize:         cfg.BatchSize,
 		SpillDir:          cfg.SpillDir,
@@ -281,9 +294,10 @@ func MineCluster(ctx context.Context, cfg Config, opts ClusterOptions) (*Result,
 		DebugAddr:         cfg.DebugAddr,
 		Progress:          cfg.Progress,
 	}, miner.ProcsConfig{
-		GraphPath:   opts.GraphPath,
-		Command:     opts.WorkerCommand,
-		ManifestDir: opts.ManifestDir,
+		GraphPath:      opts.GraphPath,
+		Command:        opts.WorkerCommand,
+		ManifestDir:    opts.ManifestDir,
+		RangePartition: cfg.RangePartition,
 	})
 	if err != nil {
 		return nil, err

@@ -106,7 +106,7 @@ func TestBronKerboschAgainstNaive(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		got := MaximalCliques(g, 1)
 		want := naiveMaximalCliques(g, 1)
 		if !quasiclique.SetsEqual(got, want) {
@@ -129,7 +129,7 @@ func TestCliquesMatchGammaOneQuasiCliques(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		minSize := 2 + int(seed%3)
 		bk := MaximalCliques(g, minSize)
 		qc, _, err := quasiclique.MineGraph(g,

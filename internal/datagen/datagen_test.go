@@ -200,7 +200,7 @@ func TestQuickSparseERMatchesDensity(t *testing.T) {
 		p := 0.05
 		b := graph.NewBuilder(n)
 		addSparseER(b, n, p, NewRNG(seed))
-		g := b.Build()
+		g := b.MustBuild()
 		want := p * float64(n*(n-1)/2)
 		m := float64(g.NumEdges())
 		return m > want*0.5 && m < want*1.6

@@ -17,7 +17,7 @@ func ErdosRenyi(n int, p float64, seed uint64) *graph.Graph {
 			}
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // ErdosRenyiM returns a G(n, m) random graph with exactly m distinct
@@ -46,7 +46,7 @@ func ErdosRenyiM(n, m int, seed uint64) *graph.Graph {
 		seen[key] = true
 		b.AddEdge(graph.V(u), graph.V(v))
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // BarabasiAlbert returns a preferential-attachment graph: starting from
@@ -96,7 +96,7 @@ func BarabasiAlbert(n, m0, mAttach int, seed uint64) *graph.Graph {
 			endpoints = append(endpoints, graph.V(v), t)
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // PlantedConfig describes a graph made of a sparse background plus
@@ -163,7 +163,7 @@ func Planted(cfg PlantedConfig) (*graph.Graph, [][]graph.V, error) {
 			plants = append(plants, members)
 		}
 	}
-	return b.Build(), plants, nil
+	return b.MustBuild(), plants, nil
 }
 
 // addSparseER adds G(n,p) edges in O(p·n²) expected time by skipping
@@ -254,5 +254,5 @@ func RMAT(scale int, edges int, a, b, c float64, seed uint64) *graph.Graph {
 		}
 		gb.AddEdge(graph.V(u), graph.V(v))
 	}
-	return gb.Build()
+	return gb.MustBuild()
 }

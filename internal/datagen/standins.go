@@ -287,7 +287,7 @@ func overlay(base *graph.Graph, cfg PlantedConfig) (*graph.Graph, [][]graph.V, e
 			}
 		}
 	}
-	return b.Build(), plants, nil
+	return b.MustBuild(), plants, nil
 }
 
 // SortVerts sorts a vertex slice in place and returns it (test helper

@@ -113,12 +113,12 @@ func TestLogFloor(t *testing.T) {
 func TestAddSparseERFullDensity(t *testing.T) {
 	b := graph.NewBuilder(6)
 	addSparseER(b, 6, 1.0, NewRNG(1))
-	if g := b.Build(); g.NumEdges() != 15 {
+	if g := b.MustBuild(); g.NumEdges() != 15 {
 		t.Fatalf("p=1 edges = %d", g.NumEdges())
 	}
 	b2 := graph.NewBuilder(6)
 	addSparseER(b2, 6, 0, NewRNG(1))
-	if g := b2.Build(); g.NumEdges() != 0 {
+	if g := b2.MustBuild(); g.NumEdges() != 0 {
 		t.Fatalf("p=0 edges = %d", g.NumEdges())
 	}
 }

@@ -53,6 +53,7 @@ var (
 	workerBin   string
 	procsDir    string
 	mappings    []*store.MappedGraph
+	convBudget  int64
 )
 
 // SetBinaryCacheDir makes buildDataset persist stand-ins to dir in the
@@ -160,6 +161,31 @@ func faultConfig() (string, time.Duration, int) {
 	return faultPlan, frameTO, deadAfter
 }
 
+// SetConvertBudget routes binary-cache writes through the
+// external-memory converter with this sort budget in bytes (qcbench
+// -convertbudget): cache files are produced by sorted-run spill +
+// k-way merge instead of an in-memory serialize, exercising the same
+// ingestion path qcconvert uses. Zero (default) writes directly.
+func SetConvertBudget(bytes int64) {
+	cacheMu.Lock()
+	convBudget = bytes
+	cacheMu.Unlock()
+}
+
+// writeCacheFile persists one stand-in as GQC2, honoring the
+// configured conversion budget. The two paths produce byte-identical
+// files; the budgeted one just bounds memory while doing it.
+func writeCacheFile(path string, g *graph.Graph) error {
+	cacheMu.Lock()
+	budget := convBudget
+	cacheMu.Unlock()
+	if budget > 0 {
+		_, err := store.ConvertGraph(g, path, store.ConvertOptions{MemoryBudget: budget})
+		return err
+	}
+	return graph.WriteBinaryFile(path, g)
+}
+
 // datasetFile ensures the named stand-in exists as a GQC2 file on disk
 // (worker processes map their own copy) and returns its path. The
 // bincache directory is reused when set; otherwise a per-run temp
@@ -191,7 +217,7 @@ func datasetFile(name string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	if err := graph.WriteBinaryFile(path, g); err != nil {
+	if err := writeCacheFile(path, g); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -259,7 +285,7 @@ func buildDataset(name string) (*graph.Graph, datagen.Standin, error) {
 	if path != "" {
 		// Best effort: a failed write only costs the next run a rebuild.
 		if err := os.MkdirAll(dir, 0o755); err == nil {
-			_ = graph.WriteBinaryFile(path, g)
+			_ = writeCacheFile(path, g)
 		}
 	}
 	cacheMu.Lock()

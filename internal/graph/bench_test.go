@@ -17,7 +17,7 @@ func benchGraph(n, attach int) *Graph {
 			b.AddEdge(V(v), next(v))
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // BenchmarkWithin2 is the per-root-task candidate-universe scan — the

@@ -1,0 +1,173 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// buildBoth assembles the same edge set through the serial and the
+// parallel paths and fails unless the CSR arrays are bit-identical.
+func buildBoth(t *testing.T, n int, edges [][2]V, workers int) *Graph {
+	t.Helper()
+	bs := NewBuilder(n)
+	bs.Workers = 1
+	bp := NewBuilder(n)
+	bp.Workers = workers
+	for _, e := range edges {
+		bs.AddEdge(e[0], e[1])
+		bp.AddEdge(e[0], e[1])
+	}
+	serial, err := bs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := parallelBuildMin
+	parallelBuildMin = 0
+	defer func() { parallelBuildMin = old }()
+	par, err := bp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(serial.offsets, par.offsets) {
+		t.Fatalf("offsets differ: serial %d entries, parallel %d", len(serial.offsets), len(par.offsets))
+	}
+	if !slices.Equal(serial.neighbors, par.neighbors) {
+		t.Fatalf("neighbors differ (m=%d vs %d)", serial.m, par.m)
+	}
+	if serial.m != par.m {
+		t.Fatalf("m: %d vs %d", serial.m, par.m)
+	}
+	if err := par.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return par
+}
+
+func TestBuildParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(200)
+		workers := 1 + rng.Intn(9)
+		var edges [][2]V
+		count := rng.Intn(4 * n)
+		for i := 0; i < count; i++ {
+			u := V(rng.Intn(n))
+			var v V
+			switch rng.Intn(10) {
+			case 0: // self loop
+				v = u
+			case 1, 2, 3: // skew toward vertex 0 (hub rows)
+				v = V(rng.Intn(1 + n/10))
+			default:
+				v = V(rng.Intn(n))
+			}
+			edges = append(edges, [2]V{u, v})
+			if rng.Intn(5) == 0 { // duplicate, possibly reversed
+				edges = append(edges, [2]V{v, u})
+			}
+		}
+		buildBoth(t, n, edges, workers)
+	}
+}
+
+func TestBuildParallelEdgeCases(t *testing.T) {
+	// Empty graph, no edges.
+	buildBoth(t, 0, nil, 4)
+	// Vertices but no edges.
+	buildBoth(t, 17, nil, 4)
+	// One hub vertex holding every edge (single giant row).
+	var star [][2]V
+	for i := 1; i < 300; i++ {
+		star = append(star, [2]V{0, V(i)})
+		star = append(star, [2]V{0, V(i)}) // all duplicated
+	}
+	buildBoth(t, 300, star, 7)
+	// More workers than vertices and than edges.
+	buildBoth(t, 3, [][2]V{{0, 1}, {1, 2}}, 16)
+}
+
+func TestBuildTooLargeError(t *testing.T) {
+	old := maxAdjEntries
+	maxAdjEntries = 8
+	defer func() { maxAdjEntries = old }()
+	b := NewBuilder(8)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(V(i), V(i+1))
+	}
+	_, err := b.Build()
+	var tle *TooLargeError
+	if !errors.As(err, &tle) {
+		t.Fatalf("want *TooLargeError, got %v", err)
+	}
+	if tle.Entries != 12 {
+		t.Fatalf("Entries = %d, want 12", tle.Entries)
+	}
+	if tle.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestMustBuildPanicsOnOverflow(t *testing.T) {
+	old := maxAdjEntries
+	maxAdjEntries = 2
+	defer func() { maxAdjEntries = old }()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.MustBuild()
+}
+
+func TestBuilderReserve(t *testing.T) {
+	b := NewBuilder(4)
+	b.Reserve(100)
+	if cap(b.edges) < 200 {
+		t.Fatalf("cap = %d, want >= 200", cap(b.edges))
+	}
+	b.AddEdge(0, 1)
+	b.Reserve(1) // no-op shrink attempt
+	if len(b.edges) != 2 {
+		t.Fatalf("len = %d", len(b.edges))
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func benchEdges(nVerts, nEdges int) *Builder {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(nVerts)
+	b.Reserve(nEdges)
+	for i := 0; i < nEdges; i++ {
+		b.AddEdge(V(rng.Intn(nVerts)), V(rng.Intn(nVerts)))
+	}
+	return b
+}
+
+func benchBuild(b *testing.B, workers int) {
+	const nVerts, nEdges = 1 << 20, 10 << 20
+	src := benchEdges(nVerts, nEdges)
+	b.SetBytes(int64(8 * nEdges))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bld := NewBuilder(src.n)
+		bld.edges = slices.Clone(src.edges)
+		bld.Workers = workers
+		b.StartTimer()
+		if _, err := bld.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSerial(b *testing.B)    { benchBuild(b, 1) }
+func BenchmarkBuildParallel(b *testing.B)  { benchBuild(b, 0) }
+func BenchmarkBuildParallel8(b *testing.B) { benchBuild(b, 8) }

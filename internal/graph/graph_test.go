@@ -61,7 +61,7 @@ func TestBuilderDedupAndSelfLoop(t *testing.T) {
 	b.AddEdge(1, 0) // duplicate, reversed
 	b.AddEdge(0, 1) // duplicate
 	b.AddEdge(2, 2) // self loop dropped
-	g := b.Build()
+	g := b.MustBuild()
 	if g.NumEdges() != 1 {
 		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
 	}
@@ -76,7 +76,7 @@ func TestBuilderDedupAndSelfLoop(t *testing.T) {
 func TestBuilderGrowsUniverse(t *testing.T) {
 	b := NewBuilder(0)
 	b.AddEdge(5, 9)
-	g := b.Build()
+	g := b.MustBuild()
 	if g.NumVertices() != 10 {
 		t.Fatalf("NumVertices = %d, want 10", g.NumVertices())
 	}
@@ -264,7 +264,7 @@ func TestWithin2MatchesBFS(t *testing.T) {
 		for i := 0; i < n*2; i++ {
 			b.AddEdge(V(rng.Intn(n)), V(rng.Intn(n)))
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		v := V(rng.Intn(n))
 		got := g.Within2(v, nil)
 		// Reference: BFS to depth 2.
@@ -304,7 +304,7 @@ func TestQuickBinaryRoundTripRandom(t *testing.T) {
 		for i := 0; i < n; i++ {
 			b.AddEdge(V(rng.Intn(n+1)), V(rng.Intn(n+1)))
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		var buf bytes.Buffer
 		if err := WriteBinary(&buf, g); err != nil {
 			return false
@@ -330,4 +330,55 @@ func graphsEqual(a, b *Graph) bool {
 		}
 	}
 	return true
+}
+
+func TestRangeBounds(t *testing.T) {
+	// Skewed graph: vertex 0 is a hub with ~half the entries.
+	b := NewBuilder(101)
+	for v := V(1); v <= 100; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := V(1); v < 50; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.MustBuild()
+	for _, parts := range []int{1, 2, 3, 7, 101, 500} {
+		bounds := g.RangeBounds(parts)
+		if len(bounds) != parts+1 {
+			t.Fatalf("parts=%d: %d bounds", parts, len(bounds))
+		}
+		if bounds[0] != 0 || int(bounds[parts]) != g.NumVertices() {
+			t.Fatalf("parts=%d: bounds span [%d,%d]", parts, bounds[0], bounds[parts])
+		}
+		for i := 1; i <= parts; i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("parts=%d: bounds decrease at %d: %v", parts, i, bounds)
+			}
+		}
+	}
+	// Balance on a skew-free graph: every part within one row of even.
+	b2 := NewBuilder(1000)
+	for v := V(0); v < 999; v++ {
+		b2.AddEdge(v, v+1)
+	}
+	g2 := b2.MustBuild()
+	bounds := g2.RangeBounds(4)
+	total := 2 * g2.NumEdges()
+	for i := 0; i < 4; i++ {
+		entries := 0
+		for v := bounds[i]; v < bounds[i+1]; v++ {
+			entries += g2.Degree(v)
+		}
+		if lo, hi := total/4-2, total/4+2; entries < lo || entries > hi {
+			t.Fatalf("part %d has %d entries, want ~%d: bounds %v", i, entries, total/4, bounds)
+		}
+	}
+	// Degenerate inputs must not panic.
+	empty := NewBuilder(0).MustBuild()
+	if got := empty.RangeBounds(3); len(got) != 4 || got[3] != 0 {
+		t.Fatalf("empty graph bounds %v", got)
+	}
+	if got := g.RangeBounds(0); len(got) != 2 {
+		t.Fatalf("parts=0 bounds %v", got)
+	}
 }

@@ -97,12 +97,12 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 	} else {
 		shared := cfg.Transport
 		e.sharedTransport = shared
-		parts := partitionVertices(g.NumVertices(), cfg.Machines)
+		parts := cfg.partition().partitionAll(g.NumVertices())
 		for i := 0; i < cfg.Machines; i++ {
 			tr := shared
 			owned := false
 			if tr == nil {
-				tr = newLoopback(g, cfg.Machines)
+				tr = newLoopback(g, cfg.partition())
 				owned = true
 			}
 			rt, err := newMachineRuntimeVerts(g, app, rcfg, i, tr, parts[i])
@@ -130,7 +130,7 @@ func NewEngine(g *graph.Graph, app App, cfg Config) (*Engine, error) {
 func (e *Engine) bootstrapTCP(rcfg Config) error {
 	n := e.cfg.Machines
 	ctlAddrs := make([]string, n)
-	parts := partitionVertices(e.g.NumVertices(), n)
+	parts := e.cfg.partition().partitionAll(e.g.NumVertices())
 	for i := 0; i < n; i++ {
 		h, err := StartWorkerHost(WorkerHostConfig{
 			Graph: e.g, MachineID: i,

@@ -269,7 +269,7 @@ func (a *slowSpawnApp) IsBig(*Task) bool { return true }
 // first cursor advance the last one, so every iteration used to race;
 // hammered repeatedly (and under -race in CI).
 func TestSpawnTerminationRace(t *testing.T) {
-	g := graph.NewBuilder(1).Build()
+	g := graph.NewBuilder(1).MustBuild()
 	dir := t.TempDir()
 	const runs = 50
 	app := &slowSpawnApp{}

@@ -35,6 +35,7 @@ type MachineRuntime struct {
 	ownTransport bool // stats are this runtime's alone (not shared)
 
 	verts []graph.V // local vertex partition (sorted)
+	part  partition // vertex-ownership function (hash or range)
 
 	cache   *vertexCache
 	workers []*worker
@@ -139,7 +140,7 @@ func newMachineRuntimeVerts(g *graph.Graph, app App, cfg Config, id int, tr Tran
 	if id < 0 || id >= cfg.Machines {
 		return nil, fmt.Errorf("gthinker: machine id %d out of range [0,%d)", id, cfg.Machines)
 	}
-	rt := &MachineRuntime{id: id, g: g, app: app, cfg: cfg, transport: tr}
+	rt := &MachineRuntime{id: id, g: g, app: app, cfg: cfg, transport: tr, part: cfg.partition()}
 
 	codec, err := resolveSpillCodec(app, cfg.SpillFormat)
 	if err != nil {
@@ -162,7 +163,7 @@ func newMachineRuntimeVerts(g *graph.Graph, app App, cfg Config, id int, tr Tran
 	}
 
 	if verts == nil {
-		verts = OwnedVertices(g.NumVertices(), id, cfg.Machines)
+		verts = rt.part.ownedVertices(g.NumVertices(), id)
 	}
 	rt.verts = verts
 	rt.cache = newVertexCache(cfg.CacheCap)
@@ -460,7 +461,7 @@ func (rt *MachineRuntime) RecoverPeer(d RecoverDirective) error {
 			if id < 0 || id >= rt.cfg.Machines {
 				return fmt.Errorf("gthinker: recover directive adopts partition %d of %d", id, rt.cfg.Machines)
 			}
-			verts = append(verts, OwnedVertices(rt.g.NumVertices(), id, rt.cfg.Machines)...)
+			verts = append(verts, rt.part.ownedVertices(rt.g.NumVertices(), id)...)
 		}
 		rt.adopt(verts)
 	}

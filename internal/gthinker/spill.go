@@ -1,6 +1,7 @@
 package gthinker
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -74,24 +75,55 @@ func (a *diskAccount) remove(n int64) {
 // most recently deferred work resumes first. With a non-nil codec the
 // batches use the raw columnar GQS1 format (internal/store); without
 // one they are gob streams.
+//
+// Writes are double-buffered: spill() encodes the batch on the calling
+// mining thread, then hands the bytes to a background goroutine and
+// returns — so encoding batch k+1 overlaps the disk write of batch k,
+// and the worker resumes mining without waiting for the write syscall.
+// At most one write per list is in flight (the slot channel), which
+// bounds retained memory to one encoded batch and keeps file order
+// deterministic. A refill or removeAll that reaches a still-pending
+// file waits on its done channel; an asynchronous write failure is
+// surfaced by the next spill() or by the refill that pops the failed
+// entry — either way the run fails, exactly like a synchronous error.
 type spillList struct {
 	mu    sync.Mutex
 	dir   string
 	name  string
 	seq   int
-	files []spillFile
+	files []*spillFile
+	werr  error // first async write failure, surfaced on the next spill
 	acct  *diskAccount
 	codec TaskCodec // nil = gob
+
+	slot chan struct{} // capacity 1: the single in-flight write token
 }
 
 type spillFile struct {
 	path  string
-	size  int64
+	size  int64 // valid once done is closed (writer fills it)
 	count int
+	done  chan struct{} // closed when the write-behind lands
+	err   error         // write outcome; read only after done
 }
 
 func newSpillList(dir, name string, acct *diskAccount, codec TaskCodec) *spillList {
-	return &spillList{dir: dir, name: name, acct: acct, codec: codec}
+	l := &spillList{dir: dir, name: name, acct: acct, codec: codec,
+		slot: make(chan struct{}, 1)}
+	l.slot <- struct{}{}
+	return l
+}
+
+// sync waits for any in-flight write-behind to land and returns the
+// list's sticky write error: after sync, every tracked batch is
+// durable (or the failure is reported). Tests and sequencing points
+// that need a quiesced list use it; the hot paths never do.
+func (l *spillList) sync() error {
+	<-l.slot
+	l.slot <- struct{}{}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
 }
 
 // count returns the number of spilled tasks.
@@ -109,39 +141,94 @@ func (l *spillList) count() int {
 // across lists — Lbig spills race with Lsmall spills of every worker).
 var batchEncoders = sync.Pool{New: func() any { return new(store.BatchEncoder) }}
 
-// spill writes tasks as one batch file.
+// spill encodes tasks as one batch and schedules the file write behind
+// the caller. By the time it returns the batch is tracked (count and
+// refill see it) but the bytes may still be in flight; see spillList.
 func (l *spillList) spill(tasks []*Task) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	ext := ".gob"
+	var data []byte
+	var enc *store.BatchEncoder
 	if l.codec != nil {
 		ext = ".gqs"
-	}
-	l.mu.Lock()
-	l.seq++
-	path := filepath.Join(l.dir, fmt.Sprintf("%s-%06d%s", l.name, l.seq, ext))
-	l.mu.Unlock()
-
-	var size int64
-	var err error
-	if l.codec != nil {
-		size, err = writeColumnar(path, tasks, l.codec)
+		enc = batchEncoders.Get().(*store.BatchEncoder)
+		var err error
+		data, err = encodeTaskBatch(enc, tasks, l.codec)
+		if err != nil {
+			batchEncoders.Put(enc)
+			return fmt.Errorf("gthinker: spill: %w", err)
+		}
 	} else {
-		size, err = writeGob(path, tasks)
+		var err error
+		data, err = encodeGob(tasks)
+		if err != nil {
+			return err
+		}
 	}
-	if err != nil {
-		// A failed write can leave a partial file that nothing tracks;
-		// unlink it so the shutdown sweep's empty-SpillDir guarantee
-		// holds even on I/O errors (e.g. a full disk).
-		os.Remove(path)
+
+	// Wait for the previous write to land (the encode above already
+	// overlapped it), then surface its error if it failed: the batch
+	// that just encoded is dropped, exactly as if this write had failed
+	// synchronously — the caller aborts the run either way.
+	<-l.slot
+	l.mu.Lock()
+	if err := l.werr; err != nil {
+		l.mu.Unlock()
+		l.slot <- struct{}{}
+		if enc != nil {
+			batchEncoders.Put(enc)
+		}
 		return err
 	}
-	l.acct.add(size)
-	l.mu.Lock()
-	l.files = append(l.files, spillFile{path: path, size: size, count: len(tasks)})
+	l.seq++
+	path := filepath.Join(l.dir, fmt.Sprintf("%s-%06d%s", l.name, l.seq, ext))
+	sf := &spillFile{path: path, count: len(tasks), done: make(chan struct{})}
+	l.files = append(l.files, sf)
 	l.mu.Unlock()
+
+	go func() {
+		err := os.WriteFile(path, data, 0o644)
+		if enc != nil {
+			// data aliases enc's buffer: recycle only after the write.
+			batchEncoders.Put(enc)
+		}
+		if err != nil {
+			// A failed write can leave a partial file that nothing
+			// tracks; unlink it so the shutdown sweep's empty-SpillDir
+			// guarantee holds even on I/O errors (e.g. a full disk).
+			os.Remove(path)
+			sf.err = fmt.Errorf("gthinker: spill: %w", err)
+			l.mu.Lock()
+			if l.werr == nil {
+				l.werr = sf.err
+			}
+			l.mu.Unlock()
+		} else {
+			sf.size = int64(len(data))
+			l.acct.add(sf.size)
+		}
+		close(sf.done)
+		l.slot <- struct{}{}
+	}()
 	return nil
+}
+
+// encodeGob encodes tasks as the legacy gob stream into memory (the
+// write-behind goroutine owns the file I/O).
+func encodeGob(tasks []*Task) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(len(tasks)); err != nil {
+		return nil, fmt.Errorf("gthinker: spill encode: %w", err)
+	}
+	for _, t := range tasks {
+		if err := enc.Encode(t); err != nil {
+			return nil, fmt.Errorf("gthinker: spill encode task: %w", err)
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // encodeTaskBatch encodes tasks as one GQS1 batch via codec — the one
@@ -215,51 +302,11 @@ func decodeTaskBatch(data []byte, codec TaskCodec) ([]*Task, error) {
 	}
 }
 
-// writeColumnar encodes tasks as one GQS1 batch — the flat arrays of
-// every payload written verbatim — and writes it in a single syscall.
-func writeColumnar(path string, tasks []*Task, codec TaskCodec) (int64, error) {
-	enc := batchEncoders.Get().(*store.BatchEncoder)
-	defer batchEncoders.Put(enc)
-	data, err := encodeTaskBatch(enc, tasks, codec)
-	if err != nil {
-		return 0, fmt.Errorf("gthinker: spill: %w", err)
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return 0, fmt.Errorf("gthinker: spill: %w", err)
-	}
-	return int64(len(data)), nil
-}
-
-// writeGob encodes tasks as the legacy gob stream.
-func writeGob(path string, tasks []*Task) (int64, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, fmt.Errorf("gthinker: spill: %w", err)
-	}
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(len(tasks)); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("gthinker: spill encode: %w", err)
-	}
-	for _, t := range tasks {
-		if err := enc.Encode(t); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("gthinker: spill encode task: %w", err)
-		}
-	}
-	info, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		return 0, err
-	}
-	return info.Size(), nil
-}
-
 // refill pops the newest batch file, decodes its tasks, and unlinks
-// the file; ok=false when the list is empty.
+// the file; ok=false when the list is empty. A popped file whose
+// write-behind has not landed yet is waited for first — LIFO refills
+// chase the freshest spill, so this wait is the write of the batch
+// spilled moments ago, not a backlog.
 func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
 	l.mu.Lock()
 	if len(l.files) == 0 {
@@ -270,6 +317,14 @@ func (l *spillList) refill() (tasks []*Task, ok bool, err error) {
 	l.files = l.files[:len(l.files)-1]
 	l.mu.Unlock()
 
+	if sf.done != nil {
+		<-sf.done
+		if sf.err != nil {
+			// The write never landed: there is no file to re-track and
+			// nothing was accounted — just surface the failure.
+			return nil, false, sf.err
+		}
+	}
 	if l.codec != nil {
 		tasks, err = readColumnar(sf.path, l.codec)
 	} else {
@@ -333,14 +388,21 @@ func readGob(path string) ([]*Task, error) {
 
 // removeAll unlinks every remaining batch file (engine shutdown: a
 // cancelled or failed run can leave spilled tasks behind; a clean run
-// leaves nothing). Errors are ignored — the files are best-effort
-// temporaries at this point.
+// leaves nothing), draining any in-flight write-behind first so no
+// write can land after the sweep. Errors are ignored — the files are
+// best-effort temporaries at this point.
 func (l *spillList) removeAll() {
 	l.mu.Lock()
 	files := l.files
 	l.files = nil
 	l.mu.Unlock()
 	for _, f := range files {
+		if f.done != nil {
+			<-f.done
+			if f.err != nil {
+				continue // never landed: no file, nothing accounted
+			}
+		}
 		os.Remove(f.path)
 		l.acct.remove(f.size)
 	}

@@ -56,6 +56,9 @@ func TestSpillListColumnarRoundTrip(t *testing.T) {
 	if err := l.spill(in); err != nil {
 		t.Fatal(err)
 	}
+	if err := l.sync(); err != nil { // wait out the write-behind
+		t.Fatal(err)
+	}
 	names, _ := filepath.Glob(filepath.Join(dir, "*.gqs"))
 	if len(names) != 1 {
 		t.Fatalf("want one .gqs file, got %v", names)
@@ -95,6 +98,9 @@ func TestSpillListColumnarRejectsCorruptFile(t *testing.T) {
 	if err := l.spill(mkVecTasks(3)); err != nil {
 		t.Fatal(err)
 	}
+	if err := l.sync(); err != nil {
+		t.Fatal(err)
+	}
 	names, _ := filepath.Glob(filepath.Join(dir, "*.gqs"))
 	data, err := os.ReadFile(names[0])
 	if err != nil {
@@ -125,6 +131,9 @@ func TestSpillListRemoveAll(t *testing.T) {
 		if err := l.spill(mkVecTasks(2)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := l.sync(); err != nil {
+		t.Fatal(err)
 	}
 	if acct.current.Load() == 0 {
 		t.Fatal("nothing on disk")

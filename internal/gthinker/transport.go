@@ -92,25 +92,25 @@ type TransportStats interface {
 // fails loudly instead of being silently satisfied from the shared
 // graph, so partitioning bugs surface in loopback tests too.
 type loopback struct {
-	g        *graph.Graph
-	machines int
-	fetches  atomic.Uint64
-	batches  atomic.Uint64
+	g       *graph.Graph
+	part    partition
+	fetches atomic.Uint64
+	batches atomic.Uint64
 }
 
-func newLoopback(g *graph.Graph, machines int) *loopback {
-	return &loopback{g: g, machines: machines}
+func newLoopback(g *graph.Graph, part partition) *loopback {
+	return &loopback{g: g, part: part}
 }
 
 // checkOwned validates one routed fetch against the partition map.
 func (t *loopback) checkOwned(own int, v graph.V) error {
-	if own < 0 || own >= t.machines {
-		return fmt.Errorf("gthinker: loopback fetch from machine %d of %d", own, t.machines)
+	if own < 0 || own >= t.part.machines {
+		return fmt.Errorf("gthinker: loopback fetch from machine %d of %d", own, t.part.machines)
 	}
 	if int(v) >= t.g.NumVertices() {
 		return fmt.Errorf("gthinker: loopback fetch of vertex %d out of range [0,%d)", v, t.g.NumVertices())
 	}
-	if o := owner(v, t.machines); o != own {
+	if o := t.part.owner(v); o != own {
 		return fmt.Errorf("gthinker: vertex %d routed to machine %d but owned by %d", v, own, o)
 	}
 	return nil
@@ -158,4 +158,62 @@ func owner(v graph.V, machines int) int {
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
 	return int(z % uint64(machines))
+}
+
+// partition is the vertex-ownership function of one deployment:
+// splitmix hashing (store.OwnerSchemeSplitmix) when bounds is nil, or
+// contiguous ranges (store.OwnerSchemeRange) when bounds holds the
+// machines+1 range table from the manifest. It is a small value type —
+// copy it freely.
+type partition struct {
+	machines int
+	bounds   []uint32 // nil => splitmix; else machine i owns [bounds[i], bounds[i+1])
+}
+
+// owner returns the machine owning v.
+func (p partition) owner(v graph.V) int {
+	if p.bounds == nil {
+		return owner(v, p.machines)
+	}
+	// Binary search the range table: the result is the last i with
+	// bounds[i] <= v. Empty ranges (equal bounds) resolve to the
+	// higher machine, matching ownedVertices below.
+	lo, hi := 0, p.machines-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.bounds[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ownedVertices returns machine id's sorted vertex partition over a
+// graph of n vertices.
+func (p partition) ownedVertices(n, id int) []graph.V {
+	if p.bounds == nil {
+		return OwnedVertices(n, id, p.machines)
+	}
+	lo := min(int(p.bounds[id]), n)
+	hi := min(int(p.bounds[id+1]), n)
+	verts := make([]graph.V, 0, max(hi-lo, 0))
+	for v := lo; v < hi; v++ {
+		verts = append(verts, graph.V(v))
+	}
+	return verts
+}
+
+// partitionAll computes every machine's partition (the in-process
+// engine's one-pass equivalent of M ownedVertices calls).
+func (p partition) partitionAll(n int) [][]graph.V {
+	if p.bounds == nil {
+		return partitionVertices(n, p.machines)
+	}
+	parts := make([][]graph.V, p.machines)
+	for i := range parts {
+		parts[i] = p.ownedVertices(n, i)
+	}
+	return parts
 }

@@ -233,7 +233,7 @@ func (w *worker) resolve(t *Task) {
 	var remote []graph.V
 	local := 0
 	for _, id := range t.Pulls {
-		if owner(id, rt.cfg.Machines) == rt.id {
+		if rt.part.owner(id) == rt.id {
 			frontier[id] = rt.g.Adj(id)
 			local++
 		} else {
@@ -273,7 +273,7 @@ func (w *worker) fetchMissing(missing []graph.V, frontier map[graph.V][]graph.V)
 	rt := w.rt
 	byOwner := make([][]graph.V, rt.cfg.Machines)
 	for _, id := range missing {
-		o := owner(id, rt.cfg.Machines)
+		o := rt.part.owner(id)
 		byOwner[o] = append(byOwner[o], id)
 	}
 	inserted := make([]graph.V, 0, len(missing))

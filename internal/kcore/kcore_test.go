@@ -115,7 +115,7 @@ func TestQuickCoreNumbersAgainstNaive(t *testing.T) {
 		for i := 0; i < n*3; i++ {
 			b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		got := CoreNumbers(g)
 		want := naiveCore(g)
 		for v := range want {
@@ -142,7 +142,7 @@ func TestQuickKCoreInvariant(t *testing.T) {
 		for i := 0; i < n*2; i++ {
 			b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		keep := KCoreMask(g, k)
 		for v := 0; v < n; v++ {
 			if !keep[v] {

@@ -107,7 +107,7 @@ func KTrussSubgraph(g *graph.Graph, k int) [][]graph.V {
 	if !any {
 		return nil
 	}
-	sub := b.Build()
+	sub := b.MustBuild()
 	var comps [][]graph.V
 	for _, comp := range sub.ConnectedComponents() {
 		// Drop isolated vertices (no truss edges).

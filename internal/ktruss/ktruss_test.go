@@ -72,7 +72,7 @@ func TestQuickTrussProperty(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		truss := Trussness(g)
 		for k := 3; k <= MaxTrussness(g); k++ {
 			// Build the k-truss edge set and check supports inside it.
@@ -87,7 +87,7 @@ func TestQuickTrussProperty(t *testing.T) {
 			if cnt == 0 {
 				continue
 			}
-			sub := bb.Build()
+			sub := bb.MustBuild()
 			for u := 0; u < n; u++ {
 				for _, v := range sub.Adj(graph.V(u)) {
 					if v <= graph.V(u) {
@@ -123,7 +123,7 @@ func TestQuickTrussInsideCore(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		truss := Trussness(g)
 		core := kcore.CoreNumbers(g)
 		for e, k := range truss {

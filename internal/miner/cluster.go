@@ -268,6 +268,12 @@ func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string,
 		return nil, nil, fmt.Errorf("miner: graph %s (|V|=%d |E|=%d) does not match manifest fingerprint (|V|=%d |E|=%d)",
 			graphPath, g.NumVertices(), g.NumEdges(), man.NumVertices, man.NumEdges)
 	}
+	if man.Scheme == store.OwnerSchemeRange {
+		// Warm this worker's owned byte span of the mapped graph while
+		// the rest stays cold under MADV_RANDOM. Advisory: a heap-backed
+		// graph (or a platform without madvise) skips it.
+		_ = mg.AdviseWillNeed(man.Bounds[machineID], man.Bounds[machineID+1])
+	}
 	spec := man.Machines[machineID]
 	host, err := gthinker.StartWorkerHost(gthinker.WorkerHostConfig{
 		Graph:       g,
@@ -289,6 +295,12 @@ func HostWorker(graphPath, manifestPath string, machineID int, faultSpec string,
 			}
 			if ecfg.Machines != machines {
 				return nil, gthinker.Config{}, fmt.Errorf("miner: job spec names %d machines, join %d", ecfg.Machines, machines)
+			}
+			// Ownership comes from the manifest, not the job spec:
+			// every process of the deployment read the same bounds next
+			// to the same graph fingerprint.
+			if man.Scheme == store.OwnerSchemeRange {
+				ecfg.PartitionBounds = man.Bounds
 			}
 			cfg = cfg.withDefaults()
 			return newApp(g, cfg, ecfg.TotalWorkers()), ecfg, nil
@@ -352,6 +364,14 @@ type ProcsConfig struct {
 	// ManifestDir receives the generated manifest file; empty uses the
 	// graph file's directory.
 	ManifestDir string
+	// RangePartition switches the deployment from splitmix hash
+	// ownership to contiguous vertex ranges (store.OwnerSchemeRange):
+	// the pool derives equal-entry bounds from the graph
+	// (graph.RangeBounds) unless ecfg.PartitionBounds is already set,
+	// and ships them in the manifest so each worker keeps only its own
+	// ~1/N byte span of the mapped graph warm (MappedGraph.
+	// AdviseWillNeed). Results are identical either way.
+	RangePartition bool
 	// ReadyTimeout bounds worker startup; ExitTimeout bounds teardown.
 	// Both default to 30 s.
 	ReadyTimeout time.Duration

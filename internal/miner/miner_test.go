@@ -21,7 +21,7 @@ func randomGraph(seed int64, n int, p float64) *graph.Graph {
 			}
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // TestParallelMatchesNaive: the end-to-end parallel pipeline (spawn,
@@ -169,7 +169,7 @@ func TestSpawnFiltersByDegree(t *testing.T) {
 	for i := 1; i < 6; i++ {
 		b.AddEdge(0, graph.V(i))
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	res, err := Mine(g, Config{Params: quasiclique.Params{Gamma: 0.5, MinSize: 4}},
 		gthinker.Config{SpillDir: t.TempDir()})
 	if err != nil {
@@ -278,5 +278,29 @@ func TestRecorderTopKAndHistogram(t *testing.T) {
 	top := res.Recorder.TopK(5)
 	if len(top) > 5 {
 		t.Fatalf("TopK returned %d", len(top))
+	}
+}
+
+// TestRangePartitionMatchesHash: mining under contiguous-range vertex
+// ownership must return exactly the hash partition's (and the naive
+// miner's) result set — the partition scheme decides residency, never
+// results.
+func TestRangePartitionMatchesHash(t *testing.T) {
+	par := quasiclique.Params{Gamma: 0.6, MinSize: 3}
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(seed, 9+int(seed%5), 0.45)
+		want := quasiclique.NaiveMaximal(g, par)
+		ecfg := gthinker.Config{
+			Machines: 3, WorkersPerMachine: 2,
+			SpillDir:        t.TempDir(),
+			PartitionBounds: g.RangeBounds(3),
+		}
+		res, err := Mine(g, Config{Params: par}, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !quasiclique.SetsEqual(res.Cliques, want) {
+			t.Fatalf("seed=%d:\n got  %v\n want %v", seed, res.Cliques, want)
+		}
 	}
 }

@@ -365,3 +365,59 @@ func TestMineProcsWorkerKilledNoRecovery(t *testing.T) {
 		t.Fatal("coordinator hung on a dead worker")
 	}
 }
+
+// TestMineProcsRangePartition is TestMineProcsBitIdentical under the
+// range-partition deployment: the pool derives equal-entry bounds,
+// ships them in the manifest, and each worker process adopts range
+// ownership (plus the madvise residency hint on its owned byte span).
+// Results must be bit-identical to the serial miner.
+func TestMineProcsRangePartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	g, graphPath := writeProcsGraph(t, dir)
+	par := quasiclique.Params{Gamma: 0.8, MinSize: 7}
+	cfg := Config{Params: par, TauTime: time.Nanosecond, TauSplit: 4}
+	ecfg := gthinker.Config{
+		Machines: 3, WorkersPerMachine: 2,
+		StealInterval: time.Millisecond,
+	}
+
+	serial, _, err := quasiclique.MineGraph(g, par, quasiclique.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manDir := t.TempDir()
+	res, err := MineProcs(context.Background(), cfg, ecfg, ProcsConfig{
+		GraphPath:      graphPath,
+		Command:        helperWorkerCommand(graphPath),
+		ManifestDir:    manDir,
+		RangePartition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quasiclique.SetsEqual(res.Cliques, serial) {
+		t.Fatalf("range-partition cluster diverges from serial: %d vs %d cliques",
+			len(res.Cliques), len(serial))
+	}
+	if res.Engine.RemoteFetches == 0 {
+		t.Fatalf("no cross-process fetches: %+v", res.Engine)
+	}
+	// The kept manifest must carry the range scheme with valid bounds.
+	ents, err := os.ReadDir(manDir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("manifest dir: %v entries, err %v", len(ents), err)
+	}
+	man, err := store.ReadManifestFile(filepath.Join(manDir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Scheme != store.OwnerSchemeRange {
+		t.Fatalf("manifest scheme %d, want range", man.Scheme)
+	}
+	if len(man.Bounds) != ecfg.Machines+1 || int(man.Bounds[ecfg.Machines]) != g.NumVertices() {
+		t.Fatalf("manifest bounds %v for n=%d", man.Bounds, g.NumVertices())
+	}
+}

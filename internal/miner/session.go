@@ -186,13 +186,20 @@ func StartProcsPool(ecfg gthinker.Config, pcfg ProcsConfig) (*ProcsPool, error) 
 	p := &ProcsPool{ecfg: ecfg, pcfg: pcfg}
 
 	// Fingerprint the graph for the manifest (the mapping is released
-	// immediately — the coordinator never mines).
+	// immediately — the coordinator never mines), and derive the range
+	// bounds here if a range partition was requested without explicit
+	// bounds: the coordinator is the one process guaranteed to see the
+	// graph before the manifest is written.
 	mg, err := store.MapGraph(pcfg.GraphPath)
 	if err != nil {
 		return nil, err
 	}
 	p.numVerts = mg.Graph().NumVertices()
 	p.numEdges = uint64(mg.Graph().NumEdges())
+	if pcfg.RangePartition && ecfg.PartitionBounds == nil {
+		ecfg.PartitionBounds = mg.Graph().RangeBounds(ecfg.Machines)
+		p.ecfg = ecfg
+	}
 	mg.Close()
 
 	man := &store.Manifest{
@@ -200,6 +207,13 @@ func StartProcsPool(ecfg gthinker.Config, pcfg ProcsConfig) (*ProcsPool, error) 
 		NumVertices: p.numVerts,
 		NumEdges:    p.numEdges,
 		Machines:    make([]store.MachineSpec, ecfg.Machines),
+	}
+	if ecfg.PartitionBounds != nil {
+		// Ownership travels in the manifest (scheme + bounds), not the
+		// job spec: every worker derives it from the same file it
+		// validated its graph against.
+		man.Scheme = store.OwnerSchemeRange
+		man.Bounds = ecfg.PartitionBounds
 	}
 	// The manifest is per-deployment state: a unique name (two
 	// concurrent coordinators must not read each other's deployment)

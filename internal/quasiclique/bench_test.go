@@ -19,7 +19,7 @@ func benchGraph(n, attach int) *graph.Graph {
 			b.AddEdge(graph.V(v), next(v))
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // BenchmarkSubFromGraph measures task-subgraph materialization, the

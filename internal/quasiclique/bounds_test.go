@@ -27,7 +27,7 @@ func mkMinerStateP(t *testing.T, seed int64, gamma, p float64) (*Miner, []uint32
 			}
 		}
 	}
-	g := b.Build()
+	g := b.MustBuild()
 	all := make([]graph.V, n)
 	for i := range all {
 		all[i] = graph.V(i)

@@ -46,7 +46,7 @@ func TestDegreeImpliesDensity(t *testing.T) {
 				}
 			}
 		}
-		g := b.Build()
+		g := b.MustBuild()
 		gamma := 0.5 + 0.1*float64(seed%5)
 		for mask := 1; mask < 1<<uint(n); mask++ {
 			var S []graph.V

@@ -25,7 +25,7 @@ func denseBenchTask(b *testing.B, n int, p float64, par Params) (*Sub, []uint32,
 			}
 		}
 	}
-	g := bld.Build()
+	g := bld.MustBuild()
 	gk, kept := PrepareGraph(g, par, Options{})
 	var best *Sub
 	var bestV uint32
@@ -94,7 +94,7 @@ func BenchmarkMineGraph(b *testing.B) {
 			}
 		}
 	}
-	g := bld.Build()
+	g := bld.MustBuild()
 	par := Params{Gamma: 0.9, MinSize: 4}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -169,7 +169,7 @@ func PrepareGraph(g *graph.Graph, par Params, opt Options) (*graph.Graph, []grap
 			}
 		}
 	}
-	return b.Build(), kept
+	return b.MustBuild(), kept
 }
 
 // RootStats reports one root task's work.

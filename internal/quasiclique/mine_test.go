@@ -190,7 +190,7 @@ func randomGraph(seed int64, n int, p float64) *graph.Graph {
 			}
 		}
 	}
-	return b.Build()
+	return b.MustBuild()
 }
 
 // TestMineMatchesNaive is the central correctness property: over many

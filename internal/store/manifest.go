@@ -12,10 +12,11 @@ import (
 // owner(v). Layout (all integers little-endian, like GQC2/GQS1):
 //
 //	magic    [4]byte  "GQM1"
-//	scheme   uint32   vertex-ownership scheme (OwnerSchemeSplitmix)
+//	scheme   uint32   vertex-ownership scheme (OwnerScheme*)
 //	machines uint32   cluster size
 //	n        uint32   graph vertex count   (fingerprint)
 //	m        uint64   graph edge count     (fingerprint)
+//	bounds   [machines+1]uint32   (OwnerSchemeRange only)
 //	machines × { control, vertex, task: u32 len + bytes }
 //
 // The per-machine addresses are TCP listen addresses; an empty string
@@ -31,11 +32,22 @@ import (
 // manifestMagic identifies (and versions) the partition manifest.
 var manifestMagic = [4]byte{'G', 'Q', 'M', '1'}
 
-// OwnerSchemeSplitmix is the only vertex-ownership scheme currently
-// defined: owner(v) = splitmix64(v) mod machines (the gthinker
-// engine's hash partitioning). New schemes get new numbers; a reader
-// must reject schemes it does not implement.
+// OwnerSchemeSplitmix is the default vertex-ownership scheme:
+// owner(v) = splitmix64(v) mod machines (the gthinker engine's hash
+// partitioning). New schemes get new numbers; a reader must reject
+// schemes it does not implement.
 const OwnerSchemeSplitmix uint32 = 0
+
+// OwnerSchemeRange assigns each machine one contiguous vertex range:
+// machine i owns [Bounds[i], Bounds[i+1]). Because GQC2 packs
+// adjacency rows in vertex order, a range partition is also a
+// *byte-range* partition of the mapped neighbors array — each worker's
+// owned rows are one contiguous span it can madvise and keep resident
+// while the rest of the graph stays cold (~1/N residency per worker).
+// Bounds are chosen by the partitioner (typically equal-entry splits
+// from graph.RangeBounds) and shipped in the manifest, so every
+// process derives identical ownership without hashing.
+const OwnerSchemeRange uint32 = 1
 
 // maxManifestMachines bounds the machine count accepted from a
 // manifest before any dependent allocation.
@@ -64,11 +76,36 @@ type Manifest struct {
 	NumEdges    uint64
 	// Machines lists one spec per machine, indexed by machine id.
 	Machines []MachineSpec
+	// Bounds is the range-partition table (OwnerSchemeRange only):
+	// machine i owns vertices [Bounds[i], Bounds[i+1]). len is
+	// len(Machines)+1, Bounds[0] == 0, nondecreasing, and the last
+	// entry equals NumVertices.
+	Bounds []uint32
 }
 
 // Validate checks the manifest's internal consistency.
 func (m *Manifest) Validate() error {
-	if m.Scheme != OwnerSchemeSplitmix {
+	switch m.Scheme {
+	case OwnerSchemeSplitmix:
+		if len(m.Bounds) != 0 {
+			return fmt.Errorf("store: splitmix manifest carries %d range bounds", len(m.Bounds))
+		}
+	case OwnerSchemeRange:
+		if len(m.Bounds) != len(m.Machines)+1 {
+			return fmt.Errorf("store: range manifest has %d bounds for %d machines (want machines+1)", len(m.Bounds), len(m.Machines))
+		}
+		if m.Bounds[0] != 0 {
+			return fmt.Errorf("store: range bounds start at %d, want 0", m.Bounds[0])
+		}
+		for i := 1; i < len(m.Bounds); i++ {
+			if m.Bounds[i] < m.Bounds[i-1] {
+				return fmt.Errorf("store: range bounds decrease at %d (%d < %d)", i, m.Bounds[i], m.Bounds[i-1])
+			}
+		}
+		if int(m.Bounds[len(m.Bounds)-1]) != m.NumVertices {
+			return fmt.Errorf("store: range bounds end at %d, want the vertex count %d", m.Bounds[len(m.Bounds)-1], m.NumVertices)
+		}
+	default:
 		return fmt.Errorf("store: unknown ownership scheme %d", m.Scheme)
 	}
 	if len(m.Machines) < 1 || len(m.Machines) > maxManifestMachines {
@@ -97,6 +134,9 @@ func AppendManifest(dst []byte, m *Manifest) ([]byte, error) {
 	dst = AppendU32(dst, uint32(len(m.Machines)))
 	dst = AppendU32(dst, uint32(m.NumVertices))
 	dst = AppendU64(dst, m.NumEdges)
+	if m.Scheme == OwnerSchemeRange {
+		dst = AppendU32s(dst, m.Bounds)
+	}
 	for _, spec := range m.Machines {
 		dst = AppendString(dst, spec.Control)
 		dst = AppendString(dst, spec.Vertex)
@@ -127,6 +167,16 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	}
 	if machines < 1 || machines > maxManifestMachines {
 		return nil, fmt.Errorf("store: manifest claims %d machines", machines)
+	}
+	if m.Scheme == OwnerSchemeRange {
+		// machines is bounded above, so this allocation is too; the
+		// cursor bounds-checks the bytes before materializing.
+		bounds := c.U32s(machines + 1)
+		if err := c.Err(); err != nil {
+			return nil, fmt.Errorf("store: truncated range bounds: %w", err)
+		}
+		// U32s may alias the input buffer; the manifest outlives it.
+		m.Bounds = append([]uint32(nil), bounds...)
 	}
 	// Every machine row needs at least its three length prefixes.
 	if machines > c.Remaining()/12 {

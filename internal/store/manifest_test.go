@@ -80,6 +80,79 @@ func TestManifestRejectsCorruption(t *testing.T) {
 	}
 }
 
+func testRangeManifest() *Manifest {
+	m := testManifest()
+	m.Scheme = OwnerSchemeRange
+	m.Bounds = []uint32{0, 400, 400, 1234}
+	return m
+}
+
+func TestManifestRangeRoundTrip(t *testing.T) {
+	m := testRangeManifest()
+	data, err := AppendManifest(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != OwnerSchemeRange {
+		t.Fatalf("scheme %d, want range", got.Scheme)
+	}
+	if len(got.Bounds) != len(m.Bounds) {
+		t.Fatalf("bounds %v, want %v", got.Bounds, m.Bounds)
+	}
+	for i := range m.Bounds {
+		if got.Bounds[i] != m.Bounds[i] {
+			t.Fatalf("bounds %v, want %v", got.Bounds, m.Bounds)
+		}
+	}
+	// The decoded bounds must not alias the input buffer (U32s may).
+	data[len(data)-1] = 0xFF
+	if got.Bounds[len(got.Bounds)-1] != m.Bounds[len(m.Bounds)-1] {
+		t.Fatal("decoded bounds alias the input buffer")
+	}
+}
+
+func TestManifestRangeValidate(t *testing.T) {
+	mutate := func(f func(*Manifest)) *Manifest {
+		m := testRangeManifest()
+		f(m)
+		return m
+	}
+	cases := map[string]*Manifest{
+		"short bounds":      mutate(func(m *Manifest) { m.Bounds = []uint32{0, 1234} }),
+		"long bounds":       mutate(func(m *Manifest) { m.Bounds = []uint32{0, 1, 2, 3, 1234} }),
+		"nonzero start":     mutate(func(m *Manifest) { m.Bounds[0] = 1 }),
+		"decreasing":        mutate(func(m *Manifest) { m.Bounds[2] = 399 }),
+		"bad end":           mutate(func(m *Manifest) { m.Bounds[3] = 1000 }),
+		"splitmix + bounds": mutate(func(m *Manifest) { m.Scheme = OwnerSchemeSplitmix }),
+	}
+	for name, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+		if _, err := AppendManifest(nil, m); err == nil {
+			t.Errorf("%s encoded", name)
+		}
+	}
+	if err := testRangeManifest().Validate(); err != nil {
+		t.Fatalf("valid range manifest rejected: %v", err)
+	}
+}
+
+func TestManifestRangeRejectsTruncatedBounds(t *testing.T) {
+	good, err := AppendManifest(nil, testRangeManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the bounds table: header is 20 bytes, bounds are 16.
+	if _, err := DecodeManifest(good[:26]); err == nil {
+		t.Fatal("truncated bounds accepted")
+	}
+}
+
 func TestManifestRejectsInvalid(t *testing.T) {
 	if _, err := AppendManifest(nil, &Manifest{Scheme: 9, Machines: []MachineSpec{{}}}); err == nil {
 		t.Fatal("unknown scheme encoded")
@@ -103,6 +176,9 @@ func FuzzDecodeManifest(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(good)
+	if rng, err := AppendManifest(nil, testRangeManifest()); err == nil {
+		f.Add(rng)
+	}
 	f.Add([]byte("GQM1"))
 	f.Add([]byte("GQM1\x00\x00\x00\x00\x01\x00\x00\x00\x05\x00\x00\x00\x09\x00\x00\x00\x00\x00\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -29,6 +29,21 @@
 // user of the Graph is done; heap-fallback loads have no such
 // constraint (Close is then a no-op).
 //
+// GQC2 files larger than RAM are produced by ExternalGraphWriter
+// (convert.go): edges accumulate in a budget-bounded buffer, overflow
+// is spilled as sorted runs, and a k-way merge streams the deduped
+// adjacency straight into the GQC2 layout — only the offsets array
+// must fit in memory. ConvertEdgeList wraps it for text input (the
+// cmd/qcconvert front end), ConvertGraph for in-memory graphs.
+//
+// Residency: MapGraph advises the whole mapping MADV_RANDOM (adjacency
+// access during mining has no sequential pattern worth readahead), and
+// MappedGraph.AdviseWillNeed marks one vertex range's rows — which is
+// one contiguous byte span, since GQC2 stores rows in vertex order —
+// as wanted. Under range partitioning each worker advises only its
+// owned span, so N workers on one graph keep ~1/N resident each. Both
+// calls are advisory and compile to no-ops where madvise is absent.
+//
 // # GQS1 — columnar task-spill batches (spill.go)
 //
 // Task batches spilled by the G-thinker engine used to be gob streams:
